@@ -1,0 +1,144 @@
+// Command elsm-ctlog runs the paper's case study (§5.7): a Certificate
+// Transparency log server backed by an authenticated eLSM store, serving a
+// minimal HTTP-free TCP protocol:
+//
+//	ADD <hostname> <serial> <issuer>\n  -> OK <ts>\n
+//	AUDIT <hostname> <serial> <issuer>\n-> OK\n | ERR <reason>\n
+//	REVOKE <hostname>\n                 -> OK <ts>\n
+//	MONITOR <domain-prefix>\n           -> N <count>\n then rows
+//
+// Usage: elsm-ctlog [-addr :7879] [-dir /path]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"elsm"
+	"elsm/internal/ctlog"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7879", "listen address")
+		dir  = flag.String("dir", "", "data directory (empty: in-memory)")
+	)
+	flag.Parse()
+
+	store, err := elsm.Open(elsm.Options{Dir: *dir})
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+	srv := ctlog.NewServer(store.Internal())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("elsm-ctlog listening on %s (authenticated eLSM-P2 backing store)", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(conn, srv)
+	}
+}
+
+func mkCert(host, serialStr, issuer string) (ctlog.Certificate, error) {
+	serial, err := strconv.ParseUint(serialStr, 10, 64)
+	if err != nil {
+		return ctlog.Certificate{}, fmt.Errorf("bad serial %q", serialStr)
+	}
+	return ctlog.Certificate{
+		Hostname: host,
+		Serial:   serial,
+		Issuer:   issuer,
+		NotAfter: time.Now().AddDate(1, 0, 0),
+		DER:      []byte(host + "|" + serialStr + "|" + issuer),
+	}, nil
+}
+
+func serve(conn net.Conn, srv *ctlog.Server) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "ADD":
+			if len(fields) != 4 {
+				fmt.Fprintln(w, "ERR usage: ADD <hostname> <serial> <issuer>")
+				break
+			}
+			cert, err := mkCert(fields[1], fields[2], fields[3])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			ts, err := srv.AddChain(cert)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", ts)
+		case "AUDIT":
+			if len(fields) != 4 {
+				fmt.Fprintln(w, "ERR usage: AUDIT <hostname> <serial> <issuer>")
+				break
+			}
+			cert, err := mkCert(fields[1], fields[2], fields[3])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			if err := srv.Audit(cert); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintln(w, "OK")
+		case "REVOKE":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: REVOKE <hostname>")
+				break
+			}
+			ts, err := srv.Revoke(fields[1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", ts)
+		case "MONITOR":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: MONITOR <domain-prefix>")
+				break
+			}
+			rep, err := srv.MonitorDomain(fields[1])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "N %d\n", len(rep.Entries))
+			for host, e := range rep.Entries {
+				fmt.Fprintf(w, "%s serial=%d issuer=%s revoked=%v\n", host, e.Serial, e.Issuer, e.Revoked)
+			}
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command\n")
+		}
+		w.Flush()
+	}
+}

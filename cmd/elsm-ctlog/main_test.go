@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"elsm"
+	"elsm/internal/ctlog"
+)
+
+func ctDialogue(t *testing.T, srv *ctlog.Server, lines []string) []string {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		serve(server, srv)
+		close(done)
+	}()
+	w := bufio.NewWriter(client)
+	r := bufio.NewReader(client)
+	var replies []string
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+		w.Flush()
+		if strings.HasPrefix(strings.ToUpper(line), "QUIT") {
+			break
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply to %q: %v", line, err)
+		}
+		replies = append(replies, strings.TrimSpace(reply))
+		if strings.HasPrefix(reply, "N ") {
+			var n int
+			fmt.Sscanf(reply, "N %d", &n)
+			for i := 0; i < n; i++ {
+				row, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatalf("monitor row: %v", err)
+				}
+				replies = append(replies, strings.TrimSpace(row))
+			}
+		}
+	}
+	client.Close()
+	<-done
+	return replies
+}
+
+func TestCTLogProtocol(t *testing.T) {
+	store, err := elsm.Open(elsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := ctlog.NewServer(store.Internal())
+
+	replies := ctDialogue(t, srv, []string{
+		"ADD www.example.com 100 TestCA",
+		"AUDIT www.example.com 100 TestCA",
+		"AUDIT www.example.com 999 TestCA", // wrong serial -> mismatch
+		"REVOKE www.example.com",
+		"AUDIT www.example.com 100 TestCA", // revoked
+		"ADD api.example.com 101 TestCA",
+		"MONITOR example", // no entries: hostnames start with 'www'/'api'
+		"MONITOR www",
+		"BOGUS",
+		"QUIT",
+	})
+	checks := []struct {
+		idx    int
+		prefix string
+	}{
+		{0, "OK "},
+		{1, "OK"},
+		{2, "ERR "},
+		{3, "OK "},
+		{4, "ERR "},
+		{5, "OK "},
+		{6, "N 0"},
+		{7, "N 1"},
+		{8, "www.example.com"},
+		{9, "ERR "},
+	}
+	if len(replies) != len(checks) {
+		t.Fatalf("%d replies: %v", len(replies), replies)
+	}
+	for _, c := range checks {
+		if !strings.HasPrefix(replies[c.idx], c.prefix) {
+			t.Fatalf("reply %d = %q, want prefix %q", c.idx, replies[c.idx], c.prefix)
+		}
+	}
+	if !strings.Contains(replies[8], "revoked=true") {
+		t.Fatalf("monitor row %q should show revocation", replies[8])
+	}
+}

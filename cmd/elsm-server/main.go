@@ -1,0 +1,121 @@
+// Command elsm-server exposes an authenticated eLSM store over a minimal
+// line-oriented TCP protocol (stdlib net only), modelling the paper's
+// trusted cloud application serving verified reads to clients:
+//
+//	PUT <key> <value>\n      -> OK <ts>\n
+//	GET <key>\n              -> VALUE <ts> <value>\n | NOTFOUND\n
+//	DEL <key>\n              -> OK <ts>\n
+//	SCAN <start> <end>\n     -> N <count>\n then <key> <value>\n rows
+//	QUIT\n                   -> closes the connection
+//
+// Every response reflects verified state: a tampering host would surface
+// as ERR auth lines rather than wrong data.
+//
+// Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"elsm"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7878", "listen address")
+		dir  = flag.String("dir", "", "data directory (empty: in-memory)")
+		mode = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
+	)
+	flag.Parse()
+
+	opts := elsm.Options{Dir: *dir}
+	switch *mode {
+	case "p2":
+		opts.Mode = elsm.ModeP2
+	case "p1":
+		opts.Mode = elsm.ModeP1
+		opts.CacheSize = 8 << 20
+	case "unsecured":
+		opts.Mode = elsm.ModeUnsecured
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	store, err := elsm.Open(opts)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("elsm-server (%s) listening on %s", store.Mode(), ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(conn, store)
+	}
+}
+
+func serve(conn net.Conn, store *elsm.Store) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.SplitN(line, " ", 3)
+		cmd := strings.ToUpper(fields[0])
+		switch {
+		case cmd == "QUIT":
+			return
+		case cmd == "PUT" && len(fields) == 3:
+			ts, err := store.Put([]byte(fields[1]), []byte(fields[2]))
+			reply(w, err, "OK %d", ts)
+		case cmd == "GET" && len(fields) >= 2:
+			res, err := store.Get([]byte(fields[1]))
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "ERR %v\n", err)
+			case !res.Found:
+				fmt.Fprintln(w, "NOTFOUND")
+			default:
+				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, res.Value)
+			}
+		case cmd == "DEL" && len(fields) >= 2:
+			ts, err := store.Delete([]byte(fields[1]))
+			reply(w, err, "OK %d", ts)
+		case cmd == "SCAN" && len(fields) == 3:
+			results, err := store.Scan([]byte(fields[1]), []byte(fields[2]))
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "N %d\n", len(results))
+			for _, r := range results {
+				fmt.Fprintf(w, "%s %s\n", r.Key, r.Value)
+			}
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", line)
+		}
+		w.Flush()
+	}
+}
+
+func reply(w *bufio.Writer, err error, format string, args ...interface{}) {
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}

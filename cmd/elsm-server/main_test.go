@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"elsm"
+)
+
+// dialogue runs one client session against serve() over an in-memory pipe.
+func dialogue(t *testing.T, store *elsm.Store, lines []string) []string {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		serve(server, store)
+		close(done)
+	}()
+	w := bufio.NewWriter(client)
+	r := bufio.NewReader(client)
+	var replies []string
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+		w.Flush()
+		if strings.HasPrefix(strings.ToUpper(line), "QUIT") {
+			break
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read reply to %q: %v", line, err)
+		}
+		replies = append(replies, strings.TrimSpace(reply))
+		// SCAN responses carry extra rows.
+		if strings.HasPrefix(reply, "N ") {
+			var n int
+			fmt.Sscanf(reply, "N %d", &n)
+			for i := 0; i < n; i++ {
+				row, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatalf("read scan row: %v", err)
+				}
+				replies = append(replies, strings.TrimSpace(row))
+			}
+		}
+	}
+	client.Close()
+	<-done
+	return replies
+}
+
+func TestServerProtocol(t *testing.T) {
+	store, err := elsm.Open(elsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	replies := dialogue(t, store, []string{
+		"PUT alpha one",
+		"PUT beta two",
+		"GET alpha",
+		"GET missing",
+		"SCAN a z",
+		"DEL alpha",
+		"GET alpha",
+		"BOGUS",
+		"QUIT",
+	})
+	want := []struct {
+		idx    int
+		prefix string
+	}{
+		{0, "OK "},
+		{1, "OK "},
+		{2, "VALUE "},
+		{3, "NOTFOUND"},
+		{4, "N 2"},
+		{5, "alpha one"},
+		{6, "beta two"},
+		{7, "OK "},
+		{8, "NOTFOUND"},
+		{9, "ERR "},
+	}
+	if len(replies) != len(want) {
+		t.Fatalf("replies = %d: %v", len(replies), replies)
+	}
+	for _, w := range want {
+		if !strings.HasPrefix(replies[w.idx], w.prefix) {
+			t.Fatalf("reply %d = %q, want prefix %q", w.idx, replies[w.idx], w.prefix)
+		}
+	}
+	if !strings.Contains(replies[2], "one") {
+		t.Fatalf("GET reply %q missing value", replies[2])
+	}
+}
+
+func TestServerValueWithSpaces(t *testing.T) {
+	store, err := elsm.Open(elsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	replies := dialogue(t, store, []string{
+		"PUT key a value with spaces",
+		"GET key",
+		"QUIT",
+	})
+	if !strings.HasSuffix(replies[1], "a value with spaces") {
+		t.Fatalf("GET = %q", replies[1])
+	}
+}

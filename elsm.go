@@ -1,0 +1,259 @@
+// Package elsm is an authenticated log-structured merge-tree key-value
+// store for hardware enclaves — a Go reproduction of "Authenticated
+// Key-Value Stores with Hardware Enclaves" (Tang et al., MIDDLEWARE 2021).
+//
+// The store runs its code and small metadata inside a (simulated) SGX
+// enclave while placing read buffers and SSTable files in untrusted memory
+// and disk. Data outside the enclave is protected by a forest of Merkle
+// trees (one per LSM run) with per-record embedded proofs; every GET and
+// SCAN result is verified for integrity, freshness and completeness before
+// it is returned, and COMPACTION re-authenticates its inputs inside the
+// enclave. A trusted monotonic counter defends against rollback.
+//
+// Quick start:
+//
+//	store, err := elsm.Open(elsm.Options{})
+//	if err != nil { ... }
+//	defer store.Close()
+//	ts, _ := store.Put([]byte("key"), []byte("value"))
+//	res, err := store.Get([]byte("key"))   // verified: integrity+freshness
+//	results, err := store.Scan([]byte("a"), []byte("z")) // +completeness
+//
+// Three modes reproduce the paper's configurations: ModeP2 (the
+// contribution: buffers outside the enclave, record-granularity Merkle
+// authentication), ModeP1 (the strawman: everything in-enclave,
+// file-granularity sealing) and ModeUnsecured (plain LSM baseline).
+package elsm
+
+import (
+	"errors"
+	"fmt"
+
+	"elsm/internal/core"
+	"elsm/internal/costmodel"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+)
+
+// Mode selects the system design being run (Table 1 of the paper).
+type Mode int
+
+const (
+	// ModeP2 is eLSM-P2, the paper's contribution: code and metadata in
+	// the enclave, read buffers and files outside, Merkle-authenticated.
+	ModeP2 Mode = iota + 1
+	// ModeP1 is the eLSM-P1 strawman: read buffers inside the enclave,
+	// file-granularity sealing, no Merkle forest.
+	ModeP1
+	// ModeUnsecured is the plain LSM baseline with no enclave.
+	ModeUnsecured
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeP2:
+		return "eLSM-P2"
+	case ModeP1:
+		return "eLSM-P1"
+	case ModeUnsecured:
+		return "unsecured"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Result is a verified query result.
+type Result = core.Result
+
+// Options configures Open. The zero value opens an in-memory eLSM-P2 store
+// with a zero-cost simulated enclave (functional mode).
+type Options struct {
+	// Mode selects the design (default ModeP2).
+	Mode Mode
+	// Dir stores data in an OS directory instead of memory.
+	Dir string
+	// FS overrides the untrusted file system (takes precedence over Dir).
+	FS vfs.FS
+	// EPCSize is the simulated enclave's protected-memory capacity
+	// (default 128 MB, the paper's hardware).
+	EPCSize int
+	// SimulateHardwareCosts enables the calibrated SGX cost model
+	// (world switches, paging, copies burn CPU); off, the enclave is
+	// purely functional.
+	SimulateHardwareCosts bool
+	// CacheSize is the read-buffer size in bytes (0 = no buffer).
+	CacheSize int
+	// MmapReads selects the mmap read path (P2/unsecured only).
+	MmapReads bool
+	// KeepVersions bounds retained versions per key (0 = keep all).
+	KeepVersions int
+	// Encryption enables the confidentiality layer (§5.6.2).
+	Encryption *EncryptionOptions
+	// RequireCleanRecovery refuses recovery with unverified WAL suffixes.
+	RequireCleanRecovery bool
+	// Platform and Counter persist the root of trust across restarts
+	// (required for unseal + rollback detection after reopen).
+	Platform *sgx.Platform
+	Counter  *sgx.MonotonicCounter
+	// Advanced engine tuning (zero = defaults).
+	MemtableSize      int
+	TableFileSize     int
+	LevelBase         int64
+	MaxLevels         int
+	BlockSize         int
+	DisableCompaction bool
+	DisableWAL        bool
+}
+
+// Store is an authenticated key-value store.
+type Store struct {
+	mode Mode
+	kv   core.KV
+	enc  *encLayer
+}
+
+// Open creates or recovers a store.
+func Open(opts Options) (*Store, error) {
+	if opts.Mode == 0 {
+		opts.Mode = ModeP2
+	}
+	fs := opts.FS
+	if fs == nil && opts.Dir != "" {
+		osfs, err := vfs.NewOS(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		fs = osfs
+	}
+	cost := costmodel.Zero
+	if opts.SimulateHardwareCosts {
+		cost = costmodel.Calibrated()
+	}
+	cfg := core.Config{
+		FS:                   fs,
+		SGX:                  sgx.Params{EPCSize: opts.EPCSize, Cost: cost},
+		Platform:             opts.Platform,
+		Counter:              opts.Counter,
+		CacheSize:            opts.CacheSize,
+		MmapReads:            opts.MmapReads,
+		KeepVersions:         opts.KeepVersions,
+		RequireCleanRecovery: opts.RequireCleanRecovery,
+		MemtableSize:         opts.MemtableSize,
+		TableFileSize:        opts.TableFileSize,
+		LevelBase:            opts.LevelBase,
+		MaxLevels:            opts.MaxLevels,
+		BlockSize:            opts.BlockSize,
+		DisableCompaction:    opts.DisableCompaction,
+		DisableWAL:           opts.DisableWAL,
+	}
+	var (
+		kv  core.KV
+		err error
+	)
+	switch opts.Mode {
+	case ModeP2:
+		kv, err = core.Open(cfg)
+	case ModeP1:
+		kv, err = core.OpenP1(cfg)
+	case ModeUnsecured:
+		kv, err = core.OpenUnsecured(cfg)
+	default:
+		return nil, fmt.Errorf("elsm: unknown mode %d", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{mode: opts.Mode, kv: kv}
+	if opts.Encryption != nil {
+		s.enc, err = newEncLayer(*opts.Encryption)
+		if err != nil {
+			kv.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Mode reports which design this store runs.
+func (s *Store) Mode() Mode { return s.mode }
+
+// Put writes a key-value pair, returning the trusted timestamp assigned
+// inside the enclave.
+func (s *Store) Put(key, value []byte) (uint64, error) {
+	if s.enc != nil {
+		ek, ev, err := s.enc.sealRecord(key, value)
+		if err != nil {
+			return 0, err
+		}
+		return s.kv.Put(ek, ev)
+	}
+	return s.kv.Put(key, value)
+}
+
+// Delete removes a key (a verified tombstone write).
+func (s *Store) Delete(key []byte) (uint64, error) {
+	if s.enc != nil {
+		ek, err := s.enc.sealKey(key)
+		if err != nil {
+			return 0, err
+		}
+		return s.kv.Delete(ek)
+	}
+	return s.kv.Delete(key)
+}
+
+// Get returns the latest value of key, verified for integrity and
+// freshness (and completeness of the "not found" answer).
+func (s *Store) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
+
+// GetAt returns the newest value with timestamp ≤ tsq.
+func (s *Store) GetAt(key []byte, tsq uint64) (Result, error) {
+	if s.enc != nil {
+		ek, ok, err := s.enc.lookupKey(key)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			return Result{}, nil
+		}
+		res, err := s.kv.GetAt(ek, tsq)
+		if err != nil || !res.Found {
+			return Result{}, err
+		}
+		return s.enc.openResult(res)
+	}
+	return s.kv.GetAt(key, tsq)
+}
+
+// Scan returns the latest value of every key in [start, end], verified for
+// completeness: a host that omits a matching record is detected.
+func (s *Store) Scan(start, end []byte) ([]Result, error) {
+	if s.enc != nil {
+		estart, eend, err := s.enc.rangeBounds(start, end)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := s.kv.Scan(estart, eend)
+		if err != nil {
+			return nil, err
+		}
+		return s.enc.openResults(raw, start, end)
+	}
+	return s.kv.Scan(start, end)
+}
+
+// ErrAuthFailed is re-exported so callers can classify verification
+// failures with errors.Is.
+var ErrAuthFailed = core.ErrAuthFailed
+
+// IsAuthFailure reports whether err is an authentication failure (forged,
+// stale, incomplete or rolled-back data detected).
+func IsAuthFailure(err error) bool { return errors.Is(err, core.ErrAuthFailed) }
+
+// Internal returns the underlying core store. It is exposed for the
+// benchmark harness and advanced integrations (bulk loading, stats).
+func (s *Store) Internal() core.KV { return s.kv }
+
+// Close seals the final trusted state and releases resources.
+func (s *Store) Close() error { return s.kv.Close() }

@@ -1,0 +1,174 @@
+package elsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"elsm/internal/crypto"
+)
+
+// EncryptionMode selects how data keys are encrypted (§5.6.2).
+type EncryptionMode int
+
+const (
+	// EncryptPoint uses deterministic encryption for keys: equal
+	// plaintexts map to equal ciphertexts, so exact-match GET works over
+	// ciphertext. Range scans are unsupported in this mode.
+	EncryptPoint EncryptionMode = iota + 1
+	// EncryptRange additionally maintains a mutable order-preserving
+	// encoding (mOPE) of keys inside the enclave, enabling range scans
+	// over ciphertext.
+	EncryptRange
+)
+
+// EncryptionOptions configures the confidentiality layer. Values are always
+// AES-GCM encrypted; keys per the selected mode.
+type EncryptionOptions struct {
+	Mode EncryptionMode
+	// Key is the master key; zero means generate a fresh one (data is
+	// then unreadable after restart — supply a key for persistence).
+	Key crypto.MasterKey
+}
+
+// Encryption-layer errors.
+var (
+	// ErrScanUnsupported is returned by Scan under EncryptPoint.
+	ErrScanUnsupported = errors.New("elsm: range scans require EncryptRange mode")
+	// ErrRebalanceNeeded re-exports the mOPE exhaustion error.
+	ErrRebalanceNeeded = crypto.ErrRebalanceNeeded
+)
+
+// encLayer performs key/value encryption at the public API boundary. All
+// cryptographic state (DE keys, the OPE table) logically lives inside the
+// enclave; the stored keys and values are ciphertext only.
+type encLayer struct {
+	mode EncryptionMode
+	de   *crypto.DeterministicEncrypter
+	ve   *crypto.ValueEncrypter
+	ope  *crypto.OPE
+}
+
+func newEncLayer(opts EncryptionOptions) (*encLayer, error) {
+	if opts.Mode == 0 {
+		opts.Mode = EncryptPoint
+	}
+	var zero crypto.MasterKey
+	if opts.Key == zero {
+		k, err := crypto.NewMasterKey()
+		if err != nil {
+			return nil, err
+		}
+		opts.Key = k
+	}
+	ve, err := crypto.NewValue(opts.Key)
+	if err != nil {
+		return nil, err
+	}
+	l := &encLayer{
+		mode: opts.Mode,
+		de:   crypto.NewDeterministic(opts.Key),
+		ve:   ve,
+	}
+	if opts.Mode == EncryptRange {
+		l.ope = crypto.NewOPE()
+	}
+	return l, nil
+}
+
+// sealKey maps a plaintext key to its stored form, registering it with the
+// OPE table in range mode.
+func (l *encLayer) sealKey(key []byte) ([]byte, error) {
+	if l.mode == EncryptRange {
+		code, err := l.ope.Encode(key)
+		if err != nil {
+			return nil, fmt.Errorf("elsm: OPE encode: %w", err)
+		}
+		return opeKeyBytes(code), nil
+	}
+	return l.de.Encrypt(key), nil
+}
+
+// lookupKey maps a plaintext key to its stored form without registering
+// new keys; ok=false means the key was never written.
+func (l *encLayer) lookupKey(key []byte) ([]byte, bool, error) {
+	if l.mode == EncryptRange {
+		code, ok := l.ope.Lookup(key)
+		if !ok {
+			return nil, false, nil
+		}
+		return opeKeyBytes(code), true, nil
+	}
+	return l.de.Encrypt(key), true, nil
+}
+
+// sealRecord encrypts a record: the value envelope carries the encrypted
+// plaintext key (so scans can recover it) followed by the value.
+func (l *encLayer) sealRecord(key, value []byte) ([]byte, []byte, error) {
+	ek, err := l.sealKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	envelope := make([]byte, 0, 4+len(key)+len(value))
+	envelope = binary.BigEndian.AppendUint32(envelope, uint32(len(key)))
+	envelope = append(envelope, key...)
+	envelope = append(envelope, value...)
+	ev, err := l.ve.Encrypt(envelope)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ek, ev, nil
+}
+
+// openResult decrypts a stored result back to plaintext key and value.
+func (l *encLayer) openResult(res Result) (Result, error) {
+	envelope, err := l.ve.Decrypt(res.Value)
+	if err != nil {
+		return Result{}, fmt.Errorf("elsm: value decrypt: %w", err)
+	}
+	if len(envelope) < 4 {
+		return Result{}, fmt.Errorf("elsm: malformed value envelope")
+	}
+	klen := int(binary.BigEndian.Uint32(envelope[:4]))
+	if 4+klen > len(envelope) {
+		return Result{}, fmt.Errorf("elsm: malformed value envelope")
+	}
+	return Result{
+		Key:   envelope[4 : 4+klen],
+		Value: envelope[4+klen:],
+		Ts:    res.Ts,
+		Found: true,
+	}, nil
+}
+
+// rangeBounds translates a plaintext range to stored-key bounds.
+func (l *encLayer) rangeBounds(start, end []byte) ([]byte, []byte, error) {
+	if l.mode != EncryptRange {
+		return nil, nil, ErrScanUnsupported
+	}
+	lo, hi := l.ope.Bounds(start, end)
+	return opeKeyBytes(lo), opeKeyBytes(hi), nil
+}
+
+// openResults decrypts scan output and filters to the exact plaintext
+// range (OPE bounds may be slightly wider than the plaintext range).
+func (l *encLayer) openResults(raw []Result, start, end []byte) ([]Result, error) {
+	out := make([]Result, 0, len(raw))
+	for _, r := range raw {
+		pr, err := l.openResult(r)
+		if err != nil {
+			return nil, err
+		}
+		if string(pr.Key) < string(start) || string(pr.Key) > string(end) {
+			continue
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func opeKeyBytes(code uint64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, code)
+	return out
+}

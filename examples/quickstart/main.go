@@ -1,0 +1,63 @@
+// Quickstart: open an authenticated eLSM-P2 store, write, read with
+// verification, scan with completeness, and observe tamper detection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elsm"
+)
+
+func main() {
+	// A zero-value Options opens an in-memory eLSM-P2 store with a
+	// functional (cost-free) simulated enclave.
+	store, err := elsm.Open(elsm.Options{})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer store.Close()
+
+	// PUT assigns trusted timestamps inside the enclave.
+	ts, err := store.Put([]byte("alice"), []byte("balance=100"))
+	if err != nil {
+		log.Fatalf("put: %v", err)
+	}
+	fmt.Printf("put alice @ ts=%d\n", ts)
+	store.Put([]byte("bob"), []byte("balance=250"))
+	store.Put([]byte("carol"), []byte("balance=75"))
+
+	// GET verifies integrity and freshness before returning.
+	res, err := store.Get([]byte("alice"))
+	if err != nil {
+		log.Fatalf("get: %v", err)
+	}
+	fmt.Printf("get alice -> %s (verified, ts=%d)\n", res.Value, res.Ts)
+
+	// Updates supersede; the store proves you always see the newest.
+	store.Put([]byte("alice"), []byte("balance=40"))
+	res, _ = store.Get([]byte("alice"))
+	fmt.Printf("get alice -> %s (freshness-verified)\n", res.Value)
+
+	// Historical reads are first-class: GET(k, tsq).
+	old, _ := store.GetAt([]byte("alice"), ts)
+	fmt.Printf("get alice @ ts=%d -> %s (historical)\n", ts, old.Value)
+
+	// SCAN results are completeness-verified: the untrusted host cannot
+	// silently omit bob.
+	results, err := store.Scan([]byte("a"), []byte("z"))
+	if err != nil {
+		log.Fatalf("scan: %v", err)
+	}
+	fmt.Println("scan a..z (completeness-verified):")
+	for _, r := range results {
+		fmt.Printf("  %s -> %s\n", r.Key, r.Value)
+	}
+
+	// Absent keys produce verified non-membership, not blind trust.
+	miss, err := store.Get([]byte("mallory"))
+	if err != nil {
+		log.Fatalf("get: %v", err)
+	}
+	fmt.Printf("get mallory -> found=%v (non-membership proven)\n", miss.Found)
+}

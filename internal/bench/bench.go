@@ -1,0 +1,276 @@
+// Package bench reproduces every table and figure of the paper's
+// evaluation (§4.2 Figure 2, §6 Figures 5–7, Appendix C Figure 8,
+// Table 1). Each FigN function builds the stores under test at a
+// configurable scale, drives the figure's workload, and returns a Table of
+// series — the same rows the paper plots.
+//
+// Sizes are the paper's divided by Config.Scale (default 32), with the
+// simulated EPC scaled identically so every dataset:EPC ratio — and hence
+// every crossover — is preserved (DESIGN.md "Scaling rule").
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elsm/internal/core"
+	"elsm/internal/costmodel"
+	"elsm/internal/eleos"
+	"elsm/internal/lsm"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+	"elsm/internal/ycsb"
+)
+
+// Config scales and sizes an experiment run.
+type Config struct {
+	// Scale divides the paper's byte sizes (default 32).
+	Scale int
+	// Ops is the number of measured operations per data point
+	// (default 1200).
+	Ops int
+	// Cost is the SGX hardware cost model (default calibrated).
+	Cost *costmodel.Model
+	// Verbose prints progress to stdout.
+	Verbose bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 32
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1200
+	}
+	if c.Cost == nil {
+		m := costmodel.Calibrated()
+		c.Cost = &m
+	}
+	return c
+}
+
+// paperMB converts a paper-scale megabyte figure to scaled bytes.
+func (c Config) paperMB(mb int) int {
+	b := int64(mb) << 20 / int64(c.Scale)
+	if b < 64<<10 {
+		b = 64 << 10 // floor: below this the LSM geometry degenerates
+	}
+	return int(b)
+}
+
+// epcBytes is the scaled 128 MB EPC.
+func (c Config) epcBytes() int { return c.paperMB(128) }
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// Row is one X point of a figure.
+type Row struct {
+	X string
+	// Series maps series name to mean µs/op (NaN-free; missing points —
+	// e.g. Eleos beyond its capacity — are absent).
+	Series map[string]float64
+}
+
+// Table is a reproduced figure.
+type Table struct {
+	Name    string
+	Caption string
+	XLabel  string
+	Series  []string
+	Rows    []Row
+}
+
+// Format renders the table as the paper-style text block. Values are mean
+// µs/op unless the row label says otherwise (the ablation's B/op rows).
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s (mean µs/op) ==\n", t.Name, t.Caption)
+	fmt.Fprintf(&b, "%-22s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%22s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s", r.X)
+		for _, s := range t.Series {
+			if v, ok := r.Series[s]; ok {
+				fmt.Fprintf(&b, "%22.1f", v)
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Variant names the store configurations under test.
+type Variant string
+
+const (
+	// P2Mmap is eLSM-P2 with the mmap read path.
+	P2Mmap Variant = "eLSM-P2-mmap"
+	// P2Buffer is eLSM-P2 with an out-of-enclave read buffer.
+	P2Buffer Variant = "eLSM-P2-buffer"
+	// P1 is the in-enclave strawman.
+	P1 Variant = "eLSM-P1"
+	// UnsecuredMmap is the plain LSM store, mmap reads.
+	UnsecuredMmap Variant = "unsecured"
+	// UnsecuredBuffer is the plain LSM store with an (untrusted) buffer.
+	UnsecuredBuffer Variant = "buffer-outside"
+	// Eleos is the in-enclave update-in-place baseline.
+	Eleos Variant = "Eleos"
+)
+
+// bulkLoader is implemented by every store that supports the load phase.
+type bulkLoader interface {
+	BulkLoad([]record.Record) error
+}
+
+// warmable exposes the underlying engine for cache warming.
+type warmable interface {
+	Engine() *lsm.Store
+}
+
+// storeParams configures one store under test.
+type storeParams struct {
+	variant     Variant
+	dataBytes   int
+	cacheBytes  int // read buffer size (0: variant default)
+	memtable    int // write buffer size (0: scaled default)
+	disableComp bool
+}
+
+// buildStore opens a store of the given variant at the experiment scale.
+func (c Config) buildStore(p storeParams) (core.KV, error) {
+	cost := *c.Cost
+	epc := c.epcBytes()
+	memtable := p.memtable
+	if memtable == 0 {
+		memtable = c.paperMB(4)
+	}
+	base := core.Config{
+		FS:                vfs.NewMem(),
+		SGX:               sgx.Params{EPCSize: epc, Cost: cost},
+		MemtableSize:      memtable,
+		TableFileSize:     c.paperMB(4),
+		LevelBase:         int64(c.paperMB(10)),
+		MaxLevels:         7,
+		KeepVersions:      1, // vanilla LevelDB retention for benchmarks
+		CounterInterval:   4096,
+		DisableCompaction: p.disableComp,
+	}
+	switch p.variant {
+	case P2Mmap:
+		base.MmapReads = true
+		return core.Open(base)
+	case P2Buffer:
+		base.CacheSize = defaultBytes(p.cacheBytes, c.paperMB(128))
+		return core.Open(base)
+	case P1:
+		base.CacheSize = defaultBytes(p.cacheBytes, p.dataBytes)
+		return core.OpenP1(base)
+	case UnsecuredMmap:
+		base.MmapReads = true
+		return core.OpenUnsecured(base)
+	case UnsecuredBuffer:
+		base.CacheSize = defaultBytes(p.cacheBytes, p.dataBytes)
+		return core.OpenUnsecured(base)
+	case Eleos:
+		// The 1 GB limit of §6.2, with headroom for per-entry overhead so
+		// the paper's 1 GB data point itself still fits.
+		return eleos.Open(eleos.Config{
+			SGX:      sgx.Params{EPCSize: epc, Cost: cost},
+			MaxBytes: int64(c.paperMB(1280)),
+		})
+	default:
+		return nil, fmt.Errorf("bench: unknown variant %q", p.variant)
+	}
+}
+
+func defaultBytes(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// loadAndWarm bulk-loads the dataset and warms buffers to steady state.
+func loadAndWarm(kv core.KV, dataBytes int) error {
+	n := ycsb.RecordsForBytes(int64(dataBytes))
+	recs := ycsb.GenRecords(n, ycsb.DefaultValueSize)
+	bl, ok := kv.(bulkLoader)
+	if !ok {
+		return fmt.Errorf("bench: store %T cannot bulk load", kv)
+	}
+	if err := bl.BulkLoad(recs); err != nil {
+		return err
+	}
+	if w, ok := kv.(warmable); ok {
+		return w.Engine().WarmCache()
+	}
+	return nil
+}
+
+// measure runs the workload and returns mean µs/op.
+func (c Config) measure(kv core.KV, wl ycsb.Workload, dataBytes int) (float64, error) {
+	n := ycsb.RecordsForBytes(int64(dataBytes))
+	r := ycsb.NewRunner(kv, wl, n, 0xe15a)
+	st, err := r.RunOps(c.Ops)
+	if err != nil {
+		return 0, err
+	}
+	return float64(st.Mean.Nanoseconds()) / 1e3, nil
+}
+
+// point builds, loads, measures and closes one (variant, workload) cell.
+func (c Config) point(p storeParams, wl ycsb.Workload) (float64, error) {
+	kv, err := c.buildStore(p)
+	if err != nil {
+		return 0, err
+	}
+	defer kv.Close()
+	if err := loadAndWarm(kv, p.dataBytes); err != nil {
+		return 0, err
+	}
+	return c.measure(kv, wl, p.dataBytes)
+}
+
+// addPoint measures one cell, tolerating capacity errors (Eleos > 1 GB).
+func (c Config) addPoint(row *Row, p storeParams, wl ycsb.Workload, series string) error {
+	v, err := c.point(p, wl)
+	if err != nil {
+		if p.variant == Eleos {
+			c.logf("    %s @ %s: skipped (%v)", series, row.X, err)
+			return nil // the paper's plots stop Eleos at 1 GB too
+		}
+		return fmt.Errorf("%s @ %s: %w", series, row.X, err)
+	}
+	c.logf("    %s @ %s: %.1f us/op", series, row.X, v)
+	row.Series[series] = v
+	return nil
+}
+
+// sortedSeries extracts the union of series names in first-seen order.
+func seriesOrder(names ...string) []string { return names }
+
+// mbLabel renders a paper-scale size label.
+func mbLabel(mb int) string {
+	if mb >= 1024 && mb%1024 == 0 {
+		return fmt.Sprintf("%dGB", mb/1024)
+	}
+	return fmt.Sprintf("%dMB", mb)
+}
+
+// gbLabelTenths renders sizes like 0.6GB.
+func gbLabelTenths(gbTenths int) string {
+	return fmt.Sprintf("%.1fGB", float64(gbTenths)/10)
+}
+
+var _ = sort.Strings // reserved for future series sorting

@@ -1,0 +1,117 @@
+package blockcache
+
+import (
+	"sync"
+	"testing"
+
+	"elsm/internal/costmodel"
+	"elsm/internal/sgx"
+)
+
+func TestPutGetOutside(t *testing.T) {
+	c := New(1<<20, nil)
+	if c.Inside() {
+		t.Fatal("nil enclave produced inside placement")
+	}
+	k := Key{FileNum: 1, BlockIdx: 2}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("block data"))
+	data, ok := c.Get(k)
+	if !ok || string(data) != "block data" {
+		t.Fatalf("get = %q, %v", data, ok)
+	}
+	hits, misses, used := c.Stats()
+	if hits != 1 || misses != 1 || used != 10 {
+		t.Fatalf("stats = %d %d %d", hits, misses, used)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(100, nil)
+	blk := make([]byte, 40)
+	c.Put(Key{1, 0}, blk)
+	c.Put(Key{1, 1}, blk)
+	// Touch block 0 so block 1 is LRU.
+	c.Get(Key{1, 0})
+	c.Put(Key{1, 2}, blk) // exceeds 100: evict LRU (block 1)
+	if _, ok := c.Get(Key{1, 1}); ok {
+		t.Fatal("LRU block survived eviction")
+	}
+	if _, ok := c.Get(Key{1, 0}); !ok {
+		t.Fatal("recently used block evicted")
+	}
+	if _, ok := c.Get(Key{1, 2}); !ok {
+		t.Fatal("new block missing")
+	}
+}
+
+func TestDropFile(t *testing.T) {
+	c := New(1<<20, nil)
+	c.Put(Key{1, 0}, []byte("a"))
+	c.Put(Key{1, 1}, []byte("b"))
+	c.Put(Key{2, 0}, []byte("c"))
+	c.DropFile(1)
+	if _, ok := c.Get(Key{1, 0}); ok {
+		t.Fatal("dropped file's block still cached")
+	}
+	if _, ok := c.Get(Key{2, 0}); !ok {
+		t.Fatal("unrelated file's block dropped")
+	}
+}
+
+func TestInsidePlacementChargesEnclave(t *testing.T) {
+	e := sgx.New(sgx.Params{EPCSize: 8 * 4096, Cost: costmodel.Zero})
+	c := New(64*4096, e) // cache 8x the EPC
+	if !c.Inside() {
+		t.Fatal("placement not inside")
+	}
+	blk := make([]byte, 4096)
+	for i := 0; i < 32; i++ {
+		c.Put(Key{1, i}, blk)
+	}
+	before := e.Stats().PageFaults
+	// Hitting blocks spread across a region larger than the EPC must
+	// fault (the Figure 2 blow-up).
+	for i := 0; i < 32; i++ {
+		c.Get(Key{1, i})
+	}
+	if after := e.Stats().PageFaults; after <= before {
+		t.Fatalf("no paging on oversized in-enclave cache (%d -> %d)", before, after)
+	}
+	c.Release()
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New(1<<20, nil)
+	c.Put(Key{1, 0}, []byte("v1"))
+	c.Put(Key{1, 0}, []byte("v2-longer"))
+	data, ok := c.Get(Key{1, 0})
+	if !ok || string(data) != "v2-longer" {
+		t.Fatalf("get = %q", data)
+	}
+	_, _, used := c.Stats()
+	if used != 9 {
+		t.Fatalf("used = %d", used)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1<<16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			blk := make([]byte, 128)
+			for i := 0; i < 500; i++ {
+				k := Key{FileNum: uint64(g % 3), BlockIdx: i % 50}
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, blk)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"elsm/internal/hashutil"
+	"elsm/internal/merkle"
+	"elsm/internal/record"
+)
+
+// runDigest is the trusted per-run state kept inside the enclave: the
+// Merkle root over the run's distinct keys and the leaf count (needed to
+// validate path shapes and adjacency claims).
+type runDigest struct {
+	Root      hashutil.Hash `json:"root"`
+	NumLeaves int           `json:"leaves"`
+}
+
+// treeBuilder incrementally digests a sorted record stream into the eLSM
+// per-run Merkle tree (§5.5.2 "Merkle tree construction"): same-key version
+// runs are folded into hash chains (oldest innermost), each completed chain
+// becomes one leaf, and the leaves form a binary Merkle tree.
+//
+// Records arrive in engine order — key ascending, timestamp descending — so
+// versions of a key arrive newest first and are buffered until the key
+// changes.
+type treeBuilder struct {
+	leaves []hashutil.Hash
+
+	curKey   []byte
+	pending  []versionEntry // newest first
+	haveKey  bool
+	count    int
+	trackVer bool
+	// perLeaf is populated only when trackVer is set (output trees that
+	// must later serve embedded proofs).
+	perLeaf []leafVersions
+}
+
+// versionEntry captures one version's chain header and, for output trees,
+// the inner chain value below it.
+type versionEntry struct {
+	ts    uint64
+	dig   hashutil.Hash
+	inner hashutil.Hash
+}
+
+// leafVersions records a leaf's key and its versions (newest first).
+type leafVersions struct {
+	key      []byte
+	versions []versionEntry
+}
+
+// newTreeBuilder creates a builder; trackVersions enables the per-leaf
+// bookkeeping needed to embed proofs afterwards.
+func newTreeBuilder(trackVersions bool) *treeBuilder {
+	return &treeBuilder{trackVer: trackVersions}
+}
+
+// Add ingests the next record in stream order.
+func (b *treeBuilder) Add(rec record.Record) error {
+	if b.haveKey {
+		switch c := bytes.Compare(rec.Key, b.curKey); {
+		case c < 0:
+			return fmt.Errorf("core: compaction stream out of order: %q after %q", rec.Key, b.curKey)
+		case c > 0:
+			b.finishLeaf()
+		default:
+			if n := len(b.pending); n > 0 && rec.Ts >= b.pending[n-1].ts {
+				return fmt.Errorf("core: version order violation for key %q", rec.Key)
+			}
+		}
+	}
+	if !b.haveKey || !bytes.Equal(rec.Key, b.curKey) {
+		b.curKey = append(b.curKey[:0], rec.Key...)
+		b.haveKey = true
+	}
+	b.pending = append(b.pending, versionEntry{ts: rec.Ts, dig: rec.Digest()})
+	b.count++
+	return nil
+}
+
+// finishLeaf folds the buffered versions (newest first) into a hash chain
+// with the oldest record innermost, then emits the leaf.
+func (b *treeBuilder) finishLeaf() {
+	if len(b.pending) == 0 {
+		return
+	}
+	inner := hashutil.Zero
+	for i := len(b.pending) - 1; i >= 0; i-- {
+		b.pending[i].inner = inner
+		inner = hashutil.ChainLink(b.pending[i].ts, b.pending[i].dig, inner)
+	}
+	b.leaves = append(b.leaves, hashutil.LeafHash(b.curKey, inner))
+	if b.trackVer {
+		b.perLeaf = append(b.perLeaf, leafVersions{
+			key:      append([]byte(nil), b.curKey...),
+			versions: append([]versionEntry(nil), b.pending...),
+		})
+	}
+	b.pending = b.pending[:0]
+}
+
+// Finish completes the tree and returns its digest.
+func (b *treeBuilder) Finish() (*merkle.Tree, runDigest) {
+	b.finishLeaf()
+	t := merkle.New(b.leaves)
+	return t, runDigest{Root: t.Root(), NumLeaves: t.NumLeaves()}
+}
+
+// outputTree is a finished output tree able to serve embedded proofs for
+// its records.
+type outputTree struct {
+	tree    *merkle.Tree
+	digest  runDigest
+	perLeaf []leafVersions
+	keyIdx  map[string]int
+}
+
+// finishOutput finalizes a tracking builder into a proof server.
+func finishOutput(b *treeBuilder) *outputTree {
+	t, d := b.Finish()
+	o := &outputTree{tree: t, digest: d, perLeaf: b.perLeaf, keyIdx: make(map[string]int, len(b.perLeaf))}
+	for i := range b.perLeaf {
+		o.keyIdx[string(b.perLeaf[i].key)] = i
+	}
+	return o
+}
+
+// proofFor builds the embedded proof of one output record.
+func (o *outputTree) proofFor(rec record.Record) (*EmbeddedProof, error) {
+	li, ok := o.keyIdx[string(rec.Key)]
+	if !ok {
+		return nil, fmt.Errorf("core: no leaf for key %q", rec.Key)
+	}
+	lv := o.perLeaf[li]
+	vi := -1
+	for i := range lv.versions {
+		if lv.versions[i].ts == rec.Ts {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return nil, fmt.Errorf("core: no version %d for key %q", rec.Ts, rec.Key)
+	}
+	p := &EmbeddedProof{
+		LeafIndex: uint32(li),
+		Inner:     lv.versions[vi].inner,
+		Path:      o.tree.Path(li),
+	}
+	// Newer versions, ascending Ts: versions are stored newest first, so
+	// walk from the entry just above this record back to the newest.
+	for i := vi - 1; i >= 0; i-- {
+		p.Newer = append(p.Newer, ChainEntry{Ts: lv.versions[i].ts, RecDigest: lv.versions[i].dig})
+	}
+	return p, nil
+}

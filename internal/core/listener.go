@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"elsm/internal/hashutil"
+	"elsm/internal/lsm"
+	"elsm/internal/record"
+)
+
+// authListener implements the engine's EventListener callbacks with the
+// authenticated-compaction logic of Figure 4: it rebuilds a Merkle tree per
+// input run from the filtered record stream, checks each against the
+// trusted in-enclave root, builds the output tree, embeds per-record proofs
+// into output files, and commits the new digests only after the engine has
+// installed the new version.
+//
+// The engine serializes compactions on its write path, so at most one
+// compaction's staging state is live at a time.
+type authListener struct {
+	c *Store
+
+	// Active compaction staging state.
+	info      lsm.CompactionInfo
+	active    bool
+	inputs    map[uint64]*treeBuilder
+	output    *treeBuilder
+	finalized *outputTree
+	streamErr error
+}
+
+var _ lsm.EventListener = (*authListener)(nil)
+
+// OnWALAppend extends the enclave's WAL digest chain (§5.3 step w1) and
+// periodically pins the dataset state to the monotonic counter (§5.6.1).
+func (l *authListener) OnWALAppend(rec record.Record) {
+	c := l.c
+	c.mu.Lock()
+	c.walDigest = hashutil.WALLink(c.walDigest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+	c.walAppends++
+	bump := c.counterInterval > 0 && c.walAppends%uint64(c.counterInterval) == 0
+	c.mu.Unlock()
+	if bump {
+		c.commitState()
+	}
+}
+
+// OnWALRotated resets the WAL digest after a flush truncates the log.
+func (l *authListener) OnWALRotated() {
+	c := l.c
+	c.mu.Lock()
+	c.walDigest = hashutil.Zero
+	c.mu.Unlock()
+}
+
+// OnCompactionBegin initializes the per-run input reconstruction trees and
+// the output tree.
+func (l *authListener) OnCompactionBegin(info lsm.CompactionInfo) {
+	l.info = info
+	l.active = true
+	l.streamErr = nil
+	l.finalized = nil
+	l.inputs = make(map[uint64]*treeBuilder, len(info.InputRuns))
+	for _, id := range info.InputRuns {
+		l.inputs[id] = newTreeBuilder(false)
+	}
+	l.output = newTreeBuilder(true)
+}
+
+// Filter ingests every record of the merge stream: records from untrusted
+// input runs feed that run's reconstruction tree (step a of §5.5.2); kept
+// records feed the output tree (step b). Memtable records are trusted (L0
+// lives in the enclave) and only feed the output side.
+func (l *authListener) Filter(info lsm.CompactionInfo, srcRun uint64, rec record.Record, dropped bool) {
+	if !l.active || l.streamErr != nil {
+		return
+	}
+	if srcRun != lsm.MemtableRunID {
+		if b, ok := l.inputs[srcRun]; ok {
+			if err := b.Add(rec); err != nil {
+				l.streamErr = err
+				return
+			}
+		} else {
+			l.streamErr = fmt.Errorf("core: record from undeclared input run %d", srcRun)
+			return
+		}
+	}
+	if !dropped {
+		if err := l.output.Add(rec); err != nil {
+			l.streamErr = err
+		}
+	}
+}
+
+// OnTableFileCreated embeds each output record's Merkle proof (step c of
+// §5.5.2). The output tree is finalized on the first call — the engine
+// only creates files after the merge stream is complete.
+func (l *authListener) OnTableFileCreated(info lsm.TableFileInfo, recs []record.Record) ([]record.Record, error) {
+	if !l.active {
+		return nil, fmt.Errorf("core: OnTableFileCreated outside a compaction")
+	}
+	if l.streamErr != nil {
+		return nil, l.streamErr
+	}
+	if l.finalized == nil {
+		l.finalized = finishOutput(l.output)
+	}
+	out := make([]record.Record, len(recs))
+	for i, rec := range recs {
+		p, err := l.finalized.proofFor(rec)
+		if err != nil {
+			return nil, err
+		}
+		rec.Proof = p.Encode()
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// OnCompactionEnd performs the authenticated-compaction input check
+// (Figure 4 lines 31-33): every input run's reconstructed root must equal
+// the trusted root stored in the enclave, otherwise the compaction aborts
+// and the engine discards its output.
+func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
+	if !l.active {
+		return fmt.Errorf("core: OnCompactionEnd outside a compaction")
+	}
+	if l.streamErr != nil {
+		return l.streamErr
+	}
+	c := l.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range info.InputRuns {
+		trusted, ok := c.digests[id]
+		if !ok {
+			return fmt.Errorf("core: no trusted digest for input run %d", id)
+		}
+		_, got := l.inputs[id].Finish()
+		if got.Root != trusted.Root || got.NumLeaves != trusted.NumLeaves {
+			return fmt.Errorf("%w: input run %d root mismatch (got %s want %s)",
+				ErrCompactionInput, id, got.Root, trusted.Root)
+		}
+	}
+	if l.finalized == nil {
+		// Compaction produced no output (everything dropped).
+		l.finalized = finishOutput(l.output)
+	}
+	return nil
+}
+
+// OnVersionInstalled commits the staged digests: input runs are forgotten,
+// the output run's digest takes effect, and the new dataset state is pinned
+// to the monotonic counter and sealed (§5.6.1).
+func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
+	if !l.active {
+		return
+	}
+	c := l.c
+	c.mu.Lock()
+	for _, id := range info.InputRuns {
+		delete(c.digests, id)
+	}
+	c.digests[info.OutputRun] = l.finalized.digest
+	c.mu.Unlock()
+	l.active = false
+	l.inputs = nil
+	l.output = nil
+	l.finalized = nil
+	c.commitState()
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"elsm/internal/blockcache"
+	"elsm/internal/crypto"
+	"elsm/internal/lsm"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/sstable"
+	"elsm/internal/vfs"
+)
+
+// StoreP1 is the strawman design of §4: the entire store — including the
+// read buffer — lives inside the enclave, and out-of-enclave SSTable files
+// are protected at file granularity (every data block encrypted and MACed,
+// as the SGX SDK's protected FS would). No Merkle forest, no embedded
+// proofs: integrity comes from block seals, and confidentiality from block
+// encryption. Its cost profile (enclave paging once the buffer outgrows
+// the EPC, §4.2) is the paper's motivation for eLSM-P2.
+type StoreP1 struct {
+	engine  *lsm.Store
+	enclave *sgx.Enclave
+	cache   *blockcache.Cache
+}
+
+var _ KV = (*StoreP1)(nil)
+
+// blockSealer adapts crypto.BlockCipher to the engine's BlockTransform.
+type blockSealer struct {
+	bc *crypto.BlockCipher
+}
+
+var _ sstable.BlockTransform = (*blockSealer)(nil)
+
+// Seal implements sstable.BlockTransform.
+func (b *blockSealer) Seal(blockID uint64, plain []byte) []byte {
+	return b.bc.EncryptBlock(blockID, plain)
+}
+
+// Open implements sstable.BlockTransform.
+func (b *blockSealer) Open(blockID uint64, sealed []byte) ([]byte, error) {
+	return b.bc.DecryptBlock(blockID, sealed)
+}
+
+// OpenP1 creates an eLSM-P1 store. CacheSize must be positive: P1's whole
+// point is the in-enclave read buffer.
+func OpenP1(cfg Config) (*StoreP1, error) {
+	if cfg.MmapReads {
+		return nil, fmt.Errorf("core: eLSM-P1 cannot mmap (files must be decrypted in enclave, §6.3)")
+	}
+	enclave := cfg.Enclave
+	if enclave == nil {
+		enclave = sgx.New(cfg.SGX)
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = vfs.NewMem()
+	}
+	mk, err := crypto.NewMasterKey()
+	if err != nil {
+		return nil, err
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 8 << 20
+	}
+	// The P1 read buffer lives INSIDE the enclave: hits pay MEE cost and,
+	// once the buffer exceeds the EPC, enclave paging (Figure 2).
+	cache := blockcache.New(cacheSize, enclave)
+	engine, err := lsm.Open(lsm.Options{
+		FS:                fs,
+		Enclave:           enclave,
+		Cache:             cache,
+		Transform:         &blockSealer{bc: crypto.NewBlock(mk)},
+		MemtableSize:      cfg.MemtableSize,
+		BlockSize:         cfg.BlockSize,
+		TableFileSize:     cfg.TableFileSize,
+		LevelBase:         cfg.LevelBase,
+		LevelMultiplier:   cfg.LevelMultiplier,
+		MaxLevels:         cfg.MaxLevels,
+		KeepVersions:      cfg.KeepVersions,
+		DisableCompaction: cfg.DisableCompaction,
+		DisableWAL:        cfg.DisableWAL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StoreP1{engine: engine, enclave: enclave, cache: cache}, nil
+}
+
+// Put implements KV.
+func (s *StoreP1) Put(key, value []byte) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() { ts, err = s.engine.Put(key, value) })
+	return ts, err
+}
+
+// Delete implements KV.
+func (s *StoreP1) Delete(key []byte) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() { ts, err = s.engine.Delete(key) })
+	return ts, err
+}
+
+// Get implements KV.
+func (s *StoreP1) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
+
+// GetAt implements KV.
+func (s *StoreP1) GetAt(key []byte, tsq uint64) (Result, error) {
+	var res Result
+	var err error
+	s.enclave.ECall(func() {
+		var rec record.Record
+		var ok bool
+		rec, ok, err = s.engine.Get(key, tsq)
+		if err == nil && ok {
+			res = resultFrom(rec)
+		}
+	})
+	return res, err
+}
+
+// Scan implements KV.
+func (s *StoreP1) Scan(start, end []byte) ([]Result, error) {
+	var out []Result
+	var err error
+	s.enclave.ECall(func() {
+		var recs []record.Record
+		recs, err = s.engine.Scan(start, end, record.MaxTs)
+		for _, rec := range recs {
+			out = append(out, resultFrom(rec))
+		}
+	})
+	return out, err
+}
+
+// Flush forces the memtable to disk.
+func (s *StoreP1) Flush() error { return s.engine.Flush() }
+
+// BulkLoad populates an empty store.
+func (s *StoreP1) BulkLoad(recs []record.Record) error {
+	var err error
+	s.enclave.ECall(func() { err = s.engine.BulkLoad(recs) })
+	return err
+}
+
+// Engine exposes the underlying engine.
+func (s *StoreP1) Engine() *lsm.Store { return s.engine }
+
+// Enclave exposes the simulated enclave.
+func (s *StoreP1) Enclave() *sgx.Enclave { return s.enclave }
+
+// Close implements KV.
+func (s *StoreP1) Close() error {
+	s.cache.Release()
+	return s.engine.Close()
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"elsm/internal/blockcache"
+	"elsm/internal/lsm"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+)
+
+// Unsecured is the ideal-performance baseline of §6: a plain LSM store with
+// no enclave (zero-cost unlimited "enclave"), no authentication and no
+// encryption. It lower-bounds every secured configuration.
+type Unsecured struct {
+	engine *lsm.Store
+}
+
+var _ KV = (*Unsecured)(nil)
+
+// OpenUnsecured creates the unsecured baseline. The Config's SGX settings
+// are ignored; the read buffer (if any) lives in ordinary memory.
+func OpenUnsecured(cfg Config) (*Unsecured, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = vfs.NewMem()
+	}
+	var cache *blockcache.Cache
+	if cfg.CacheSize > 0 {
+		cache = blockcache.New(cfg.CacheSize, nil)
+	}
+	engine, err := lsm.Open(lsm.Options{
+		FS:                fs,
+		Enclave:           sgx.NewUnlimited(),
+		Cache:             cache,
+		MmapReads:         cfg.MmapReads,
+		MemtableSize:      cfg.MemtableSize,
+		BlockSize:         cfg.BlockSize,
+		TableFileSize:     cfg.TableFileSize,
+		LevelBase:         cfg.LevelBase,
+		LevelMultiplier:   cfg.LevelMultiplier,
+		MaxLevels:         cfg.MaxLevels,
+		KeepVersions:      cfg.KeepVersions,
+		DisableCompaction: cfg.DisableCompaction,
+		DisableWAL:        cfg.DisableWAL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Unsecured{engine: engine}, nil
+}
+
+// Put implements KV.
+func (s *Unsecured) Put(key, value []byte) (uint64, error) { return s.engine.Put(key, value) }
+
+// Delete implements KV.
+func (s *Unsecured) Delete(key []byte) (uint64, error) { return s.engine.Delete(key) }
+
+// Get implements KV.
+func (s *Unsecured) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
+
+// GetAt implements KV.
+func (s *Unsecured) GetAt(key []byte, tsq uint64) (Result, error) {
+	rec, ok, err := s.engine.Get(key, tsq)
+	if err != nil || !ok {
+		return Result{}, err
+	}
+	return resultFrom(rec), nil
+}
+
+// Scan implements KV.
+func (s *Unsecured) Scan(start, end []byte) ([]Result, error) {
+	recs, err := s.engine.Scan(start, end, record.MaxTs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, resultFrom(rec))
+	}
+	return out, nil
+}
+
+// Flush forces the memtable to disk.
+func (s *Unsecured) Flush() error { return s.engine.Flush() }
+
+// BulkLoad populates an empty store.
+func (s *Unsecured) BulkLoad(recs []record.Record) error { return s.engine.BulkLoad(recs) }
+
+// Engine exposes the underlying engine.
+func (s *Unsecured) Engine() *lsm.Store { return s.engine }
+
+// Close implements KV.
+func (s *Unsecured) Close() error { return s.engine.Close() }

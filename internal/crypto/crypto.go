@@ -1,0 +1,239 @@
+// Package crypto implements the confidentiality layer of eLSM (§5.6.2):
+//
+//   - deterministic encryption (DE) of data keys, so equal plaintext keys
+//     map to equal ciphertexts and the untrusted store can be searched by
+//     ciphertext (exact-match GET);
+//   - semantically secure AES-GCM encryption of values;
+//   - a mutable order-preserving encoding (mOPE) of keys, maintained inside
+//     the enclave, enabling range queries over ciphertext (SCAN).
+//
+// The DE construction is SIV-style: a synthetic IV derived from
+// HMAC-SHA256(K_mac, plaintext) keys an AES-CTR encryption, giving a
+// deterministic, invertible, authenticated-by-recomputation scheme (the
+// standard "deterministic and efficiently searchable encryption" shape of
+// Bellare et al., CRYPTO'07).
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the master key size in bytes.
+const KeySize = 32
+
+// MasterKey is the root secret held inside the enclave; all scheme keys are
+// derived from it by purpose-labelled HKDF-like expansion.
+type MasterKey [KeySize]byte
+
+// NewMasterKey generates a random master key.
+func NewMasterKey() (MasterKey, error) {
+	var k MasterKey
+	if _, err := rand.Read(k[:]); err != nil {
+		return k, fmt.Errorf("crypto: master key generation: %w", err)
+	}
+	return k, nil
+}
+
+// derive produces a purpose-specific subkey.
+func (mk MasterKey) derive(purpose string) [32]byte {
+	mac := hmac.New(sha256.New, mk[:])
+	mac.Write([]byte(purpose))
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic encryption of keys
+
+// DeterministicEncrypter encrypts data keys deterministically (DE). Safe for
+// concurrent use.
+type DeterministicEncrypter struct {
+	macKey [32]byte
+	encKey [32]byte
+}
+
+// NewDeterministic builds a DE instance from the master key.
+func NewDeterministic(mk MasterKey) *DeterministicEncrypter {
+	return &DeterministicEncrypter{
+		macKey: mk.derive("de-mac"),
+		encKey: mk.derive("de-enc"),
+	}
+}
+
+// sivSize is the synthetic IV length prepended to DE ciphertexts.
+const sivSize = 16
+
+// Encrypt deterministically encrypts the plaintext key. The output is
+// siv ‖ ctr-encrypted-plaintext; equal inputs yield equal outputs.
+func (d *DeterministicEncrypter) Encrypt(plaintext []byte) []byte {
+	mac := hmac.New(sha256.New, d.macKey[:])
+	mac.Write(plaintext)
+	siv := mac.Sum(nil)[:sivSize]
+	block, err := aes.NewCipher(d.encKey[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes, which derive() precludes.
+		panic(fmt.Sprintf("crypto: ctr cipher: %v", err))
+	}
+	out := make([]byte, sivSize+len(plaintext))
+	copy(out, siv)
+	ctr := cipher.NewCTR(block, siv)
+	ctr.XORKeyStream(out[sivSize:], plaintext)
+	return out
+}
+
+// ErrDecrypt indicates ciphertext corruption (SIV recomputation mismatch).
+var ErrDecrypt = errors.New("crypto: decryption failed")
+
+// Decrypt inverts Encrypt, verifying integrity by recomputing the SIV.
+func (d *DeterministicEncrypter) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < sivSize {
+		return nil, fmt.Errorf("%w: ciphertext too short", ErrDecrypt)
+	}
+	siv := ciphertext[:sivSize]
+	block, err := aes.NewCipher(d.encKey[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypto: ctr cipher: %v", err))
+	}
+	pt := make([]byte, len(ciphertext)-sivSize)
+	ctr := cipher.NewCTR(block, siv)
+	ctr.XORKeyStream(pt, ciphertext[sivSize:])
+	mac := hmac.New(sha256.New, d.macKey[:])
+	mac.Write(pt)
+	if !hmac.Equal(mac.Sum(nil)[:sivSize], siv) {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// ---------------------------------------------------------------------------
+// Randomized encryption of values
+
+// ValueEncrypter encrypts record values with AES-GCM (semantic security).
+// Safe for concurrent use.
+type ValueEncrypter struct {
+	aead cipher.AEAD
+}
+
+// NewValue builds a value encrypter from the master key.
+func NewValue(mk MasterKey) (*ValueEncrypter, error) {
+	k := mk.derive("value-enc")
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: value cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: value gcm: %w", err)
+	}
+	return &ValueEncrypter{aead: aead}, nil
+}
+
+// Encrypt seals the value with a random nonce (prepended).
+func (v *ValueEncrypter) Encrypt(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, v.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("crypto: value nonce: %w", err)
+	}
+	return v.aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// Decrypt opens a sealed value.
+func (v *ValueEncrypter) Decrypt(ciphertext []byte) ([]byte, error) {
+	ns := v.aead.NonceSize()
+	if len(ciphertext) < ns {
+		return nil, fmt.Errorf("%w: value too short", ErrDecrypt)
+	}
+	pt, err := v.aead.Open(nil, ciphertext[:ns], ciphertext[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+	}
+	return pt, nil
+}
+
+// ---------------------------------------------------------------------------
+// Block cipher for eLSM-P1 file protection
+
+// BlockCipher encrypts whole SSTable blocks (file-granularity protection in
+// eLSM-P1, §4.1: "SDK encrypts and digests the content of SSTable files").
+type BlockCipher struct {
+	encKey [32]byte
+	macKey [32]byte
+}
+
+// NewBlock builds a block cipher from the master key.
+func NewBlock(mk MasterKey) *BlockCipher {
+	return &BlockCipher{encKey: mk.derive("block-enc"), macKey: mk.derive("block-mac")}
+}
+
+// blockMACSize is the truncated HMAC length appended to each block.
+const blockMACSize = 16
+
+// Overhead is the per-block ciphertext expansion.
+const Overhead = sivSize + blockMACSize
+
+// EncryptBlock encrypts data with a per-block synthetic IV derived from the
+// block's position identifier, then appends a MAC: iv ‖ ct ‖ mac.
+func (b *BlockCipher) EncryptBlock(blockID uint64, data []byte) []byte {
+	mac := hmac.New(sha256.New, b.macKey[:])
+	var idBuf [8]byte
+	putUint64(idBuf[:], blockID)
+	mac.Write(idBuf[:])
+	mac.Write(data)
+	full := mac.Sum(nil)
+	iv := full[:sivSize]
+
+	block, err := aes.NewCipher(b.encKey[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypto: block cipher: %v", err))
+	}
+	out := make([]byte, sivSize+len(data)+blockMACSize)
+	copy(out, iv)
+	ctr := cipher.NewCTR(block, iv)
+	ctr.XORKeyStream(out[sivSize:sivSize+len(data)], data)
+
+	tag := hmac.New(sha256.New, b.macKey[:])
+	tag.Write(idBuf[:])
+	tag.Write(out[:sivSize+len(data)])
+	copy(out[sivSize+len(data):], tag.Sum(nil)[:blockMACSize])
+	return out
+}
+
+// DecryptBlock inverts EncryptBlock, verifying the MAC. A wrong blockID (a
+// host swapping blocks around) fails verification.
+func (b *BlockCipher) DecryptBlock(blockID uint64, sealed []byte) ([]byte, error) {
+	if len(sealed) < Overhead {
+		return nil, fmt.Errorf("%w: block too short", ErrDecrypt)
+	}
+	ctEnd := len(sealed) - blockMACSize
+	var idBuf [8]byte
+	putUint64(idBuf[:], blockID)
+	tag := hmac.New(sha256.New, b.macKey[:])
+	tag.Write(idBuf[:])
+	tag.Write(sealed[:ctEnd])
+	if !hmac.Equal(tag.Sum(nil)[:blockMACSize], sealed[ctEnd:]) {
+		return nil, fmt.Errorf("%w: block MAC mismatch", ErrDecrypt)
+	}
+	iv := sealed[:sivSize]
+	block, err := aes.NewCipher(b.encKey[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypto: block cipher: %v", err))
+	}
+	pt := make([]byte, ctEnd-sivSize)
+	ctr := cipher.NewCTR(block, iv)
+	ctr.XORKeyStream(pt, sealed[sivSize:ctEnd])
+	return pt, nil
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,230 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) MasterKey {
+	t.Helper()
+	mk, err := NewMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mk
+}
+
+func TestDeterministicEncryptRoundTrip(t *testing.T) {
+	de := NewDeterministic(testKey(t))
+	for _, pt := range [][]byte{nil, {}, []byte("k"), []byte("a longer key value"), bytes.Repeat([]byte{0xaa}, 1000)} {
+		ct := de.Encrypt(pt)
+		got, err := de.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch: %q != %q", got, pt)
+		}
+	}
+}
+
+func TestDeterministicEncryptIsDeterministic(t *testing.T) {
+	de := NewDeterministic(testKey(t))
+	a := de.Encrypt([]byte("same"))
+	b := de.Encrypt([]byte("same"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("DE not deterministic")
+	}
+	c := de.Encrypt([]byte("different"))
+	if bytes.Equal(a, c) {
+		t.Fatal("different plaintexts encrypted identically")
+	}
+}
+
+func TestDeterministicDetectsTampering(t *testing.T) {
+	de := NewDeterministic(testKey(t))
+	ct := de.Encrypt([]byte("payload"))
+	for i := range ct {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 1
+		if _, err := de.Decrypt(bad); err == nil {
+			t.Fatalf("tampered byte %d not detected", i)
+		}
+	}
+}
+
+func TestDeterministicKeysIndependent(t *testing.T) {
+	de1 := NewDeterministic(testKey(t))
+	de2 := NewDeterministic(testKey(t))
+	if bytes.Equal(de1.Encrypt([]byte("x")), de2.Encrypt([]byte("x"))) {
+		t.Fatal("two master keys produce identical DE output")
+	}
+}
+
+func TestValueEncrypterRoundTrip(t *testing.T) {
+	ve, err := NewValue(testKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("secret value")
+	ct1, err := ve.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := ve.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("GCM encryption is deterministic (nonce reuse?)")
+	}
+	got, err := ve.Decrypt(ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("value round trip mismatch")
+	}
+	ct1[len(ct1)-1] ^= 1
+	if _, err := ve.Decrypt(ct1); err == nil {
+		t.Fatal("tampered value not detected")
+	}
+}
+
+func TestBlockCipherRoundTripAndBinding(t *testing.T) {
+	bc := NewBlock(testKey(t))
+	data := bytes.Repeat([]byte("block"), 1000)
+	sealed := bc.EncryptBlock(42, data)
+	got, err := bc.DecryptBlock(42, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("block round trip mismatch")
+	}
+	// A host swapping sealed blocks between positions must be caught.
+	if _, err := bc.DecryptBlock(43, sealed); err == nil {
+		t.Fatal("block accepted under wrong blockID")
+	}
+	sealed[10] ^= 1
+	if _, err := bc.DecryptBlock(42, sealed); err == nil {
+		t.Fatal("tampered block not detected")
+	}
+}
+
+func TestQuickDERoundTrip(t *testing.T) {
+	de := NewDeterministic(MasterKey{1, 2, 3})
+	f := func(pt []byte) bool {
+		got, err := de.Decrypt(de.Encrypt(pt))
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOPEOrderPreserved(t *testing.T) {
+	o := NewOPE()
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie", "alpha", "zulu", "a", "ab", "abc"}
+	codes := make(map[string]uint64)
+	for _, w := range words {
+		c, err := o.Encode([]byte(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := codes[w]; ok && prev != c {
+			t.Fatalf("re-encoding %q changed code", w)
+		}
+		codes[w] = c
+	}
+	for a, ca := range codes {
+		for b, cb := range codes {
+			if (a < b) != (ca < cb) && a != b {
+				t.Fatalf("order violated: %q=%d vs %q=%d", a, ca, b, cb)
+			}
+		}
+	}
+}
+
+func TestOPEDecodeAndLookup(t *testing.T) {
+	o := NewOPE()
+	c, err := o.Encode([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := o.Decode(c)
+	if !ok || string(pt) != "hello" {
+		t.Fatalf("decode = %q, %v", pt, ok)
+	}
+	if _, ok := o.Decode(c + 1); ok {
+		t.Fatal("decoded a non-existent code")
+	}
+	if _, ok := o.Lookup([]byte("absent")); ok {
+		t.Fatal("lookup invented a code")
+	}
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}
+
+func TestOPEBounds(t *testing.T) {
+	o := NewOPE()
+	for _, w := range []string{"b", "d", "f"} {
+		if _, err := o.Encode([]byte(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb, _ := o.Lookup([]byte("b"))
+	cd, _ := o.Lookup([]byte("d"))
+	cf, _ := o.Lookup([]byte("f"))
+	lo, hi := o.Bounds([]byte("c"), []byte("e"))
+	if lo <= cb || hi >= cf {
+		t.Fatalf("bounds [%d,%d] not strictly inside (%d,%d)", lo, hi, cb, cf)
+	}
+	if cd < lo || cd > hi {
+		t.Fatalf("in-range code %d outside bounds [%d,%d]", cd, lo, hi)
+	}
+}
+
+func TestOPERebalance(t *testing.T) {
+	o := NewOPE()
+	words := []string{"m", "g", "t", "c", "x"}
+	for _, w := range words {
+		if _, err := o.Encode([]byte(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mapping := o.Rebalance()
+	if len(mapping) != len(words) {
+		t.Fatalf("rebalance returned %d entries", len(mapping))
+	}
+	if !(mapping["c"] < mapping["g"] && mapping["g"] < mapping["m"] && mapping["m"] < mapping["t"] && mapping["t"] < mapping["x"]) {
+		t.Fatal("rebalanced codes not ordered")
+	}
+}
+
+func TestQuickOPEOrder(t *testing.T) {
+	f := func(words [][]byte) bool {
+		o := NewOPE()
+		codes := make(map[string]uint64)
+		for _, w := range words {
+			c, err := o.Encode(w)
+			if err != nil {
+				return true // exhaustion is allowed, just not disorder
+			}
+			codes[string(w)] = c
+		}
+		for a, ca := range codes {
+			for b, cb := range codes {
+				if a < b && ca >= cb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package crypto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OPE implements a mutable order-preserving encoding (mOPE, Popa et al.,
+// S&P'13 style) maintained inside the enclave. Plaintext keys are assigned
+// 64-bit codes that preserve order; the codes are what the untrusted store
+// sorts and searches, enabling range queries over encrypted keys (§5.6.2).
+//
+// Codes are assigned by bisecting the gap between the codes of the
+// plaintext's neighbours. When a gap is exhausted the structure must be
+// rebalanced, which reassigns all codes (the caller must then re-encode
+// stored keys — the standard mOPE mutation cost).
+//
+// OPE is safe for concurrent use.
+type OPE struct {
+	mu    sync.RWMutex
+	keys  [][]byte // sorted distinct plaintexts
+	codes []uint64 // parallel sorted codes
+}
+
+// NewOPE creates an empty order-preserving encoder.
+func NewOPE() *OPE { return &OPE{} }
+
+// ErrRebalanceNeeded is returned by Encode when no code remains between the
+// neighbours of a new key. Call Rebalance and re-encode stored data.
+var ErrRebalanceNeeded = errors.New("crypto: OPE code space exhausted, rebalance needed")
+
+const (
+	opeMin = uint64(0)
+	opeMax = ^uint64(0)
+)
+
+// Encode returns the order-preserving code for the plaintext, inserting it
+// into the mapping if new.
+func (o *OPE) Encode(plaintext []byte) (uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i := sort.Search(len(o.keys), func(i int) bool { return bytes.Compare(o.keys[i], plaintext) >= 0 })
+	if i < len(o.keys) && bytes.Equal(o.keys[i], plaintext) {
+		return o.codes[i], nil
+	}
+	lo, hi := opeMin, opeMax
+	if i > 0 {
+		lo = o.codes[i-1]
+	}
+	if i < len(o.codes) {
+		hi = o.codes[i]
+	}
+	if hi-lo < 2 {
+		return 0, fmt.Errorf("%w (between neighbours of %q)", ErrRebalanceNeeded, plaintext)
+	}
+	// Interior inserts bisect the gap; boundary inserts (smallest/largest
+	// key so far) advance by a bounded stride instead, so monotone insert
+	// streams — the common case — get ~2^31 inserts before rebalance
+	// rather than ~63.
+	const boundaryStride = uint64(1) << 32
+	gap := hi - lo
+	var code uint64
+	switch {
+	case i == len(o.keys) && gap/2 > boundaryStride:
+		code = lo + boundaryStride
+	case i == 0 && gap/2 > boundaryStride:
+		code = hi - boundaryStride
+	default:
+		code = lo + gap/2
+	}
+	kc := make([]byte, len(plaintext))
+	copy(kc, plaintext)
+	o.keys = append(o.keys, nil)
+	copy(o.keys[i+1:], o.keys[i:])
+	o.keys[i] = kc
+	o.codes = append(o.codes, 0)
+	copy(o.codes[i+1:], o.codes[i:])
+	o.codes[i] = code
+	return code, nil
+}
+
+// Lookup returns the code for an existing plaintext without inserting.
+func (o *OPE) Lookup(plaintext []byte) (uint64, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	i := sort.Search(len(o.keys), func(i int) bool { return bytes.Compare(o.keys[i], plaintext) >= 0 })
+	if i < len(o.keys) && bytes.Equal(o.keys[i], plaintext) {
+		return o.codes[i], true
+	}
+	return 0, false
+}
+
+// Decode maps a code back to its plaintext.
+func (o *OPE) Decode(code uint64) ([]byte, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	i := sort.Search(len(o.codes), func(i int) bool { return o.codes[i] >= code })
+	if i < len(o.codes) && o.codes[i] == code {
+		out := make([]byte, len(o.keys[i]))
+		copy(out, o.keys[i])
+		return out, true
+	}
+	return nil, false
+}
+
+// Bounds returns codes (lo, hi) such that every plaintext in [start, end]
+// has a code in [lo, hi]; used to translate a plaintext range query into a
+// ciphertext range query.
+func (o *OPE) Bounds(start, end []byte) (uint64, uint64) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	lo := opeMin
+	i := sort.Search(len(o.keys), func(i int) bool { return bytes.Compare(o.keys[i], start) >= 0 })
+	if i > 0 {
+		lo = o.codes[i-1] + 1
+	}
+	hi := opeMax
+	j := sort.Search(len(o.keys), func(i int) bool { return bytes.Compare(o.keys[i], end) > 0 })
+	if j < len(o.codes) {
+		hi = o.codes[j] - 1
+	}
+	return lo, hi
+}
+
+// Rebalance reassigns all codes uniformly over the 64-bit space and returns
+// the new plaintext→code mapping in sorted order, so the caller can rewrite
+// stored ciphertexts.
+func (o *OPE) Rebalance() map[string]uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := uint64(len(o.keys))
+	out := make(map[string]uint64, n)
+	if n == 0 {
+		return out
+	}
+	step := opeMax / (n + 1)
+	for i := range o.keys {
+		o.codes[i] = step * uint64(i+1)
+		out[string(o.keys[i])] = o.codes[i]
+	}
+	return out
+}
+
+// Len returns the number of distinct plaintexts in the mapping.
+func (o *OPE) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.keys)
+}

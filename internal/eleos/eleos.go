@@ -1,0 +1,425 @@
+// Package eleos reimplements the paper's baseline comparator (§6.1): an
+// in-enclave, update-in-place sorted store in the style of Eleos (Orenbach
+// et al., EuroSys'17). The entire dataset lives in enclave memory as a
+// gapped sorted array with ~30% slack; reads binary-search it in place and
+// writes update it in place. Eleos's SUVM avoids hardware enclave paging by
+// managing its own in-enclave page cache, but still pays per-reference
+// monitoring overhead and copy/crypto costs on misses — which is why the
+// paper observes it trailing both eLSM variants at scale and capping out
+// around 1 GB.
+//
+// The simulation charges: (a) a per-access monitoring cost, (b) enclave
+// residency costs on the touched array region (so working sets beyond the
+// EPC thrash), and (c) periodic persistence OCalls for recent writes.
+package eleos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"elsm/internal/core"
+	"elsm/internal/costmodel"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+)
+
+// ErrCapacity is returned when the dataset exceeds MaxBytes — the paper's
+// observed 1 GB Eleos scalability limit.
+var ErrCapacity = errors.New("eleos: dataset exceeds supported capacity (the 1 GB limit observed in §6.2)")
+
+// DefaultMaxBytes is the paper's 1 GB limit scaled by 1/32 (DESIGN.md).
+const DefaultMaxBytes = 32 << 20
+
+// slackFactor is the array headroom ("we leave 30% of the array space
+// empty to accommodate data insertions without moving existing data").
+const slackFactor = 1.3
+
+// bucketCap is the gapped-array bucket capacity in entries; buckets are
+// kept ~70% full so most inserts shift only within one bucket.
+const bucketCap = 64
+
+// Config configures the baseline.
+type Config struct {
+	// Enclave hosts the array; nil builds one from SGX.
+	Enclave *sgx.Enclave
+	SGX     sgx.Params
+	// FS receives the persistence stream; nil means a fresh in-memory FS.
+	FS vfs.FS
+	// MaxBytes caps the dataset (DefaultMaxBytes if zero).
+	MaxBytes int64
+	// PersistEvery flushes the write buffer to disk after this many
+	// writes (default 256).
+	PersistEvery int
+	// MonitorCost is SUVM's per-memory-reference monitoring overhead
+	// (default 300ns when the enclave has a non-zero cost model).
+	MonitorCost time.Duration
+}
+
+type entry struct {
+	key []byte
+	val []byte
+	ts  uint64
+	del bool
+}
+
+type bucket struct {
+	entries []entry
+}
+
+// Store is the Eleos-style baseline. Safe for single-goroutine use (the
+// paper's YCSB driver is configured per-thread; our benchmarks serialize).
+type Store struct {
+	cfg     Config
+	enclave *sgx.Enclave
+	region  *sgx.Region
+	buckets []*bucket
+	nextTs  uint64
+	bytes   int64
+
+	persistFile vfs.File
+	dirty       int
+	writeBuf    []byte
+
+	monitor time.Duration
+}
+
+var _ core.KV = (*Store)(nil)
+
+// Open creates an empty baseline store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Enclave == nil {
+		cfg.Enclave = sgx.New(cfg.SGX)
+	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.NewMem()
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.PersistEvery == 0 {
+		cfg.PersistEvery = 256
+	}
+	monitor := cfg.MonitorCost
+	if monitor == 0 && !cfg.Enclave.Params().Cost.IsZero() {
+		monitor = 300 * time.Nanosecond
+	}
+	var f vfs.File
+	var err error
+	cfg.Enclave.OCall(func() { f, err = cfg.FS.Create("eleos.dat") })
+	if err != nil {
+		return nil, fmt.Errorf("eleos: persistence file: %w", err)
+	}
+	s := &Store{
+		cfg:         cfg,
+		enclave:     cfg.Enclave,
+		region:      cfg.Enclave.Alloc(0),
+		buckets:     []*bucket{{}},
+		persistFile: f,
+		monitor:     monitor,
+	}
+	return s, nil
+}
+
+// touch charges SUVM costs for accessing approximately n bytes around
+// byte-offset off of the array.
+func (s *Store) touch(off int64, n int) {
+	if s.monitor > 0 {
+		costmodel.Spin(s.monitor)
+	}
+	size := s.region.Size()
+	if size == 0 {
+		return
+	}
+	if off >= int64(size) {
+		off = int64(size) - 1
+	}
+	if off < 0 {
+		off = 0
+	}
+	s.region.Touch(int(off), n)
+}
+
+// grow reserves enclave space for delta new bytes (with slack).
+func (s *Store) grow(delta int) error {
+	s.bytes += int64(delta)
+	if s.bytes > s.cfg.MaxBytes {
+		s.bytes -= int64(delta)
+		return fmt.Errorf("%w: %d bytes", ErrCapacity, s.bytes+int64(delta))
+	}
+	s.region.Grow(int(float64(delta) * slackFactor))
+	return nil
+}
+
+// locate finds the bucket index and within-bucket position for key.
+func (s *Store) locate(key []byte) (int, int, bool) {
+	bi := sort.Search(len(s.buckets), func(i int) bool {
+		b := s.buckets[i]
+		if len(b.entries) == 0 {
+			return true
+		}
+		return bytes.Compare(b.entries[len(b.entries)-1].key, key) >= 0
+	})
+	if bi >= len(s.buckets) {
+		bi = len(s.buckets) - 1
+	}
+	b := s.buckets[bi]
+	ei := sort.Search(len(b.entries), func(i int) bool {
+		return bytes.Compare(b.entries[i].key, key) >= 0
+	})
+	found := ei < len(b.entries) && bytes.Equal(b.entries[ei].key, key)
+	return bi, ei, found
+}
+
+// approxOffset estimates the byte offset of a bucket in the array region.
+func (s *Store) approxOffset(bi int) int64 {
+	if len(s.buckets) == 0 {
+		return 0
+	}
+	return int64(float64(bi) / float64(len(s.buckets)) * float64(s.region.Size()))
+}
+
+// Put implements core.KV: an in-place update or a gapped insert. Like the
+// other enclave-hosted stores, each operation enters the enclave via an
+// ECall (§6.1).
+func (s *Store) Put(key, value []byte) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() { ts, err = s.write(key, value, false) })
+	return ts, err
+}
+
+// Delete implements core.KV (in-place tombstone mark, then removal).
+func (s *Store) Delete(key []byte) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() { ts, err = s.write(key, nil, true) })
+	return ts, err
+}
+
+func (s *Store) write(key, value []byte, del bool) (uint64, error) {
+	s.nextTs++
+	ts := s.nextTs
+	bi, ei, found := s.locate(key)
+	// Binary search touched log(n) bucket probes; charge one bucket read.
+	s.touch(s.approxOffset(bi), bucketCap*8)
+	b := s.buckets[bi]
+	if found {
+		old := &b.entries[ei]
+		delta := len(value) - len(old.val)
+		if delta > 0 {
+			if err := s.grow(delta); err != nil {
+				return 0, err
+			}
+		}
+		old.val = append([]byte(nil), value...)
+		old.ts = ts
+		old.del = del
+		s.touch(s.approxOffset(bi)+int64(ei*32), len(key)+len(value))
+	} else {
+		if err := s.grow(len(key) + len(value) + 24); err != nil {
+			return 0, err
+		}
+		e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), value...), ts: ts, del: del}
+		b.entries = append(b.entries, entry{})
+		copy(b.entries[ei+1:], b.entries[ei:])
+		b.entries[ei] = e
+		// The in-bucket shift touches the bucket tail (update-in-place
+		// write amplification).
+		s.touch(s.approxOffset(bi)+int64(ei*32), (len(b.entries)-ei)*32)
+		if len(b.entries) >= bucketCap {
+			s.splitBucket(bi)
+		}
+	}
+	s.bufferWrite(key, value, ts)
+	return ts, nil
+}
+
+// splitBucket halves an overflowing bucket (touches the whole bucket).
+func (s *Store) splitBucket(bi int) {
+	b := s.buckets[bi]
+	mid := len(b.entries) / 2
+	right := &bucket{entries: append([]entry(nil), b.entries[mid:]...)}
+	b.entries = b.entries[:mid]
+	s.buckets = append(s.buckets, nil)
+	copy(s.buckets[bi+2:], s.buckets[bi+1:])
+	s.buckets[bi+1] = right
+	s.touch(s.approxOffset(bi), bucketCap*32)
+}
+
+// bufferWrite appends to the persistence write buffer, flushing through an
+// OCall when full (the paper's Eleos setup persists data periodically).
+func (s *Store) bufferWrite(key, value []byte, ts uint64) {
+	s.writeBuf = append(s.writeBuf, key...)
+	s.writeBuf = append(s.writeBuf, value...)
+	s.writeBuf = append(s.writeBuf, byte(ts), byte(ts>>8), byte(ts>>16))
+	s.dirty++
+	if s.dirty >= s.cfg.PersistEvery {
+		buf := s.writeBuf
+		costmodel.ChargeBytes(s.enclave.Params().Cost.EnclaveCopyPerKB, len(buf))
+		s.enclave.OCall(func() {
+			s.persistFile.Append(buf)
+			s.persistFile.Sync()
+		})
+		s.writeBuf = s.writeBuf[:0]
+		s.dirty = 0
+	}
+}
+
+// Get implements core.KV.
+func (s *Store) Get(key []byte) (core.Result, error) {
+	return s.GetAt(key, record.MaxTs)
+}
+
+// GetAt implements core.KV. Eleos is update-in-place and keeps no history:
+// a historical query returns the live version only if it is old enough.
+func (s *Store) GetAt(key []byte, tsq uint64) (core.Result, error) {
+	var res core.Result
+	var err error
+	s.enclave.ECall(func() { res, err = s.getAt(key, tsq) })
+	return res, err
+}
+
+func (s *Store) getAt(key []byte, tsq uint64) (core.Result, error) {
+	bi, ei, found := s.locate(key)
+	// log2(buckets) probes touch scattered pages, then the bucket itself.
+	probes := 1
+	for n := len(s.buckets); n > 1; n /= 2 {
+		probes++
+	}
+	for p := 0; p < probes; p++ {
+		s.touch(s.approxOffset((bi*7+p*13)%max(len(s.buckets), 1)), 64)
+	}
+	if !found {
+		return core.Result{}, nil
+	}
+	e := s.buckets[bi].entries[ei]
+	s.touch(s.approxOffset(bi)+int64(ei*32), len(e.key)+len(e.val))
+	if e.del || e.ts > tsq {
+		return core.Result{}, nil
+	}
+	return core.Result{
+		Key:   append([]byte(nil), e.key...),
+		Value: append([]byte(nil), e.val...),
+		Ts:    e.ts,
+		Found: true,
+	}, nil
+}
+
+// Scan implements core.KV.
+func (s *Store) Scan(start, end []byte) ([]core.Result, error) {
+	var out []core.Result
+	var err error
+	s.enclave.ECall(func() { out, err = s.scan(start, end) })
+	return out, err
+}
+
+func (s *Store) scan(start, end []byte) ([]core.Result, error) {
+	var out []core.Result
+	bi, ei, _ := s.locate(start)
+	for ; bi < len(s.buckets); bi++ {
+		b := s.buckets[bi]
+		for ; ei < len(b.entries); ei++ {
+			e := b.entries[ei]
+			if bytes.Compare(e.key, end) > 0 {
+				return out, nil
+			}
+			s.touch(s.approxOffset(bi)+int64(ei*32), len(e.key)+len(e.val))
+			if e.del {
+				continue
+			}
+			out = append(out, core.Result{
+				Key:   append([]byte(nil), e.key...),
+				Value: append([]byte(nil), e.val...),
+				Ts:    e.ts,
+				Found: true,
+			})
+		}
+		ei = 0
+	}
+	return out, nil
+}
+
+// BulkLoad fills an empty store from sorted records.
+func (s *Store) BulkLoad(recs []record.Record) error {
+	if len(s.buckets) != 1 || len(s.buckets[0].entries) != 0 {
+		return fmt.Errorf("eleos: bulk load requires an empty store")
+	}
+	var total int64
+	for i := range recs {
+		total += int64(len(recs[i].Key) + len(recs[i].Value) + 24)
+	}
+	if total > s.cfg.MaxBytes {
+		return fmt.Errorf("%w: %d bytes", ErrCapacity, total)
+	}
+	s.buckets = s.buckets[:0]
+	target := bucketCap * 7 / 10 // leave 30% slack
+	for i := 0; i < len(recs); i += target {
+		endIdx := min(i+target, len(recs))
+		b := &bucket{}
+		for _, rec := range recs[i:endIdx] {
+			if rec.Ts > s.nextTs {
+				s.nextTs = rec.Ts
+			}
+			b.entries = append(b.entries, entry{
+				key: append([]byte(nil), rec.Key...),
+				val: append([]byte(nil), rec.Value...),
+				ts:  rec.Ts,
+				del: rec.Kind == record.KindDelete,
+			})
+		}
+		s.buckets = append(s.buckets, b)
+	}
+	if len(s.buckets) == 0 {
+		s.buckets = []*bucket{{}}
+	}
+	s.bytes = total
+	s.region.Grow(int(float64(total) * slackFactor))
+	// Loading wrote the whole array: bring it resident (steady state for
+	// the measurement phase, like the paper's post-load scan).
+	const chunk = 1 << 20
+	for off := 0; off < s.region.Size(); off += chunk {
+		n := chunk
+		if off+n > s.region.Size() {
+			n = s.region.Size() - off
+		}
+		s.region.Touch(off, n)
+	}
+	return nil
+}
+
+// Bytes returns the dataset size.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// Enclave exposes the enclave for stats inspection.
+func (s *Store) Enclave() *sgx.Enclave { return s.enclave }
+
+// Close flushes the persistence buffer.
+func (s *Store) Close() error {
+	if len(s.writeBuf) > 0 {
+		buf := s.writeBuf
+		s.enclave.OCall(func() {
+			s.persistFile.Append(buf)
+			s.persistFile.Sync()
+		})
+	}
+	s.region.Free()
+	return s.persistFile.Close()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,504 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"elsm/internal/costmodel"
+	"elsm/internal/memtable"
+	"elsm/internal/record"
+	"elsm/internal/sstable"
+	"elsm/internal/vfs"
+)
+
+// flushLocked persists the memtable (§5.3 step w2). In normal (leveled)
+// mode the memtable is merged with level 1's run; with compaction disabled
+// each flush prepends a fresh immutable run to level 1 instead. Caller
+// holds s.mu.
+func (s *Store) flushLocked() error {
+	if s.mem.Count() == 0 {
+		return nil
+	}
+	var (
+		info    CompactionInfo
+		sources []mergeSource
+		inputs  []*run
+	)
+	outputRunID := s.nextRunID
+	s.nextRunID++
+	if s.opts.DisableCompaction {
+		info = CompactionInfo{
+			MemtableInput: true,
+			OutputRun:     outputRunID,
+			OutputLevel:   1,
+			BottomMost:    s.deepestDataLevelLocked() == 0,
+		}
+		sources = []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
+	} else {
+		info = CompactionInfo{
+			MemtableInput: true,
+			OutputRun:     outputRunID,
+			OutputLevel:   1,
+			BottomMost:    s.deepestDataLevelLocked() <= 1,
+		}
+		for _, r := range s.levels[1] {
+			info.InputRuns = append(info.InputRuns, r.id)
+			inputs = append(inputs, r)
+		}
+		sources = append(sources, mergeSource{runID: MemtableRunID, iter: s.mem.Iter()})
+		for _, r := range inputs {
+			sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+		}
+	}
+
+	newRun, err := s.runCompaction(info, sources, inputs)
+	if err != nil {
+		return err
+	}
+
+	// Install: swap level 1, retire the old memtable, rotate the WAL.
+	if s.opts.DisableCompaction {
+		s.levels[1] = append([]*run{newRun}, s.levels[1]...)
+	} else {
+		s.levels[1] = []*run{newRun}
+	}
+	s.mem.Release()
+	s.mem = memtable.New(s.enclave)
+	if err := s.persistManifestLocked(); err != nil {
+		return err
+	}
+	if err := s.rotateWALLocked(); err != nil {
+		return err
+	}
+	s.deleteRunsLocked(inputs)
+	s.stats.Flushes++
+	s.stats.BytesFlushed += uint64(newRun.bytes)
+	s.listener.OnVersionInstalled(info)
+
+	if !s.opts.DisableCompaction {
+		return s.maybeCascadeLocked()
+	}
+	return nil
+}
+
+// maybeCascadeLocked compacts any level that exceeds its size target
+// (§2: COMPACTION "to make room in lower levels for upcoming writes").
+func (s *Store) maybeCascadeLocked() error {
+	for lvl := 1; lvl < s.opts.MaxLevels; lvl++ {
+		if s.levelBytesLocked(lvl) > s.opts.levelTarget(lvl) {
+			if err := s.compactLevelLocked(lvl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) levelBytesLocked(lvl int) int64 {
+	var total int64
+	for _, r := range s.levels[lvl] {
+		total += r.bytes
+	}
+	return total
+}
+
+// deepestDataLevelLocked returns the deepest level holding data (0 if none).
+func (s *Store) deepestDataLevelLocked() int {
+	for lvl := len(s.levels) - 1; lvl >= 1; lvl-- {
+		for _, r := range s.levels[lvl] {
+			if len(r.tables) > 0 {
+				return lvl
+			}
+		}
+	}
+	return 0
+}
+
+// Compact merges level lvl into level lvl+1 (the paper's
+// COMPACTION(Li, Li+1), §5.3).
+func (s *Store) Compact(lvl int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if lvl < 1 || lvl >= s.opts.MaxLevels {
+		return fmt.Errorf("lsm: compact: level %d out of range [1,%d)", lvl, s.opts.MaxLevels)
+	}
+	return s.compactLevelLocked(lvl)
+}
+
+// compactLevelLocked merges all runs of lvl and lvl+1 into a single new run
+// at lvl+1. Caller holds s.mu.
+func (s *Store) compactLevelLocked(lvl int) error {
+	inputs := append(append([]*run(nil), s.levels[lvl]...), s.levels[lvl+1]...)
+	if len(inputs) == 0 {
+		return nil
+	}
+	outputRunID := s.nextRunID
+	s.nextRunID++
+	info := CompactionInfo{
+		OutputRun:   outputRunID,
+		OutputLevel: lvl + 1,
+		BottomMost:  s.deepestDataLevelLocked() <= lvl+1,
+	}
+	var sources []mergeSource
+	for _, r := range inputs {
+		info.InputRuns = append(info.InputRuns, r.id)
+		sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+	}
+	newRun, err := s.runCompaction(info, sources, inputs)
+	if err != nil {
+		return err
+	}
+	s.levels[lvl] = nil
+	s.levels[lvl+1] = []*run{newRun}
+	if err := s.persistManifestLocked(); err != nil {
+		return err
+	}
+	s.deleteRunsLocked(inputs)
+	s.stats.Compactions++
+	s.stats.BytesCompacted += uint64(newRun.bytes)
+	s.listener.OnVersionInstalled(info)
+	return nil
+}
+
+// runCompaction executes the merge: streams inputs through the listener's
+// Filter hook, applies the version/tombstone retention policy, splits the
+// output into table files (routing each through OnTableFileCreated so the
+// authentication layer can embed proofs), and verifies via OnCompactionEnd
+// before returning the new run. Caller holds s.mu.
+func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs []*run) (*run, error) {
+	// Step m1: bulk-load input files into untrusted memory for streaming.
+	var pinnedFiles []uint64
+	for _, r := range inputs {
+		for _, th := range r.tables {
+			pinnedFiles = append(pinnedFiles, th.meta.FileNum)
+		}
+	}
+	s.pinViews(pinnedFiles)
+	defer s.unpinViews(pinnedFiles)
+
+	s.listener.OnCompactionBegin(info)
+
+	m := newMergeIter(sources)
+	defer m.Close()
+
+	// Step m2: merge with retention policy, streaming every input record
+	// through Filter (the authenticated compaction rebuilds input and
+	// output Merkle trees from this stream).
+	var (
+		fileRecs [][]record.Record
+		cur      []record.Record
+		curBytes int
+		curKey   []byte
+		haveKey  bool
+		kept     int
+		dropRest bool
+	)
+	for m.Valid() {
+		rec, src := m.Record()
+		if !haveKey || !bytes.Equal(rec.Key, curKey) {
+			curKey = append(curKey[:0], rec.Key...)
+			haveKey = true
+			kept = 0
+			dropRest = false
+		}
+		drop := false
+		switch {
+		case dropRest:
+			drop = true
+		case rec.Kind == record.KindDelete && s.opts.KeepVersions > 0:
+			// Version GC enabled: a tombstone shadows all older
+			// versions; at the bottom level the tombstone itself is
+			// also dropped (§5.4). With KeepVersions == 0 the store
+			// retains full history — tombstones and shadowed versions
+			// stay so historical GET(k, tsq) remains answerable.
+			dropRest = true
+			if info.BottomMost {
+				drop = true
+			} else {
+				kept++
+			}
+		default:
+			if s.opts.KeepVersions > 0 && kept >= s.opts.KeepVersions {
+				drop = true
+			} else {
+				kept++
+			}
+		}
+		s.listener.Filter(info, src, rec, drop)
+		if drop {
+			s.stats.RecordsDropped++
+		} else {
+			cur = append(cur, rec)
+			curBytes += rec.Size()
+			if curBytes >= s.opts.TableFileSize {
+				fileRecs = append(fileRecs, cur)
+				cur = nil
+				curBytes = 0
+			}
+		}
+		m.Next()
+	}
+	if len(cur) > 0 {
+		fileRecs = append(fileRecs, cur)
+	}
+
+	// Write output files (each routed through OnTableFileCreated).
+	newRun := &run{id: info.OutputRun}
+	var newFiles []uint64
+	abort := func(err error) (*run, error) {
+		s.removeFilesLocked(newFiles)
+		return nil, err
+	}
+	for fi, recs := range fileRecs {
+		th, err := s.writeRunFile(info, fi, recs)
+		if err != nil {
+			return abort(err)
+		}
+		newFiles = append(newFiles, th.meta.FileNum)
+		newRun.tables = append(newRun.tables, th)
+		newRun.bytes += th.meta.Size
+		newRun.entries += th.meta.NumEntries
+	}
+
+	// Authenticated-compaction check (§5.5.2 step on Line 31-33 of Fig 4):
+	// the listener verifies input digests and stages the output digest.
+	if err := s.listener.OnCompactionEnd(info); err != nil {
+		return abort(fmt.Errorf("%w: %v", ErrAborted, err))
+	}
+	return newRun, nil
+}
+
+// writeRunFile builds one output SSTable. The records are first offered to
+// the listener, which may rewrite them (embedding proofs); the table is
+// built inside the enclave and flushed to the untrusted FS in one OCall
+// (step m3), charging the boundary copy for the file bytes.
+func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, recs []record.Record) (*tableHandle, error) {
+	fileNum := s.nextFileNum
+	s.nextFileNum++
+	tfi := TableFileInfo{
+		FileNum:   fileNum,
+		RunID:     info.OutputRun,
+		Level:     info.OutputLevel,
+		FileIndex: fileIdx,
+		NumRecs:   len(recs),
+	}
+	recs, err := s.listener.OnTableFileCreated(tfi, recs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build in enclave memory first.
+	buf := &memBuf{}
+	b := sstable.NewBuilder(buf, sstable.BuilderOptions{
+		BlockSize: s.opts.BlockSize,
+		Transform: s.opts.Transform,
+		FileNum:   fileNum,
+	})
+	for _, rec := range recs {
+		if err := b.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	meta, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	// Step m3: one world switch to flush the file to the untrusted FS.
+	name := tableName(fileNum)
+	costmodel.ChargeBytes(s.enclave.Params().Cost.EnclaveCopyPerKB, len(buf.data))
+	var werr error
+	var f vfs.File
+	s.ocall(func() {
+		f, werr = s.fs.Create(name)
+		if werr != nil {
+			return
+		}
+		if _, werr = f.Append(buf.data); werr != nil {
+			return
+		}
+		werr = f.Sync()
+	})
+	if werr != nil {
+		return nil, fmt.Errorf("lsm: write table %s: %w", name, werr)
+	}
+
+	of := &openFile{file: f}
+	if s.opts.MmapReads {
+		s.ocall(func() { of.view = f.Bytes() })
+	}
+	s.fileMu.Lock()
+	s.files[fileNum] = of
+	s.fileMu.Unlock()
+
+	t, err := sstable.Open(f, fileNum, &storeSource{s: s})
+	if err != nil {
+		return nil, err
+	}
+	of.metaRegion = s.enclave.Alloc(t.MetadataBytes())
+	return &tableHandle{meta: meta, table: t, name: name}, nil
+}
+
+// deleteRunsLocked removes the files of retired runs.
+func (s *Store) deleteRunsLocked(runs []*run) {
+	var nums []uint64
+	for _, r := range runs {
+		for _, th := range r.tables {
+			nums = append(nums, th.meta.FileNum)
+		}
+	}
+	s.removeFilesLocked(nums)
+}
+
+func (s *Store) removeFilesLocked(fileNums []uint64) {
+	for _, fn := range fileNums {
+		s.fileMu.Lock()
+		of, ok := s.files[fn]
+		delete(s.files, fn)
+		s.fileMu.Unlock()
+		if !ok {
+			continue
+		}
+		if s.opts.Cache != nil {
+			s.opts.Cache.DropFile(fn)
+		}
+		if of.metaRegion != nil {
+			of.metaRegion.Free()
+		}
+		name := tableName(fn)
+		s.ocall(func() {
+			of.file.Close()
+			_ = s.fs.Remove(name)
+		})
+	}
+}
+
+// BulkLoad populates an empty store with pre-sorted records, placing them
+// directly in the deepest level that fits. This mirrors YCSB's load phase
+// at scale without paying per-record write amplification; the records
+// stream through the same listener events as a compaction (with
+// CompactionInfo.BulkLoad set), so the output is fully authenticated.
+func (s *Store) BulkLoad(recs []record.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.mem.Count() > 0 || s.deepestDataLevelLocked() > 0 {
+		return fmt.Errorf("lsm: bulk load requires an empty store")
+	}
+	var total int64
+	var maxTs uint64
+	for i := range recs {
+		if i > 0 && record.CompareRecords(recs[i-1], recs[i]) >= 0 {
+			return fmt.Errorf("%w: index %d", ErrBadBulkLoad, i)
+		}
+		total += int64(recs[i].Size())
+		if recs[i].Ts > maxTs {
+			maxTs = recs[i].Ts
+		}
+	}
+	lvl := 1
+	for lvl < s.opts.MaxLevels && s.opts.levelTarget(lvl) < total {
+		lvl++
+	}
+	outputRunID := s.nextRunID
+	s.nextRunID++
+	info := CompactionInfo{
+		OutputRun:   outputRunID,
+		OutputLevel: lvl,
+		BottomMost:  true,
+		BulkLoad:    true,
+	}
+	sources := []mergeSource{{runID: MemtableRunID, iter: newSliceIter(recs)}}
+	newRun, err := s.runCompaction(info, sources, nil)
+	if err != nil {
+		return err
+	}
+	// Place the run by its ACTUAL size: the listener may have inflated
+	// records (embedded proofs are several times the record size), and a
+	// run installed over its level target would trigger a pathological
+	// full-run merge on the very next flush.
+	for lvl < s.opts.MaxLevels && s.opts.levelTarget(lvl) < newRun.bytes {
+		lvl++
+	}
+	s.levels[lvl] = []*run{newRun}
+	if maxTs > s.lastTs.Load() {
+		s.lastTs.Store(maxTs)
+	}
+	if err := s.persistManifestLocked(); err != nil {
+		return err
+	}
+	s.listener.OnVersionInstalled(info)
+	return nil
+}
+
+// sliceIter iterates a pre-sorted record slice.
+type sliceIter struct {
+	recs []record.Record
+	pos  int
+}
+
+var _ record.Iterator = (*sliceIter)(nil)
+
+func newSliceIter(recs []record.Record) *sliceIter { return &sliceIter{recs: recs} }
+
+func (it *sliceIter) Valid() bool           { return it.pos < len(it.recs) }
+func (it *sliceIter) Next()                 { it.pos++ }
+func (it *sliceIter) Record() record.Record { return it.recs[it.pos] }
+func (it *sliceIter) Close() error          { return nil }
+
+func (it *sliceIter) SeekGE(key []byte, ts uint64) {
+	lo, hi := 0, len(it.recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if record.Compare(it.recs[mid].Key, it.recs[mid].Ts, key, ts) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.pos = lo
+}
+
+// memBuf is an in-enclave staging buffer implementing vfs.File, used to
+// assemble an SSTable before the single flush OCall.
+type memBuf struct {
+	data []byte
+}
+
+var _ vfs.File = (*memBuf)(nil)
+
+func (m *memBuf) Append(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+func (m *memBuf) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	for int64(len(m.data)) < end {
+		m.data = append(m.data, 0)
+	}
+	copy(m.data[off:end], p)
+	return len(p), nil
+}
+
+func (m *memBuf) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBuf) Size() int64   { return int64(len(m.data)) }
+func (m *memBuf) Bytes() []byte { return m.data }
+func (m *memBuf) Sync() error   { return nil }
+func (m *memBuf) Close() error  { return nil }

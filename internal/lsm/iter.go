@@ -1,0 +1,127 @@
+package lsm
+
+import (
+	"elsm/internal/record"
+)
+
+// concatIter chains the iterators of a run's tables (which are
+// non-overlapping and key-ordered) into one sorted stream.
+type concatIter struct {
+	tables []*tableHandle
+	idx    int
+	cur    record.Iterator
+}
+
+var _ record.Iterator = (*concatIter)(nil)
+
+func newRunIter(r *run) *concatIter {
+	it := &concatIter{tables: r.tables}
+	it.openTable(0)
+	return it
+}
+
+func (it *concatIter) openTable(i int) {
+	it.idx = i
+	if i >= len(it.tables) {
+		it.cur = nil
+		return
+	}
+	ti := it.tables[i].table.Iter()
+	ti.SeekGE(nil, record.MaxTs) // position at first record
+	it.cur = ti
+}
+
+func (it *concatIter) Valid() bool { return it.cur != nil && it.cur.Valid() }
+
+func (it *concatIter) Next() {
+	if it.cur == nil {
+		return
+	}
+	it.cur.Next()
+	for it.cur != nil && !it.cur.Valid() {
+		it.openTable(it.idx + 1)
+	}
+}
+
+func (it *concatIter) Record() record.Record { return it.cur.Record() }
+
+func (it *concatIter) SeekGE(key []byte, ts uint64) {
+	ti := seekTable(it.tables, key, ts)
+	it.openTable(ti)
+	if it.cur != nil {
+		it.cur.SeekGE(key, ts)
+		for it.cur != nil && !it.cur.Valid() {
+			it.openTable(it.idx + 1)
+		}
+	}
+}
+
+func (it *concatIter) Close() error {
+	if it.cur != nil {
+		return it.cur.Close()
+	}
+	return nil
+}
+
+// mergeSource tags an iterator with the run it drains (MemtableRunID for
+// the memtable).
+type mergeSource struct {
+	runID uint64
+	iter  record.Iterator
+}
+
+// mergeIter merges several sorted sources into global record order. With
+// the handful of sources a compaction has, a linear minimum scan per step
+// is faster than a heap.
+type mergeIter struct {
+	sources []mergeSource
+	curSrc  int
+}
+
+func newMergeIter(sources []mergeSource) *mergeIter {
+	m := &mergeIter{sources: sources, curSrc: -1}
+	m.findMin()
+	return m
+}
+
+func (m *mergeIter) findMin() {
+	m.curSrc = -1
+	var best record.Record
+	for i := range m.sources {
+		it := m.sources[i].iter
+		if !it.Valid() {
+			continue
+		}
+		r := it.Record()
+		if m.curSrc == -1 || record.CompareRecords(r, best) < 0 {
+			m.curSrc = i
+			best = r
+		}
+	}
+}
+
+// Valid reports whether a record is available.
+func (m *mergeIter) Valid() bool { return m.curSrc >= 0 }
+
+// Record returns the current minimum record and its source run.
+func (m *mergeIter) Record() (record.Record, uint64) {
+	s := m.sources[m.curSrc]
+	return s.iter.Record(), s.runID
+}
+
+// Next advances past the current record.
+func (m *mergeIter) Next() {
+	m.sources[m.curSrc].iter.Next()
+	m.findMin()
+}
+
+// Close closes all sources.
+func (m *mergeIter) Close() error {
+	var first error
+	for _, s := range m.sources {
+		if err := s.iter.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,242 @@
+package lsm
+
+import (
+	"bytes"
+
+	"elsm/internal/record"
+)
+
+// RunLookup is the untrusted host's answer to a per-run point lookup
+// (§5.3, algorithm QUERYGET for one level): either the newest matching
+// record with Ts ≤ tsq, or the two records bracketing the queried key so
+// the enclave can verify non-membership.
+type RunLookup struct {
+	RunID uint64
+	// Found reports a matching record (Rec) with Ts ≤ tsq.
+	Found bool
+	Rec   record.Record
+	// Pred and Succ bracket the (absent) key when Found is false. Either
+	// may be nil at the run's edges. When Pred carries the queried key
+	// itself, it is the oldest version newer than tsq (the historical
+	// non-membership witness: no version ≤ tsq exists in this run).
+	Pred *record.Record
+	Succ *record.Record
+	// EmptyRun marks a run with no tables at all.
+	EmptyRun bool
+}
+
+// LookupRun performs the untrusted side of a one-level GET.
+func (s *Store) LookupRun(runID uint64, key []byte, tsq uint64) (RunLookup, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return RunLookup{}, ErrClosed
+	}
+	r, err := s.findRunLocked(runID)
+	if err != nil {
+		return RunLookup{}, err
+	}
+	return s.lookupRunLocked(r, key, tsq)
+}
+
+func (s *Store) lookupRunLocked(r *run, key []byte, tsq uint64) (RunLookup, error) {
+	out := RunLookup{RunID: r.id}
+	if len(r.tables) == 0 {
+		out.EmptyRun = true
+		return out, nil
+	}
+	ti := seekTable(r.tables, key, tsq)
+	if ti >= len(r.tables) {
+		last, err := r.tables[len(r.tables)-1].table.Last()
+		if err != nil {
+			return out, err
+		}
+		out.Pred = &last
+		return out, nil
+	}
+	prev, cur, err := r.tables[ti].table.SeekWithPrev(key, tsq)
+	if err != nil {
+		return out, err
+	}
+	if cur != nil && bytes.Equal(cur.Key, key) {
+		out.Found = true
+		out.Rec = *cur
+		return out, nil
+	}
+	out.Succ = cur
+	if prev == nil && ti > 0 {
+		last, err := r.tables[ti-1].table.Last()
+		if err != nil {
+			return out, err
+		}
+		prev = &last
+	}
+	out.Pred = prev
+	return out, nil
+}
+
+// RunScan is the untrusted host's answer to a per-run range query (§5.4):
+// every version of every key in [start, end], plus the bracketing records
+// outside the range whose embedded proofs let the enclave verify
+// completeness.
+type RunScan struct {
+	RunID    uint64
+	Records  []record.Record
+	Pred     *record.Record
+	Succ     *record.Record
+	EmptyRun bool
+}
+
+// ScanRun performs the untrusted side of a one-level SCAN over user keys
+// start ≤ k ≤ end.
+func (s *Store) ScanRun(runID uint64, start, end []byte) (RunScan, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return RunScan{}, ErrClosed
+	}
+	r, err := s.findRunLocked(runID)
+	if err != nil {
+		return RunScan{}, err
+	}
+	out := RunScan{RunID: r.id}
+	if len(r.tables) == 0 {
+		out.EmptyRun = true
+		return out, nil
+	}
+	// Predecessor of the range start.
+	ti := seekTable(r.tables, start, record.MaxTs)
+	if ti >= len(r.tables) {
+		last, err := r.tables[len(r.tables)-1].table.Last()
+		if err != nil {
+			return out, err
+		}
+		out.Pred = &last
+		return out, nil
+	}
+	prev, _, err := r.tables[ti].table.SeekWithPrev(start, record.MaxTs)
+	if err != nil {
+		return out, err
+	}
+	if prev == nil && ti > 0 {
+		last, err := r.tables[ti-1].table.Last()
+		if err != nil {
+			return out, err
+		}
+		prev = &last
+	}
+	out.Pred = prev
+
+	// Collect in-range records and the successor.
+	it := newRunIter(r)
+	defer it.Close()
+	it.SeekGE(start, record.MaxTs)
+	for it.Valid() {
+		rec := it.Record()
+		if bytes.Compare(rec.Key, end) > 0 {
+			out.Succ = &rec
+			break
+		}
+		out.Records = append(out.Records, rec)
+		it.Next()
+	}
+	return out, nil
+}
+
+// MemScan returns the newest version ≤ tsq of every key in [start, end]
+// from the (trusted) memtable, including tombstones.
+func (s *Store) MemScan(start, end []byte, tsq uint64) []record.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []record.Record
+	it := s.mem.Iter()
+	it.SeekGE(start, record.MaxTs)
+	var lastKey []byte
+	emitted := false
+	for it.Valid() {
+		rec := it.Record()
+		if bytes.Compare(rec.Key, end) > 0 {
+			break
+		}
+		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
+			lastKey = append([]byte(nil), rec.Key...)
+			emitted = false
+		}
+		if !emitted && rec.Ts <= tsq {
+			out = append(out, rec)
+			emitted = true
+		}
+		it.Next()
+	}
+	return out
+}
+
+// WarmCache streams every data block of every run through the block source
+// once, populating the read buffer to steady state. The paper's experiments
+// scan the loaded dataset before measuring "so that it is loaded in the
+// untrusted memory" (§6.1); this is the equivalent for the block cache.
+func (s *Store) WarmCache() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			for _, th := range r.tables {
+				it := th.table.Iter()
+				it.SeekGE(nil, record.MaxTs)
+				for it.Valid() {
+					it.Next()
+				}
+				if err := it.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Scan is the raw (unverified) merged range query used by the unsecured
+// baseline: newest version ≤ tsq per key in [start, end], tombstones
+// resolved.
+func (s *Store) Scan(start, end []byte, tsq uint64) ([]record.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sources := []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			if len(r.tables) > 0 {
+				sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+			}
+		}
+	}
+	for _, src := range sources {
+		src.iter.SeekGE(start, record.MaxTs)
+	}
+	m := newMergeIter(sources)
+	defer m.Close()
+
+	var out []record.Record
+	var lastKey []byte
+	resolved := false
+	for m.Valid() {
+		rec, _ := m.Record()
+		if bytes.Compare(rec.Key, end) > 0 {
+			break
+		}
+		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
+			lastKey = append([]byte(nil), rec.Key...)
+			resolved = false
+		}
+		if !resolved && rec.Ts <= tsq {
+			resolved = true
+			if rec.Kind == record.KindSet {
+				out = append(out, rec)
+			}
+		}
+		m.Next()
+	}
+	return out, nil
+}

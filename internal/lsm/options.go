@@ -1,0 +1,210 @@
+// Package lsm implements a leveled log-structured merge-tree key-value
+// store in the style of Google LevelDB / Facebook RocksDB (§2 of the
+// paper): an in-enclave memtable (L0) backed by an untrusted write-ahead
+// log, immutable sorted runs at levels L1..Lq stored as SSTable files in
+// the untrusted world, full-run leveled compaction, and a read path that
+// goes through either a block cache ("read buffer") or mmap-style direct
+// views of untrusted file memory.
+//
+// The engine knows nothing about Merkle trees. The eLSM authentication
+// layer (internal/core) attaches purely through the EventListener callback
+// surface — the Go rendering of RocksDB's EventListener/CompactionFilter
+// hooks — which is the paper's headline "middleware without engine code
+// change" claim (§5.5.3).
+package lsm
+
+import (
+	"elsm/internal/blockcache"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/sstable"
+	"elsm/internal/vfs"
+)
+
+// Default tuning values. The byte-denominated defaults are the paper's
+// LevelDB values scaled by 1/32 (DESIGN.md "Scaling rule").
+const (
+	DefaultMemtableSize    = 128 << 10 // paper: 4 MB write buffer
+	DefaultBlockSize       = 4 << 10   // unscaled: record sizes are unscaled
+	DefaultTableFileSize   = 128 << 10 // paper: ~2-4 MB SSTables
+	DefaultLevelBase       = 320 << 10 // paper: 10 MB L1 target
+	DefaultLevelMultiplier = 10
+	DefaultMaxLevels       = 7
+)
+
+// Options configures a Store. The zero value is usable with an in-memory
+// FS; call withDefaults via Open.
+type Options struct {
+	// FS is the untrusted file system holding WAL, SSTables and MANIFEST.
+	// Nil means a fresh in-memory FS.
+	FS vfs.FS
+	// Enclave is the simulated enclave hosting the store's code and
+	// trusted data structures. Nil means an unlimited zero-cost enclave
+	// (the unsecured configuration).
+	Enclave *sgx.Enclave
+	// Listener receives engine events; nil installs a no-op listener.
+	Listener EventListener
+	// Cache is the read buffer. Nil disables caching (every block read
+	// goes to the file system).
+	Cache *blockcache.Cache
+	// MmapReads selects the mmap read path: data blocks are read directly
+	// from untrusted file memory with no OCall and no buffering
+	// (§5.5.1 "Support mmap reads"). Incompatible with Transform.
+	MmapReads bool
+	// Transform seals/opens data blocks at file granularity (eLSM-P1).
+	Transform sstable.BlockTransform
+	// MemtableSize triggers a flush when the write buffer exceeds it.
+	MemtableSize int
+	// BlockSize is the SSTable block payload target.
+	BlockSize int
+	// TableFileSize caps individual SSTable files.
+	TableFileSize int
+	// LevelBase is the L1 size target; level i targets
+	// LevelBase × LevelMultiplier^(i-1).
+	LevelBase int64
+	// LevelMultiplier is the per-level size ratio.
+	LevelMultiplier int
+	// MaxLevels bounds the number of on-disk levels.
+	MaxLevels int
+	// KeepVersions bounds retained versions per key during compaction:
+	// 0 keeps every version (full history, the paper's chain semantics),
+	// 1 keeps only the newest (vanilla LevelDB), k keeps the newest k.
+	KeepVersions int
+	// DisableCompaction stops merging entirely: each flush appends a new
+	// immutable run to level 1 (Figure 7b's "wo. compaction" mode).
+	DisableCompaction bool
+	// DisableWAL skips write-ahead logging (bulk experiments).
+	DisableWAL bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.NewMem()
+	}
+	if o.Enclave == nil {
+		o.Enclave = sgx.NewUnlimited()
+	}
+	if o.Listener == nil {
+		o.Listener = NopListener{}
+	}
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = DefaultMemtableSize
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.TableFileSize <= 0 {
+		o.TableFileSize = DefaultTableFileSize
+	}
+	if o.LevelBase <= 0 {
+		o.LevelBase = DefaultLevelBase
+	}
+	if o.LevelMultiplier <= 1 {
+		o.LevelMultiplier = DefaultLevelMultiplier
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = DefaultMaxLevels
+	}
+	return o
+}
+
+// levelTarget returns the size budget of 1-based level i.
+func (o Options) levelTarget(i int) int64 {
+	t := o.LevelBase
+	for ; i > 1; i-- {
+		t *= int64(o.LevelMultiplier)
+	}
+	return t
+}
+
+// MemtableRunID is the pseudo run ID used in Filter events for records
+// streaming out of the (trusted, in-enclave) memtable.
+const MemtableRunID uint64 = 0
+
+// CompactionInfo describes one compaction (or flush, or bulk load) to the
+// listener.
+type CompactionInfo struct {
+	// InputRuns lists consumed run IDs, newest first. Empty for bulk loads.
+	InputRuns []uint64
+	// MemtableInput reports whether the memtable is one of the inputs
+	// (flush path).
+	MemtableInput bool
+	// OutputRun is the ID of the run being produced.
+	OutputRun uint64
+	// OutputLevel is the 1-based level the output run lands in.
+	OutputLevel int
+	// BottomMost reports whether no deeper level holds data, enabling
+	// tombstone elimination (§5.4 "Handling Deletes").
+	BottomMost bool
+	// BulkLoad marks direct dataset loads (no verified inputs).
+	BulkLoad bool
+}
+
+// TableFileInfo describes one output SSTable being created.
+type TableFileInfo struct {
+	FileNum   uint64
+	RunID     uint64
+	Level     int
+	FileIndex int // sequence of this file within the output run
+	NumRecs   int
+}
+
+// EventListener is the callback surface through which the eLSM
+// authentication layer attaches to the engine, mirroring RocksDB's
+// EventListener + CompactionFilter APIs (§5.5.3). All methods are invoked
+// synchronously on the engine's write path; implementations must not call
+// back into the Store.
+type EventListener interface {
+	// OnWALAppend fires before a record is appended to the untrusted WAL,
+	// letting the enclave extend its WAL digest chain (§5.3 step w1).
+	OnWALAppend(rec record.Record)
+	// OnWALRotated fires after a flush truncates the WAL.
+	OnWALRotated()
+	// OnCompactionBegin fires before the merge starts.
+	OnCompactionBegin(info CompactionInfo)
+	// Filter fires for every input record in merge output order, tagged
+	// with its source run (MemtableRunID for memtable records) and
+	// whether the engine is dropping it (tombstone elimination or version
+	// GC). Mirrors RocksDB's CompactionFilter ("Filter()" in Figure 4).
+	Filter(info CompactionInfo, srcRun uint64, rec record.Record, dropped bool)
+	// OnTableFileCreated fires once per output file after the merge, with
+	// the file's records; the listener may return replacement records
+	// (e.g. with embedded proofs), which the engine writes instead
+	// ("OnTableFileCreated()" in Figure 4).
+	OnTableFileCreated(info TableFileInfo, recs []record.Record) ([]record.Record, error)
+	// OnCompactionEnd fires after all output files are staged but before
+	// the new version is installed; returning an error aborts the
+	// compaction (the authenticated-compaction input check, §5.5.2).
+	OnCompactionEnd(info CompactionInfo) error
+	// OnVersionInstalled fires after the new version is durably
+	// installed; the listener commits its staged digests here.
+	OnVersionInstalled(info CompactionInfo)
+}
+
+// NopListener ignores all events.
+type NopListener struct{}
+
+var _ EventListener = NopListener{}
+
+// OnWALAppend implements EventListener.
+func (NopListener) OnWALAppend(record.Record) {}
+
+// OnWALRotated implements EventListener.
+func (NopListener) OnWALRotated() {}
+
+// OnCompactionBegin implements EventListener.
+func (NopListener) OnCompactionBegin(CompactionInfo) {}
+
+// Filter implements EventListener.
+func (NopListener) Filter(CompactionInfo, uint64, record.Record, bool) {}
+
+// OnTableFileCreated implements EventListener.
+func (NopListener) OnTableFileCreated(_ TableFileInfo, recs []record.Record) ([]record.Record, error) {
+	return recs, nil
+}
+
+// OnCompactionEnd implements EventListener.
+func (NopListener) OnCompactionEnd(CompactionInfo) error { return nil }
+
+// OnVersionInstalled implements EventListener.
+func (NopListener) OnVersionInstalled(CompactionInfo) {}

@@ -1,0 +1,631 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"elsm/internal/hashutil"
+	"elsm/internal/memtable"
+	"elsm/internal/record"
+	"elsm/internal/sgx"
+	"elsm/internal/sstable"
+	"elsm/internal/vfs"
+	"elsm/internal/wal"
+)
+
+// Well-known file names in the untrusted FS.
+const (
+	walName      = "wal.log"
+	manifestName = "MANIFEST"
+	manifestTmp  = "MANIFEST.tmp"
+)
+
+// Store errors.
+var (
+	ErrClosed        = errors.New("lsm: store closed")
+	ErrAborted       = errors.New("lsm: compaction aborted by listener")
+	ErrBadBulkLoad   = errors.New("lsm: bulk load records not sorted")
+	ErrUnknownRun    = errors.New("lsm: unknown run")
+	ErrManifestParse = errors.New("lsm: manifest parse failure")
+)
+
+// tableHandle pairs an open SSTable with its file.
+type tableHandle struct {
+	meta  sstable.Meta
+	table *sstable.Table
+	name  string
+}
+
+// run is one immutable sorted run of tables (non-overlapping, key-ordered).
+type run struct {
+	id      uint64
+	tables  []*tableHandle
+	bytes   int64
+	entries int
+}
+
+// openFile tracks an open untrusted file and its optional mmap views.
+type openFile struct {
+	file       vfs.File
+	view       []byte      // mmap read path view (MmapReads)
+	pinned     []byte      // compaction-time bulk-loaded view (§5.3 step m1)
+	metaRegion *sgx.Region // in-enclave index/filter footprint
+}
+
+// RunRef identifies one run in read order (newest data first).
+type RunRef struct {
+	ID    uint64
+	Level int
+	Index int // position within the level (0 = newest)
+}
+
+// Stats counts engine-level events.
+type Stats struct {
+	Flushes         uint64
+	Compactions     uint64
+	BytesFlushed    uint64
+	BytesCompacted  uint64
+	RecordsDropped  uint64
+	ManifestUpdates uint64
+}
+
+// Store is the LSM engine. Reads may run concurrently; writes are
+// serialized; compaction runs synchronously on the write path (its cost is
+// amortized into write latency, matching how the paper reports Figure 7).
+type Store struct {
+	opts     Options
+	fs       vfs.FS
+	enclave  *sgx.Enclave
+	listener EventListener
+
+	mu     sync.RWMutex // guards mem, levels, wal, counters
+	mem    *memtable.Table
+	walW   *wal.Writer
+	levels [][]*run // levels[0] unused; levels[i] newest-run-first
+
+	fileMu sync.RWMutex
+	files  map[uint64]*openFile
+
+	nextFileNum uint64
+	nextRunID   uint64
+	lastTs      atomic.Uint64
+	closed      bool
+
+	walReplayDigest hashutil.Hash
+	replayedRecords int
+
+	stats Stats
+}
+
+// Open creates or recovers a store.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.MmapReads && opts.Transform != nil {
+		return nil, errors.New("lsm: mmap reads are incompatible with block transforms (eLSM-P1 cannot mmap, §6.3)")
+	}
+	s := &Store{
+		opts:        opts,
+		fs:          opts.FS,
+		enclave:     opts.Enclave,
+		listener:    opts.Listener,
+		mem:         memtable.New(opts.Enclave),
+		levels:      make([][]*run, opts.MaxLevels+1),
+		files:       make(map[uint64]*openFile),
+		nextFileNum: 1,
+		nextRunID:   1,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ocall runs fn in the untrusted world, charging world-switch cost.
+func (s *Store) ocall(fn func()) { s.enclave.OCall(fn) }
+
+// tableName formats an SSTable file name.
+func tableName(fileNum uint64) string { return fmt.Sprintf("%06d.sst", fileNum) }
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+type manifestTable struct {
+	FileNum    uint64 `json:"file"`
+	Smallest   []byte `json:"smallest"`
+	SmallestTs uint64 `json:"smallestTs"`
+	Largest    []byte `json:"largest"`
+	LargestTs  uint64 `json:"largestTs"`
+	NumEntries int    `json:"entries"`
+	NumBlocks  int    `json:"blocks"`
+	Size       int64  `json:"size"`
+}
+
+type manifestRun struct {
+	ID     uint64          `json:"id"`
+	Files  []manifestTable `json:"files"`
+	Emtpy  bool            `json:"-"`
+	Nbytes int64           `json:"bytes"`
+}
+
+type manifestRoot struct {
+	NextFileNum uint64          `json:"nextFile"`
+	NextRunID   uint64          `json:"nextRun"`
+	LastTs      uint64          `json:"lastTs"`
+	Levels      [][]manifestRun `json:"levels"`
+}
+
+// persistManifestLocked writes the current version to MANIFEST atomically.
+// Caller holds s.mu.
+func (s *Store) persistManifestLocked() error {
+	root := manifestRoot{
+		NextFileNum: s.nextFileNum,
+		NextRunID:   s.nextRunID,
+		LastTs:      s.lastTs.Load(),
+		Levels:      make([][]manifestRun, len(s.levels)),
+	}
+	for i, runs := range s.levels {
+		for _, r := range runs {
+			mr := manifestRun{ID: r.id, Nbytes: r.bytes}
+			for _, th := range r.tables {
+				mr.Files = append(mr.Files, manifestTable{
+					FileNum:    th.meta.FileNum,
+					Smallest:   th.meta.Smallest,
+					SmallestTs: th.meta.SmallestTs,
+					Largest:    th.meta.Largest,
+					LargestTs:  th.meta.LargestTs,
+					NumEntries: th.meta.NumEntries,
+					NumBlocks:  th.meta.NumBlocks,
+					Size:       th.meta.Size,
+				})
+			}
+			root.Levels[i] = append(root.Levels[i], mr)
+		}
+	}
+	data, err := json.Marshal(root)
+	if err != nil {
+		return fmt.Errorf("lsm: manifest marshal: %w", err)
+	}
+	var werr error
+	s.ocall(func() {
+		var f vfs.File
+		f, werr = s.fs.Create(manifestTmp)
+		if werr != nil {
+			return
+		}
+		if _, werr = f.Append(data); werr != nil {
+			return
+		}
+		if werr = f.Sync(); werr != nil {
+			return
+		}
+		if werr = f.Close(); werr != nil {
+			return
+		}
+		werr = s.fs.Rename(manifestTmp, manifestName)
+	})
+	if werr != nil {
+		return fmt.Errorf("lsm: manifest write: %w", werr)
+	}
+	s.stats.ManifestUpdates++
+	return nil
+}
+
+// recover loads the manifest (if any) and replays the WAL (if any).
+func (s *Store) recover() error {
+	if s.fs.Exists(manifestName) {
+		if err := s.recoverManifest(); err != nil {
+			return err
+		}
+	}
+	// Replay the WAL into the memtable.
+	if s.fs.Exists(walName) {
+		var f vfs.File
+		var oerr error
+		s.ocall(func() { f, oerr = s.fs.Open(walName) })
+		if oerr != nil {
+			return fmt.Errorf("lsm: wal open: %w", oerr)
+		}
+		dig, err := wal.Replay(f, func(rec record.Record) error {
+			s.mem.Put(rec)
+			if rec.Ts > s.lastTs.Load() {
+				s.lastTs.Store(rec.Ts)
+			}
+			s.replayedRecords++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("lsm: wal replay: %w", err)
+		}
+		s.walReplayDigest = dig
+		f.Close()
+	}
+	return nil
+}
+
+// recoverManifest rebuilds the level structure from the MANIFEST file.
+func (s *Store) recoverManifest() error {
+	var data []byte
+	var rerr error
+	s.ocall(func() {
+		f, err := s.fs.Open(manifestName)
+		if err != nil {
+			rerr = err
+			return
+		}
+		defer f.Close()
+		data = make([]byte, f.Size())
+		if _, err := f.ReadAt(data, 0); err != nil && len(data) > 0 {
+			rerr = err
+		}
+	})
+	if rerr != nil {
+		return fmt.Errorf("lsm: manifest read: %w", rerr)
+	}
+	var root manifestRoot
+	if err := json.Unmarshal(data, &root); err != nil {
+		return fmt.Errorf("%w: %v", ErrManifestParse, err)
+	}
+	s.nextFileNum = root.NextFileNum
+	s.nextRunID = root.NextRunID
+	s.lastTs.Store(root.LastTs)
+	if len(root.Levels) > len(s.levels) {
+		s.levels = make([][]*run, len(root.Levels))
+	}
+	for lvl, runs := range root.Levels {
+		for _, mr := range runs {
+			r := &run{id: mr.ID}
+			for _, mt := range mr.Files {
+				th, err := s.openTable(mt.FileNum)
+				if err != nil {
+					return err
+				}
+				th.meta.Smallest = mt.Smallest
+				th.meta.SmallestTs = mt.SmallestTs
+				th.meta.Largest = mt.Largest
+				th.meta.LargestTs = mt.LargestTs
+				th.meta.NumEntries = mt.NumEntries
+				th.meta.NumBlocks = mt.NumBlocks
+				th.meta.Size = mt.Size
+				r.tables = append(r.tables, th)
+				r.bytes += mt.Size
+				r.entries += mt.NumEntries
+			}
+			s.levels[lvl] = append(s.levels[lvl], r)
+		}
+	}
+	return nil
+}
+
+// openWAL creates/continues the WAL writer.
+func (s *Store) openWAL() error {
+	if s.opts.DisableWAL {
+		return nil
+	}
+	var f vfs.File
+	var err error
+	s.ocall(func() {
+		if s.fs.Exists(walName) {
+			f, err = s.fs.Open(walName)
+		} else {
+			f, err = s.fs.Create(walName)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("lsm: wal create: %w", err)
+	}
+	s.walW = wal.NewWriter(f)
+	if s.replayedRecords > 0 {
+		s.walW = wal.ResumeWriter(f, s.walReplayDigest)
+	}
+	return nil
+}
+
+// rotateWALLocked truncates the log after a flush. Caller holds s.mu.
+func (s *Store) rotateWALLocked() error {
+	if s.opts.DisableWAL {
+		return nil
+	}
+	var f vfs.File
+	var err error
+	s.ocall(func() {
+		if s.walW != nil {
+			s.walW.Close()
+		}
+		f, err = s.fs.Create(walName)
+	})
+	if err != nil {
+		return fmt.Errorf("lsm: wal rotate: %w", err)
+	}
+	s.walW = wal.NewWriter(f)
+	s.listener.OnWALRotated()
+	return nil
+}
+
+// WALReplayDigest returns the digest chain recomputed during recovery and
+// the number of replayed records; the authentication layer compares it with
+// its sealed trusted digest.
+func (s *Store) WALReplayDigest() (hashutil.Hash, int) {
+	return s.walReplayDigest, s.replayedRecords
+}
+
+// VerifyWALPrefix re-reads the WAL and checks that trusted is a prefix of
+// its digest chain, returning how many records follow that prefix. An error
+// means the log was tampered with (the trusted digest never occurs on the
+// chain). A zero trusted digest matches the empty prefix.
+func (s *Store) VerifyWALPrefix(trusted hashutil.Hash) (int, error) {
+	if s.opts.DisableWAL || !s.fs.Exists(walName) {
+		if trusted.IsZero() {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("lsm: WAL missing but trusted digest is non-zero")
+	}
+	var f vfs.File
+	var oerr error
+	s.ocall(func() { f, oerr = s.fs.Open(walName) })
+	if oerr != nil {
+		return 0, fmt.Errorf("lsm: wal open: %w", oerr)
+	}
+	defer f.Close()
+	found := trusted.IsZero()
+	extra := 0
+	dig := hashutil.Zero
+	_, err := wal.Replay(f, func(rec record.Record) error {
+		dig = hashutil.WALLink(dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+		if found {
+			extra++
+		} else if dig == trusted {
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("lsm: trusted WAL digest not found on chain (log tampered)")
+	}
+	return extra, nil
+}
+
+// EnsureTs raises the timestamp counter to at least minTs (recovery: the
+// sealed trusted state may record a later timestamp than the untrusted
+// manifest).
+func (s *Store) EnsureTs(minTs uint64) {
+	for {
+		cur := s.lastTs.Load()
+		if cur >= minTs {
+			return
+		}
+		if s.lastTs.CompareAndSwap(cur, minTs) {
+			return
+		}
+	}
+}
+
+// openTable opens a table file and parses its metadata.
+func (s *Store) openTable(fileNum uint64) (*tableHandle, error) {
+	name := tableName(fileNum)
+	var f vfs.File
+	var err error
+	s.ocall(func() { f, err = s.fs.Open(name) })
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
+	}
+	of := &openFile{file: f}
+	if s.opts.MmapReads {
+		// One OCall to establish the mapping; reads are then direct.
+		s.ocall(func() { of.view = f.Bytes() })
+	}
+	s.fileMu.Lock()
+	s.files[fileNum] = of
+	s.fileMu.Unlock()
+
+	t, err := sstable.Open(f, fileNum, &storeSource{s: s})
+	if err != nil {
+		return nil, err
+	}
+	// Index + filters live inside the enclave: account their footprint.
+	of.metaRegion = s.enclave.Alloc(t.MetadataBytes())
+	return &tableHandle{meta: sstable.Meta{FileNum: fileNum}, table: t, name: name}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// Put inserts a key-value record, returning the assigned trusted timestamp.
+func (s *Store) Put(key, value []byte) (uint64, error) {
+	return s.write(key, value, record.KindSet)
+}
+
+// Delete writes a tombstone for key.
+func (s *Store) Delete(key []byte) (uint64, error) {
+	return s.write(key, nil, record.KindDelete)
+}
+
+func (s *Store) write(key, value []byte, kind record.Kind) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	ts := s.lastTs.Add(1)
+	rec := record.Record{Key: key, Ts: ts, Kind: kind, Value: value}
+	s.listener.OnWALAppend(rec)
+	if !s.opts.DisableWAL {
+		var werr error
+		s.ocall(func() { werr = s.walW.Append(rec) })
+		if werr != nil {
+			return 0, werr
+		}
+	}
+	s.mem.Put(rec)
+	if s.mem.ApproxBytes() >= s.opts.MemtableSize {
+		if err := s.flushLocked(); err != nil {
+			return 0, fmt.Errorf("lsm: flush: %w", err)
+		}
+	}
+	return ts, nil
+}
+
+// Flush forces the memtable to disk.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+// ---------------------------------------------------------------------------
+// Reads (raw, unverified — the unsecured baseline path; the eLSM layer
+// drives the per-run lookup API in lookup.go instead)
+
+// Get returns the newest record of key with Ts ≤ tsq. Tombstones are
+// returned as-is (callers interpret Kind). The boolean reports whether any
+// version was found.
+func (s *Store) Get(key []byte, tsq uint64) (record.Record, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return record.Record{}, false, ErrClosed
+	}
+	if rec, ok := s.mem.Get(key, tsq); ok {
+		return rec, true, nil
+	}
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			rec, ok, err := s.runGet(r, key, tsq)
+			if err != nil {
+				return record.Record{}, false, err
+			}
+			if ok {
+				return rec, true, nil
+			}
+		}
+	}
+	return record.Record{}, false, nil
+}
+
+// runGet searches one run.
+func (s *Store) runGet(r *run, key []byte, tsq uint64) (record.Record, bool, error) {
+	ti := seekTable(r.tables, key, tsq)
+	if ti >= len(r.tables) {
+		return record.Record{}, false, nil
+	}
+	return r.tables[ti].table.Get(key, tsq)
+}
+
+// seekTable returns the index of the first table whose largest entry is
+// ≥ (key, ts).
+func seekTable(tables []*tableHandle, key []byte, ts uint64) int {
+	lo, hi := 0, len(tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := tables[mid].meta
+		if record.Compare(m.Largest, m.LargestTs, key, ts) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Runs returns references to all on-disk runs in read order (newest data
+// first): level 1 runs newest-first, then level 2, and so on.
+func (s *Store) Runs() []RunRef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.runsLocked()
+}
+
+func (s *Store) runsLocked() []RunRef {
+	var out []RunRef
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for idx, r := range s.levels[lvl] {
+			out = append(out, RunRef{ID: r.id, Level: lvl, Index: idx})
+		}
+	}
+	return out
+}
+
+// findRun locates a run by ID. Caller holds s.mu.
+func (s *Store) findRunLocked(id uint64) (*run, error) {
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			if r.id == id {
+				return r, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", ErrUnknownRun, id)
+}
+
+// MemGet reads the (trusted, in-enclave) memtable.
+func (s *Store) MemGet(key []byte, tsq uint64) (record.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.Get(key, tsq)
+}
+
+// MemCount returns the number of memtable entries.
+func (s *Store) MemCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mem.Count()
+}
+
+// LastTs returns the most recently assigned timestamp.
+func (s *Store) LastTs() uint64 { return s.lastTs.Load() }
+
+// Stats returns engine event counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Enclave exposes the simulated enclave (for the authentication layer).
+func (s *Store) Enclave() *sgx.Enclave { return s.enclave }
+
+// NumLevels returns the configured maximum level count.
+func (s *Store) NumLevels() int { return s.opts.MaxLevels }
+
+// DiskBytes returns the total bytes across all on-disk runs.
+func (s *Store) DiskBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			total += r.bytes
+		}
+	}
+	return total
+}
+
+// Close flushes nothing (callers flush explicitly if desired) and releases
+// resources.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.walW != nil {
+		s.walW.Close()
+	}
+	s.mem.Release()
+	return nil
+}

@@ -1,0 +1,180 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"elsm/internal/record"
+)
+
+func put(t *Table, key string, ts uint64, val string) {
+	t.Put(record.Record{Key: []byte(key), Ts: ts, Kind: record.KindSet, Value: []byte(val)})
+}
+
+func TestPutGetLatest(t *testing.T) {
+	mt := New(nil)
+	put(mt, "a", 1, "v1")
+	put(mt, "a", 3, "v3")
+	put(mt, "a", 2, "v2")
+	rec, ok := mt.Get([]byte("a"), record.MaxTs)
+	if !ok || string(rec.Value) != "v3" {
+		t.Fatalf("latest = %q ok=%v", rec.Value, ok)
+	}
+}
+
+func TestGetHistorical(t *testing.T) {
+	mt := New(nil)
+	put(mt, "k", 10, "v10")
+	put(mt, "k", 20, "v20")
+	put(mt, "k", 30, "v30")
+	cases := []struct {
+		tsq  uint64
+		want string
+		ok   bool
+	}{
+		{5, "", false},
+		{10, "v10", true},
+		{15, "v10", true},
+		{20, "v20", true},
+		{25, "v20", true},
+		{30, "v30", true},
+		{100, "v30", true},
+	}
+	for _, c := range cases {
+		rec, ok := mt.Get([]byte("k"), c.tsq)
+		if ok != c.ok || (ok && string(rec.Value) != c.want) {
+			t.Fatalf("tsq=%d: got %q,%v want %q,%v", c.tsq, rec.Value, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	mt := New(nil)
+	put(mt, "b", 1, "v")
+	if _, ok := mt.Get([]byte("a"), record.MaxTs); ok {
+		t.Fatal("found absent key before")
+	}
+	if _, ok := mt.Get([]byte("c"), record.MaxTs); ok {
+		t.Fatal("found absent key after")
+	}
+}
+
+func TestTombstoneVisible(t *testing.T) {
+	mt := New(nil)
+	put(mt, "k", 1, "v")
+	mt.Put(record.Record{Key: []byte("k"), Ts: 2, Kind: record.KindDelete})
+	rec, ok := mt.Get([]byte("k"), record.MaxTs)
+	if !ok || rec.Kind != record.KindDelete {
+		t.Fatalf("tombstone not returned: %v %v", rec.Kind, ok)
+	}
+}
+
+func TestIterSortedOrder(t *testing.T) {
+	mt := New(nil)
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		put(mt, fmt.Sprintf("key%04d", rnd.Intn(300)), uint64(i+1), "v")
+	}
+	it := mt.Iter()
+	var prev record.Record
+	n := 0
+	for ; it.Valid(); it.Next() {
+		rec := it.Record()
+		if n > 0 && record.CompareRecords(prev, rec) >= 0 {
+			t.Fatalf("order violation at %d: %q@%d then %q@%d", n, prev.Key, prev.Ts, rec.Key, rec.Ts)
+		}
+		prev = rec.Clone()
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("iterated %d of 1000", n)
+	}
+	if mt.Count() != 1000 {
+		t.Fatalf("count = %d", mt.Count())
+	}
+}
+
+func TestIterSeekGE(t *testing.T) {
+	mt := New(nil)
+	for i := 0; i < 100; i += 2 {
+		put(mt, fmt.Sprintf("k%02d", i), uint64(i+1), "v")
+	}
+	it := mt.Iter()
+	it.SeekGE([]byte("k51"), record.MaxTs)
+	if !it.Valid() || string(it.Record().Key) != "k52" {
+		t.Fatalf("seek landed at %q", it.Record().Key)
+	}
+	it.SeekGE([]byte("k99"), record.MaxTs)
+	if it.Valid() {
+		t.Fatal("seek past end still valid")
+	}
+}
+
+func TestOverwriteSameKeyTs(t *testing.T) {
+	mt := New(nil)
+	put(mt, "k", 5, "old")
+	put(mt, "k", 5, "new")
+	rec, _ := mt.Get([]byte("k"), record.MaxTs)
+	if string(rec.Value) != "new" {
+		t.Fatalf("value = %q", rec.Value)
+	}
+	if mt.Count() != 1 {
+		t.Fatalf("count = %d", mt.Count())
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	mt := New(nil)
+	before := mt.ApproxBytes()
+	for i := 0; i < 100; i++ {
+		put(mt, fmt.Sprintf("key%d", i), uint64(i+1), "some value data")
+	}
+	if mt.ApproxBytes() <= before {
+		t.Fatal("ApproxBytes did not grow")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	mt := New(nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			put(mt, fmt.Sprintf("k%03d", i%100), uint64(i+1), "v")
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := []byte(fmt.Sprintf("k%03d", i%100))
+				if rec, ok := mt.Get(key, record.MaxTs); ok && !bytes.Equal(rec.Key, key) {
+					t.Errorf("got key %q for query %q", rec.Key, key)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestClonedRecordsIndependent(t *testing.T) {
+	mt := New(nil)
+	key := []byte("mutate")
+	val := []byte("value")
+	mt.Put(record.Record{Key: key, Ts: 1, Kind: record.KindSet, Value: val})
+	key[0] = 'X' // caller mutates its buffer after Put
+	val[0] = 'X'
+	if _, ok := mt.Get([]byte("mutate"), record.MaxTs); !ok {
+		t.Fatal("memtable aliased caller's key buffer")
+	}
+	rec, _ := mt.Get([]byte("mutate"), record.MaxTs)
+	if string(rec.Value) != "value" {
+		t.Fatalf("value corrupted: %q", rec.Value)
+	}
+}

@@ -1,0 +1,248 @@
+// Package merkle implements the Merkle hash trees that digest each LSM-tree
+// level in eLSM (§5.2): full binary trees over ordered leaf hashes with
+// membership proofs (authentication paths), index-carrying verification that
+// supports adjacency (non-membership) checks, and contiguous range proofs
+// for query completeness (§5.4, the segment-tree view).
+//
+// The tree promotes a lone trailing node to the next level (no duplication),
+// so every leaf's authentication path is uniquely determined by (index,
+// numLeaves) — verifiers can check structural claims, not just hashes.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"elsm/internal/hashutil"
+)
+
+// Hash re-exports the digest type for convenience.
+type Hash = hashutil.Hash
+
+// PathNode is one step of an authentication path: the sibling hash and its
+// side (Left reports whether the sibling is the left child).
+type PathNode struct {
+	Hash Hash
+	Left bool
+}
+
+// Tree is an immutable Merkle tree over an ordered leaf set.
+type Tree struct {
+	// levels[0] is the leaf level; levels[len-1] is the single root.
+	levels [][]Hash
+}
+
+// New builds a tree over the given leaf hashes. An empty leaf set yields a
+// tree whose root is the zero hash (the digest of an empty level).
+func New(leaves []Hash) *Tree {
+	if len(leaves) == 0 {
+		return &Tree{}
+	}
+	levels := make([][]Hash, 0, 8)
+	cur := make([]Hash, len(leaves))
+	copy(cur, leaves)
+	levels = append(levels, cur)
+	for len(cur) > 1 {
+		next := make([]Hash, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, hashutil.NodeHash(cur[i], cur[i+1]))
+			} else {
+				// Promote the lone trailing node.
+				next = append(next, cur[i])
+			}
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return &Tree{levels: levels}
+}
+
+// Root returns the root hash (zero for an empty tree).
+func (t *Tree) Root() Hash {
+	if len(t.levels) == 0 {
+		return hashutil.Zero
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int {
+	if len(t.levels) == 0 {
+		return 0
+	}
+	return len(t.levels[0])
+}
+
+// Leaf returns the i-th leaf hash.
+func (t *Tree) Leaf(i int) Hash { return t.levels[0][i] }
+
+// Path returns the authentication path of leaf i: sibling hashes bottom-up,
+// skipping levels where the node is promoted.
+func (t *Tree) Path(i int) []PathNode {
+	if i < 0 || len(t.levels) == 0 || i >= len(t.levels[0]) {
+		panic(fmt.Sprintf("merkle: leaf index %d out of range", i))
+	}
+	var path []PathNode
+	idx := i
+	for l := 0; l < len(t.levels)-1; l++ {
+		level := t.levels[l]
+		switch {
+		case idx%2 == 0 && idx+1 < len(level):
+			path = append(path, PathNode{Hash: level[idx+1], Left: false})
+		case idx%2 == 1:
+			path = append(path, PathNode{Hash: level[idx-1], Left: true})
+		default:
+			// Lone trailing node: promoted, no sibling at this level.
+		}
+		idx /= 2
+	}
+	return path
+}
+
+// Proof-verification errors.
+var (
+	ErrBadIndex     = errors.New("merkle: leaf index out of range")
+	ErrBadPath      = errors.New("merkle: authentication path has wrong shape")
+	ErrRootMismatch = errors.New("merkle: recomputed root does not match")
+)
+
+// VerifyPath checks that leaf sits at position index in a tree of numLeaves
+// leaves with the given root. The (index, numLeaves) pair fully determines
+// the path shape, so a prover cannot lie about a leaf's position — which is
+// what makes adjacency-based non-membership proofs sound.
+func VerifyPath(leaf Hash, index, numLeaves int, path []PathNode, root Hash) error {
+	if numLeaves <= 0 || index < 0 || index >= numLeaves {
+		return ErrBadIndex
+	}
+	h := leaf
+	idx, n := index, numLeaves
+	pi := 0
+	for n > 1 {
+		switch {
+		case idx%2 == 0 && idx+1 < n:
+			if pi >= len(path) || path[pi].Left {
+				return fmt.Errorf("%w: expected right sibling at width %d", ErrBadPath, n)
+			}
+			h = hashutil.NodeHash(h, path[pi].Hash)
+			pi++
+		case idx%2 == 1:
+			if pi >= len(path) || !path[pi].Left {
+				return fmt.Errorf("%w: expected left sibling at width %d", ErrBadPath, n)
+			}
+			h = hashutil.NodeHash(path[pi].Hash, h)
+			pi++
+		default:
+			// Promoted node: no sibling consumed.
+		}
+		idx /= 2
+		n = (n + 1) / 2
+	}
+	if pi != len(path) {
+		return fmt.Errorf("%w: %d unused path nodes", ErrBadPath, len(path)-pi)
+	}
+	if h != root {
+		return ErrRootMismatch
+	}
+	return nil
+}
+
+// RangeProof authenticates that a contiguous run of leaves
+// [Start, Start+len(leaves)-1] belongs to the tree. The proof carries only
+// the boundary siblings (the segment-tree cover of §5.4); interior hashes
+// are recomputed from the presented leaves.
+type RangeProof struct {
+	// Start is the index of the first presented leaf.
+	Start int
+	// Left and Right hold sibling hashes consumed bottom-up on the left
+	// and right boundaries of the folded span.
+	Left  []Hash
+	Right []Hash
+}
+
+// RangeProofFor builds the proof for leaves [start, end] (inclusive).
+func (t *Tree) RangeProofFor(start, end int) (*RangeProof, error) {
+	n := t.NumLeaves()
+	if start < 0 || end < start || end >= n {
+		return nil, fmt.Errorf("%w: [%d,%d] of %d leaves", ErrBadIndex, start, end, n)
+	}
+	p := &RangeProof{Start: start}
+	lo, hi := start, end
+	for l := 0; l < len(t.levels)-1; l++ {
+		level := t.levels[l]
+		if lo%2 == 1 {
+			p.Left = append(p.Left, level[lo-1])
+		}
+		if hi%2 == 0 && hi+1 < len(level) {
+			p.Right = append(p.Right, level[hi+1])
+		}
+		lo /= 2
+		hi /= 2
+	}
+	return p, nil
+}
+
+// VerifyRange checks that the presented leaves occupy positions
+// [proof.Start, proof.Start+len(leaves)-1] in a tree with the given root and
+// numLeaves. Completeness follows: a verifier that also checks the boundary
+// keys (done by the caller, which knows the leaf contents) learns that no
+// leaf inside the span was withheld.
+func VerifyRange(leaves []Hash, numLeaves int, proof *RangeProof, root Hash) error {
+	if len(leaves) == 0 {
+		return fmt.Errorf("%w: empty range", ErrBadIndex)
+	}
+	if proof == nil {
+		return fmt.Errorf("%w: nil proof", ErrBadPath)
+	}
+	start := proof.Start
+	end := start + len(leaves) - 1
+	if start < 0 || end >= numLeaves {
+		return ErrBadIndex
+	}
+	span := make([]Hash, len(leaves))
+	copy(span, leaves)
+	lo, hi := start, end
+	n := numLeaves
+	li, ri := 0, 0
+	for n > 1 {
+		// Extend the span with boundary siblings as needed so it starts at
+		// an even index and ends at an odd index (or the promoted tail).
+		if lo%2 == 1 {
+			if li >= len(proof.Left) {
+				return fmt.Errorf("%w: missing left sibling", ErrBadPath)
+			}
+			span = append([]Hash{proof.Left[li]}, span...)
+			li++
+			lo--
+		}
+		if hi%2 == 0 && hi+1 < n {
+			if ri >= len(proof.Right) {
+				return fmt.Errorf("%w: missing right sibling", ErrBadPath)
+			}
+			span = append(span, proof.Right[ri])
+			ri++
+			hi++
+		}
+		// Fold pairs.
+		next := make([]Hash, 0, (len(span)+1)/2)
+		for i := 0; i < len(span); i += 2 {
+			if i+1 < len(span) {
+				next = append(next, hashutil.NodeHash(span[i], span[i+1]))
+			} else {
+				// Promoted trailing node (hi == n-1 with even index).
+				next = append(next, span[i])
+			}
+		}
+		span = next
+		lo /= 2
+		hi /= 2
+		n = (n + 1) / 2
+	}
+	if li != len(proof.Left) || ri != len(proof.Right) {
+		return fmt.Errorf("%w: unused proof hashes", ErrBadPath)
+	}
+	if len(span) != 1 || span[0] != root {
+		return ErrRootMismatch
+	}
+	return nil
+}

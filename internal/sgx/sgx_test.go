@@ -1,0 +1,200 @@
+package sgx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"elsm/internal/costmodel"
+)
+
+func TestPagingWithinEPCNoFaultsOnRevisit(t *testing.T) {
+	e := New(Params{EPCSize: 64 * 4096, Cost: costmodel.Zero})
+	r := e.Alloc(32 * 4096)
+	r.Touch(0, 32*4096)
+	first := e.Stats().PageFaults
+	if first != 32 {
+		t.Fatalf("cold faults = %d, want 32", first)
+	}
+	r.Touch(0, 32*4096)
+	if got := e.Stats().PageFaults; got != first {
+		t.Fatalf("re-touch faulted: %d -> %d", first, got)
+	}
+}
+
+func TestPagingThrashesBeyondEPC(t *testing.T) {
+	e := New(Params{EPCSize: 16 * 4096, Cost: costmodel.Zero})
+	r := e.Alloc(64 * 4096)
+	// Sequentially touch a working set 4x the EPC, twice: the second
+	// sweep must fault again (capacity evictions).
+	r.Touch(0, 64*4096)
+	after1 := e.Stats().PageFaults
+	r.Touch(0, 64*4096)
+	after2 := e.Stats().PageFaults
+	if after2-after1 < 32 {
+		t.Fatalf("second sweep faulted only %d times; eviction broken", after2-after1)
+	}
+	if got := e.Stats().ResidentPages; got > 16 {
+		t.Fatalf("resident %d pages > EPC capacity 16", got)
+	}
+}
+
+func TestFreeReleasesResidency(t *testing.T) {
+	e := New(Params{EPCSize: 8 * 4096, Cost: costmodel.Zero})
+	r := e.Alloc(8 * 4096)
+	r.Touch(0, 8*4096)
+	if e.Stats().ResidentPages != 8 {
+		t.Fatalf("resident = %d", e.Stats().ResidentPages)
+	}
+	r.Free()
+	if e.Stats().ResidentPages != 0 {
+		t.Fatalf("resident after free = %d", e.Stats().ResidentPages)
+	}
+	if e.Stats().AllocatedBytes != 0 {
+		t.Fatalf("allocated after free = %d", e.Stats().AllocatedBytes)
+	}
+}
+
+func TestOCallECallCounting(t *testing.T) {
+	e := NewUnlimited()
+	ran := 0
+	e.OCall(func() { ran++ })
+	e.ECall(func() { ran++ })
+	if ran != 2 {
+		t.Fatalf("callbacks ran %d times", ran)
+	}
+	st := e.Stats()
+	if st.OCalls != 1 || st.ECalls != 1 {
+		t.Fatalf("counted ocalls=%d ecalls=%d", st.OCalls, st.ECalls)
+	}
+}
+
+func TestWorldSwitchCostIsCharged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	e := New(Params{EPCSize: 1 << 30, Cost: costmodel.Model{WorldSwitch: 200 * time.Microsecond}})
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		e.OCall(func() {})
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("10 OCalls at 2x200µs took only %v", el)
+	}
+}
+
+func TestConcurrentTouches(t *testing.T) {
+	e := New(Params{EPCSize: 32 * 4096, Cost: costmodel.Zero})
+	r := e.Alloc(128 * 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Touch((g*17+i*31)%120*4096, 4096)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := e.Stats().ResidentPages; got > 32 {
+		t.Fatalf("resident %d > capacity 32", got)
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	c := NewMonotonicCounter()
+	var s1 [32]byte
+	s1[0] = 1
+	v1 := c.Increment(s1)
+	if v1 != 1 {
+		t.Fatalf("first increment = %d", v1)
+	}
+	var s2 [32]byte
+	s2[0] = 2
+	v2 := c.Increment(s2)
+	if v2 != 2 {
+		t.Fatalf("second increment = %d", v2)
+	}
+	if err := c.Verify(v2, s2); err != nil {
+		t.Fatalf("current state rejected: %v", err)
+	}
+	if err := c.Verify(v1, s1); !errors.Is(err, ErrCounterRollback) {
+		t.Fatalf("rollback not detected: %v", err)
+	}
+	if err := c.Verify(v2, s1); err == nil {
+		t.Fatal("wrong state digest at current counter accepted")
+	}
+	if err := c.Verify(v2+5, s1); err != nil {
+		t.Fatalf("future counter value rejected: %v", err)
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure([]byte("enclave-code-v1"))
+	key := p.SealingKey(m)
+	blob, err := Seal(key, []byte("trusted state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unseal(key, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "trusted state" {
+		t.Fatalf("unsealed %q", got)
+	}
+	// Different enclave identity cannot unseal.
+	otherKey := p.SealingKey(Measure([]byte("other-code")))
+	if _, err := Unseal(otherKey, blob); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("cross-identity unseal: %v", err)
+	}
+	// Tampered blob fails.
+	blob[len(blob)-1] ^= 1
+	if _, err := Unseal(key, blob); !errors.Is(err, ErrUnsealFailed) {
+		t.Fatalf("tampered blob unsealed: %v", err)
+	}
+}
+
+func TestAttestationReport(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure([]byte("enclave"))
+	var data [64]byte
+	copy(data[:], "nonce")
+	rep := p.CreateReport(m, data)
+	if err := p.VerifyReport(rep); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	rep.Data[0] ^= 1
+	if err := p.VerifyReport(rep); !errors.Is(err, ErrReportInvalid) {
+		t.Fatalf("tampered report accepted: %v", err)
+	}
+	p2, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := p.CreateReport(m, data)
+	if err := p2.VerifyReport(rep2); err == nil {
+		t.Fatal("cross-platform report accepted")
+	}
+}
+
+func TestRegionGrow(t *testing.T) {
+	e := NewUnlimited()
+	r := e.Alloc(100)
+	r.Grow(50)
+	if r.Size() != 150 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if e.Stats().AllocatedBytes != 150 {
+		t.Fatalf("allocated = %d", e.Stats().AllocatedBytes)
+	}
+}

@@ -1,0 +1,598 @@
+// Package sstable implements the Sorted Strings Table file format used for
+// all on-disk levels (L≥1) of the LSM store. SSTable files live in the
+// untrusted world; in eLSM-P2 their records carry embedded Merkle proofs,
+// and in eLSM-P1 their data blocks are sealed (encrypted + MACed) at file
+// granularity.
+//
+// File layout:
+//
+//	[data block 0] … [data block n-1] [filter block] [index block] [footer]
+//
+// Data blocks hold whole records, framed as
+//
+//	kind u8 ‖ uvarint keyLen ‖ key ‖ ts u64 ‖ uvarint valLen ‖ value ‖
+//	uvarint proofLen ‖ proof
+//
+// The index block maps each data block's last (key, ts) to its file extent;
+// the filter block holds one Bloom filter per data block (§2: "a Bloom
+// filter is built for each data block").
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"elsm/internal/bloom"
+	"elsm/internal/record"
+	"elsm/internal/vfs"
+)
+
+// Magic identifies SSTable files (last 8 footer bytes).
+const Magic = 0xe15a_5a7a_b1e5_0001
+
+// DefaultBlockSize is the target data-block payload size.
+const DefaultBlockSize = 4096
+
+// Format errors.
+var (
+	ErrBadTable = errors.New("sstable: malformed table")
+	ErrOrder    = errors.New("sstable: records added out of order")
+)
+
+// BlockTransform seals data blocks on write and opens them on read
+// (eLSM-P1's file-granularity protection). Implementations must be safe for
+// concurrent use. The blockID binds a block to its position, preventing a
+// malicious host from swapping sealed blocks around.
+type BlockTransform interface {
+	Seal(blockID uint64, plain []byte) []byte
+	Open(blockID uint64, sealed []byte) ([]byte, error)
+}
+
+// BlockID derives the transform binding identifier for a block.
+func BlockID(fileNum uint64, blockIdx int) uint64 {
+	return fileNum<<20 | uint64(blockIdx)
+}
+
+// BlockSource fetches (unsealed) data-block bytes. The LSM layer provides
+// implementations that route through the read buffer, the mmap view, or the
+// enclave boundary with the appropriate cost accounting.
+type BlockSource interface {
+	ReadBlock(fileNum uint64, blockIdx int, off, length int64) ([]byte, error)
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+// BuilderOptions configures table construction.
+type BuilderOptions struct {
+	// BlockSize is the target uncompressed block payload size
+	// (DefaultBlockSize if zero).
+	BlockSize int
+	// BitsPerKey is the Bloom-filter budget (bloom.DefaultBitsPerKey if zero).
+	BitsPerKey int
+	// Transform optionally seals data blocks (eLSM-P1).
+	Transform BlockTransform
+	// FileNum is the table's file number, used for block binding.
+	FileNum uint64
+}
+
+// Meta describes a finished table.
+type Meta struct {
+	FileNum    uint64
+	Smallest   []byte // smallest user key
+	SmallestTs uint64
+	Largest    []byte // largest user key
+	LargestTs  uint64
+	NumEntries int
+	NumBlocks  int
+	Size       int64
+}
+
+// Builder writes an SSTable. Records must be added in record order
+// (key asc, ts desc). Not safe for concurrent use.
+type Builder struct {
+	f    vfs.File
+	opts BuilderOptions
+
+	off        int64
+	blockBuf   []byte
+	blockKeys  [][]byte
+	index      []indexEntry
+	filters    [][]byte
+	numEntries int
+	haveLast   bool
+	lastKey    []byte
+	lastTs     uint64
+	meta       Meta
+}
+
+type indexEntry struct {
+	lastKey []byte
+	lastTs  uint64
+	off     int64
+	length  int64
+}
+
+// NewBuilder starts building a table into f.
+func NewBuilder(f vfs.File, opts BuilderOptions) *Builder {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.BitsPerKey <= 0 {
+		opts.BitsPerKey = bloom.DefaultBitsPerKey
+	}
+	return &Builder{f: f, opts: opts, meta: Meta{FileNum: opts.FileNum}}
+}
+
+// appendRecord frames rec into buf.
+func appendRecord(buf []byte, rec record.Record) []byte {
+	buf = append(buf, byte(rec.Kind))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	buf = binary.BigEndian.AppendUint64(buf, rec.Ts)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Value)))
+	buf = append(buf, rec.Value...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Proof)))
+	return append(buf, rec.Proof...)
+}
+
+// Add appends a record. Records must arrive in strict record order.
+func (b *Builder) Add(rec record.Record) error {
+	if b.haveLast && record.Compare(b.lastKey, b.lastTs, rec.Key, rec.Ts) >= 0 {
+		return fmt.Errorf("%w: %q@%d after %q@%d", ErrOrder, rec.Key, rec.Ts, b.lastKey, b.lastTs)
+	}
+	if !b.haveLast {
+		b.meta.Smallest = append([]byte(nil), rec.Key...)
+		b.meta.SmallestTs = rec.Ts
+	}
+	b.haveLast = true
+	b.lastKey = append(b.lastKey[:0], rec.Key...)
+	b.lastTs = rec.Ts
+
+	b.blockBuf = appendRecord(b.blockBuf, rec)
+	b.blockKeys = append(b.blockKeys, append([]byte(nil), rec.Key...))
+	b.numEntries++
+	if len(b.blockBuf) >= b.opts.BlockSize {
+		return b.flushBlock()
+	}
+	return nil
+}
+
+func (b *Builder) flushBlock() error {
+	if len(b.blockBuf) == 0 {
+		return nil
+	}
+	payload := b.blockBuf
+	if b.opts.Transform != nil {
+		payload = b.opts.Transform.Seal(BlockID(b.opts.FileNum, len(b.index)), payload)
+	}
+	if _, err := b.f.Append(payload); err != nil {
+		return fmt.Errorf("sstable: write block: %w", err)
+	}
+	b.index = append(b.index, indexEntry{
+		lastKey: append([]byte(nil), b.lastKey...),
+		lastTs:  b.lastTs,
+		off:     b.off,
+		length:  int64(len(payload)),
+	})
+	b.filters = append(b.filters, bloom.Build(b.blockKeys, b.opts.BitsPerKey))
+	b.off += int64(len(payload))
+	b.blockBuf = b.blockBuf[:0]
+	b.blockKeys = b.blockKeys[:0]
+	return nil
+}
+
+// Finish flushes the final block, writes the filter block, index block and
+// footer, and returns the table metadata.
+func (b *Builder) Finish() (Meta, error) {
+	if err := b.flushBlock(); err != nil {
+		return Meta{}, err
+	}
+	if b.numEntries == 0 {
+		return Meta{}, fmt.Errorf("%w: empty table", ErrBadTable)
+	}
+	// Filter block.
+	var fb []byte
+	fb = binary.BigEndian.AppendUint32(fb, uint32(len(b.filters)))
+	for _, f := range b.filters {
+		fb = binary.BigEndian.AppendUint32(fb, uint32(len(f)))
+		fb = append(fb, f...)
+	}
+	filterOff := b.off
+	if _, err := b.f.Append(fb); err != nil {
+		return Meta{}, fmt.Errorf("sstable: write filters: %w", err)
+	}
+	b.off += int64(len(fb))
+
+	// Index block.
+	var ib []byte
+	ib = binary.BigEndian.AppendUint32(ib, uint32(len(b.index)))
+	for _, e := range b.index {
+		ib = binary.AppendUvarint(ib, uint64(len(e.lastKey)))
+		ib = append(ib, e.lastKey...)
+		ib = binary.BigEndian.AppendUint64(ib, e.lastTs)
+		ib = binary.BigEndian.AppendUint64(ib, uint64(e.off))
+		ib = binary.BigEndian.AppendUint64(ib, uint64(e.length))
+	}
+	indexOff := b.off
+	if _, err := b.f.Append(ib); err != nil {
+		return Meta{}, fmt.Errorf("sstable: write index: %w", err)
+	}
+	b.off += int64(len(ib))
+
+	// Footer: filterOff, filterLen, indexOff, indexLen, numEntries, magic.
+	var ft []byte
+	ft = binary.BigEndian.AppendUint64(ft, uint64(filterOff))
+	ft = binary.BigEndian.AppendUint64(ft, uint64(len(fb)))
+	ft = binary.BigEndian.AppendUint64(ft, uint64(indexOff))
+	ft = binary.BigEndian.AppendUint64(ft, uint64(len(ib)))
+	ft = binary.BigEndian.AppendUint64(ft, uint64(b.numEntries))
+	ft = binary.BigEndian.AppendUint64(ft, Magic)
+	if _, err := b.f.Append(ft); err != nil {
+		return Meta{}, fmt.Errorf("sstable: write footer: %w", err)
+	}
+	b.off += int64(len(ft))
+
+	b.meta.Largest = append([]byte(nil), b.lastKey...)
+	b.meta.LargestTs = b.lastTs
+	b.meta.NumEntries = b.numEntries
+	b.meta.NumBlocks = len(b.index)
+	b.meta.Size = b.off
+	return b.meta, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// Table reads an SSTable. Metadata (index + filters) is loaded once at Open
+// — in eLSM these structures live inside the enclave ("file indices at
+// levels L≥1 are placed inside the enclave", §4.2) — while data blocks are
+// fetched on demand through a BlockSource.
+type Table struct {
+	fileNum    uint64
+	index      []indexEntry
+	filters    []bloom.Filter
+	numEntries int
+	source     BlockSource
+}
+
+// FileSource reads blocks straight from a file handle, applying an optional
+// transform. It is the plain, cost-free source used by tests; the LSM layer
+// provides cached and mmap sources.
+type FileSource struct {
+	F         vfs.File
+	Transform BlockTransform
+}
+
+var _ BlockSource = (*FileSource)(nil)
+
+// ReadBlock implements BlockSource.
+func (s *FileSource) ReadBlock(fileNum uint64, blockIdx int, off, length int64) ([]byte, error) {
+	buf := make([]byte, length)
+	if _, err := s.F.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("sstable: read block %d: %w", blockIdx, err)
+	}
+	if s.Transform != nil {
+		return s.Transform.Open(BlockID(fileNum, blockIdx), buf)
+	}
+	return buf, nil
+}
+
+// Open parses the table's footer, index and filter blocks from f and
+// returns a Table that will fetch data blocks through source.
+func Open(f vfs.File, fileNum uint64, source BlockSource) (*Table, error) {
+	size := f.Size()
+	const footerLen = 48
+	if size < footerLen {
+		return nil, fmt.Errorf("%w: too small (%d bytes)", ErrBadTable, size)
+	}
+	ft := make([]byte, footerLen)
+	if _, err := f.ReadAt(ft, size-footerLen); err != nil {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	if binary.BigEndian.Uint64(ft[40:48]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTable)
+	}
+	filterOff := int64(binary.BigEndian.Uint64(ft[0:8]))
+	filterLen := int64(binary.BigEndian.Uint64(ft[8:16]))
+	indexOff := int64(binary.BigEndian.Uint64(ft[16:24]))
+	indexLen := int64(binary.BigEndian.Uint64(ft[24:32]))
+	numEntries := int(binary.BigEndian.Uint64(ft[32:40]))
+
+	ib := make([]byte, indexLen)
+	if _, err := f.ReadAt(ib, indexOff); err != nil {
+		return nil, fmt.Errorf("sstable: read index: %w", err)
+	}
+	t := &Table{fileNum: fileNum, numEntries: numEntries, source: source}
+	if len(ib) < 4 {
+		return nil, fmt.Errorf("%w: short index", ErrBadTable)
+	}
+	n := int(binary.BigEndian.Uint32(ib[:4]))
+	p := 4
+	for i := 0; i < n; i++ {
+		klen, w := binary.Uvarint(ib[p:])
+		if w <= 0 || p+w+int(klen)+24 > len(ib) {
+			return nil, fmt.Errorf("%w: corrupt index entry %d", ErrBadTable, i)
+		}
+		p += w
+		var e indexEntry
+		e.lastKey = append([]byte(nil), ib[p:p+int(klen)]...)
+		p += int(klen)
+		e.lastTs = binary.BigEndian.Uint64(ib[p : p+8])
+		e.off = int64(binary.BigEndian.Uint64(ib[p+8 : p+16]))
+		e.length = int64(binary.BigEndian.Uint64(ib[p+16 : p+24]))
+		p += 24
+		t.index = append(t.index, e)
+	}
+
+	fb := make([]byte, filterLen)
+	if _, err := f.ReadAt(fb, filterOff); err != nil {
+		return nil, fmt.Errorf("sstable: read filters: %w", err)
+	}
+	if len(fb) < 4 {
+		return nil, fmt.Errorf("%w: short filter block", ErrBadTable)
+	}
+	fn := int(binary.BigEndian.Uint32(fb[:4]))
+	p = 4
+	for i := 0; i < fn; i++ {
+		if p+4 > len(fb) {
+			return nil, fmt.Errorf("%w: corrupt filter %d", ErrBadTable, i)
+		}
+		flen := int(binary.BigEndian.Uint32(fb[p : p+4]))
+		p += 4
+		if p+flen > len(fb) {
+			return nil, fmt.Errorf("%w: corrupt filter %d", ErrBadTable, i)
+		}
+		t.filters = append(t.filters, bloom.Filter(fb[p:p+flen]))
+		p += flen
+	}
+	if len(t.filters) != len(t.index) {
+		return nil, fmt.Errorf("%w: %d filters for %d blocks", ErrBadTable, len(t.filters), len(t.index))
+	}
+	return t, nil
+}
+
+// NumEntries returns the number of records in the table.
+func (t *Table) NumEntries() int { return t.numEntries }
+
+// NumBlocks returns the number of data blocks.
+func (t *Table) NumBlocks() int { return len(t.index) }
+
+// FileNum returns the table's file number.
+func (t *Table) FileNum() uint64 { return t.fileNum }
+
+// MetadataBytes approximates the in-enclave footprint of the table's index
+// and filters.
+func (t *Table) MetadataBytes() int {
+	total := 0
+	for i := range t.index {
+		total += len(t.index[i].lastKey) + 24
+		total += len(t.filters[i])
+	}
+	return total
+}
+
+// seekBlock returns the index of the first block whose last entry is
+// ≥ (key, ts), or len(index) if none.
+func (t *Table) seekBlock(key []byte, ts uint64) int {
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := t.index[mid]
+		if record.Compare(e.lastKey, e.lastTs, key, ts) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DecodeBlock parses all records in a block payload.
+func DecodeBlock(data []byte) ([]record.Record, error) {
+	var out []record.Record
+	p := 0
+	for p < len(data) {
+		rec, n, err := decodeRecordAt(data, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		p += n
+	}
+	return out, nil
+}
+
+func decodeRecordAt(data []byte, p int) (record.Record, int, error) {
+	start := p
+	var rec record.Record
+	if p >= len(data) {
+		return rec, 0, fmt.Errorf("%w: truncated record", ErrBadTable)
+	}
+	rec.Kind = record.Kind(data[p])
+	p++
+	klen, w := binary.Uvarint(data[p:])
+	if w <= 0 || p+w+int(klen)+8 > len(data) {
+		return rec, 0, fmt.Errorf("%w: bad key frame", ErrBadTable)
+	}
+	p += w
+	rec.Key = append([]byte(nil), data[p:p+int(klen)]...)
+	p += int(klen)
+	rec.Ts = binary.BigEndian.Uint64(data[p : p+8])
+	p += 8
+	vlen, w := binary.Uvarint(data[p:])
+	if w <= 0 || p+w+int(vlen) > len(data) {
+		return rec, 0, fmt.Errorf("%w: bad value frame", ErrBadTable)
+	}
+	p += w
+	rec.Value = append([]byte(nil), data[p:p+int(vlen)]...)
+	p += int(vlen)
+	plen, w := binary.Uvarint(data[p:])
+	if w <= 0 || p+w+int(plen) > len(data) {
+		return rec, 0, fmt.Errorf("%w: bad proof frame", ErrBadTable)
+	}
+	p += w
+	rec.Proof = append([]byte(nil), data[p:p+int(plen)]...)
+	p += int(plen)
+	return rec, p - start, nil
+}
+
+func (t *Table) readBlock(i int) ([]record.Record, error) {
+	e := t.index[i]
+	data, err := t.source.ReadBlock(t.fileNum, i, e.off, e.length)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlock(data)
+}
+
+// Get returns the newest record of key with Ts ≤ tsq, if the table holds
+// one. The Bloom filter short-circuits definite misses.
+func (t *Table) Get(key []byte, tsq uint64) (record.Record, bool, error) {
+	bi := t.seekBlock(key, tsq)
+	if bi >= len(t.index) {
+		return record.Record{}, false, nil
+	}
+	if !t.filters[bi].MayContain(key) {
+		return record.Record{}, false, nil
+	}
+	recs, err := t.readBlock(bi)
+	if err != nil {
+		return record.Record{}, false, err
+	}
+	for _, r := range recs {
+		if record.Compare(r.Key, r.Ts, key, tsq) >= 0 {
+			if string(r.Key) == string(key) {
+				return r, true, nil
+			}
+			return record.Record{}, false, nil
+		}
+	}
+	return record.Record{}, false, nil
+}
+
+// SeekWithPrev locates the seek position of (key, ts) and returns the
+// records immediately before and at that position (either may be nil at the
+// table edges). The eLSM layer uses this to assemble non-membership
+// witnesses: for an absent key, prev and cur bracket it (§5.5.1 "returns
+// the two neighboring records").
+func (t *Table) SeekWithPrev(key []byte, ts uint64) (prev, cur *record.Record, err error) {
+	bi := t.seekBlock(key, ts)
+	if bi >= len(t.index) {
+		// Position is past the end: prev is the table's last record.
+		last, err := t.Last()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &last, nil, nil
+	}
+	recs, err := t.readBlock(bi)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos := 0
+	for pos < len(recs) && record.Compare(recs[pos].Key, recs[pos].Ts, key, ts) < 0 {
+		pos++
+	}
+	if pos < len(recs) {
+		cur = &recs[pos]
+	}
+	switch {
+	case pos > 0:
+		prev = &recs[pos-1]
+	case bi > 0:
+		prevRecs, err := t.readBlock(bi - 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := prevRecs[len(prevRecs)-1]
+		prev = &p
+	}
+	return prev, cur, nil
+}
+
+// First returns the table's first record.
+func (t *Table) First() (record.Record, error) {
+	recs, err := t.readBlock(0)
+	if err != nil {
+		return record.Record{}, err
+	}
+	return recs[0], nil
+}
+
+// Last returns the table's last record.
+func (t *Table) Last() (record.Record, error) {
+	recs, err := t.readBlock(len(t.index) - 1)
+	if err != nil {
+		return record.Record{}, err
+	}
+	return recs[len(recs)-1], nil
+}
+
+// Iter returns an iterator over the table.
+func (t *Table) Iter() record.Iterator {
+	return &tableIter{t: t, block: -1}
+}
+
+type tableIter struct {
+	t     *Table
+	block int
+	recs  []record.Record
+	pos   int
+	err   error
+}
+
+var _ record.Iterator = (*tableIter)(nil)
+
+func (it *tableIter) loadBlock(i int) {
+	if i >= len(it.t.index) {
+		it.recs = nil
+		it.pos = 0
+		it.block = len(it.t.index)
+		return
+	}
+	recs, err := it.t.readBlock(i)
+	if err != nil {
+		it.err = err
+		it.recs = nil
+		it.block = len(it.t.index)
+		return
+	}
+	it.block = i
+	it.recs = recs
+	it.pos = 0
+}
+
+func (it *tableIter) Valid() bool { return it.pos < len(it.recs) }
+
+func (it *tableIter) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.pos++
+	if it.pos >= len(it.recs) {
+		it.loadBlock(it.block + 1)
+	}
+}
+
+func (it *tableIter) Record() record.Record { return it.recs[it.pos] }
+
+func (it *tableIter) SeekGE(key []byte, ts uint64) {
+	bi := it.t.seekBlock(key, ts)
+	it.loadBlock(bi)
+	for it.pos < len(it.recs) && record.Compare(it.recs[it.pos].Key, it.recs[it.pos].Ts, key, ts) < 0 {
+		it.pos++
+	}
+	if it.pos >= len(it.recs) && bi < len(it.t.index) {
+		it.loadBlock(bi + 1)
+	}
+}
+
+// Err returns the first block-read error encountered, if any.
+func (it *tableIter) Err() error { return it.err }
+
+func (it *tableIter) Close() error { return it.err }
+
+// First positions the iterator at the table's first record.
+func (it *tableIter) First() { it.loadBlock(0) }

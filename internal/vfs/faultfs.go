@@ -1,0 +1,163 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by FaultFS when an injected fault fires.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultFS wraps an FS and fails operations once a configurable operation
+// budget is exhausted — a deterministic way to test crash/IO-error paths
+// ("the disk dies mid-compaction") without flaky timing. Safe for
+// concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	budget int  // operations remaining before faults start; -1 = unlimited
+	failed bool // sticky: once tripped, everything fails (like a dead disk)
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// NewFault wraps inner with an unlimited budget (no faults until armed).
+func NewFault(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// Arm sets the number of write-side operations that will still succeed;
+// after that every operation fails with ErrInjected.
+func (f *FaultFS) Arm(ops int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = ops
+	f.failed = false
+}
+
+// Disarm restores normal operation.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = -1
+	f.failed = false
+}
+
+// Tripped reports whether a fault has fired.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// spend consumes one operation from the budget, returning ErrInjected when
+// exhausted.
+func (f *FaultFS) spend() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return ErrInjected
+	}
+	if f.budget < 0 {
+		return nil
+	}
+	if f.budget == 0 {
+		f.failed = true
+		return ErrInjected
+	}
+	f.budget--
+	return nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.spend(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Open implements FS (reads are also gated: a dead disk serves nothing).
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.spend(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldName, newName string) error {
+	if err := f.spend(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+// List implements FS.
+func (f *FaultFS) List(prefix string) ([]string, error) {
+	if err := f.spend(); err != nil {
+		return nil, err
+	}
+	return f.inner.List(prefix)
+}
+
+// Exists implements FS (metadata probes stay fault-free so recovery logic
+// can at least see what exists).
+func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+var _ File = (*faultFile)(nil)
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.spend(); err != nil {
+		return 0, err
+	}
+	return ff.inner.WriteAt(p, off)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.spend(); err != nil {
+		return 0, err
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultFile) Append(p []byte) (int, error) {
+	if err := ff.fs.spend(); err != nil {
+		return 0, err
+	}
+	return ff.inner.Append(p)
+}
+
+func (ff *faultFile) Size() int64   { return ff.inner.Size() }
+func (ff *faultFile) Bytes() []byte { return ff.inner.Bytes() }
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.spend(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

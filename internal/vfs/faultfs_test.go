@@ -1,0 +1,94 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSPassThrough(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, err := ffs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 4 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	g, err := ffs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("read %q", buf)
+	}
+	if ffs.Tripped() {
+		t.Fatal("tripped without arming")
+	}
+}
+
+func TestFaultFSBudgetExhaustion(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("a")
+	ffs.Arm(2)
+	if _, err := f.Append([]byte("1")); err != nil {
+		t.Fatalf("op 1 within budget failed: %v", err)
+	}
+	if _, err := f.Append([]byte("2")); err != nil {
+		t.Fatalf("op 2 within budget failed: %v", err)
+	}
+	if _, err := f.Append([]byte("3")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 beyond budget: %v", err)
+	}
+	// Sticky failure: everything fails now, including opens and reads.
+	if !ffs.Tripped() {
+		t.Fatal("not tripped")
+	}
+	if _, err := ffs.Open("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open after trip: %v", err)
+	}
+	if _, err := ffs.Create("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create after trip: %v", err)
+	}
+	// Disarm heals the disk.
+	ffs.Disarm()
+	if _, err := ffs.Open("a"); err != nil {
+		t.Fatalf("open after disarm: %v", err)
+	}
+}
+
+func TestFaultFSRenameRemoveList(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("x")
+	f.Append([]byte("1"))
+	if err := ffs.Rename("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ffs.List("")
+	if err != nil || len(names) != 1 || names[0] != "y" {
+		t.Fatalf("list = %v err=%v", names, err)
+	}
+	if !ffs.Exists("y") {
+		t.Fatal("exists false")
+	}
+	ffs.Arm(0)
+	if err := ffs.Remove("y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove with zero budget: %v", err)
+	}
+	if err := ffs.Rename("y", "z"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename after trip: %v", err)
+	}
+	if _, err := ffs.List(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("list after trip: %v", err)
+	}
+	// Exists stays available (metadata probe).
+	if !ffs.Exists("y") {
+		t.Fatal("exists gated by faults")
+	}
+}

@@ -1,0 +1,383 @@
+// Package vfs abstracts the untrusted world's file storage for the LSM
+// engine: write-ahead logs and SSTables live here, outside the enclave.
+//
+// Two implementations are provided: MemFS (in-memory; used by tests and the
+// scaled-down benchmarks, where the paper's datasets fit in RAM after the
+// 1/32 scaling) and OSFS (real directory on disk). Both expose an
+// mmap-style zero-copy view (File.Bytes) used by the eLSM-P2 mmap read path
+// (§5.5.1), alongside positional reads used by the buffered read path.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a named file does not exist.
+var ErrNotFound = errors.New("vfs: file not found")
+
+// FS is the untrusted file system interface used by the LSM engine.
+type FS interface {
+	// Create creates (or truncates) a file open for appending.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically renames a file (used for manifest swaps).
+	Rename(oldName, newName string) error
+	// List returns the sorted names of files with the given prefix.
+	List(prefix string) ([]string, error)
+	// Exists reports whether the named file exists.
+	Exists(name string) bool
+}
+
+// File is a handle to an untrusted file.
+type File interface {
+	io.WriterAt
+	io.ReaderAt
+	// Append writes p at the end of the file.
+	Append(p []byte) (int, error)
+	// Size returns the current file length.
+	Size() int64
+	// Bytes returns a zero-copy view of the whole file if the
+	// implementation supports mmap-style access, or nil otherwise.
+	// The view is invalidated by writes.
+	Bytes() []byte
+	// Sync flushes to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// MemFS
+
+// MemFS is an in-memory FS safe for concurrent use.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memFile
+}
+
+var _ FS = (*MemFS)(nil)
+
+// NewMem creates an empty in-memory file system.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+type memFile struct {
+	mu   sync.RWMutex
+	name string
+	data []byte
+}
+
+type memHandle struct {
+	f *memFile
+}
+
+var _ File = (*memHandle)(nil)
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{name: name}
+	fs.files[name] = f
+	return &memHandle{f: f}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return &memHandle{f: f}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldName)
+	}
+	delete(fs.files, oldName)
+	f.name = newName
+	fs.files[newName] = f
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List(prefix string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var names []string
+	for n := range fs.files {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Exists implements FS.
+func (fs *MemFS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// TotalBytes returns the sum of all file sizes (test/metrics helper).
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var total int64
+	for _, f := range fs.files {
+		f.mu.RLock()
+		total += int64(len(f.data))
+		f.mu.RUnlock()
+	}
+	return total
+}
+
+// Corrupt flips one byte at off in the named file. Test helper for
+// integrity-attack scenarios: this is exactly what a malicious host can do.
+func (fs *MemFS) Corrupt(name string, off int64) error {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("vfs: corrupt offset %d out of range [0,%d)", off, len(f.data))
+	}
+	f.data[off] ^= 0xFF
+	return nil
+}
+
+// Clone returns a deep copy of the file system — the primitive a rollback
+// attacker uses to snapshot an old (but authenticated) state.
+func (fs *MemFS) Clone() *MemFS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := NewMem()
+	for n, f := range fs.files {
+		f.mu.RLock()
+		cp := make([]byte, len(f.data))
+		copy(cp, f.data)
+		f.mu.RUnlock()
+		out.files[n] = &memFile{name: n, data: cp}
+	}
+	return out
+}
+
+// Restore replaces this FS's contents with those of snapshot (rollback
+// attack primitive).
+func (fs *MemFS) Restore(snapshot *MemFS) {
+	snapCopy := snapshot.Clone()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files = snapCopy.files
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(h.f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[off:end], p)
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Append(p []byte) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Size() int64 {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return int64(len(h.f.data))
+}
+
+// Bytes returns the live backing slice: the mmap view. Callers must treat it
+// as read-only, like a real shared mapping.
+func (h *memHandle) Bytes() []byte {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return h.f.data
+}
+
+func (h *memHandle) Sync() error  { return nil }
+func (h *memHandle) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// OSFS
+
+// OSFS stores files in a directory on the host file system.
+type OSFS struct {
+	dir string
+}
+
+var _ FS = (*OSFS)(nil)
+
+// NewOS creates an OSFS rooted at dir, creating the directory if needed.
+func NewOS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vfs: mkdir %s: %w", dir, err)
+	}
+	return &OSFS{dir: dir}, nil
+}
+
+func (fs *OSFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+// Create implements FS.
+func (fs *OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: create %s: %w", name, err)
+	}
+	return &osHandle{f: f}, nil
+}
+
+// Open implements FS.
+func (fs *OSFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(fs.path(name), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("vfs: open %s: %w", name, err)
+	}
+	return &osHandle{f: f}, nil
+}
+
+// Remove implements FS.
+func (fs *OSFS) Remove(name string) error {
+	if err := os.Remove(fs.path(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return fmt.Errorf("vfs: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+// Rename implements FS.
+func (fs *OSFS) Rename(oldName, newName string) error {
+	if err := os.Rename(fs.path(oldName), fs.path(newName)); err != nil {
+		return fmt.Errorf("vfs: rename %s -> %s: %w", oldName, newName, err)
+	}
+	return nil
+}
+
+// List implements FS.
+func (fs *OSFS) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: list: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Exists implements FS.
+func (fs *OSFS) Exists(name string) bool {
+	_, err := os.Stat(fs.path(name))
+	return err == nil
+}
+
+type osHandle struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+var _ File = (*osHandle)(nil)
+
+func (h *osHandle) WriteAt(p []byte, off int64) (int, error) { return h.f.WriteAt(p, off) }
+func (h *osHandle) ReadAt(p []byte, off int64) (int, error)  { return h.f.ReadAt(p, off) }
+
+func (h *osHandle) Append(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	end, err := h.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	return h.f.WriteAt(p, end)
+}
+
+func (h *osHandle) Size() int64 {
+	st, err := h.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Bytes reads the whole file into memory; OSFS does not provide a true
+// zero-copy mapping (the stdlib has no portable mmap), so the buffered read
+// path should be preferred on OSFS.
+func (h *osHandle) Bytes() []byte {
+	sz := h.Size()
+	buf := make([]byte, sz)
+	if _, err := h.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil
+	}
+	return buf
+}
+
+func (h *osHandle) Sync() error  { return h.f.Sync() }
+func (h *osHandle) Close() error { return h.f.Close() }

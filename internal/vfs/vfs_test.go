@@ -1,0 +1,190 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func testFSes(t *testing.T) map[string]FS {
+	t.Helper()
+	osfs, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{"mem": NewMem(), "os": osfs}
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	for name, fs := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("a.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 11 {
+				t.Fatalf("size = %d", f.Size())
+			}
+			buf := make([]byte, 5)
+			if _, err := f.ReadAt(buf, 6); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "world" {
+				t.Fatalf("read %q", buf)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, fs := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v", err)
+			}
+			if fs.Exists("nope") {
+				t.Fatal("phantom file exists")
+			}
+		})
+	}
+}
+
+func TestRenameAndList(t *testing.T) {
+	for name, fs := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"000001.sst", "000002.sst", "wal.log"} {
+				f, err := fs.Create(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Append([]byte(n))
+				f.Close()
+			}
+			names, err := fs.List("00000")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 2 || names[0] != "000001.sst" || names[1] != "000002.sst" {
+				t.Fatalf("list = %v", names)
+			}
+			if err := fs.Rename("wal.log", "wal.old"); err != nil {
+				t.Fatal(err)
+			}
+			if fs.Exists("wal.log") || !fs.Exists("wal.old") {
+				t.Fatal("rename did not move file")
+			}
+			if err := fs.Remove("wal.old"); err != nil {
+				t.Fatal(err)
+			}
+			if fs.Exists("wal.old") {
+				t.Fatal("remove failed")
+			}
+		})
+	}
+}
+
+func TestWriteAt(t *testing.T) {
+	for name, fs := range testFSes(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("w.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("abcdef"), 4); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 10 {
+				t.Fatalf("size = %d", f.Size())
+			}
+			buf := make([]byte, 6)
+			f.ReadAt(buf, 4)
+			if string(buf) != "abcdef" {
+				t.Fatalf("read %q", buf)
+			}
+		})
+	}
+}
+
+func TestMemBytesView(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("v.dat")
+	f.Append([]byte("view me"))
+	v := f.Bytes()
+	if !bytes.Equal(v, []byte("view me")) {
+		t.Fatalf("view = %q", v)
+	}
+}
+
+func TestMemCorrupt(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("c.dat")
+	f.Append([]byte{0x01, 0x02})
+	if err := fs.Corrupt("c.dat", 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	f.ReadAt(buf, 0)
+	if buf[1] != 0x02^0xFF {
+		t.Fatalf("byte not flipped: %x", buf)
+	}
+	if err := fs.Corrupt("c.dat", 99); err == nil {
+		t.Fatal("out-of-range corrupt accepted")
+	}
+	if err := fs.Corrupt("missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloneAndRestore(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("s.dat")
+	f.Append([]byte("v1"))
+	snap := fs.Clone()
+	f.Append([]byte("v2"))
+	fs.Restore(snap)
+	g, err := fs.Open("s.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Fatalf("restored size = %d", g.Size())
+	}
+}
+
+func TestMemConcurrentAccess(t *testing.T) {
+	fs := NewMem()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			f, err := fs.Create(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				f.Append([]byte{byte(i)})
+			}
+			if f.Size() != 100 {
+				t.Errorf("size = %d", f.Size())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fs.TotalBytes() != 800 {
+		t.Fatalf("total = %d", fs.TotalBytes())
+	}
+}

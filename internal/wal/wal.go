@@ -1,0 +1,150 @@
+// Package wal implements the write-ahead log of the LSM store. The log file
+// itself lives in the untrusted world (outside the enclave, §5.3 step w3);
+// the enclave keeps only a running digest chain over appended records
+// (step w1: dig' = H(dig ‖ record)), so replay after a crash can be
+// verified — a host that drops, reorders, or alters WAL entries produces a
+// digest mismatch.
+//
+// Record framing: [crc32 u32][kind u8][keyLen u32][key][ts u64][valLen u32][val]
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"elsm/internal/hashutil"
+	"elsm/internal/record"
+	"elsm/internal/vfs"
+)
+
+// Corruption errors.
+var (
+	ErrCorrupt        = errors.New("wal: corrupt record")
+	ErrDigestMismatch = errors.New("wal: digest chain mismatch (log tampered or truncated)")
+)
+
+// Writer appends records to a WAL file while maintaining the enclave-side
+// digest chain. Not safe for concurrent use (the LSM store serializes
+// writes).
+type Writer struct {
+	f   vfs.File
+	dig hashutil.Hash
+	buf []byte
+}
+
+// NewWriter starts a fresh log on f with a zero digest.
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f}
+}
+
+// ResumeWriter continues appending to an existing log whose replayed digest
+// chain ended at dig (crash recovery).
+func ResumeWriter(f vfs.File, dig hashutil.Hash) *Writer {
+	return &Writer{f: f, dig: dig}
+}
+
+// encode appends the framed record to dst.
+func encode(dst []byte, rec record.Record) []byte {
+	body := make([]byte, 0, 1+4+len(rec.Key)+8+4+len(rec.Value))
+	body = append(body, byte(rec.Kind))
+	body = binary.BigEndian.AppendUint32(body, uint32(len(rec.Key)))
+	body = append(body, rec.Key...)
+	body = binary.BigEndian.AppendUint64(body, rec.Ts)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(rec.Value)))
+	body = append(body, rec.Value...)
+
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// Append writes one record to the log and advances the digest chain.
+func (w *Writer) Append(rec record.Record) error {
+	w.buf = encode(w.buf[:0], rec)
+	if _, err := w.f.Append(w.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.dig = hashutil.WALLink(w.dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+	return nil
+}
+
+// Digest returns the current chain digest. The enclave stores this value;
+// the log file itself is untrusted.
+func (w *Writer) Digest() hashutil.Hash { return w.dig }
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Replay reads every record from f in order, calling fn for each, and
+// returns the recomputed digest chain. Callers compare the returned digest
+// with the trusted value saved in the enclave; a mismatch means the
+// untrusted host tampered with the log.
+func Replay(f vfs.File, fn func(record.Record) error) (hashutil.Hash, error) {
+	var dig hashutil.Hash
+	data := f.Bytes()
+	if data == nil {
+		data = make([]byte, f.Size())
+		if _, err := f.ReadAt(data, 0); err != nil && len(data) > 0 {
+			return dig, fmt.Errorf("wal: read: %w", err)
+		}
+	}
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			return dig, fmt.Errorf("%w: truncated header at %d", ErrCorrupt, off)
+		}
+		crc := binary.BigEndian.Uint32(data[off : off+4])
+		n := int(binary.BigEndian.Uint32(data[off+4 : off+8]))
+		off += 8
+		if off+n > len(data) {
+			return dig, fmt.Errorf("%w: truncated body at %d", ErrCorrupt, off)
+		}
+		body := data[off : off+n]
+		off += n
+		if crc32.ChecksumIEEE(body) != crc {
+			return dig, fmt.Errorf("%w: crc mismatch at %d", ErrCorrupt, off-n)
+		}
+		rec, err := decodeBody(body)
+		if err != nil {
+			return dig, err
+		}
+		if err := fn(rec); err != nil {
+			return dig, err
+		}
+		dig = hashutil.WALLink(dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+	}
+	return dig, nil
+}
+
+func decodeBody(body []byte) (record.Record, error) {
+	var rec record.Record
+	if len(body) < 1+4 {
+		return rec, fmt.Errorf("%w: short body", ErrCorrupt)
+	}
+	rec.Kind = record.Kind(body[0])
+	if rec.Kind != record.KindSet && rec.Kind != record.KindDelete {
+		return rec, fmt.Errorf("%w: bad kind %d", ErrCorrupt, body[0])
+	}
+	p := 1
+	klen := int(binary.BigEndian.Uint32(body[p : p+4]))
+	p += 4
+	if p+klen+8+4 > len(body) {
+		return rec, fmt.Errorf("%w: bad key length %d", ErrCorrupt, klen)
+	}
+	rec.Key = append([]byte(nil), body[p:p+klen]...)
+	p += klen
+	rec.Ts = binary.BigEndian.Uint64(body[p : p+8])
+	p += 8
+	vlen := int(binary.BigEndian.Uint32(body[p : p+4]))
+	p += 4
+	if p+vlen != len(body) {
+		return rec, fmt.Errorf("%w: bad value length %d", ErrCorrupt, vlen)
+	}
+	rec.Value = append([]byte(nil), body[p:p+vlen]...)
+	return rec, nil
+}

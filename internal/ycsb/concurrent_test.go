@@ -1,0 +1,84 @@
+package ycsb
+
+import (
+	"sync"
+	"testing"
+
+	"elsm/internal/core"
+)
+
+// lockedKV makes the test mapKV safe for concurrent use.
+type lockedKV struct {
+	mu    sync.Mutex
+	inner core.KV
+}
+
+var _ core.KV = (*lockedKV)(nil)
+
+func (l *lockedKV) Put(k, v []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Put(k, v)
+}
+
+func (l *lockedKV) Delete(k []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Delete(k)
+}
+
+func (l *lockedKV) Get(k []byte) (core.Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Get(k)
+}
+
+func (l *lockedKV) GetAt(k []byte, tsq uint64) (core.Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.GetAt(k, tsq)
+}
+
+func (l *lockedKV) Scan(a, b []byte) ([]core.Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Scan(a, b)
+}
+
+func (l *lockedKV) Close() error { return l.inner.Close() }
+
+func TestRunConcurrentAggregates(t *testing.T) {
+	kv := newMapKV()
+	// mapKV is not concurrency-safe; wrap it.
+	safe := &lockedKV{inner: kv}
+	if err := Load(safe, 300, 16); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunConcurrent(safe, WorkloadC(), 300, 4, 250, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Threads != 4 || st.Ops != 1000 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Throughput <= 0 || st.MeanPerOp <= 0 {
+		t.Fatalf("degenerate rates: %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestRunConcurrentSingleThreadFloor(t *testing.T) {
+	safe := &lockedKV{inner: newMapKV()}
+	if err := Load(safe, 50, 8); err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunConcurrent(safe, WorkloadB(), 50, 0 /* clamped to 1 */, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Threads != 1 || st.Ops != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

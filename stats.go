@@ -1,0 +1,75 @@
+package elsm
+
+import (
+	"elsm/internal/core"
+	"elsm/internal/lsm"
+	"elsm/internal/sgx"
+)
+
+// Stats is a point-in-time snapshot of the store's engine and simulated-
+// enclave activity, for observability and the benchmark harness.
+type Stats struct {
+	// Mode-independent engine counters.
+	Flushes         uint64
+	Compactions     uint64
+	BytesFlushed    uint64
+	BytesCompacted  uint64
+	RecordsDropped  uint64
+	ManifestUpdates uint64
+	DiskBytes       int64
+
+	// Simulated SGX activity (zero for ModeUnsecured).
+	PageFaults    uint64
+	ECalls        uint64
+	OCalls        uint64
+	CopiedBytes   uint64
+	ResidentPages int
+	EnclaveBytes  int64
+
+	// Verification work (ModeP2 only).
+	VerifiedGets uint64
+	ProofBytes   uint64
+	RunsProbed   uint64
+}
+
+// engined is implemented by every store variant.
+type engined interface {
+	Engine() *lsm.Store
+}
+
+// enclaved is implemented by the enclave-hosted variants.
+type enclaved interface {
+	Enclave() *sgx.Enclave
+}
+
+// Stats returns current counters. Fields not applicable to the store's
+// mode are zero.
+func (s *Store) Stats() Stats {
+	var out Stats
+	if e, ok := s.kv.(engined); ok {
+		es := e.Engine().Stats()
+		out.Flushes = es.Flushes
+		out.Compactions = es.Compactions
+		out.BytesFlushed = es.BytesFlushed
+		out.BytesCompacted = es.BytesCompacted
+		out.RecordsDropped = es.RecordsDropped
+		out.ManifestUpdates = es.ManifestUpdates
+		out.DiskBytes = e.Engine().DiskBytes()
+	}
+	if e, ok := s.kv.(enclaved); ok {
+		st := e.Enclave().Stats()
+		out.PageFaults = st.PageFaults
+		out.ECalls = st.ECalls
+		out.OCalls = st.OCalls
+		out.CopiedBytes = st.CopiedBytes
+		out.ResidentPages = st.ResidentPages
+		out.EnclaveBytes = st.AllocatedBytes
+	}
+	if p2, ok := s.kv.(*core.Store); ok {
+		vs := p2.VerifyStatsSnapshot()
+		out.VerifiedGets = vs.Gets
+		out.ProofBytes = vs.ProofBytes
+		out.RunsProbed = vs.RunsProbed
+	}
+	return out
+}

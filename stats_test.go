@@ -1,0 +1,58 @@
+package elsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStatsSnapshot(t *testing.T) {
+	s, err := Open(testOptions(ModeP2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("key%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key%04d", i*7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("flushes not counted")
+	}
+	if st.DiskBytes == 0 {
+		t.Fatal("disk bytes zero after flush")
+	}
+	if st.ECalls == 0 || st.OCalls == 0 {
+		t.Fatalf("boundary crossings not counted: %+v", st)
+	}
+	if st.VerifiedGets == 0 {
+		t.Fatal("verified gets not counted")
+	}
+	if st.RunsProbed == 0 || st.ProofBytes == 0 {
+		t.Fatalf("verification work not counted: %+v", st)
+	}
+}
+
+func TestStatsUnsecuredMode(t *testing.T) {
+	s, err := Open(testOptions(ModeUnsecured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		s.Put([]byte(fmt.Sprintf("key%04d", i)), []byte("v"))
+	}
+	st := s.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("unsecured flushes not counted")
+	}
+	if st.VerifiedGets != 0 {
+		t.Fatal("unsecured store reported verification work")
+	}
+}
