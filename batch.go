@@ -1,0 +1,95 @@
+package elsm
+
+import (
+	"elsm/internal/core"
+)
+
+// Batch is an atomic multi-op write. Operations are buffered locally and
+// applied by Commit in ONE enclave round trip: the engine takes its write
+// lock once, every record extends the WAL digest chain individually, but
+// the group shares a single WAL append+fsync and at most one monotonic
+// counter bump — amortizing the per-operation enclave-boundary costs that
+// make one-at-a-time Put expensive (§5.6.1's write buffer, applied to the
+// client API).
+//
+// A Batch is not safe for concurrent use. After Commit the batch is empty
+// and may be reused.
+type Batch struct {
+	s   *Store
+	ops []core.BatchOp
+	err error
+}
+
+// NewBatch starts an empty write batch against the store.
+func (s *Store) NewBatch() *Batch { return &Batch{s: s} }
+
+// Put buffers a key-value write. The slices are copied, so the caller may
+// reuse them immediately.
+func (b *Batch) Put(key, value []byte) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if b.s.enc != nil {
+		ek, ev, err := b.s.enc.sealRecord(key, value)
+		if err != nil {
+			b.err = err
+			return b
+		}
+		b.ops = append(b.ops, core.BatchOp{Key: ek, Value: ev})
+		return b
+	}
+	b.ops = append(b.ops, core.BatchOp{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+	return b
+}
+
+// Delete buffers a tombstone write for key.
+func (b *Batch) Delete(key []byte) *Batch {
+	if b.err != nil {
+		return b
+	}
+	if b.s.enc != nil {
+		ek, err := b.s.enc.sealKey(key)
+		if err != nil {
+			b.err = err
+			return b
+		}
+		b.ops = append(b.ops, core.BatchOp{Key: ek, Delete: true})
+		return b
+	}
+	b.ops = append(b.ops, core.BatchOp{Key: append([]byte(nil), key...), Delete: true})
+	return b
+}
+
+// Len reports how many operations are buffered.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset discards all buffered operations and any deferred error.
+func (b *Batch) Reset() {
+	b.ops = nil
+	b.err = nil
+}
+
+// Commit applies every buffered operation atomically and returns the
+// batch's commit timestamp (the trusted timestamp of its last record; the
+// batch occupies the contiguous timestamp range ending there). Committing
+// an empty batch is a no-op. On success the batch is empty and reusable;
+// on failure the operations stay buffered so the caller can inspect or
+// re-Commit them (note a failure after the WAL write, e.g. a flush error,
+// may already have logged the records — recovery semantics then apply).
+func (b *Batch) Commit() (uint64, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	if len(b.ops) == 0 {
+		return 0, nil
+	}
+	ts, err := b.s.kv.ApplyBatch(b.ops)
+	if err != nil {
+		return 0, err
+	}
+	b.ops = nil
+	return ts, nil
+}

@@ -126,6 +126,58 @@ func BenchmarkPutP2Authenticated(b *testing.B) { benchmarkPut(b, ModeP2) }
 func BenchmarkPutP1(b *testing.B)              { benchmarkPut(b, ModeP1) }
 func BenchmarkPutUnsecured(b *testing.B)       { benchmarkPut(b, ModeUnsecured) }
 
+// benchCostStore opens a store with the calibrated hardware cost model, so
+// the batched-write benchmarks expose the enclave-boundary amortization
+// (world switches burn CPU) and not just Go-level locking.
+func benchCostStore(b *testing.B, mode Mode) *Store {
+	b.Helper()
+	s, err := Open(Options{
+		Mode:                  mode,
+		MemtableSize:          1 << 20,
+		TableFileSize:         256 << 10,
+		LevelBase:             1 << 20,
+		MmapReads:             true,
+		SimulateHardwareCosts: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkPut100Single vs BenchmarkPut100Batch: the same 100 records per
+// iteration through the one-at-a-time path (100 ECalls + 100 WAL OCalls)
+// and through Batch.Commit (one ECall, one grouped WAL append+fsync, at
+// most one counter bump).
+func BenchmarkPut100SingleP2(b *testing.B) {
+	s := benchCostStore(b, ModeP2)
+	val := ycsb.Value(1, ycsb.DefaultValueSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			if _, err := s.Put(ycsb.Key(uint64(i*100+j)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPut100BatchP2(b *testing.B) {
+	s := benchCostStore(b, ModeP2)
+	val := ycsb.Value(1, ycsb.DefaultValueSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := s.NewBatch()
+		for j := 0; j < 100; j++ {
+			batch.Put(ycsb.Key(uint64(i*100+j)), val)
+		}
+		if _, err := batch.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkScanP2Verified(b *testing.B) {
 	s := benchStore(b, ModeP2)
 	const n = 20_000
@@ -139,6 +191,45 @@ func BenchmarkScanP2Verified(b *testing.B) {
 		}
 		if len(out) == 0 {
 			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkIterStream10kP2 streams a 10k-record verified range through the
+// iterator — bounded memory, chunked verification — against the
+// materialized Scan of the same range below it.
+func BenchmarkIterStream10kP2(b *testing.B) {
+	s := benchStore(b, ModeP2)
+	const n = 10_000
+	loadStore(b, s, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Iter(ycsb.Key(0), ycsb.Key(n))
+		count := 0
+		for it.Next() {
+			count++
+		}
+		if err := it.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("streamed %d of %d records", count, n)
+		}
+	}
+}
+
+func BenchmarkScanMaterialized10kP2(b *testing.B) {
+	s := benchStore(b, ModeP2)
+	const n = 10_000
+	loadStore(b, s, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Scan(ycsb.Key(0), ycsb.Key(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != n {
+			b.Fatalf("scanned %d of %d records", len(out), n)
 		}
 	}
 }

@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig5a,fig5b,fig5c,fig6a,fig6b,fig6c,fig7a,fig7b,fig8 or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig5a,fig5b,fig5c,fig6a,fig6b,fig6c,fig7a,fig7b,fig8,ablation-earlystop,ablation-batch or 'all'")
 		scale    = flag.Int("scale", 32, "divide the paper's byte sizes by this factor (EPC scales too)")
 		ops      = flag.Int("ops", 1200, "measured operations per data point")
 		costName = flag.String("cost", "calibrated", "SGX cost model: calibrated | zero")
+		batch    = flag.Int("batch", 0, "report batched-put throughput at this batch size next to single-put (0: off)")
 		verbose  = flag.Bool("v", false, "print per-point progress")
 		listFlag = flag.Bool("list", false, "list available experiments and exit")
 	)
@@ -74,6 +75,15 @@ func main() {
 		fmt.Println(bench.Table1())
 	}
 	exitCode := 0
+	if *batch > 0 {
+		tbl, err := bench.BatchThroughput(cfg, *batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batch report failed: %v\n", err)
+			exitCode = 1
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
 	for _, exp := range bench.All() {
 		if !runAll && !selected[exp.Name] {
 			continue

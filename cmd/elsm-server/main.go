@@ -2,14 +2,30 @@
 // line-oriented TCP protocol (stdlib net only), modelling the paper's
 // trusted cloud application serving verified reads to clients:
 //
-//	PUT <key> <value>\n      -> OK <ts>\n
-//	GET <key>\n              -> VALUE <ts> <value>\n | NOTFOUND\n
-//	DEL <key>\n              -> OK <ts>\n
-//	SCAN <start> <end>\n     -> N <count>\n then <key> <value>\n rows
-//	QUIT\n                   -> closes the connection
+//	PUT <key> <value>\n            -> OK <ts>\n
+//	GET <key>\n                    -> VALUE <ts> <value>\n | NOTFOUND\n
+//	DEL <key>\n                    -> OK <ts>\n
+//	MPUT <k> <v> [<k> <v> ...]\n   -> OK <ts>\n            (atomic batch)
+//	BATCH <n>\n                    followed by n op lines, each
+//	  PUT <key> <value>\n | DEL <key>\n,
+//	                               -> OK <ts>\n            (atomic batch)
+//	  A bad op aborts the batch with ERR, applies NOTHING, and consumes
+//	  the remaining declared op lines (pipelined clients stay in sync).
+//	  A bad <n> is a protocol error: ERR, then the connection closes.
+//	SCAN <start> <end>\n           -> ROW <key> <value>\n rows streamed as
+//	                                  they verify, then END <count>\n
+//	QUIT\n                         -> closes the connection
 //
-// Every response reflects verified state: a tampering host would surface
-// as ERR auth lines rather than wrong data.
+// Fields are binary-safe: a field is either a bare token (no spaces,
+// quotes or control bytes) or a Go-syntax double-quoted string ("a b\n\x00"
+// works as a key or value). Responses quote any field that needs it.
+// Malformed input never corrupts framing — it draws an ERR line.
+//
+// Every response reflects verified state. Batches apply atomically in one
+// enclave round trip; SCAN streams through the verified iterator, so rows
+// arrive incrementally and a tampering host surfaces as an ERR line
+// terminating the stream (clients must treat ERR as a stream terminator)
+// rather than wrong data.
 //
 // Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
 package main
@@ -20,10 +36,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 	"strings"
 
 	"elsm"
 )
+
+// maxBatchOps bounds one BATCH group (protocol abuse guard).
+const maxBatchOps = 10000
 
 func main() {
 	var (
@@ -66,6 +86,61 @@ func main() {
 	}
 }
 
+// splitFields tokenizes one protocol line: fields are bare tokens or
+// Go-syntax quoted strings, separated by spaces.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			prefix, err := strconv.QuotedPrefix(line[i:])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field at column %d", i+1)
+			}
+			field, err := strconv.Unquote(prefix)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field at column %d", i+1)
+			}
+			i += len(prefix)
+			if i < len(line) && line[i] != ' ' {
+				return nil, fmt.Errorf("garbage after quoted field at column %d", i+1)
+			}
+			out = append(out, field)
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			if line[j] == '"' {
+				return nil, fmt.Errorf("unexpected quote inside bare field at column %d", j+1)
+			}
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+// field renders a byte string for the wire: bare when it is a printable
+// token, Go-quoted otherwise (binary safety in responses).
+func field(b []byte) string {
+	if len(b) == 0 {
+		return `""`
+	}
+	for _, c := range b {
+		if c <= ' ' || c == '"' || c == '\\' || c >= 0x7f {
+			return strconv.Quote(string(b))
+		}
+	}
+	return string(b)
+}
+
 func serve(conn net.Conn, store *elsm.Store) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -74,42 +149,136 @@ func serve(conn net.Conn, store *elsm.Store) {
 	defer w.Flush()
 	for sc.Scan() {
 		line := sc.Text()
-		fields := strings.SplitN(line, " ", 3)
+		fields, err := splitFields(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR malformed line: %v\n", err)
+			w.Flush()
+			continue
+		}
+		if len(fields) == 0 {
+			continue
+		}
 		cmd := strings.ToUpper(fields[0])
+		args := fields[1:]
 		switch {
 		case cmd == "QUIT":
 			return
-		case cmd == "PUT" && len(fields) == 3:
-			ts, err := store.Put([]byte(fields[1]), []byte(fields[2]))
+		case cmd == "PUT" && len(args) == 2:
+			ts, err := store.Put([]byte(args[0]), []byte(args[1]))
 			reply(w, err, "OK %d", ts)
-		case cmd == "GET" && len(fields) >= 2:
-			res, err := store.Get([]byte(fields[1]))
+		case cmd == "GET" && len(args) == 1:
+			res, err := store.Get([]byte(args[0]))
 			switch {
 			case err != nil:
 				fmt.Fprintf(w, "ERR %v\n", err)
 			case !res.Found:
 				fmt.Fprintln(w, "NOTFOUND")
 			default:
-				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, res.Value)
+				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, field(res.Value))
 			}
-		case cmd == "DEL" && len(fields) >= 2:
-			ts, err := store.Delete([]byte(fields[1]))
+		case cmd == "DEL" && len(args) == 1:
+			ts, err := store.Delete([]byte(args[0]))
 			reply(w, err, "OK %d", ts)
-		case cmd == "SCAN" && len(fields) == 3:
-			results, err := store.Scan([]byte(fields[1]), []byte(fields[2]))
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
+		case cmd == "MPUT" && len(args) >= 2 && len(args)%2 == 0:
+			b := store.NewBatch()
+			for i := 0; i < len(args); i += 2 {
+				b.Put([]byte(args[i]), []byte(args[i+1]))
 			}
-			fmt.Fprintf(w, "N %d\n", len(results))
-			for _, r := range results {
-				fmt.Fprintf(w, "%s %s\n", r.Key, r.Value)
+			ts, err := b.Commit()
+			reply(w, err, "OK %d", ts)
+		case cmd == "BATCH" && len(args) == 1:
+			if !serveBatch(w, sc, store, args[0]) {
+				return
 			}
+		case cmd == "SCAN" && len(args) == 2:
+			serveScan(w, store, []byte(args[0]), []byte(args[1]))
 		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", line)
+			fmt.Fprintf(w, "ERR unknown command or wrong arity %q\n", cmd)
 		}
 		w.Flush()
 	}
+}
+
+// serveBatch reads n op lines off the connection and commits them as one
+// atomic group. Any malformed op line aborts the whole batch with ERR and
+// nothing is applied; the remaining declared op lines are still consumed,
+// so a pipelining client's leftover ops are never executed as top-level
+// commands and the reply stream stays in sync.
+// A bad size declaration is a framing-level protocol error: the server
+// cannot know how many op lines will follow, so it replies ERR and reports
+// the session unrecoverable (the caller closes the connection).
+func serveBatch(w *bufio.Writer, sc *bufio.Scanner, store *elsm.Store, nArg string) (ok bool) {
+	n, err := strconv.Atoi(nArg)
+	if err != nil || n < 0 || n > maxBatchOps {
+		fmt.Fprintf(w, "ERR bad batch size %q (max %d), closing connection\n", nArg, maxBatchOps)
+		return false
+	}
+	drain := func(read int) {
+		for i := read; i < n; i++ {
+			if !sc.Scan() {
+				return
+			}
+		}
+	}
+	b := store.NewBatch()
+	// The ERR is buffered, not flushed: a correct client sends all n op
+	// lines before reading the single batch reply, so the drain below must
+	// keep consuming input first (flushing here would deadlock a client
+	// that is still mid-send on an unbuffered transport). The serve loop
+	// flushes after serveBatch returns.
+	abort := func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			abort("ERR batch truncated at op %d of %d", i, n)
+			return true
+		}
+		fields, err := splitFields(sc.Text())
+		if err != nil {
+			abort("ERR malformed batch op %d: %v", i, err)
+			drain(i + 1)
+			return true
+		}
+		if len(fields) == 0 {
+			abort("ERR empty batch op %d", i)
+			drain(i + 1)
+			return true
+		}
+		switch cmd := strings.ToUpper(fields[0]); {
+		case cmd == "PUT" && len(fields) == 3:
+			b.Put([]byte(fields[1]), []byte(fields[2]))
+		case cmd == "DEL" && len(fields) == 2:
+			b.Delete([]byte(fields[1]))
+		default:
+			abort("ERR bad batch op %d: %q", i, fields[0])
+			drain(i + 1)
+			return true
+		}
+	}
+	ts, err := b.Commit()
+	reply(w, err, "OK %d", ts)
+	return true
+}
+
+// serveScan streams verified rows as the iterator produces them. A
+// mid-stream verification failure terminates the stream with ERR instead
+// of END — the client discards the partial rows.
+func serveScan(w *bufio.Writer, store *elsm.Store, start, end []byte) {
+	it := store.Iter(start, end)
+	count := 0
+	for it.Next() {
+		fmt.Fprintf(w, "ROW %s %s\n", field(it.Key()), field(it.Value()))
+		count++
+		if count%64 == 0 {
+			w.Flush() // stream incrementally, don't buffer the whole range
+		}
+	}
+	if err := it.Close(); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "END %d\n", count)
 }
 
 func reply(w *bufio.Writer, err error, format string, args ...interface{}) {

@@ -11,6 +11,11 @@ import (
 )
 
 // dialogue runs one client session against serve() over an in-memory pipe.
+// Lines tagged with a leading ">" are sent without reading a reply (the
+// multi-line BATCH command, whose single reply follows the last op line —
+// request it with the pseudo-line "<"); SCAN replies are read until their
+// END/ERR terminator. net.Pipe is unbuffered, so a send that expected no
+// reply but drew one would deadlock rather than pass silently.
 func dialogue(t *testing.T, store *elsm.Store, lines []string) []string {
 	t.Helper()
 	client, server := net.Pipe()
@@ -22,43 +27,55 @@ func dialogue(t *testing.T, store *elsm.Store, lines []string) []string {
 	w := bufio.NewWriter(client)
 	r := bufio.NewReader(client)
 	var replies []string
+	readReply := func(context string) {
+		for {
+			reply, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read reply to %q: %v", context, err)
+			}
+			reply = strings.TrimSpace(reply)
+			replies = append(replies, reply)
+			// SCAN streams ROW lines until END or ERR.
+			if strings.HasPrefix(reply, "ROW ") {
+				continue
+			}
+			return
+		}
+	}
 	for _, line := range lines {
+		if line == "<" {
+			readReply("<deferred>")
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, ">"); ok {
+			fmt.Fprintln(w, rest)
+			w.Flush()
+			continue
+		}
 		fmt.Fprintln(w, line)
 		w.Flush()
 		if strings.HasPrefix(strings.ToUpper(line), "QUIT") {
 			break
 		}
-		reply, err := r.ReadString('\n')
-		if err != nil {
-			t.Fatalf("read reply to %q: %v", line, err)
-		}
-		replies = append(replies, strings.TrimSpace(reply))
-		// SCAN responses carry extra rows.
-		if strings.HasPrefix(reply, "N ") {
-			var n int
-			fmt.Sscanf(reply, "N %d", &n)
-			for i := 0; i < n; i++ {
-				row, err := r.ReadString('\n')
-				if err != nil {
-					t.Fatalf("read scan row: %v", err)
-				}
-				replies = append(replies, strings.TrimSpace(row))
-			}
-		}
+		readReply(line)
 	}
 	client.Close()
 	<-done
 	return replies
 }
 
-func TestServerProtocol(t *testing.T) {
+func mustOpen(t *testing.T) *elsm.Store {
+	t.Helper()
 	store, err := elsm.Open(elsm.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer store.Close()
+	t.Cleanup(func() { store.Close() })
+	return store
+}
 
-	replies := dialogue(t, store, []string{
+func TestServerProtocol(t *testing.T) {
+	replies := dialogue(t, mustOpen(t), []string{
 		"PUT alpha one",
 		"PUT beta two",
 		"GET alpha",
@@ -77,9 +94,9 @@ func TestServerProtocol(t *testing.T) {
 		{1, "OK "},
 		{2, "VALUE "},
 		{3, "NOTFOUND"},
-		{4, "N 2"},
-		{5, "alpha one"},
-		{6, "beta two"},
+		{4, "ROW alpha one"},
+		{5, "ROW beta two"},
+		{6, "END 2"},
 		{7, "OK "},
 		{8, "NOTFOUND"},
 		{9, "ERR "},
@@ -97,18 +114,144 @@ func TestServerProtocol(t *testing.T) {
 	}
 }
 
-func TestServerValueWithSpaces(t *testing.T) {
-	store, err := elsm.Open(elsm.Options{})
-	if err != nil {
-		t.Fatal(err)
+func TestServerBinarySafety(t *testing.T) {
+	replies := dialogue(t, mustOpen(t), []string{
+		`PUT key "a value with spaces"`,
+		"GET key",
+		`PUT "key with spaces" plain`,
+		`GET "key with spaces"`,
+		`PUT bin "line1\nline2\x00"`,
+		"GET bin",
+		`SCAN " " "~~~~"`,
+		"QUIT",
+	})
+	if want := `VALUE 1 "a value with spaces"`; replies[1] != want {
+		t.Fatalf("GET = %q, want %q", replies[1], want)
 	}
-	defer store.Close()
-	replies := dialogue(t, store, []string{
-		"PUT key a value with spaces",
+	if replies[3] != "VALUE 2 plain" {
+		t.Fatalf("GET quoted key = %q", replies[3])
+	}
+	if want := `VALUE 3 "line1\nline2\x00"`; replies[5] != want {
+		t.Fatalf("GET binary = %q, want %q", replies[5], want)
+	}
+	// The scan must frame all three records unambiguously in 3 rows + END.
+	var rows, end int
+	for _, r := range replies[6:] {
+		switch {
+		case strings.HasPrefix(r, "ROW "):
+			rows++
+		case strings.HasPrefix(r, "END "):
+			end++
+		}
+	}
+	if rows != 3 || end != 1 {
+		t.Fatalf("scan framing: %d rows, %d END in %v", rows, end, replies[6:])
+	}
+}
+
+func TestServerRejectsMalformed(t *testing.T) {
+	replies := dialogue(t, mustOpen(t), []string{
+		`PUT key "unterminated`,
+		`PUT ke"y v`,
+		"PUT onlykey",
+		"MPUT k1 v1 k2", // odd arity
 		"GET key",
 		"QUIT",
 	})
-	if !strings.HasSuffix(replies[1], "a value with spaces") {
-		t.Fatalf("GET = %q", replies[1])
+	for i := 0; i < 4; i++ {
+		if !strings.HasPrefix(replies[i], "ERR ") {
+			t.Fatalf("reply %d = %q, want ERR", i, replies[i])
+		}
+	}
+	if replies[4] != "NOTFOUND" {
+		t.Fatalf("malformed PUTs must not write; GET = %q", replies[4])
+	}
+}
+
+func TestServerBadBatchSizeClosesConnection(t *testing.T) {
+	// A bad size declaration is a framing-level protocol error: the server
+	// cannot resynchronize, so it must ERR and drop the session rather
+	// than execute later pipelined lines out of context.
+	for _, size := range []string{"notanumber", "99999999", "-1"} {
+		replies := dialogue(t, mustOpen(t), []string{"BATCH " + size})
+		if len(replies) != 1 || !strings.HasPrefix(replies[0], "ERR ") {
+			t.Fatalf("BATCH %s replies = %v, want one ERR", size, replies)
+		}
+	}
+}
+
+func TestServerBatchCommands(t *testing.T) {
+	store := mustOpen(t)
+	replies := dialogue(t, store, []string{
+		"MPUT a 1 b 2 c 3",
+		"GET b",
+		">BATCH 3",
+		">PUT d 4",
+		">DEL a",
+		">PUT e 5",
+		"<",
+		"SCAN a z",
+		"QUIT",
+	})
+	if !strings.HasPrefix(replies[0], "OK ") {
+		t.Fatalf("MPUT = %q", replies[0])
+	}
+	if replies[1] != "VALUE 2 2" {
+		t.Fatalf("GET after MPUT = %q", replies[1])
+	}
+	if !strings.HasPrefix(replies[2], "OK ") {
+		t.Fatalf("BATCH = %q", replies[2])
+	}
+	wantRows := []string{"ROW b 2", "ROW c 3", "ROW d 4", "ROW e 5", "END 4"}
+	got := replies[3:]
+	if len(got) != len(wantRows) {
+		t.Fatalf("scan = %v, want %v", got, wantRows)
+	}
+	for i, w := range wantRows {
+		if got[i] != w {
+			t.Fatalf("scan row %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+func TestServerBatchAborted(t *testing.T) {
+	store := mustOpen(t)
+	replies := dialogue(t, store, []string{
+		">BATCH 2",
+		">PUT x 1",
+		">NOPE y",
+		"<",
+		"GET x",
+		"QUIT",
+	})
+	if !strings.HasPrefix(replies[0], "ERR ") {
+		t.Fatalf("bad batch op = %q, want ERR", replies[0])
+	}
+	if replies[1] != "NOTFOUND" {
+		t.Fatalf("aborted batch must apply nothing; GET x = %q", replies[1])
+	}
+}
+
+func TestServerBatchAbortDrainsPipelinedOps(t *testing.T) {
+	// A pipelining client sends the whole batch before reading. When an
+	// early op aborts the batch, the remaining declared op lines must be
+	// consumed — NOT executed as top-level commands — and the reply stream
+	// must stay in sync for the next real command.
+	store := mustOpen(t)
+	replies := dialogue(t, store, []string{
+		">BATCH 3",
+		">NOPE first",
+		">PUT y 2",
+		">PUT z 3",
+		"<",
+		"GET y",
+		"GET z",
+		"QUIT",
+	})
+	if !strings.HasPrefix(replies[0], "ERR ") {
+		t.Fatalf("bad batch op = %q, want ERR", replies[0])
+	}
+	if replies[1] != "NOTFOUND" || replies[2] != "NOTFOUND" {
+		t.Fatalf("drained batch ops leaked as commands: %v", replies[1:])
 	}
 }

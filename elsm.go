@@ -17,7 +17,25 @@
 //	defer store.Close()
 //	ts, _ := store.Put([]byte("key"), []byte("value"))
 //	res, err := store.Get([]byte("key"))   // verified: integrity+freshness
-//	results, err := store.Scan([]byte("a"), []byte("z")) // +completeness
+//
+// Writes batch into one enclave round trip (one lock acquisition, one
+// group fsync, one counter bump for the whole group):
+//
+//	b := store.NewBatch()
+//	b.Put([]byte("k1"), []byte("v1"))
+//	b.Delete([]byte("k2"))
+//	ts, err = b.Commit() // atomic
+//
+// Range reads stream with incremental verification and completeness
+// checking, in memory bounded by the chunk size — or materialize with
+// Scan, which is built on the same verified stream:
+//
+//	it := store.Iter([]byte("a"), []byte("z"))
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Close(); err != nil { ... }       // ErrAuthFailed on tamper
+//	results, err := store.Scan([]byte("a"), []byte("z"))
 //
 // Three modes reproduce the paper's configurations: ModeP2 (the
 // contribution: buffers outside the enclave, record-granularity Merkle
@@ -227,20 +245,19 @@ func (s *Store) GetAt(key []byte, tsq uint64) (Result, error) {
 }
 
 // Scan returns the latest value of every key in [start, end], verified for
-// completeness: a host that omits a matching record is detected.
+// completeness: a host that omits a matching record is detected. It is the
+// materialized form of Iter — prefer Iter for large ranges, which streams
+// the same verified results in bounded memory.
 func (s *Store) Scan(start, end []byte) ([]Result, error) {
-	if s.enc != nil {
-		estart, eend, err := s.enc.rangeBounds(start, end)
-		if err != nil {
-			return nil, err
-		}
-		raw, err := s.kv.Scan(estart, eend)
-		if err != nil {
-			return nil, err
-		}
-		return s.enc.openResults(raw, start, end)
+	it := s.Iter(start, end)
+	var out []Result
+	for it.Next() {
+		out = append(out, it.Result())
 	}
-	return s.kv.Scan(start, end)
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ErrAuthFailed is re-exported so callers can classify verification

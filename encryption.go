@@ -150,23 +150,6 @@ func (l *encLayer) rangeBounds(start, end []byte) ([]byte, []byte, error) {
 	return opeKeyBytes(lo), opeKeyBytes(hi), nil
 }
 
-// openResults decrypts scan output and filters to the exact plaintext
-// range (OPE bounds may be slightly wider than the plaintext range).
-func (l *encLayer) openResults(raw []Result, start, end []byte) ([]Result, error) {
-	out := make([]Result, 0, len(raw))
-	for _, r := range raw {
-		pr, err := l.openResult(r)
-		if err != nil {
-			return nil, err
-		}
-		if string(pr.Key) < string(start) || string(pr.Key) > string(end) {
-			continue
-		}
-		out = append(out, pr)
-	}
-	return out, nil
-}
-
 func opeKeyBytes(code uint64) []byte {
 	out := make([]byte, 8)
 	binary.BigEndian.PutUint64(out, code)

@@ -1,0 +1,3 @@
+module elsm
+
+go 1.22

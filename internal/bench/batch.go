@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"elsm/internal/core"
+	"elsm/internal/ycsb"
+)
+
+// batchSweep is the batch-size ablation's X axis.
+var batchSweep = []int{1, 8, 64, 256, 1024}
+
+// AblationBatch quantifies what the grouped write path buys: per-record put
+// latency vs batch size for eLSM-P2 and the unsecured baseline, under the
+// calibrated SGX cost model. Each single put pays an ECall plus a WAL-append
+// OCall (four world switches); a batch of N pays the same boundary cost
+// once, so P2's curve should fall steeply with N while the unsecured curve
+// (no world switches to amortize) stays comparatively flat — isolating the
+// enclave-boundary share of write cost.
+func AblationBatch(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Name:    "Ablation: batch size",
+		Caption: "grouped-write cost vs batch size (µs per record)",
+		XLabel:  "batch size",
+		Series:  seriesOrder(string(P2Mmap), string(UnsecuredMmap)),
+	}
+	for _, bs := range batchSweep {
+		row := Row{X: fmt.Sprintf("%d", bs), Series: map[string]float64{}}
+		cfg.logf("AblationBatch size=%d", bs)
+		for _, v := range []Variant{P2Mmap, UnsecuredMmap} {
+			us, err := cfg.batchPoint(v, bs)
+			if err != nil {
+				return t, fmt.Errorf("%s @ batch %d: %w", v, bs, err)
+			}
+			cfg.logf("    %s @ %d: %.1f us/rec", v, bs, us)
+			row.Series[string(v)] = us
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// batchPoint writes at least cfg.Ops records through the write path —
+// one-at-a-time Puts for batchSize 1, ApplyBatch groups otherwise — and
+// returns the mean µs per record.
+func (c Config) batchPoint(v Variant, batchSize int) (float64, error) {
+	kv, err := c.buildStore(storeParams{variant: v, dataBytes: c.paperMB(64)})
+	if err != nil {
+		return 0, err
+	}
+	defer kv.Close()
+	n := c.Ops
+	if n < batchSize {
+		n = batchSize
+	}
+	val := ycsb.Value(0, ycsb.DefaultValueSize)
+	start := time.Now()
+	written := 0
+	if batchSize <= 1 {
+		for ; written < n; written++ {
+			if _, err := kv.Put(ycsb.Key(uint64(written)), val); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		ops := make([]core.BatchOp, batchSize)
+		for written < n {
+			for j := range ops {
+				ops[j] = core.BatchOp{Key: ycsb.Key(uint64(written + j)), Value: val}
+			}
+			if _, err := kv.ApplyBatch(ops); err != nil {
+				return 0, err
+			}
+			written += batchSize
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / 1e3 / float64(written), nil
+}
+
+// BatchThroughput renders the -batch flag's report: single-record puts next
+// to grouped puts of the requested size, per variant.
+func BatchThroughput(cfg Config, batchSize int) (Table, error) {
+	cfg = cfg.withDefaults()
+	if batchSize < 2 {
+		return Table{}, fmt.Errorf("bench: batch size must be ≥ 2, got %d", batchSize)
+	}
+	t := Table{
+		Name:    "Batched writes",
+		Caption: fmt.Sprintf("single-put vs batch-%d put (µs per record)", batchSize),
+		XLabel:  "write path",
+		Series:  seriesOrder(string(P2Mmap), string(UnsecuredMmap)),
+	}
+	single := Row{X: "single-put", Series: map[string]float64{}}
+	batched := Row{X: fmt.Sprintf("batch-%d", batchSize), Series: map[string]float64{}}
+	for _, v := range []Variant{P2Mmap, UnsecuredMmap} {
+		us, err := cfg.batchPoint(v, 1)
+		if err != nil {
+			return t, err
+		}
+		single.Series[string(v)] = us
+		us, err = cfg.batchPoint(v, batchSize)
+		if err != nil {
+			return t, err
+		}
+		batched.Series[string(v)] = us
+	}
+	t.Rows = append(t.Rows, single, batched)
+	return t, nil
+}
+
+// loadBatchedAndWarm loads the dataset through the grouped write path in
+// groups of batchSize — the streaming-ingestion alternative to BulkLoad for
+// stores that must stay online while loading — then warms the read buffer.
+func loadBatchedAndWarm(kv core.KV, dataBytes, batchSize int) error {
+	n := ycsb.RecordsForBytes(int64(dataBytes))
+	if err := ycsb.LoadBatched(kv, n, ycsb.DefaultValueSize, batchSize); err != nil {
+		return err
+	}
+	if w, ok := kv.(warmable); ok {
+		return w.Engine().WarmCache()
+	}
+	return nil
+}

@@ -334,5 +334,6 @@ func All() []Experiment {
 		{"fig7b", Fig7b},
 		{"fig8", Fig8},
 		{"ablation-earlystop", AblationEarlyStop},
+		{"ablation-batch", AblationBatch},
 	}
 }

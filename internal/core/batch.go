@@ -1,0 +1,48 @@
+package core
+
+import (
+	"elsm/internal/lsm"
+)
+
+// BatchOp is one operation of an atomic grouped write: a set, or a
+// tombstone when Delete is true.
+type BatchOp = lsm.BatchOp
+
+// ApplyBatch applies a group of writes in ONE enclave round trip: the
+// engine acquires its write lock once, extends the WAL digest chain per
+// record but performs a single group append+fsync of the untrusted log, and
+// at most one monotonic-counter bump is paid for the whole group (deferred
+// from OnWALAppend to the end of the batch). It returns the batch's commit
+// timestamp — the trusted timestamp of its last record.
+func (c *Store) ApplyBatch(ops []BatchOp) (uint64, error) {
+	c.mu.Lock()
+	c.batchDepth++
+	c.mu.Unlock()
+	var ts uint64
+	var err error
+	c.enclave.ECall(func() { ts, err = c.engine.ApplyBatch(ops) })
+	c.mu.Lock()
+	c.batchDepth--
+	bump := c.pendingBump && c.batchDepth == 0
+	if bump {
+		c.pendingBump = false
+	}
+	c.mu.Unlock()
+	if bump {
+		c.commitState()
+	}
+	return ts, err
+}
+
+// ApplyBatch implements KV for eLSM-P1: one ECall for the whole group.
+func (s *StoreP1) ApplyBatch(ops []BatchOp) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() { ts, err = s.engine.ApplyBatch(ops) })
+	return ts, err
+}
+
+// ApplyBatch implements KV for the unsecured baseline.
+func (s *Unsecured) ApplyBatch(ops []BatchOp) (uint64, error) {
+	return s.engine.ApplyBatch(ops)
+}

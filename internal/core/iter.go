@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"elsm/internal/lsm"
+	"elsm/internal/record"
+)
+
+// DefaultIterChunkKeys is how many distinct keys a streaming iterator pulls
+// across the enclave boundary per ECall. Larger chunks amortize world
+// switches better; smaller chunks bound the enclave-resident working set.
+const DefaultIterChunkKeys = 512
+
+// Iterator streams a range query one result at a time. On authenticated
+// stores every record is verified as its chunk crosses the enclave boundary,
+// and range completeness is checked chunk by chunk, so arbitrarily large
+// ranges run in memory bounded by the chunk size instead of materializing
+// the whole result. A verification failure stops the stream: Next returns
+// false and Err/Close report the ErrAuthFailed cause.
+//
+// Each chunk observes the store at its own fetch time: an iterator (and a
+// Scan rebased on it) is NOT a point-in-time snapshot, so writes committed
+// mid-iteration may appear in later chunks. For a repeatable view, pass a
+// fixed tsq to IterAt — concurrent writes receive newer timestamps and are
+// excluded (provided version history is retained, KeepVersions 0).
+//
+// Iterators are not safe for concurrent use. The Result returned for each
+// position remains valid after further Next calls.
+type Iterator interface {
+	// Next advances to the next result, returning false when the range is
+	// exhausted, Close was called, or an error occurred.
+	Next() bool
+	// Result returns the current result; only valid after Next returned
+	// true.
+	Result() Result
+	// Err returns the error that stopped the stream, if any.
+	Err() error
+	// Close releases the iterator and returns the first error encountered
+	// (verification failures included).
+	Close() error
+}
+
+// fetchChunk pulls the next bounded chunk of results starting at cursor,
+// returning the resume cursor and whether the range is exhausted.
+type fetchChunk func(cursor []byte) (out []Result, next []byte, done bool, err error)
+
+// chunkIter adapts a chunk fetcher into an Iterator. A chunk may legally be
+// empty without ending the stream (e.g. all keys in it resolved to
+// tombstones), so Next loops until a result or exhaustion.
+type chunkIter struct {
+	fetch  fetchChunk
+	cursor []byte
+	buf    []Result
+	pos    int
+	done   bool
+	closed bool
+	err    error
+}
+
+func newChunkIter(start []byte, fetch fetchChunk) *chunkIter {
+	return &chunkIter{fetch: fetch, cursor: append([]byte(nil), start...), pos: -1}
+}
+
+// Next implements Iterator.
+func (it *chunkIter) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	if it.pos+1 < len(it.buf) {
+		it.pos++
+		return true
+	}
+	for !it.done {
+		out, next, done, err := it.fetch(it.cursor)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.buf, it.pos, it.cursor, it.done = out, 0, next, done
+		if len(out) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Result implements Iterator.
+func (it *chunkIter) Result() Result { return it.buf[it.pos] }
+
+// Err implements Iterator.
+func (it *chunkIter) Err() error { return it.err }
+
+// Close implements Iterator.
+func (it *chunkIter) Close() error {
+	it.closed = true
+	return it.err
+}
+
+// sliceResultIter serves an already-materialized result set.
+type sliceResultIter struct {
+	res    []Result
+	pos    int
+	err    error
+	closed bool
+}
+
+// NewSliceIter wraps a materialized result set (and the error that produced
+// it) as an Iterator — the fallback for stores without a native streaming
+// path.
+func NewSliceIter(res []Result, err error) Iterator {
+	return &sliceResultIter{res: res, pos: -1, err: err}
+}
+
+// Next implements Iterator.
+func (it *sliceResultIter) Next() bool {
+	if it.closed || it.err != nil || it.pos+1 >= len(it.res) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+// Result implements Iterator.
+func (it *sliceResultIter) Result() Result { return it.res[it.pos] }
+
+// Err implements Iterator.
+func (it *sliceResultIter) Err() error { return it.err }
+
+// Close implements Iterator.
+func (it *sliceResultIter) Close() error {
+	it.closed = true
+	return it.err
+}
+
+// scanAll drains an iterator into a materialized result slice — the
+// materialized Scan path, rebased on the streaming one.
+func scanAll(it Iterator) ([]Result, error) {
+	var out []Result
+	for it.Next() {
+		out = append(out, it.Result())
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// eLSM-P2 streaming verified scan
+
+// Iter streams the latest verified value of every key in [start, end].
+func (c *Store) Iter(start, end []byte) Iterator { return c.IterAt(start, end, record.MaxTs) }
+
+// IterAt is Iter at a historical timestamp. Each chunk is fetched and
+// verified inside one ECall: per-record Merkle proofs establish integrity
+// and freshness, and the chunk's boundary witnesses establish completeness
+// of the covered sub-range, so by the time the stream ends the whole range
+// is completeness-verified without ever being materialized at once.
+func (c *Store) IterAt(start, end []byte, tsq uint64) Iterator {
+	endC := append([]byte(nil), end...)
+	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
+		var (
+			out  []Result
+			next []byte
+			done bool
+			err  error
+		)
+		c.enclave.ECall(func() { out, next, done, err = c.scanChunk(cursor, endC, tsq, c.iterChunkKeys) })
+		return out, next, done, err
+	})
+}
+
+// scanChunk retries scanChunkOnce under concurrent compaction, like get.
+func (c *Store) scanChunk(start, end []byte, tsq uint64, maxKeys int) ([]Result, []byte, bool, error) {
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		out, next, done, retry, err := c.scanChunkOnce(start, end, tsq, maxKeys)
+		if !retry {
+			return out, next, done, err
+		}
+	}
+	return nil, nil, false, fmt.Errorf("core: scan retries exhausted under concurrent compaction")
+}
+
+// scanChunkOnce runs one bounded round of the SCAN protocol of §5.4 over
+// [start, end]: every run returns at most maxKeys keys; the chunk's
+// effective end is the smallest last key among runs that hit their limit
+// (so every run's result can be verified as a complete sub-range), each
+// run's result is shrunk to that bound and checked with verifyRunScan, and
+// versions are resolved across the memtable and runs exactly as in the
+// materialized protocol. The returned cursor resumes immediately after the
+// chunk's effective end.
+func (c *Store) scanChunkOnce(start, end []byte, tsq uint64, maxKeys int) (out []Result, next []byte, done bool, retry bool, err error) {
+	digs := c.snapshotDigests()
+	var scans []lsm.RunScan
+	chunkEnd := end
+	for _, run := range c.engine.Runs() {
+		d, ok := digs[run.ID]
+		if !ok {
+			return nil, nil, false, true, nil
+		}
+		if d.NumLeaves == 0 {
+			continue
+		}
+		rs, serr := c.engine.ScanRunChunk(run.ID, start, end, maxKeys)
+		if serr != nil {
+			return nil, nil, false, true, nil
+		}
+		if c.scanTamper != nil {
+			c.scanTamper(&rs)
+		}
+		if rs.Truncated && len(rs.Records) > 0 {
+			if last := rs.Records[len(rs.Records)-1].Key; bytes.Compare(last, chunkEnd) < 0 {
+				chunkEnd = last
+			}
+		}
+		scans = append(scans, rs)
+	}
+	for i := range scans {
+		shrinkRunScan(&scans[i], chunkEnd)
+		if verr := verifyRunScan(start, chunkEnd, scans[i], digs[scans[i].RunID]); verr != nil {
+			return nil, nil, false, false, verr
+		}
+	}
+
+	// Resolve versions across sources: the memtable's records are newest,
+	// then runs in order (Lemma 5.4: the concatenated per-key version lists
+	// are timestamp-descending).
+	type keyState struct {
+		resolved bool
+		res      Result
+	}
+	states := make(map[string]*keyState)
+	order := make([]string, 0, 16)
+	consider := func(rec record.Record) {
+		ks, ok := states[string(rec.Key)]
+		if !ok {
+			ks = &keyState{}
+			states[string(rec.Key)] = ks
+			order = append(order, string(rec.Key))
+		}
+		if ks.resolved || rec.Ts > tsq {
+			return
+		}
+		ks.resolved = true
+		ks.res = resultFrom(rec)
+	}
+	for _, rec := range c.engine.MemScan(start, chunkEnd, tsq) {
+		consider(rec)
+	}
+	for _, rs := range scans {
+		for _, rec := range rs.Records {
+			consider(rec)
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		if ks := states[k]; ks.resolved && ks.res.Found {
+			out = append(out, ks.res)
+		}
+	}
+	if bytes.Equal(chunkEnd, end) {
+		return out, nil, true, false, nil
+	}
+	// The smallest key strictly greater than chunkEnd resumes the range.
+	next = append(append([]byte(nil), chunkEnd...), 0)
+	return out, next, false, false, nil
+}
+
+// shrinkRunScan truncates a per-run result to keys ≤ chunkEnd, promoting the
+// first record beyond the bound to the right-boundary witness. The promoted
+// record is the newest version of the next key — the leaf immediately after
+// the kept span — so adjacency verification still holds.
+func shrinkRunScan(rs *lsm.RunScan, chunkEnd []byte) {
+	idx := len(rs.Records)
+	for i, rec := range rs.Records {
+		if bytes.Compare(rec.Key, chunkEnd) > 0 {
+			idx = i
+			break
+		}
+	}
+	if idx == len(rs.Records) {
+		return
+	}
+	rs.Succ = &rs.Records[idx]
+	rs.Records = rs.Records[:idx]
+}

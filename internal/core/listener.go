@@ -39,6 +39,12 @@ func (l *authListener) OnWALAppend(rec record.Record) {
 	c.walDigest = hashutil.WALLink(c.walDigest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
 	c.walAppends++
 	bump := c.counterInterval > 0 && c.walAppends%uint64(c.counterInterval) == 0
+	if bump && c.batchDepth > 0 {
+		// Mid-batch: defer to the end of the group so a batch pays at
+		// most one counter bump (ApplyBatch performs it).
+		c.pendingBump = true
+		bump = false
+	}
 	c.mu.Unlock()
 	if bump {
 		c.commitState()

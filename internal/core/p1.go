@@ -20,9 +20,10 @@ import (
 // encryption. Its cost profile (enclave paging once the buffer outgrows
 // the EPC, §4.2) is the paper's motivation for eLSM-P2.
 type StoreP1 struct {
-	engine  *lsm.Store
-	enclave *sgx.Enclave
-	cache   *blockcache.Cache
+	engine        *lsm.Store
+	enclave       *sgx.Enclave
+	cache         *blockcache.Cache
+	iterChunkKeys int
 }
 
 var _ KV = (*StoreP1)(nil)
@@ -87,7 +88,11 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &StoreP1{engine: engine, enclave: enclave, cache: cache}, nil
+	chunkKeys := cfg.IterChunkKeys
+	if chunkKeys <= 0 {
+		chunkKeys = DefaultIterChunkKeys
+	}
+	return &StoreP1{engine: engine, enclave: enclave, cache: cache, iterChunkKeys: chunkKeys}, nil
 }
 
 // Put implements KV.
@@ -124,18 +129,32 @@ func (s *StoreP1) GetAt(key []byte, tsq uint64) (Result, error) {
 	return res, err
 }
 
-// Scan implements KV.
+// Scan implements KV, rebased on the streaming iterator.
 func (s *StoreP1) Scan(start, end []byte) ([]Result, error) {
-	var out []Result
-	var err error
-	s.enclave.ECall(func() {
-		var recs []record.Record
-		recs, err = s.engine.Scan(start, end, record.MaxTs)
+	return scanAll(s.IterAt(start, end, record.MaxTs))
+}
+
+// IterAt implements KV: chunks stream through one ECall each, so large
+// ranges never materialize inside the enclave at once.
+func (s *StoreP1) IterAt(start, end []byte, tsq uint64) Iterator {
+	endC := append([]byte(nil), end...)
+	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
+		var (
+			recs []record.Record
+			next []byte
+			done bool
+			err  error
+		)
+		s.enclave.ECall(func() { recs, next, done, err = s.engine.ScanChunk(cursor, endC, tsq, s.iterChunkKeys) })
+		if err != nil {
+			return nil, nil, false, err
+		}
+		out := make([]Result, 0, len(recs))
 		for _, rec := range recs {
 			out = append(out, resultFrom(rec))
 		}
+		return out, next, done, nil
 	})
-	return out, err
 }
 
 // Flush forces the memtable to disk.

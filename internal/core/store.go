@@ -52,6 +52,9 @@ type Config struct {
 	// appended after the last sealed state (closing the §5.6.1 window at
 	// the cost of refusing unclean restarts).
 	RequireCleanRecovery bool
+	// IterChunkKeys bounds how many distinct keys a streaming iterator
+	// chunk covers per run (0 = DefaultIterChunkKeys).
+	IterChunkKeys int
 	// DisableEarlyStop makes every GET iterate and verify ALL runs
 	// instead of stopping at the first verified hit — the behaviour of
 	// prior work (Speicher) that eLSM improves on (§7 distinction 1).
@@ -80,13 +83,21 @@ type Result struct {
 }
 
 // KV is the common interface implemented by the eLSM-P2, eLSM-P1 and
-// unsecured stores (Equation 1 of the paper).
+// unsecured stores (Equation 1 of the paper, extended with the grouped
+// write and streaming read paths that amortize enclave-boundary costs).
 type KV interface {
 	Put(key, value []byte) (uint64, error)
 	Delete(key []byte) (uint64, error)
+	// ApplyBatch applies a group of writes atomically under one engine
+	// lock acquisition, returning the commit timestamp of the group.
+	ApplyBatch(ops []BatchOp) (uint64, error)
 	Get(key []byte) (Result, error)
 	GetAt(key []byte, tsq uint64) (Result, error)
 	Scan(start, end []byte) ([]Result, error)
+	// IterAt streams the newest value ≤ tsq of every key in [start, end]
+	// in bounded memory; errors (verification failures included) surface
+	// through the iterator's Err/Close.
+	IterAt(start, end []byte, tsq uint64) Iterator
 	Close() error
 }
 
@@ -104,11 +115,22 @@ type Store struct {
 	counter     *sgx.MonotonicCounter
 
 	counterInterval int
+	iterChunkKeys   int
 
 	mu         sync.Mutex
 	digests    map[uint64]runDigest
 	walDigest  hashutil.Hash
 	walAppends uint64
+
+	// batchDepth counts in-flight ApplyBatch calls; while positive, the
+	// periodic counter bump of OnWALAppend is deferred to pendingBump so a
+	// batch pays at most one bump (guarded by mu).
+	batchDepth  int
+	pendingBump bool
+
+	// scanTamper, when non-nil, mutates each per-run scan response before
+	// verification — a test-only stand-in for a malicious untrusted host.
+	scanTamper func(*lsm.RunScan)
 
 	// UnverifiedReplay counts WAL records recovered beyond the last
 	// sealed state (the rollback-window records of §5.6.1).
@@ -175,12 +197,17 @@ func Open(cfg Config) (*Store, error) {
 	if interval < 0 {
 		interval = 0
 	}
+	chunkKeys := cfg.IterChunkKeys
+	if chunkKeys <= 0 {
+		chunkKeys = DefaultIterChunkKeys
+	}
 	c := &Store{
 		enclave:         enclave,
 		fs:              fs,
 		platform:        platform,
 		counter:         counter,
 		counterInterval: interval,
+		iterChunkKeys:   chunkKeys,
 		digests:         make(map[uint64]runDigest),
 		measurement:     sgx.Measure([]byte("elsm-p2")),
 	}
@@ -500,83 +527,11 @@ func (c *Store) Scan(start, end []byte) ([]Result, error) {
 	return c.ScanAt(start, end, record.MaxTs)
 }
 
-// ScanAt is Scan at a historical timestamp (the paper's SCAN(k1, k2, tsq)).
+// ScanAt is Scan at a historical timestamp (the paper's SCAN(k1, k2, tsq)),
+// rebased on the streaming verified iterator: the range is fetched and
+// verified chunk by chunk, then materialized for the caller.
 func (c *Store) ScanAt(start, end []byte, tsq uint64) ([]Result, error) {
-	var out []Result
-	var err error
-	c.enclave.ECall(func() { out, err = c.scan(start, end, tsq) })
-	return out, err
-}
-
-func (c *Store) scan(start, end []byte, tsq uint64) ([]Result, error) {
-	for attempt := 0; attempt < maxRetries; attempt++ {
-		out, retry, err := c.scanOnce(start, end, tsq)
-		if !retry {
-			return out, err
-		}
-	}
-	return nil, fmt.Errorf("core: scan retries exhausted under concurrent compaction")
-}
-
-// scanOnce verifies every run's range result, then resolves versions across
-// sources: the memtable's records are newest, then runs in order (Lemma
-// 5.4 guarantees the concatenated per-key version lists are
-// timestamp-descending).
-func (c *Store) scanOnce(start, end []byte, tsq uint64) (out []Result, retry bool, err error) {
-	type keyState struct {
-		resolved bool
-		res      Result
-	}
-	states := make(map[string]*keyState)
-	order := make([]string, 0, 16)
-
-	consider := func(rec record.Record) {
-		ks, ok := states[string(rec.Key)]
-		if !ok {
-			ks = &keyState{}
-			states[string(rec.Key)] = ks
-			order = append(order, string(rec.Key))
-		}
-		if ks.resolved || rec.Ts > tsq {
-			return
-		}
-		ks.resolved = true
-		ks.res = resultFrom(rec)
-	}
-
-	// The memtable is trusted; ask it for the newest version ≤ tsq per key
-	// (its versions are all newer than any run's, so a memtable hit is
-	// globally the newest ≤ tsq).
-	for _, rec := range c.engine.MemScan(start, end, tsq) {
-		consider(rec)
-	}
-	digs := c.snapshotDigests()
-	for _, run := range c.engine.Runs() {
-		d, ok := digs[run.ID]
-		if !ok {
-			return nil, true, nil
-		}
-		if d.NumLeaves == 0 {
-			continue
-		}
-		rs, serr := c.engine.ScanRun(run.ID, start, end)
-		if serr != nil {
-			return nil, true, nil
-		}
-		if verr := verifyRunScan(start, end, rs, d); verr != nil {
-			return nil, false, verr
-		}
-		for _, rec := range rs.Records {
-			consider(rec)
-		}
-	}
-	sort.Strings(order)
-	for _, k := range order {
-		if ks := states[k]; ks.resolved && ks.res.Found {
-			out = append(out, ks.res)
-		}
-	}
-	return out, false, nil
+	return scanAll(c.IterAt(start, end, tsq))
 }
 
 // Flush forces the memtable to disk through the authenticated flush path.

@@ -12,7 +12,8 @@ import (
 // no enclave (zero-cost unlimited "enclave"), no authentication and no
 // encryption. It lower-bounds every secured configuration.
 type Unsecured struct {
-	engine *lsm.Store
+	engine        *lsm.Store
+	iterChunkKeys int
 }
 
 var _ KV = (*Unsecured)(nil)
@@ -46,7 +47,11 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Unsecured{engine: engine}, nil
+	chunkKeys := cfg.IterChunkKeys
+	if chunkKeys <= 0 {
+		chunkKeys = DefaultIterChunkKeys
+	}
+	return &Unsecured{engine: engine, iterChunkKeys: chunkKeys}, nil
 }
 
 // Put implements KV.
@@ -67,17 +72,25 @@ func (s *Unsecured) GetAt(key []byte, tsq uint64) (Result, error) {
 	return resultFrom(rec), nil
 }
 
-// Scan implements KV.
+// Scan implements KV, rebased on the streaming iterator.
 func (s *Unsecured) Scan(start, end []byte) ([]Result, error) {
-	recs, err := s.engine.Scan(start, end, record.MaxTs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, 0, len(recs))
-	for _, rec := range recs {
-		out = append(out, resultFrom(rec))
-	}
-	return out, nil
+	return scanAll(s.IterAt(start, end, record.MaxTs))
+}
+
+// IterAt implements KV.
+func (s *Unsecured) IterAt(start, end []byte, tsq uint64) Iterator {
+	endC := append([]byte(nil), end...)
+	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
+		recs, next, done, err := s.engine.ScanChunk(cursor, endC, tsq, s.iterChunkKeys)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		out := make([]Result, 0, len(recs))
+		for _, rec := range recs {
+			out = append(out, resultFrom(rec))
+		}
+		return out, next, done, nil
+	})
 }
 
 // Flush forces the memtable to disk.

@@ -200,6 +200,47 @@ func (s *Store) Delete(key []byte) (uint64, error) {
 	return ts, err
 }
 
+// ApplyBatch implements core.KV: the whole group is applied inside one
+// ECall (Eleos is update-in-place, so the group shares a single world
+// switch but gains no further amortization). Unlike the LSM-backed stores,
+// a mid-group failure (e.g. capacity exhaustion) leaves the preceding ops
+// applied — this baseline has no WAL to roll back from, and is only used
+// for benchmark comparisons where that distinction is part of the story.
+func (s *Store) ApplyBatch(ops []core.BatchOp) (uint64, error) {
+	var ts uint64
+	var err error
+	s.enclave.ECall(func() {
+		for _, op := range ops {
+			if op.Delete {
+				ts, err = s.write(op.Key, nil, true)
+			} else {
+				ts, err = s.write(op.Key, op.Value, false)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+	return ts, err
+}
+
+// IterAt implements core.KV. Eleos keeps no history, so the iterator serves
+// a materialized snapshot of the live range (tsq applies as in GetAt only
+// insofar as live versions qualify).
+func (s *Store) IterAt(start, end []byte, tsq uint64) core.Iterator {
+	res, err := s.Scan(start, end)
+	if err == nil && tsq != record.MaxTs {
+		kept := res[:0]
+		for _, r := range res {
+			if r.Ts <= tsq {
+				kept = append(kept, r)
+			}
+		}
+		res = kept
+	}
+	return core.NewSliceIter(res, err)
+}
+
 func (s *Store) write(key, value []byte, del bool) (uint64, error) {
 	s.nextTs++
 	ts := s.nextTs

@@ -85,11 +85,24 @@ type RunScan struct {
 	Pred     *record.Record
 	Succ     *record.Record
 	EmptyRun bool
+	// Truncated reports that a ScanRunChunk key limit cut the result short
+	// of the range end; Succ is then the first record after the last
+	// returned key (still a valid right-boundary witness for the shrunken
+	// range) rather than a record beyond end.
+	Truncated bool
 }
 
 // ScanRun performs the untrusted side of a one-level SCAN over user keys
 // start ≤ k ≤ end.
 func (s *Store) ScanRun(runID uint64, start, end []byte) (RunScan, error) {
+	return s.ScanRunChunk(runID, start, end, 0)
+}
+
+// ScanRunChunk is ScanRun bounded to at most maxKeys distinct keys
+// (0 = unlimited). Version chains are never split: the limit applies at key
+// boundaries, so every returned key carries all its in-run versions and the
+// enclave can rebuild whole Merkle leaves from the chunk.
+func (s *Store) ScanRunChunk(runID uint64, start, end []byte, maxKeys int) (RunScan, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -127,15 +140,29 @@ func (s *Store) ScanRun(runID uint64, start, end []byte) (RunScan, error) {
 	}
 	out.Pred = prev
 
-	// Collect in-range records and the successor.
+	// Collect in-range records and the successor, stopping at the key
+	// limit (only ever at a key boundary).
 	it := newRunIter(r)
 	defer it.Close()
 	it.SeekGE(start, record.MaxTs)
+	var (
+		keys    int
+		lastKey []byte
+	)
 	for it.Valid() {
 		rec := it.Record()
 		if bytes.Compare(rec.Key, end) > 0 {
 			out.Succ = &rec
 			break
+		}
+		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
+			if maxKeys > 0 && keys >= maxKeys {
+				out.Succ = &rec
+				out.Truncated = true
+				break
+			}
+			keys++
+			lastKey = append(lastKey[:0], rec.Key...)
 		}
 		out.Records = append(out.Records, rec)
 		it.Next()
@@ -199,10 +226,21 @@ func (s *Store) WarmCache() error {
 // baseline: newest version ≤ tsq per key in [start, end], tombstones
 // resolved.
 func (s *Store) Scan(start, end []byte, tsq uint64) ([]record.Record, error) {
+	out, _, _, err := s.ScanChunk(start, end, tsq, 0)
+	return out, err
+}
+
+// ScanChunk is Scan bounded to at most maxKeys distinct keys (0 =
+// unlimited), the raw engine half of a streaming range read. It returns the
+// resolved records, the cursor to resume from (the first unprocessed key)
+// and whether the range was exhausted. Keys whose newest version ≤ tsq is a
+// tombstone count toward the limit but produce no record, so a chunk may be
+// smaller than maxKeys — or empty — without being the last.
+func (s *Store) ScanChunk(start, end []byte, tsq uint64, maxKeys int) (out []record.Record, next []byte, done bool, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, ErrClosed
+		return nil, nil, false, ErrClosed
 	}
 	sources := []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
 	for lvl := 1; lvl < len(s.levels); lvl++ {
@@ -218,16 +256,23 @@ func (s *Store) Scan(start, end []byte, tsq uint64) ([]record.Record, error) {
 	m := newMergeIter(sources)
 	defer m.Close()
 
-	var out []record.Record
 	var lastKey []byte
+	keys := 0
 	resolved := false
+	done = true
 	for m.Valid() {
 		rec, _ := m.Record()
 		if bytes.Compare(rec.Key, end) > 0 {
 			break
 		}
 		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
-			lastKey = append([]byte(nil), rec.Key...)
+			if maxKeys > 0 && keys >= maxKeys {
+				next = append([]byte(nil), rec.Key...)
+				done = false
+				break
+			}
+			keys++
+			lastKey = append(lastKey[:0], rec.Key...)
 			resolved = false
 		}
 		if !resolved && rec.Ts <= tsq {
@@ -238,5 +283,5 @@ func (s *Store) Scan(start, end []byte, tsq uint64) ([]record.Record, error) {
 		}
 		m.Next()
 	}
-	return out, nil
+	return out, next, done, nil
 }

@@ -70,6 +70,28 @@ func (w *Writer) Append(rec record.Record) error {
 	return nil
 }
 
+// AppendBatch writes a group of records as one contiguous file append,
+// advancing the digest chain per record. Compared with per-record Append
+// calls, the whole group reaches the untrusted file in a single write, so a
+// crash (or a truncating host) can only cut the group at a frame boundary —
+// which the digest chain then exposes as an unverified suffix.
+func (w *Writer) AppendBatch(recs []record.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.buf = w.buf[:0]
+	for i := range recs {
+		w.buf = encode(w.buf, recs[i])
+	}
+	if _, err := w.f.Append(w.buf); err != nil {
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	for i := range recs {
+		w.dig = hashutil.WALLink(w.dig, byte(recs[i].Kind), recs[i].Key, recs[i].Ts, recs[i].Value)
+	}
+	return nil
+}
+
 // Digest returns the current chain digest. The enclave stores this value;
 // the log file itself is untrusted.
 func (w *Writer) Digest() hashutil.Hash { return w.dig }

@@ -39,10 +39,24 @@ func (l *lockedKV) GetAt(k []byte, tsq uint64) (core.Result, error) {
 	return l.inner.GetAt(k, tsq)
 }
 
+func (l *lockedKV) ApplyBatch(ops []core.BatchOp) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.ApplyBatch(ops)
+}
+
 func (l *lockedKV) Scan(a, b []byte) ([]core.Result, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.inner.Scan(a, b)
+}
+
+func (l *lockedKV) IterAt(a, b []byte, tsq uint64) core.Iterator {
+	// Serialize the whole streamed read: materialize under the lock.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res, err := l.inner.Scan(a, b)
+	return core.NewSliceIter(res, err)
 }
 
 func (l *lockedKV) Close() error { return l.inner.Close() }

@@ -261,6 +261,29 @@ func Load(kv core.KV, n int, valueSize int) error {
 	return nil
 }
 
+// LoadBatched inserts n records through the grouped write path in batches
+// of batchSize, amortizing enclave round trips and group fsyncs across each
+// batch (the batched-ingestion load phase).
+func LoadBatched(kv core.KV, n, valueSize, batchSize int) error {
+	if valueSize <= 0 {
+		valueSize = DefaultValueSize
+	}
+	if batchSize <= 1 {
+		return Load(kv, n, valueSize)
+	}
+	ops := make([]core.BatchOp, 0, batchSize)
+	for i := 0; i < n; i++ {
+		ops = append(ops, core.BatchOp{Key: Key(uint64(i)), Value: Value(uint64(i), valueSize)})
+		if len(ops) == batchSize || i == n-1 {
+			if _, err := kv.ApplyBatch(ops); err != nil {
+				return fmt.Errorf("ycsb batched load at %d: %w", i, err)
+			}
+			ops = ops[:0]
+		}
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Runner
 
@@ -324,9 +347,14 @@ func (r *Runner) RunOps(n int) (Stats, error) {
 			idx := r.Chooser.NoteInsert()
 			_, err = r.KV.Put(Key(idx), Value(idx, valueSize))
 		case p < wl.ReadProp+wl.UpdateProp+wl.InsertProp+wl.ScanProp:
+			// Range reads stream through the verified iterator, the way a
+			// production client would consume a large range.
 			startIdx := r.Chooser.Next()
 			ln := 1 + r.rnd.Intn(max(wl.ScanLen, 1))
-			_, err = r.KV.Scan(Key(startIdx), Key(startIdx+uint64(ln)))
+			it := r.KV.IterAt(Key(startIdx), Key(startIdx+uint64(ln)), record.MaxTs)
+			for it.Next() {
+			}
+			err = it.Close()
 		default: // read-modify-write
 			idx := r.Chooser.Next()
 			var res core.Result

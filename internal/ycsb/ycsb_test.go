@@ -157,6 +157,17 @@ func (s *mapKV) Get(k []byte) (core.Result, error) {
 	return core.Result{Key: k, Value: v, Found: ok}, nil
 }
 func (s *mapKV) GetAt(k []byte, _ uint64) (core.Result, error) { return s.Get(k) }
+func (s *mapKV) ApplyBatch(ops []core.BatchOp) (uint64, error) {
+	var ts uint64
+	for _, op := range ops {
+		if op.Delete {
+			ts, _ = s.Delete(op.Key)
+		} else {
+			ts, _ = s.Put(op.Key, op.Value)
+		}
+	}
+	return ts, nil
+}
 func (s *mapKV) Scan(start, end []byte) ([]core.Result, error) {
 	var out []core.Result
 	for k, v := range s.m {
@@ -165,6 +176,10 @@ func (s *mapKV) Scan(start, end []byte) ([]core.Result, error) {
 		}
 	}
 	return out, nil
+}
+func (s *mapKV) IterAt(start, end []byte, _ uint64) core.Iterator {
+	res, err := s.Scan(start, end)
+	return core.NewSliceIter(res, err)
 }
 func (s *mapKV) Close() error { return nil }
 

@@ -1,0 +1,111 @@
+package elsm
+
+import (
+	"elsm/internal/core"
+	"elsm/internal/record"
+)
+
+// Iterator is a streaming verified range read: results arrive one at a
+// time, each verified for integrity and freshness as its chunk crosses the
+// enclave boundary, with range completeness checked incrementally — a host
+// that omits, reorders or substitutes records mid-stream stops the
+// iteration with ErrAuthFailed. Unlike Scan, an Iterator over an
+// arbitrarily large range runs in memory bounded by the internal chunk
+// size.
+//
+// The stream is not a point-in-time snapshot: each internal chunk observes
+// the store at its own fetch time, so writes committed mid-iteration may
+// surface in later chunks. IterAt with a fixed historical timestamp gives
+// a repeatable view when version history is retained.
+//
+// Usage:
+//
+//	it := store.Iter(start, end)
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Close(); err != nil { ... }
+//
+// Iterators are not safe for concurrent use.
+type Iterator struct {
+	inner      core.Iterator
+	enc        *encLayer
+	start, end []byte // plaintext bounds (encryption mode only)
+	cur        Result
+	err        error
+}
+
+// Iter streams the latest verified value of every key in [start, end].
+func (s *Store) Iter(start, end []byte) *Iterator { return s.IterAt(start, end, record.MaxTs) }
+
+// IterAt is Iter at a historical timestamp (newest version ≤ tsq per key).
+func (s *Store) IterAt(start, end []byte, tsq uint64) *Iterator {
+	if s.enc != nil {
+		estart, eend, err := s.enc.rangeBounds(start, end)
+		if err != nil {
+			return &Iterator{err: err}
+		}
+		return &Iterator{
+			inner: s.kv.IterAt(estart, eend, tsq),
+			enc:   s.enc,
+			start: append([]byte(nil), start...),
+			end:   append([]byte(nil), end...),
+		}
+	}
+	return &Iterator{inner: s.kv.IterAt(start, end, tsq)}
+}
+
+// Next advances to the next verified result, returning false at the end of
+// the range or on error (check Err or Close).
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.inner == nil {
+		return false
+	}
+	for it.inner.Next() {
+		res := it.inner.Result()
+		if it.enc != nil {
+			pr, err := it.enc.openResult(res)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			// OPE bounds may be slightly wider than the plaintext range.
+			if string(pr.Key) < string(it.start) || string(pr.Key) > string(it.end) {
+				continue
+			}
+			res = pr
+		}
+		it.cur = res
+		return true
+	}
+	it.err = it.inner.Err()
+	return false
+}
+
+// Key returns the current result's key (valid after Next returned true).
+func (it *Iterator) Key() []byte { return it.cur.Key }
+
+// Value returns the current result's value.
+func (it *Iterator) Value() []byte { return it.cur.Value }
+
+// Ts returns the current result's trusted timestamp.
+func (it *Iterator) Ts() uint64 { return it.cur.Ts }
+
+// Result returns the current result.
+func (it *Iterator) Result() Result { return it.cur }
+
+// Err returns the error that stopped iteration, if any (ErrAuthFailed
+// variants for verification failures).
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator and returns the first error encountered.
+func (it *Iterator) Close() error {
+	if it.inner == nil {
+		return it.err
+	}
+	cerr := it.inner.Close()
+	if it.err != nil {
+		return it.err
+	}
+	return cerr
+}
