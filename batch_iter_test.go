@@ -246,16 +246,18 @@ func TestBatchFullReplayAppliesWholeBatch(t *testing.T) {
 }
 
 func TestBatchPartialReplayIsRecoveryError(t *testing.T) {
-	// The host truncates the WAL inside the batch (frame-aligned, so the
-	// log still parses). A partially-applied batch must not pass clean
-	// recovery: the unverified suffix surfaces as an auth failure.
+	// The host truncates the WAL inside the batch's commit group
+	// (frame-aligned, so the log still parses). The torn group is dropped
+	// whole, and clean recovery must refuse: a log that ends inside a
+	// group is not a clean shutdown, whatever caused it.
 	dir, platform, counter := crashedBatchStore(t)
 	wal := filepath.Join(dir, "wal.log")
 	offs := walFrames(t, wal)
-	if len(offs) < 12 { // base + 10 batch frames + end
-		t.Fatalf("expected ≥ 11 WAL frames, got %d", len(offs)-1)
+	// Frames: base record, its COMMIT marker, 10 batch records, marker.
+	if len(offs) != 14 {
+		t.Fatalf("expected 13 WAL frames, got %d", len(offs)-1)
 	}
-	// Keep the base record and the first 7 batch records.
+	// Keep the base group and the first 6 batch records — no marker.
 	if err := os.Truncate(wal, offs[8]); err != nil {
 		t.Fatal(err)
 	}
@@ -268,15 +270,32 @@ func TestBatchPartialReplayIsRecoveryError(t *testing.T) {
 	}
 }
 
-func TestBatchTornWALIsRecoveryError(t *testing.T) {
-	// A torn write (truncation mid-frame) must fail recovery outright.
+func TestBatchTornWALRecoversGroupPrefix(t *testing.T) {
+	// A torn write (truncation mid-frame, as a crash during the group
+	// append leaves it) rolls the whole group back: recovery succeeds and
+	// the store holds exactly the committed groups before it — never a
+	// partially-applied batch.
 	dir, platform, counter := crashedBatchStore(t)
 	wal := filepath.Join(dir, "wal.log")
 	offs := walFrames(t, wal)
 	if err := os.Truncate(wal, offs[len(offs)-1]-5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Options{Dir: dir, Platform: platform, Counter: counter}); err == nil {
-		t.Fatal("torn WAL passed recovery")
+	s, err := Open(Options{Dir: dir, Platform: platform, Counter: counter})
+	if err != nil {
+		t.Fatalf("torn tail must recover to the last whole group: %v", err)
+	}
+	defer s.Close()
+	if res, err := s.Get([]byte("base")); err != nil || !res.Found {
+		t.Fatalf("committed group lost: %v found=%v", err, res.Found)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := s.Get([]byte(fmt.Sprintf("batch%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("batch record %d survived a torn group — atomicity broken", i)
+		}
 	}
 }

@@ -27,11 +27,13 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig5a,fig5b,fig5c,fig6a,fig6b,fig6c,fig7a,fig7b,fig8,ablation-earlystop,ablation-batch or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiments: table1,fig2,fig5a,fig5b,fig5c,fig6a,fig6b,fig6c,fig7a,fig7b,fig8,ablation-earlystop,ablation-batch,ablation-commit or 'all'")
 		scale    = flag.Int("scale", 32, "divide the paper's byte sizes by this factor (EPC scales too)")
 		ops      = flag.Int("ops", 1200, "measured operations per data point")
 		costName = flag.String("cost", "calibrated", "SGX cost model: calibrated | zero")
 		batch    = flag.Int("batch", 0, "report batched-put throughput at this batch size next to single-put (0: off)")
+		procs    = flag.Int("procs", 0, "report concurrent-client write throughput (per-op vs group commit) up to this many goroutines (0: off)")
+		jsonDir  = flag.String("json", "", "also write each result as machine-readable BENCH_<name>.json into this directory (empty: off)")
 		verbose  = flag.Bool("v", false, "print per-point progress")
 		listFlag = flag.Bool("list", false, "list available experiments and exit")
 	)
@@ -75,13 +77,34 @@ func main() {
 		fmt.Println(bench.Table1())
 	}
 	exitCode := 0
+	emit := func(tbl bench.Table) {
+		fmt.Println(tbl.Format())
+		if *jsonDir != "" {
+			path, err := tbl.WriteJSON(*jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				exitCode = 1
+				return
+			}
+			fmt.Printf("(wrote %s)\n\n", path)
+		}
+	}
 	if *batch > 0 {
 		tbl, err := bench.BatchThroughput(cfg, *batch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "batch report failed: %v\n", err)
 			exitCode = 1
 		} else {
-			fmt.Println(tbl.Format())
+			emit(tbl)
+		}
+	}
+	if *procs > 0 {
+		tbl, err := bench.CommitThroughput(cfg, *procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "procs report failed: %v\n", err)
+			exitCode = 1
+		} else {
+			emit(tbl)
 		}
 	}
 	for _, exp := range bench.All() {
@@ -95,7 +118,7 @@ func main() {
 			exitCode = 1
 			continue
 		}
-		fmt.Println(tbl.Format())
+		emit(tbl)
 		fmt.Printf("(%s completed in %v)\n\n", exp.Name, time.Since(start).Round(time.Millisecond))
 	}
 	os.Exit(exitCode)

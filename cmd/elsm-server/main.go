@@ -22,12 +22,21 @@
 // Malformed input never corrupts framing — it draws an ERR line.
 //
 // Every response reflects verified state. Batches apply atomically in one
-// enclave round trip; SCAN streams through the verified iterator, so rows
-// arrive incrementally and a tampering host surfaces as an ERR line
-// terminating the stream (clients must treat ERR as a stream terminator)
-// rather than wrong data.
+// enclave round trip; SCAN streams through the verified iterator (with one
+// chunk of background prefetch), so rows arrive incrementally and a
+// tampering host surfaces as an ERR line terminating the stream (clients
+// must treat ERR as a stream terminator) rather than wrong data.
+//
+// Writes from SEPARATE connections ride the store's shared group-commit
+// pipeline: each connection is served by its own goroutine, so concurrent
+// PUT/DEL/MPUT/BATCH commits coalesce into shared WAL fsyncs and counter
+// bumps instead of serializing one fsync per request. -commit-window adds a
+// deliberate batching delay for fsync-bound deployments; -commit-max-ops
+// caps group size (1 disables coalescing).
 //
 // Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
+//
+//	[-commit-window 0] [-commit-max-ops 0] [-iter-chunk-keys 0]
 package main
 
 import (
@@ -47,13 +56,21 @@ const maxBatchOps = 10000
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7878", "listen address")
-		dir  = flag.String("dir", "", "data directory (empty: in-memory)")
-		mode = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
+		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
+		dir          = flag.String("dir", "", "data directory (empty: in-memory)")
+		mode         = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
+		commitWindow = flag.Duration("commit-window", 0, "group-commit batching window (0: natural batching only)")
+		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
+		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
 	)
 	flag.Parse()
 
-	opts := elsm.Options{Dir: *dir}
+	opts := elsm.Options{
+		Dir:               *dir,
+		GroupCommitWindow: *commitWindow,
+		GroupCommitMaxOps: *commitMaxOps,
+		IterChunkKeys:     *chunkKeys,
+	}
 	switch *mode {
 	case "p2":
 		opts.Mode = elsm.ModeP2

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"elsm"
+	"elsm/internal/vfs"
 )
 
 // dialogue runs one client session against serve() over an in-memory pipe.
@@ -210,6 +213,89 @@ func TestServerBatchCommands(t *testing.T) {
 	for i, w := range wantRows {
 		if got[i] != w {
 			t.Fatalf("scan row %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// TestServerConnectionsShareCommitGroups proves the server-side write
+// coalescing: MPUT and BATCH requests arriving on SEPARATE connections ride
+// the store's shared group-commit pipeline, so the store issues measurably
+// fewer WAL fsyncs than it served write requests. The store sits on
+// sync-delayed storage (where grouping matters) with a small batching
+// window so concurrent requests reliably land in shared groups.
+func TestServerConnectionsShareCommitGroups(t *testing.T) {
+	fs := vfs.NewSlowSync(vfs.NewMem(), 500*time.Microsecond)
+	store, err := elsm.Open(elsm.Options{
+		FS:                fs,
+		GroupCommitWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const conns = 8
+	const requestsPerConn = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, server := net.Pipe()
+			done := make(chan struct{})
+			go func() {
+				serve(server, store)
+				close(done)
+			}()
+			defer func() {
+				client.Close()
+				<-done
+			}()
+			w := bufio.NewWriter(client)
+			r := bufio.NewReader(client)
+			for i := 0; i < requestsPerConn; i++ {
+				// Alternate MPUT and BATCH, the two grouped write forms.
+				if i%2 == 0 {
+					fmt.Fprintf(w, "MPUT c%02d-a%02d 1 c%02d-b%02d 2\n", c, i, c, i)
+				} else {
+					fmt.Fprintf(w, "BATCH 2\nPUT c%02d-a%02d 3\nDEL c%02d-b%02d\n", c, i, c, i)
+				}
+				w.Flush()
+				reply, err := r.ReadString('\n')
+				if err != nil {
+					errs <- fmt.Errorf("conn %d req %d: %v", c, i, err)
+					return
+				}
+				if !strings.HasPrefix(reply, "OK ") {
+					errs <- fmt.Errorf("conn %d req %d: reply %q", c, i, reply)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := store.Stats()
+	total := uint64(conns * requestsPerConn)
+	if st.GroupedRecords != total*2 {
+		t.Fatalf("pipeline carried %d records, want %d", st.GroupedRecords, total*2)
+	}
+	if st.WALSyncs >= total {
+		t.Fatalf("server issued %d fsyncs for %d write requests — connections are not sharing commit groups", st.WALSyncs, total)
+	}
+	t.Logf("%d write requests from %d connections → %d fsyncs, %d commit groups",
+		total, conns, st.WALSyncs, st.GroupCommits)
+
+	// And the coalesced writes are all there, verified.
+	for c := 0; c < conns; c++ {
+		res, err := store.Get([]byte(fmt.Sprintf("c%02d-a%02d", c, requestsPerConn-2)))
+		if err != nil || !res.Found {
+			t.Fatalf("conn %d data lost after coalesced commit: %v found=%v", c, err, res.Found)
 		}
 	}
 }

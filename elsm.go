@@ -18,8 +18,12 @@
 //	ts, _ := store.Put([]byte("key"), []byte("value"))
 //	res, err := store.Get([]byte("key"))   // verified: integrity+freshness
 //
-// Writes batch into one enclave round trip (one lock acquisition, one
-// group fsync, one counter bump for the whole group):
+// Every write — single Put or client Batch — rides a cross-client
+// group-commit pipeline: concurrent commits coalesce into one grouped WAL
+// append, one fsync and at most one monotonic-counter bump, and each group
+// is marker-terminated in the log so crash recovery replays a prefix of
+// whole commits. Batches additionally pack their operations into one
+// enclave round trip:
 //
 //	b := store.NewBatch()
 //	b.Put([]byte("k1"), []byte("v1"))
@@ -46,6 +50,7 @@ package elsm
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"elsm/internal/core"
 	"elsm/internal/costmodel"
@@ -114,6 +119,24 @@ type Options struct {
 	// (required for unseal + rollback detection after reopen).
 	Platform *sgx.Platform
 	Counter  *sgx.MonotonicCounter
+	// IterChunkKeys bounds how many distinct keys a streaming iterator
+	// chunk covers per run — the unit of per-ECall verification work and
+	// of background prefetch (0 = the built-in default, currently 512).
+	// Larger chunks amortize enclave boundary crossings better; smaller
+	// chunks bound the enclave-resident working set.
+	IterChunkKeys int
+	// GroupCommitMaxOps caps how many operations one cross-client commit
+	// group may carry (0 = unbounded). Setting 1 disables write
+	// coalescing entirely: every commit pays its own WAL fsync and
+	// counter-bump check — useful only for measuring what group commit
+	// buys.
+	GroupCommitMaxOps int
+	// GroupCommitWindow makes a commit leader wait this long for more
+	// concurrent commits to join its group before flushing it, trading
+	// single-writer latency for larger groups. 0 (the default) relies on
+	// the natural batching window: while one group's fsync is in flight,
+	// the next group accumulates. Capped at one second.
+	GroupCommitWindow time.Duration
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -122,6 +145,23 @@ type Options struct {
 	BlockSize         int
 	DisableCompaction bool
 	DisableWAL        bool
+}
+
+// validate rejects option values that would silently misbehave.
+func (o Options) validate() error {
+	if o.IterChunkKeys < 0 {
+		return fmt.Errorf("elsm: IterChunkKeys must be ≥ 0, got %d", o.IterChunkKeys)
+	}
+	if o.GroupCommitMaxOps < 0 {
+		return fmt.Errorf("elsm: GroupCommitMaxOps must be ≥ 0, got %d", o.GroupCommitMaxOps)
+	}
+	if o.GroupCommitWindow < 0 {
+		return fmt.Errorf("elsm: GroupCommitWindow must be ≥ 0, got %v", o.GroupCommitWindow)
+	}
+	if o.GroupCommitWindow > time.Second {
+		return fmt.Errorf("elsm: GroupCommitWindow %v exceeds the 1s cap (it delays every commit)", o.GroupCommitWindow)
+	}
+	return nil
 }
 
 // Store is an authenticated key-value store.
@@ -135,6 +175,9 @@ type Store struct {
 func Open(opts Options) (*Store, error) {
 	if opts.Mode == 0 {
 		opts.Mode = ModeP2
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	fs := opts.FS
 	if fs == nil && opts.Dir != "" {
@@ -157,6 +200,9 @@ func Open(opts Options) (*Store, error) {
 		MmapReads:            opts.MmapReads,
 		KeepVersions:         opts.KeepVersions,
 		RequireCleanRecovery: opts.RequireCleanRecovery,
+		IterChunkKeys:        opts.IterChunkKeys,
+		GroupCommitMaxOps:    opts.GroupCommitMaxOps,
+		GroupCommitWindow:    opts.GroupCommitWindow,
 		MemtableSize:         opts.MemtableSize,
 		TableFileSize:        opts.TableFileSize,
 		LevelBase:            opts.LevelBase,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"elsm/internal/crypto"
 	"elsm/internal/sgx"
@@ -241,6 +242,42 @@ func TestOpenRejectsBadConfig(t *testing.T) {
 	opts.MmapReads = true
 	if _, err := Open(opts); err == nil {
 		t.Fatal("P1 with mmap accepted")
+	}
+}
+
+func TestOpenValidatesTuningOptions(t *testing.T) {
+	bad := []Options{
+		{IterChunkKeys: -1},
+		{GroupCommitMaxOps: -1},
+		{GroupCommitWindow: -time.Millisecond},
+		{GroupCommitWindow: 2 * time.Second}, // over the 1s cap
+	}
+	for i, opts := range bad {
+		if _, err := Open(opts); err == nil {
+			t.Fatalf("bad option set %d accepted: %+v", i, opts)
+		}
+	}
+	// And valid settings work end to end: tiny chunks, bounded groups, a
+	// small batching window.
+	for _, mode := range []Mode{ModeP2, ModeP1, ModeUnsecured} {
+		opts := testOptions(mode)
+		opts.IterChunkKeys = 4
+		opts.GroupCommitMaxOps = 8
+		opts.GroupCommitWindow = 100 * time.Microsecond
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := s.Scan([]byte("k"), []byte("l"))
+		if err != nil || len(out) != 20 {
+			t.Fatalf("%v: scan with tuned chunks = %d results, err %v", mode, len(out), err)
+		}
+		s.Close()
 	}
 }
 

@@ -10,7 +10,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -71,19 +74,53 @@ func (c Config) logf(format string, args ...interface{}) {
 
 // Row is one X point of a figure.
 type Row struct {
-	X string
+	X string `json:"x"`
 	// Series maps series name to mean µs/op (NaN-free; missing points —
 	// e.g. Eleos beyond its capacity — are absent).
-	Series map[string]float64
+	Series map[string]float64 `json:"series"`
 }
 
 // Table is a reproduced figure.
 type Table struct {
-	Name    string
-	Caption string
-	XLabel  string
-	Series  []string
-	Rows    []Row
+	Name    string   `json:"name"`
+	Caption string   `json:"caption"`
+	XLabel  string   `json:"xlabel"`
+	Series  []string `json:"seriesOrder"`
+	Rows    []Row    `json:"rows"`
+}
+
+// FileSlug derives the machine-readable result file stem from the table
+// name: "Ablation: group commit" → "ablation-group-commit".
+func (t Table) FileSlug() string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(t.Name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// WriteJSON persists the table as BENCH_<slug>.json in dir, so the perf
+// trajectory is machine-trackable across PRs. Returns the written path.
+func (t Table) WriteJSON(dir string) (string, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal %s: %w", t.Name, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+t.FileSlug()+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
 }
 
 // Format renders the table as the paper-style text block. Values are mean

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -89,6 +91,59 @@ func TestLoadBatchedMatchesBulk(t *testing.T) {
 	}
 	if want := ycsb.RecordsForBytes(int64(data)); len(res) != want {
 		t.Fatalf("batched load produced %d records, want %d", len(res), want)
+	}
+}
+
+func TestCommitThroughputReport(t *testing.T) {
+	tbl, err := CommitThroughput(tinyCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // writers 1, 2, 4
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if _, ok := row.Series["per-op commit"]; !ok {
+			t.Fatalf("row %s missing per-op series", row.X)
+		}
+		if _, ok := row.Series["group commit"]; !ok {
+			t.Fatalf("row %s missing grouped series", row.X)
+		}
+	}
+	if _, err := CommitThroughput(tinyCfg(), 0); err == nil {
+		t.Fatal("procs 0 accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := Table{
+		Name:    "Ablation: group commit",
+		Caption: "c",
+		XLabel:  "x",
+		Series:  []string{"a"},
+		Rows:    []Row{{X: "1", Series: map[string]float64{"a": 2.5}}},
+	}
+	if got, want := tbl.FileSlug(), "ablation-group-commit"; got != want {
+		t.Fatalf("slug = %q, want %q", got, want)
+	}
+	dir := t.TempDir()
+	path, err := tbl.WriteJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tbl.Name || len(back.Rows) != 1 || back.Rows[0].Series["a"] != 2.5 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if !strings.HasSuffix(path, "BENCH_ablation-group-commit.json") {
+		t.Fatalf("path = %q", path)
 	}
 }
 

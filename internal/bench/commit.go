@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"elsm/internal/core"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+)
+
+// commitSyncDelay models storage whose fsync costs real time — the regime
+// group commit exists for. In-memory FS syncs are free, which would hide
+// exactly the cost being ablated.
+const commitSyncDelay = 200 * time.Microsecond
+
+// commitWriters is the concurrency of the ablation's fixed writer pool.
+const commitWriters = 8
+
+// commitGroupSweep is the ablation's X axis: the GroupCommitMaxOps cap.
+// 1 = per-op commits (no coalescing, the pre-pipeline behaviour under
+// concurrency); 0 = unbounded groups.
+var commitGroupSweep = []int{1, 2, 4, 8, 16, 0}
+
+// commitPoint runs concurrent single-record writers against an eLSM-P2
+// store on sync-delayed storage and reports mean µs/op, fsyncs and counter
+// bumps per 1000 ops, and the mean commit-group size.
+func (c Config) commitPoint(maxOps, writers, totalOps int) (usPerOp, fsyncsPerK, bumpsPerK, groupSize float64, err error) {
+	fs := vfs.NewSlowSync(vfs.NewMem(), commitSyncDelay)
+	counter := sgx.NewMonotonicCounter()
+	s, err := core.Open(core.Config{
+		FS:                fs,
+		SGX:               sgx.Params{EPCSize: c.epcBytes(), Cost: *c.Cost},
+		Counter:           counter,
+		MemtableSize:      c.paperMB(4),
+		TableFileSize:     c.paperMB(4),
+		LevelBase:         int64(c.paperMB(10)),
+		MaxLevels:         7,
+		KeepVersions:      1,
+		CounterInterval:   64, // frequent enough to measure bump amortization
+		MmapReads:         true,
+		GroupCommitMaxOps: maxOps,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer s.Close()
+
+	perWriter := totalOps / writers
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := []byte("group-commit-ablation-value")
+			for i := 0; i < perWriter; i++ {
+				key := []byte(fmt.Sprintf("w%02d-%08d", w, i))
+				if _, perr := s.Put(key, val); perr != nil {
+					errCh <- perr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if werr := <-errCh; werr != nil {
+		return 0, 0, 0, 0, werr
+	}
+
+	ops := float64(perWriter * writers)
+	st := s.Engine().Stats()
+	bumps, _ := counter.Read()
+	usPerOp = float64(elapsed.Nanoseconds()) / 1e3 / ops
+	fsyncsPerK = float64(st.WALSyncs) / ops * 1000
+	bumpsPerK = float64(bumps) / ops * 1000
+	if st.GroupCommits > 0 {
+		groupSize = float64(st.GroupedRecords) / float64(st.GroupCommits)
+	}
+	return usPerOp, fsyncsPerK, bumpsPerK, groupSize, nil
+}
+
+// AblationCommit quantifies what cross-client group commit buys: 8
+// concurrent writers, sweeping the group-size cap from 1 (per-op commits —
+// every write pays its own fsync and counter-bump check) to unbounded.
+// Expected shape: µs/op falls steeply as groups grow while fsyncs and
+// bumps per 1000 ops collapse, flattening once groups are large enough
+// that the fsync is fully amortized.
+func AblationCommit(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Name: "Ablation: group commit",
+		Caption: fmt.Sprintf("%d concurrent writers, %v fsync; group-size cap sweep",
+			commitWriters, commitSyncDelay),
+		XLabel: "max group size",
+		Series: seriesOrder("µs/op", "fsync/1kops", "bumps/1kops", "mean group"),
+	}
+	for _, maxOps := range commitGroupSweep {
+		label := fmt.Sprintf("%d", maxOps)
+		if maxOps == 0 {
+			label = "unbounded"
+		}
+		cfg.logf("AblationCommit maxOps=%s", label)
+		us, fsyncs, bumps, group, err := cfg.commitPoint(maxOps, commitWriters, cfg.Ops)
+		if err != nil {
+			return t, fmt.Errorf("commit ablation @ %s: %w", label, err)
+		}
+		cfg.logf("    %s: %.1f us/op, %.1f fsync/1k, %.1f bumps/1k, group %.1f", label, us, fsyncs, bumps, group)
+		t.Rows = append(t.Rows, Row{X: label, Series: map[string]float64{
+			"µs/op":       us,
+			"fsync/1kops": fsyncs,
+			"bumps/1kops": bumps,
+			"mean group":  group,
+		}})
+	}
+	return t, nil
+}
+
+// CommitThroughput renders the -procs flag's report: per-op commits vs the
+// group-commit pipeline across client concurrency levels up to procs, on
+// the same sync-delayed storage as the ablation.
+func CommitThroughput(cfg Config, procs int) (Table, error) {
+	cfg = cfg.withDefaults()
+	if procs < 1 {
+		return Table{}, fmt.Errorf("bench: procs must be ≥ 1, got %d", procs)
+	}
+	t := Table{
+		Name: "Concurrent writers",
+		Caption: fmt.Sprintf("per-op commits vs group commit, %v fsync (µs per op)",
+			commitSyncDelay),
+		XLabel: "client goroutines",
+		Series: seriesOrder("per-op commit", "group commit"),
+	}
+	levels := []int{1, 2, 4}
+	if procs > 4 {
+		levels = append(levels, procs)
+	}
+	for _, w := range levels {
+		if w > procs {
+			break
+		}
+		row := Row{X: fmt.Sprintf("%d", w), Series: map[string]float64{}}
+		cfg.logf("CommitThroughput writers=%d", w)
+		perOp, _, _, _, err := cfg.commitPoint(1, w, cfg.Ops)
+		if err != nil {
+			return t, err
+		}
+		grouped, _, _, _, err := cfg.commitPoint(0, w, cfg.Ops)
+		if err != nil {
+			return t, err
+		}
+		cfg.logf("    per-op %.1f us/op, grouped %.1f us/op", perOp, grouped)
+		row.Series["per-op commit"] = perOp
+		row.Series["group commit"] = grouped
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

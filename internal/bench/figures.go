@@ -335,5 +335,6 @@ func All() []Experiment {
 		{"fig8", Fig8},
 		{"ablation-earlystop", AblationEarlyStop},
 		{"ablation-batch", AblationBatch},
+		{"ablation-commit", AblationCommit},
 	}
 }

@@ -8,29 +8,17 @@ import (
 // tombstone when Delete is true.
 type BatchOp = lsm.BatchOp
 
-// ApplyBatch applies a group of writes in ONE enclave round trip: the
-// engine acquires its write lock once, extends the WAL digest chain per
-// record but performs a single group append+fsync of the untrusted log, and
-// at most one monotonic-counter bump is paid for the whole group (deferred
-// from OnWALAppend to the end of the batch). It returns the batch's commit
-// timestamp — the trusted timestamp of its last record.
+// ApplyBatch applies a group of writes in ONE enclave round trip, riding
+// the engine's cross-client group-commit pipeline: the batch extends the
+// WAL digest chain per record but shares a single marker-terminated group
+// append+fsync — and at most one monotonic-counter bump, paid in
+// OnGroupCommit after the group is durable — with every concurrent commit
+// that joined the same group. It returns the batch's commit timestamp —
+// the trusted timestamp of its last record.
 func (c *Store) ApplyBatch(ops []BatchOp) (uint64, error) {
-	c.mu.Lock()
-	c.batchDepth++
-	c.mu.Unlock()
 	var ts uint64
 	var err error
 	c.enclave.ECall(func() { ts, err = c.engine.ApplyBatch(ops) })
-	c.mu.Lock()
-	c.batchDepth--
-	bump := c.pendingBump && c.batchDepth == 0
-	if bump {
-		c.pendingBump = false
-	}
-	c.mu.Unlock()
-	if bump {
-		c.commitState()
-	}
 	return ts, err
 }
 

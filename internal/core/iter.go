@@ -23,9 +23,11 @@ const DefaultIterChunkKeys = 512
 //
 // Each chunk observes the store at its own fetch time: an iterator (and a
 // Scan rebased on it) is NOT a point-in-time snapshot, so writes committed
-// mid-iteration may appear in later chunks. For a repeatable view, pass a
-// fixed tsq to IterAt — concurrent writes receive newer timestamps and are
-// excluded (provided version history is retained, KeepVersions 0).
+// mid-iteration may appear in later chunks (with one chunk of background
+// prefetch, chunk N+1 is fetched while N drains, so its observation point
+// is correspondingly earlier). For a repeatable view, pass a fixed tsq to
+// IterAt — concurrent writes receive newer timestamps and are excluded
+// (provided version history is retained, KeepVersions 0).
 //
 // Iterators are not safe for concurrent use. The Result returned for each
 // position remains valid after further Next calls.
@@ -47,21 +49,62 @@ type Iterator interface {
 // returning the resume cursor and whether the range is exhausted.
 type fetchChunk func(cursor []byte) (out []Result, next []byte, done bool, err error)
 
-// chunkIter adapts a chunk fetcher into an Iterator. A chunk may legally be
-// empty without ending the stream (e.g. all keys in it resolved to
-// tombstones), so Next loops until a result or exhaustion.
+// chunkResult is one fetched (and, on authenticated stores, verified)
+// chunk.
+type chunkResult struct {
+	out  []Result
+	next []byte
+	done bool
+	err  error
+}
+
+// chunkIter adapts a chunk fetcher into an Iterator with one chunk of
+// background prefetch: as soon as chunk N is handed to the consumer, chunk
+// N+1 is fetched — and verified — on a goroutine, so by the time the
+// consumer drains N its successor is (usually) already waiting. Lookahead
+// is bounded to exactly one chunk: the prefetch goroutine sends its single
+// result into a buffered channel and exits, so an abandoned iterator leaks
+// nothing and the enclave-resident working set stays at one chunk.
+//
+// A chunk may legally be empty without ending the stream (e.g. all keys in
+// it resolved to tombstones), so Next loops until a result or exhaustion.
 type chunkIter struct {
-	fetch  fetchChunk
-	cursor []byte
-	buf    []Result
-	pos    int
-	done   bool
-	closed bool
-	err    error
+	fetch    fetchChunk
+	cursor   []byte
+	inflight chan chunkResult // nil when no prefetch is outstanding
+	buf      []Result
+	pos      int
+	done     bool
+	closed   bool
+	err      error
 }
 
 func newChunkIter(start []byte, fetch fetchChunk) *chunkIter {
 	return &chunkIter{fetch: fetch, cursor: append([]byte(nil), start...), pos: -1}
+}
+
+// startPrefetch launches the fetch of the chunk at it.cursor.
+func (it *chunkIter) startPrefetch() {
+	ch := make(chan chunkResult, 1)
+	cursor := it.cursor
+	fetch := it.fetch
+	go func() {
+		out, next, done, err := fetch(cursor)
+		ch <- chunkResult{out: out, next: next, done: done, err: err}
+	}()
+	it.inflight = ch
+}
+
+// nextChunk returns the chunk at it.cursor, from the prefetch in flight if
+// one was started, synchronously otherwise.
+func (it *chunkIter) nextChunk() chunkResult {
+	if it.inflight != nil {
+		res := <-it.inflight
+		it.inflight = nil
+		return res
+	}
+	out, next, done, err := it.fetch(it.cursor)
+	return chunkResult{out: out, next: next, done: done, err: err}
 }
 
 // Next implements Iterator.
@@ -74,13 +117,16 @@ func (it *chunkIter) Next() bool {
 		return true
 	}
 	for !it.done {
-		out, next, done, err := it.fetch(it.cursor)
-		if err != nil {
-			it.err = err
+		res := it.nextChunk()
+		if res.err != nil {
+			it.err = res.err
 			return false
 		}
-		it.buf, it.pos, it.cursor, it.done = out, 0, next, done
-		if len(out) > 0 {
+		it.buf, it.pos, it.cursor, it.done = res.out, 0, res.next, res.done
+		if !it.done {
+			it.startPrefetch()
+		}
+		if len(res.out) > 0 {
 			return true
 		}
 	}
@@ -93,9 +139,17 @@ func (it *chunkIter) Result() Result { return it.buf[it.pos] }
 // Err implements Iterator.
 func (it *chunkIter) Err() error { return it.err }
 
-// Close implements Iterator.
+// Close implements Iterator. A prefetch still in flight is drained so its
+// verification outcome is not lost: a tampered chunk the consumer never
+// reached still surfaces here.
 func (it *chunkIter) Close() error {
 	it.closed = true
+	if it.inflight != nil {
+		if res := <-it.inflight; res.err != nil && it.err == nil {
+			it.err = res.err
+		}
+		it.inflight = nil
+	}
 	return it.err
 }
 

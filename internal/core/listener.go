@@ -31,19 +31,29 @@ type authListener struct {
 
 var _ lsm.EventListener = (*authListener)(nil)
 
-// OnWALAppend extends the enclave's WAL digest chain (§5.3 step w1) and
-// periodically pins the dataset state to the monotonic counter (§5.6.1).
+// OnWALAppend extends the enclave's WAL digest chain (§5.3 step w1). The
+// periodic counter bump moved to OnGroupCommit: it now fires once per
+// durably-synced commit group, never in the middle of one — which both
+// amortizes the bump across every commit that joined the group and
+// guarantees the sealed state always describes a group-aligned, durable
+// WAL prefix.
 func (l *authListener) OnWALAppend(rec record.Record) {
 	c := l.c
 	c.mu.Lock()
 	c.walDigest = hashutil.WALLink(c.walDigest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
 	c.walAppends++
-	bump := c.counterInterval > 0 && c.walAppends%uint64(c.counterInterval) == 0
-	if bump && c.batchDepth > 0 {
-		// Mid-batch: defer to the end of the group so a batch pays at
-		// most one counter bump (ApplyBatch performs it).
-		c.pendingBump = true
-		bump = false
+	c.mu.Unlock()
+}
+
+// OnGroupCommit pins the dataset state to the monotonic counter (§5.6.1)
+// once the configured interval of appends has committed — at most one bump
+// per group, paid after the group is durable.
+func (l *authListener) OnGroupCommit(n int) {
+	c := l.c
+	c.mu.Lock()
+	bump := c.counterInterval > 0 && c.walAppends-c.appendsAtBump >= uint64(c.counterInterval)
+	if bump {
+		c.appendsAtBump = c.walAppends
 	}
 	c.mu.Unlock()
 	if bump {
@@ -136,10 +146,9 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 		return l.streamErr
 	}
 	c := l.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	digs := c.snapshotDigests()
 	for _, id := range info.InputRuns {
-		trusted, ok := c.digests[id]
+		trusted, ok := digs[id]
 		if !ok {
 			return fmt.Errorf("core: no trusted digest for input run %d", id)
 		}
@@ -164,12 +173,12 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 		return
 	}
 	c := l.c
-	c.mu.Lock()
-	for _, id := range info.InputRuns {
-		delete(c.digests, id)
-	}
-	c.digests[info.OutputRun] = l.finalized.digest
-	c.mu.Unlock()
+	c.mutateDigests(func(digests map[uint64]runDigest) {
+		for _, id := range info.InputRuns {
+			delete(digests, id)
+		}
+		digests[info.OutputRun] = l.finalized.digest
+	})
 	l.active = false
 	l.inputs = nil
 	l.output = nil

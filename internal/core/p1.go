@@ -84,6 +84,8 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 		KeepVersions:      cfg.KeepVersions,
 		DisableCompaction: cfg.DisableCompaction,
 		DisableWAL:        cfg.DisableWAL,
+		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
+		GroupCommitWindow: cfg.GroupCommitWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elsm/internal/blockcache"
 	"elsm/internal/hashutil"
@@ -55,6 +56,13 @@ type Config struct {
 	// IterChunkKeys bounds how many distinct keys a streaming iterator
 	// chunk covers per run (0 = DefaultIterChunkKeys).
 	IterChunkKeys int
+	// GroupCommitMaxOps caps how many operations one cross-client commit
+	// group may carry (0 = unbounded; 1 = per-op commits, no coalescing).
+	GroupCommitMaxOps int
+	// GroupCommitWindow makes a commit leader wait this long for more
+	// concurrent commits to join its group (0 = rely on the natural
+	// batching window of the previous group's fsync).
+	GroupCommitWindow time.Duration
 	// DisableEarlyStop makes every GET iterate and verify ALL runs
 	// instead of stopping at the first verified hit — the behaviour of
 	// prior work (Speicher) that eLSM improves on (§7 distinction 1).
@@ -117,16 +125,24 @@ type Store struct {
 	counterInterval int
 	iterChunkKeys   int
 
+	// snap is the lock-free read snapshot of the trusted digest forest:
+	// an immutable map swapped atomically by copy-on-write whenever a
+	// flush/compaction installs a new version (the ONLY digest mutations).
+	// Get/Iter load it without taking any lock, so verified reads never
+	// contend with the committer, whose per-record OnWALAppend work holds
+	// mu.
+	snap atomic.Pointer[trustedView]
+
+	// mu guards the write-side trusted state (WAL digest chain, bump
+	// bookkeeping) and serializes snapshot swaps. Readers never take it.
 	mu         sync.Mutex
-	digests    map[uint64]runDigest
 	walDigest  hashutil.Hash
 	walAppends uint64
 
-	// batchDepth counts in-flight ApplyBatch calls; while positive, the
-	// periodic counter bump of OnWALAppend is deferred to pendingBump so a
-	// batch pays at most one bump (guarded by mu).
-	batchDepth  int
-	pendingBump bool
+	// appendsAtBump records walAppends at the last periodic counter bump;
+	// OnGroupCommit bumps again once counterInterval more records have
+	// committed, so a whole group shares at most one bump.
+	appendsAtBump uint64
 
 	// scanTamper, when non-nil, mutates each per-run scan response before
 	// verification — a test-only stand-in for a malicious untrusted host.
@@ -208,9 +224,9 @@ func Open(cfg Config) (*Store, error) {
 		counter:         counter,
 		counterInterval: interval,
 		iterChunkKeys:   chunkKeys,
-		digests:         make(map[uint64]runDigest),
 		measurement:     sgx.Measure([]byte("elsm-p2")),
 	}
+	c.snap.Store(&trustedView{digests: make(map[uint64]runDigest)})
 	c.sealKey = platform.SealingKey(c.measurement)
 	c.disableEarlyStop = cfg.DisableEarlyStop
 	c.listener = &authListener{c: c}
@@ -235,6 +251,8 @@ func Open(cfg Config) (*Store, error) {
 		KeepVersions:      cfg.KeepVersions,
 		DisableCompaction: cfg.DisableCompaction,
 		DisableWAL:        cfg.DisableWAL,
+		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
+		GroupCommitWindow: cfg.GroupCommitWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -245,6 +263,33 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// trustedView is an immutable snapshot of the digest forest. The map must
+// never be mutated after the view is published via snap; mutations go
+// through mutateDigests, which copies.
+type trustedView struct {
+	digests map[uint64]runDigest
+}
+
+// snapshotDigests returns the current immutable digest view — a single
+// atomic load, no lock, no copy. Callers must treat the map as read-only.
+func (c *Store) snapshotDigests() map[uint64]runDigest {
+	return c.snap.Load().digests
+}
+
+// mutateDigests publishes a new digest view built by fn from a copy of the
+// current one (copy-on-write under mu, which serializes writers).
+func (c *Store) mutateDigests(fn func(map[uint64]runDigest)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.snap.Load().digests
+	next := make(map[uint64]runDigest, len(old)+1)
+	for id, d := range old {
+		next[id] = d
+	}
+	fn(next)
+	c.snap.Store(&trustedView{digests: next})
 }
 
 // stateFingerprint deterministically digests the trusted state for counter
@@ -283,17 +328,15 @@ type trustedState struct {
 // fingerprint and persists the sealed state blob (§5.6.1).
 func (c *Store) commitState() {
 	c.mu.Lock()
-	fp := stateFingerprint(c.digests, c.walDigest)
+	digs := c.snap.Load().digests // consistent with walDigest: swaps hold mu
+	fp := stateFingerprint(digs, c.walDigest)
 	ctr := c.counter.Increment(fp)
 	st := trustedState{
-		Digests:    make(map[uint64]runDigest, len(c.digests)),
+		Digests:    digs, // immutable; marshalled below without mutation
 		WALDigest:  c.walDigest,
 		WALAppends: c.walAppends,
 		LastTs:     c.engine.LastTs(),
 		Counter:    ctr,
-	}
-	for id, d := range c.digests {
-		st.Digests[id] = d
 	}
 	c.mu.Unlock()
 
@@ -374,13 +417,19 @@ func (c *Store) recoverTrustedState(requireClean bool) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrRollback, err)
 	}
-	if extra > 0 && requireClean {
-		return fmt.Errorf("%w: %d unverified WAL records after sealed state", ErrRollback, extra)
+	if requireClean {
+		if extra > 0 {
+			return fmt.Errorf("%w: %d unverified WAL records after sealed state", ErrRollback, extra)
+		}
+		if torn := c.engine.WALTornRecords(); torn > 0 {
+			return fmt.Errorf("%w: %d WAL records dropped from an uncommitted group", ErrRollback, torn)
+		}
 	}
 	c.mu.Lock()
-	c.digests = st.Digests
+	c.snap.Store(&trustedView{digests: st.Digests})
 	c.walDigest = replayDigest
 	c.walAppends = st.WALAppends + uint64(extra)
+	c.appendsAtBump = c.walAppends
 	c.unverifiedReplay = extra
 	c.mu.Unlock()
 	c.engine.EnsureTs(st.LastTs)
@@ -439,17 +488,6 @@ func (c *Store) get(key []byte, tsq uint64) (Result, error) {
 		}
 	}
 	return Result{}, fmt.Errorf("core: get retries exhausted under concurrent compaction")
-}
-
-// snapshotDigests copies the trusted digest map.
-func (c *Store) snapshotDigests() map[uint64]runDigest {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[uint64]runDigest, len(c.digests))
-	for id, d := range c.digests {
-		out[id] = d
-	}
-	return out
 }
 
 // getOnce runs the GET protocol of §5.3: the memtable (trusted, in-enclave)
@@ -571,10 +609,9 @@ type DigestInfo struct {
 // RunDigests returns a snapshot of the trusted digest forest (run ID →
 // root/leaf-count), primarily for tests and introspection tooling.
 func (c *Store) RunDigests() map[uint64]DigestInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[uint64]DigestInfo, len(c.digests))
-	for id, d := range c.digests {
+	digs := c.snapshotDigests()
+	out := make(map[uint64]DigestInfo, len(digs))
+	for id, d := range digs {
 		out[id] = DigestInfo{Root: d.Root.String(), NumLeaves: d.NumLeaves}
 	}
 	return out

@@ -43,6 +43,8 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 		KeepVersions:      cfg.KeepVersions,
 		DisableCompaction: cfg.DisableCompaction,
 		DisableWAL:        cfg.DisableWAL,
+		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
+		GroupCommitWindow: cfg.GroupCommitWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -1,11 +1,5 @@
 package lsm
 
-import (
-	"fmt"
-
-	"elsm/internal/record"
-)
-
 // BatchOp is one operation of a grouped write: a set (Delete false) or a
 // tombstone (Delete true, Value ignored).
 type BatchOp struct {
@@ -14,54 +8,15 @@ type BatchOp struct {
 	Delete bool
 }
 
-// ApplyBatch applies a group of writes under a single lock acquisition:
-// timestamps are drawn from one atomic reservation, every record extends the
-// listener's WAL digest chain individually, but the whole group reaches the
-// untrusted log in one append followed by one group sync — the
-// boundary-crossing and fsync costs are amortized across the batch instead
-// of being paid per record. It returns the timestamp of the last record
-// (the batch's commit timestamp; records occupy the contiguous range
+// ApplyBatch applies a group of writes atomically through the group-commit
+// pipeline (commit.go): timestamps are drawn from one contiguous
+// reservation, every record extends the listener's WAL digest chain
+// individually, and the whole batch reaches the untrusted log in one
+// marker-terminated group append — sharing its fsync and periodic
+// monotonic-counter bump with any concurrent commits that joined the same
+// group. It returns the timestamp of the batch's last record (the batch's
+// commit timestamp; records occupy the contiguous range
 // [ts-len(ops)+1, ts]).
 func (s *Store) ApplyBatch(ops []BatchOp) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
-	if len(ops) == 0 {
-		return s.lastTs.Load(), nil
-	}
-	last := s.lastTs.Add(uint64(len(ops)))
-	first := last - uint64(len(ops)) + 1
-	recs := make([]record.Record, len(ops))
-	for i, op := range ops {
-		kind := record.KindSet
-		value := op.Value
-		if op.Delete {
-			kind = record.KindDelete
-			value = nil
-		}
-		recs[i] = record.Record{Key: op.Key, Ts: first + uint64(i), Kind: kind, Value: value}
-		s.listener.OnWALAppend(recs[i])
-	}
-	if !s.opts.DisableWAL {
-		var werr error
-		s.ocall(func() {
-			if werr = s.walW.AppendBatch(recs); werr == nil {
-				werr = s.walW.Sync()
-			}
-		})
-		if werr != nil {
-			return 0, werr
-		}
-	}
-	for i := range recs {
-		s.mem.Put(recs[i])
-	}
-	if s.mem.ApproxBytes() >= s.opts.MemtableSize {
-		if err := s.flushLocked(); err != nil {
-			return 0, fmt.Errorf("lsm: flush: %w", err)
-		}
-	}
-	return last, nil
+	return s.commit(ops)
 }

@@ -1,0 +1,210 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"elsm/internal/record"
+)
+
+// This file implements the cross-client group-commit pipeline. Concurrent
+// Put/Delete/ApplyBatch callers enqueue their operations and one of them —
+// the leader — drains the queue and commits the whole group at once: one
+// grouped WAL append, one fsync, one memtable apply, one OnGroupCommit
+// notification (where the authentication layer pays its periodic
+// monotonic-counter bump), then every waiter is woken with its own commit
+// timestamp. While a leader is inside the fsync the queue refills, so the
+// natural group size grows with storage latency and offered load — the
+// classic group-commit feedback loop — without any artificial delay.
+//
+// The leader role is a capacity-1 token channel: every enqueued request
+// waits on "my result is ready OR I can become leader", so there is always
+// a leader when work is pending, requests are never stranded, and no
+// background goroutine needs a lifecycle.
+
+// commitReq is one caller's pending commit.
+type commitReq struct {
+	ops  []BatchOp
+	ts   uint64 // commit timestamp (the group's last record of this request)
+	err  error
+	done chan struct{}
+}
+
+// committer is the shared commit queue.
+type committer struct {
+	mu      sync.Mutex
+	pending []*commitReq
+	token   chan struct{} // capacity 1: the leader role
+}
+
+// commit enqueues ops and blocks until some leader (possibly this caller)
+// has durably committed them, returning the commit timestamp of the
+// request's last record.
+func (s *Store) commit(ops []BatchOp) (uint64, error) {
+	if len(ops) == 0 {
+		return s.lastTs.Load(), nil
+	}
+	req := &commitReq{ops: ops, done: make(chan struct{})}
+	s.gc.mu.Lock()
+	s.gc.pending = append(s.gc.pending, req)
+	s.gc.mu.Unlock()
+	for {
+		select {
+		case <-req.done:
+			return req.ts, req.err
+		case s.gc.token <- struct{}{}:
+			select {
+			case <-req.done:
+				// A previous leader already committed us; hand the token
+				// straight back instead of leading an empty round.
+				<-s.gc.token
+				return req.ts, req.err
+			default:
+			}
+			if w := s.opts.GroupCommitWindow; w > 0 && !s.pendingGroupFull() {
+				// Deliberate batching window: hold the leader role briefly
+				// so more concurrent commits can join this group. Skipped
+				// when the queue already holds a full group — sleeping
+				// could not grow it further.
+				time.Sleep(w)
+			}
+			s.commitPending()
+			<-s.gc.token
+			// Our own request was in the queue, so unless GroupCommitMaxOps
+			// split it into a later group it is done now; if not, loop and
+			// either wait or lead again.
+		}
+	}
+}
+
+// pendingGroupFull reports whether the queue already carries at least
+// GroupCommitMaxOps operations (never true when groups are unbounded).
+func (s *Store) pendingGroupFull() bool {
+	max := s.opts.GroupCommitMaxOps
+	if max <= 0 {
+		return false
+	}
+	s.gc.mu.Lock()
+	defer s.gc.mu.Unlock()
+	n := 0
+	for _, req := range s.gc.pending {
+		n += len(req.ops)
+		if n >= max {
+			return true
+		}
+	}
+	return false
+}
+
+// commitPending drains (a bounded prefix of) the queue and commits it as
+// one group. Caller holds the leader token.
+func (s *Store) commitPending() {
+	s.gc.mu.Lock()
+	batch := s.gc.pending
+	if max := s.opts.GroupCommitMaxOps; max > 0 {
+		n := 0
+		for i, req := range batch {
+			n += len(req.ops)
+			if n >= max && i+1 < len(batch) {
+				batch = batch[:i+1]
+				break
+			}
+		}
+	}
+	s.gc.pending = s.gc.pending[len(batch):]
+	s.gc.mu.Unlock()
+	if len(batch) > 0 {
+		s.commitGroup(batch)
+	}
+}
+
+// commitGroup durably commits one group. Caller holds the leader token.
+//
+// Phases: (1) under mu — assign the group's contiguous timestamp range,
+// extend the enclave's WAL digest chain per record, and append the whole
+// group (plus its COMMIT marker) to the untrusted log in one OCall;
+// (2) outside mu but under commitMu — fsync the log, so concurrent
+// readers never wait on storage; (3) under mu again — apply the group to
+// the memtable, so records become readable only once durable and a failed
+// fsync never leaves phantom writes visible; (4) notify the listener once
+// for the whole group and wake every waiter with its timestamp.
+func (s *Store) commitGroup(batch []*commitReq) {
+	finish := func(err error) {
+		for _, req := range batch {
+			req.err = err
+			close(req.done)
+		}
+	}
+
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		finish(ErrClosed)
+		return
+	}
+	total := 0
+	for _, req := range batch {
+		total += len(req.ops)
+	}
+	last := s.lastTs.Add(uint64(total))
+	ts := last - uint64(total) + 1
+	recs := make([]record.Record, 0, total)
+	for _, req := range batch {
+		for _, op := range req.ops {
+			kind := record.KindSet
+			value := op.Value
+			if op.Delete {
+				kind = record.KindDelete
+				value = nil
+			}
+			rec := record.Record{Key: op.Key, Ts: ts, Kind: kind, Value: value}
+			s.listener.OnWALAppend(rec)
+			recs = append(recs, rec)
+			ts++
+		}
+		req.ts = ts - 1
+	}
+	if !s.opts.DisableWAL {
+		var werr error
+		s.ocall(func() { werr = s.walW.AppendBatch(recs) })
+		if werr != nil {
+			s.mu.Unlock()
+			finish(werr)
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	// The fsync runs without the engine lock: readers proceed, and commits
+	// arriving meanwhile queue up to form the next group (commitMu keeps
+	// the WAL writer stable until we are done).
+	if !s.opts.DisableWAL {
+		var serr error
+		s.ocall(func() { serr = s.walW.Sync() })
+		if serr != nil {
+			finish(fmt.Errorf("lsm: wal sync: %w", serr))
+			return
+		}
+		s.walSyncs.Add(1)
+	}
+	s.groupCommits.Add(1)
+	s.groupedRecords.Add(uint64(total))
+	s.listener.OnGroupCommit(total)
+
+	var flushErr error
+	s.mu.Lock()
+	for i := range recs {
+		s.mem.Put(recs[i])
+	}
+	if s.mem.ApproxBytes() >= s.opts.MemtableSize {
+		if err := s.flushLocked(); err != nil {
+			flushErr = fmt.Errorf("lsm: flush: %w", err)
+		}
+	}
+	s.mu.Unlock()
+	finish(flushErr)
+}

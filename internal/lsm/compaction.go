@@ -118,6 +118,8 @@ func (s *Store) deepestDataLevelLocked() int {
 // Compact merges level lvl into level lvl+1 (the paper's
 // COMPACTION(Li, Li+1), §5.3).
 func (s *Store) Compact(lvl int) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -383,6 +385,8 @@ func (s *Store) removeFilesLocked(fileNums []uint64) {
 // stream through the same listener events as a compaction (with
 // CompactionInfo.BulkLoad set), so the output is fully authenticated.
 func (s *Store) BulkLoad(recs []record.Record) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -496,6 +500,14 @@ func (m *memBuf) ReadAt(p []byte, off int64) (int, error) {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+func (m *memBuf) Truncate(size int64) error {
+	if size < 0 || size > int64(len(m.data)) {
+		return fmt.Errorf("lsm: membuf truncate %d out of range", size)
+	}
+	m.data = m.data[:size]
+	return nil
 }
 
 func (m *memBuf) Size() int64   { return int64(len(m.data)) }

@@ -14,6 +14,8 @@
 package lsm
 
 import (
+	"time"
+
 	"elsm/internal/blockcache"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
@@ -75,6 +77,16 @@ type Options struct {
 	DisableCompaction bool
 	// DisableWAL skips write-ahead logging (bulk experiments).
 	DisableWAL bool
+	// GroupCommitMaxOps caps how many operations one commit group may
+	// carry (0 = unbounded). 1 disables cross-client coalescing entirely —
+	// every commit pays its own fsync and counter-bump check — which is
+	// the per-op baseline of the commit ablation.
+	GroupCommitMaxOps int
+	// GroupCommitWindow makes a commit leader wait this long before
+	// draining the queue, trading latency for larger groups. 0 (the
+	// default) relies on the natural batching window: the queue refills
+	// while the previous group's fsync is in flight.
+	GroupCommitWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +170,13 @@ type EventListener interface {
 	// OnWALAppend fires before a record is appended to the untrusted WAL,
 	// letting the enclave extend its WAL digest chain (§5.3 step w1).
 	OnWALAppend(rec record.Record)
+	// OnGroupCommit fires once per commit group, after the group's n
+	// records are durably synced to the untrusted log. The authentication
+	// layer performs its periodic monotonic-counter bump here, so a group
+	// pays at most one bump — and the bump always pins a durable,
+	// group-aligned WAL state (sealing mid-append would bind the counter
+	// to records a crash could still tear away).
+	OnGroupCommit(n int)
 	// OnWALRotated fires after a flush truncates the WAL.
 	OnWALRotated()
 	// OnCompactionBegin fires before the merge starts.
@@ -188,6 +207,9 @@ var _ EventListener = NopListener{}
 
 // OnWALAppend implements EventListener.
 func (NopListener) OnWALAppend(record.Record) {}
+
+// OnGroupCommit implements EventListener.
+func (NopListener) OnGroupCommit(int) {}
 
 // OnWALRotated implements EventListener.
 func (NopListener) OnWALRotated() {}

@@ -153,6 +153,13 @@ func (ff *faultFile) Append(p []byte) (int, error) {
 func (ff *faultFile) Size() int64   { return ff.inner.Size() }
 func (ff *faultFile) Bytes() []byte { return ff.inner.Bytes() }
 
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.spend(); err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}
+
 func (ff *faultFile) Sync() error {
 	if err := ff.fs.spend(); err != nil {
 		return err

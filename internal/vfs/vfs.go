@@ -50,6 +50,9 @@ type File interface {
 	// implementation supports mmap-style access, or nil otherwise.
 	// The view is invalidated by writes.
 	Bytes() []byte
+	// Truncate shrinks (or grows, zero-filled) the file to size bytes.
+	// Used by WAL recovery to drop a torn tail after a crash.
+	Truncate(size int64) error
 	// Sync flushes to stable storage.
 	Sync() error
 	// Close releases the handle.
@@ -254,6 +257,22 @@ func (h *memHandle) Bytes() []byte {
 	return h.f.data
 }
 
+func (h *memHandle) Truncate(size int64) error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("vfs: truncate to negative size %d", size)
+	}
+	if size <= int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, h.f.data)
+	h.f.data = grown
+	return nil
+}
+
 func (h *memHandle) Sync() error  { return nil }
 func (h *memHandle) Close() error { return nil }
 
@@ -378,6 +397,8 @@ func (h *osHandle) Bytes() []byte {
 	}
 	return buf
 }
+
+func (h *osHandle) Truncate(size int64) error { return h.f.Truncate(size) }
 
 func (h *osHandle) Sync() error  { return h.f.Sync() }
 func (h *osHandle) Close() error { return h.f.Close() }

@@ -5,7 +5,16 @@
 // verified — a host that drops, reorders, or alters WAL entries produces a
 // digest mismatch.
 //
-// Record framing: [crc32 u32][kind u8][keyLen u32][key][ts u64][valLen u32][val]
+// Record framing: [crc32 u32][len u32][kind u8][keyLen u32][key][ts u64][valLen u32][val]
+//
+// Group commit: every append — single-record Append or grouped AppendBatch —
+// is terminated by a COMMIT marker frame ([crc32 u32][len u32][0xF0][count
+// u32]) carrying the group's record count. Replay delivers only records of
+// complete (marker-terminated) groups: a crash that tears the tail of the
+// log loses at most the uncommitted final group, never a suffix of a group,
+// so recovery always observes a prefix of whole commits. Markers are
+// framing-only — they do not enter the digest chain, which remains a
+// per-record hash chain over the committed records.
 package wal
 
 import (
@@ -24,6 +33,11 @@ var (
 	ErrCorrupt        = errors.New("wal: corrupt record")
 	ErrDigestMismatch = errors.New("wal: digest chain mismatch (log tampered or truncated)")
 )
+
+// commitMarker is the frame-kind byte of a group COMMIT marker. It is
+// disjoint from every record.Kind, so record frames and marker frames are
+// unambiguous.
+const commitMarker = 0xF0
 
 // Writer appends records to a WAL file while maintaining the enclave-side
 // digest chain. Not safe for concurrent use (the LSM store serializes
@@ -60,21 +74,27 @@ func encode(dst []byte, rec record.Record) []byte {
 	return append(dst, body...)
 }
 
-// Append writes one record to the log and advances the digest chain.
-func (w *Writer) Append(rec record.Record) error {
-	w.buf = encode(w.buf[:0], rec)
-	if _, err := w.f.Append(w.buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	w.dig = hashutil.WALLink(w.dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
-	return nil
+// encodeMarker appends a COMMIT marker frame declaring an n-record group.
+func encodeMarker(dst []byte, n int) []byte {
+	body := make([]byte, 0, 5)
+	body = append(body, commitMarker)
+	body = binary.BigEndian.AppendUint32(body, uint32(n))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
 }
 
-// AppendBatch writes a group of records as one contiguous file append,
-// advancing the digest chain per record. Compared with per-record Append
-// calls, the whole group reaches the untrusted file in a single write, so a
-// crash (or a truncating host) can only cut the group at a frame boundary —
-// which the digest chain then exposes as an unverified suffix.
+// Append writes one record as a single-record commit group.
+func (w *Writer) Append(rec record.Record) error {
+	return w.AppendBatch([]record.Record{rec})
+}
+
+// AppendBatch writes a group of records plus its COMMIT marker as one
+// contiguous file append, advancing the digest chain per record. The whole
+// group reaches the untrusted file in a single write and replay only
+// accepts marker-terminated groups, so a crash (or a truncating host) can
+// only remove whole groups from the tail — and the digest chain exposes
+// anything subtler as tampering.
 func (w *Writer) AppendBatch(recs []record.Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -83,6 +103,7 @@ func (w *Writer) AppendBatch(recs []record.Record) error {
 	for i := range recs {
 		w.buf = encode(w.buf, recs[i])
 	}
+	w.buf = encodeMarker(w.buf, len(recs))
 	if _, err := w.f.Append(w.buf); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
@@ -102,45 +123,80 @@ func (w *Writer) Sync() error { return w.f.Sync() }
 // Close closes the underlying file.
 func (w *Writer) Close() error { return w.f.Close() }
 
-// Replay reads every record from f in order, calling fn for each, and
-// returns the recomputed digest chain. Callers compare the returned digest
-// with the trusted value saved in the enclave; a mismatch means the
-// untrusted host tampered with the log.
-func Replay(f vfs.File, fn func(record.Record) error) (hashutil.Hash, error) {
-	var dig hashutil.Hash
+// ReplayInfo reports what a group-aware replay recovered.
+type ReplayInfo struct {
+	// Digest is the recomputed chain over the delivered (committed)
+	// records. Callers compare it with the trusted value saved in the
+	// enclave; a mismatch means the untrusted host tampered with the log.
+	Digest hashutil.Hash
+	// Records counts delivered records.
+	Records int
+	// CommittedSize is the byte offset just past the last complete group's
+	// COMMIT marker — the length recovery should truncate the log to.
+	CommittedSize int64
+	// TornRecords counts well-formed records discarded because their group
+	// never reached its COMMIT marker (a crash mid-group-append).
+	TornRecords int
+}
+
+// Replay reads the log in order, calling fn for each record of each
+// complete (marker-terminated) commit group. An incomplete tail — a torn
+// frame at EOF, or trailing record frames with no COMMIT marker — is NOT an
+// error: it is the signature of a crash mid-append, and is reported via
+// TornRecords/CommittedSize so the caller can truncate it away. Structural
+// damage before the tail (a CRC mismatch, a marker whose count disagrees
+// with its group) still fails with ErrCorrupt: that is tampering, not a
+// crash artifact.
+func Replay(f vfs.File, fn func(record.Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
 	data := f.Bytes()
 	if data == nil {
 		data = make([]byte, f.Size())
 		if _, err := f.ReadAt(data, 0); err != nil && len(data) > 0 {
-			return dig, fmt.Errorf("wal: read: %w", err)
+			return info, fmt.Errorf("wal: read: %w", err)
 		}
 	}
+	var pending []record.Record
 	off := 0
 	for off < len(data) {
 		if off+8 > len(data) {
-			return dig, fmt.Errorf("%w: truncated header at %d", ErrCorrupt, off)
+			break // torn header at EOF: crash artifact
 		}
 		crc := binary.BigEndian.Uint32(data[off : off+4])
 		n := int(binary.BigEndian.Uint32(data[off+4 : off+8]))
-		off += 8
-		if off+n > len(data) {
-			return dig, fmt.Errorf("%w: truncated body at %d", ErrCorrupt, off)
+		if off+8+n > len(data) {
+			break // torn body at EOF: crash artifact
 		}
-		body := data[off : off+n]
-		off += n
+		body := data[off+8 : off+8+n]
 		if crc32.ChecksumIEEE(body) != crc {
-			return dig, fmt.Errorf("%w: crc mismatch at %d", ErrCorrupt, off-n)
+			return info, fmt.Errorf("%w: crc mismatch at %d", ErrCorrupt, off)
+		}
+		off += 8 + n
+		if len(body) == 5 && body[0] == commitMarker {
+			count := int(binary.BigEndian.Uint32(body[1:5]))
+			if count != len(pending) {
+				return info, fmt.Errorf("%w: commit marker declares %d records, group has %d",
+					ErrCorrupt, count, len(pending))
+			}
+			for _, rec := range pending {
+				if err := fn(rec); err != nil {
+					return info, err
+				}
+				info.Digest = hashutil.WALLink(info.Digest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+				info.Records++
+			}
+			pending = pending[:0]
+			info.CommittedSize = int64(off)
+			continue
 		}
 		rec, err := decodeBody(body)
 		if err != nil {
-			return dig, err
+			return info, err
 		}
-		if err := fn(rec); err != nil {
-			return dig, err
-		}
-		dig = hashutil.WALLink(dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+		pending = append(pending, rec)
 	}
-	return dig, nil
+	info.TornRecords = len(pending)
+	return info, nil
 }
 
 func decodeBody(body []byte) (record.Record, error) {

@@ -39,18 +39,24 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	wantDig := w.Digest()
 
 	var got []record.Record
-	dig, err := Replay(f, func(rec record.Record) error {
+	info, err := Replay(f, func(rec record.Record) error {
 		got = append(got, rec)
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dig != wantDig {
-		t.Fatalf("replay digest %s != writer digest %s", dig, wantDig)
+	if info.Digest != wantDig {
+		t.Fatalf("replay digest %s != writer digest %s", info.Digest, wantDig)
 	}
-	if len(got) != len(recs) {
-		t.Fatalf("replayed %d of %d", len(got), len(recs))
+	if len(got) != len(recs) || info.Records != len(recs) {
+		t.Fatalf("replayed %d (info %d) of %d", len(got), info.Records, len(recs))
+	}
+	if info.TornRecords != 0 {
+		t.Fatalf("clean log reported %d torn records", info.TornRecords)
+	}
+	if info.CommittedSize != f.Size() {
+		t.Fatalf("committed size %d != file size %d", info.CommittedSize, f.Size())
 	}
 	for i := range recs {
 		if string(got[i].Key) != string(recs[i].Key) || got[i].Ts != recs[i].Ts ||
@@ -63,12 +69,12 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 func TestReplayEmptyLog(t *testing.T) {
 	fs := vfs.NewMem()
 	f, _ := fs.Create("wal")
-	dig, err := Replay(f, func(record.Record) error { return nil })
+	info, err := Replay(f, func(record.Record) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !dig.IsZero() {
-		t.Fatalf("empty log digest %s", dig)
+	if !info.Digest.IsZero() {
+		t.Fatalf("empty log digest %s", info.Digest)
 	}
 }
 
@@ -115,14 +121,14 @@ func TestResumeWriterContinuesChain(t *testing.T) {
 	mid := w.Digest()
 
 	// Simulate restart: replay then resume.
-	dig, err := Replay(f, func(record.Record) error { return nil })
+	info, err := Replay(f, func(record.Record) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dig != mid {
+	if info.Digest != mid {
 		t.Fatal("replay digest != writer digest at restart point")
 	}
-	w2 := ResumeWriter(f, dig)
+	w2 := ResumeWriter(f, info.Digest)
 	for _, rec := range recs[10:] {
 		w2.Append(rec)
 	}
@@ -130,24 +136,98 @@ func TestResumeWriterContinuesChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if final != w2.Digest() {
+	if final.Digest != w2.Digest() {
 		t.Fatal("resumed chain diverged from full replay")
 	}
 }
 
-func TestReplayTruncatedTail(t *testing.T) {
+func TestGroupAppendReplaysAsOneGroup(t *testing.T) {
 	fs := vfs.NewMem()
 	f, _ := fs.Create("wal")
 	w := NewWriter(f)
-	for _, rec := range testRecords(5) {
-		w.Append(rec)
+	recs := testRecords(9)
+	if err := w.AppendBatch(recs[:4]); err != nil {
+		t.Fatal(err)
 	}
-	// Write a partial header at the end (torn write).
-	f.Append([]byte{0x01, 0x02, 0x03})
+	if err := w.AppendBatch(recs[4:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Replay(f, func(record.Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 9 || info.TornRecords != 0 {
+		t.Fatalf("replay = %+v, want 9 committed records", info)
+	}
+	if info.Digest != w.Digest() {
+		t.Fatal("grouped replay digest != writer digest")
+	}
+}
+
+// TestTornTailDroppedAtGroupBoundary is the crash contract: a tail cut
+// anywhere inside the final group — mid-frame or between whole record
+// frames but before the COMMIT marker — silently discards that whole group
+// and nothing before it, so recovery always sees a prefix of whole commits.
+func TestTornTailDroppedAtGroupBoundary(t *testing.T) {
+	build := func() (*vfs.MemFS, vfs.File, *Writer, int64) {
+		fs := vfs.NewMem()
+		f, _ := fs.Create("wal")
+		w := NewWriter(f)
+		recs := testRecords(8)
+		if err := w.AppendBatch(recs[:5]); err != nil {
+			t.Fatal(err)
+		}
+		committed := f.Size()
+		if err := w.AppendBatch(recs[5:]); err != nil {
+			t.Fatal(err)
+		}
+		return fs, f, w, committed
+	}
+
+	_, f, _, committed := build()
+	full := f.Size()
+	// Cut at every byte boundary inside the second group.
+	for cut := committed + 1; cut < full; cut += 7 {
+		_, f2, _, _ := build()
+		if err := f2.Truncate(cut); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		info, err := Replay(f2, func(record.Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut at %d: torn tail must not error: %v", cut, err)
+		}
+		if n != 5 || info.Records != 5 {
+			t.Fatalf("cut at %d: replayed %d records, want the 5 committed", cut, n)
+		}
+		if info.CommittedSize != committed {
+			t.Fatalf("cut at %d: committed size %d, want %d", cut, info.CommittedSize, committed)
+		}
+	}
+}
+
+func TestMarkerCountMismatchIsCorruption(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f)
+	// Hand-build a group whose marker over-declares its size: two record
+	// frames followed by a marker claiming three. A host that drops a
+	// record from inside a group (keeping frames CRC-valid) produces
+	// exactly this shape.
+	recs := testRecords(2)
+	var buf []byte
+	for _, rec := range recs {
+		buf = encode(buf, rec)
+	}
+	buf = encodeMarker(buf, 3)
+	if _, err := f.Append(buf); err != nil {
+		t.Fatal(err)
+	}
 	_, err := Replay(f, func(record.Record) error { return nil })
 	if !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("torn tail not flagged: %v", err)
+		t.Fatalf("marker/group mismatch not flagged: %v", err)
 	}
+	_ = w
 }
 
 func TestReplayCallbackError(t *testing.T) {

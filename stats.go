@@ -18,6 +18,16 @@ type Stats struct {
 	ManifestUpdates uint64
 	DiskBytes       int64
 
+	// Group-commit pipeline counters. WALSyncs/GroupCommits stay far below
+	// the committed-operation count when concurrent writers coalesce;
+	// GroupedRecords/GroupCommits is the mean group size.
+	WALSyncs       uint64
+	GroupCommits   uint64
+	GroupedRecords uint64
+	// WALTornRecords counts records dropped at recovery because their
+	// commit group never completed (crash mid-append).
+	WALTornRecords uint64
+
 	// Simulated SGX activity (zero for ModeUnsecured).
 	PageFaults    uint64
 	ECalls        uint64
@@ -55,6 +65,10 @@ func (s *Store) Stats() Stats {
 		out.RecordsDropped = es.RecordsDropped
 		out.ManifestUpdates = es.ManifestUpdates
 		out.DiskBytes = e.Engine().DiskBytes()
+		out.WALSyncs = es.WALSyncs
+		out.GroupCommits = es.GroupCommits
+		out.GroupedRecords = es.GroupedRecords
+		out.WALTornRecords = es.WALTornRecords
 	}
 	if e, ok := s.kv.(enclaved); ok {
 		st := e.Enclave().Stats()
