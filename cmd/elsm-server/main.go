@@ -14,6 +14,9 @@
 //	  A bad <n> is a protocol error: ERR, then the connection closes.
 //	SCAN <start> <end>\n           -> ROW <key> <value>\n rows streamed as
 //	                                  they verify, then END <count>\n
+//	STATS\n                        -> STAT <name> <value>\n per counter,
+//	                                  then END\n (engine, enclave and
+//	                                  background-maintenance counters)
 //	QUIT\n                         -> closes the connection
 //
 // Fields are binary-safe: a field is either a bare token (no spaces,
@@ -59,9 +62,10 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
 		dir          = flag.String("dir", "", "data directory (empty: in-memory)")
 		mode         = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
-		commitWindow = flag.Duration("commit-window", 0, "group-commit batching window (0: natural batching only)")
+		commitWindow = flag.Duration("commit-window", 0, "group-commit batching window (0: natural batching only, -1ns: adaptive from fsync latency)")
 		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
 		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
+		inlineComp   = flag.Bool("inline-compaction", false, "run flush/compaction inline on the commit path (ablation baseline; stalls writers)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,7 @@ func main() {
 		GroupCommitWindow: *commitWindow,
 		GroupCommitMaxOps: *commitMaxOps,
 		IterChunkKeys:     *chunkKeys,
+		InlineCompaction:  *inlineComp,
 	}
 	switch *mode {
 	case "p2":
@@ -209,6 +214,8 @@ func serve(conn net.Conn, store *elsm.Store) {
 			}
 		case cmd == "SCAN" && len(args) == 2:
 			serveScan(w, store, []byte(args[0]), []byte(args[1]))
+		case cmd == "STATS" && len(args) == 0:
+			serveStats(w, store)
 		default:
 			fmt.Fprintf(w, "ERR unknown command or wrong arity %q\n", cmd)
 		}
@@ -296,6 +303,47 @@ func serveScan(w *bufio.Writer, store *elsm.Store, start, end []byte) {
 		return
 	}
 	fmt.Fprintf(w, "END %d\n", count)
+}
+
+// serveStats dumps the store's counters, one STAT line each — the wire
+// form of elsm.Stats, including the background-maintenance counters
+// (flush/compaction stalls, background compactions, pinned runs) and the
+// resolved group-commit window.
+func serveStats(w *bufio.Writer, store *elsm.Store) {
+	st := store.Stats()
+	for _, kv := range []struct {
+		name string
+		v    uint64
+	}{
+		{"flushes", st.Flushes},
+		{"compactions", st.Compactions},
+		{"background_compactions", st.BackgroundCompactions},
+		{"bytes_flushed", st.BytesFlushed},
+		{"bytes_compacted", st.BytesCompacted},
+		{"records_dropped", st.RecordsDropped},
+		{"manifest_updates", st.ManifestUpdates},
+		{"disk_bytes", uint64(st.DiskBytes)},
+		{"wal_syncs", st.WALSyncs},
+		{"group_commits", st.GroupCommits},
+		{"grouped_records", st.GroupedRecords},
+		{"wal_torn_records", st.WALTornRecords},
+		{"flush_stall_nanos", st.FlushStallNanos},
+		{"compaction_stall_nanos", st.CompactionStallNanos},
+		{"pinned_runs", st.PinnedRuns},
+		{"group_commit_window_nanos", st.GroupCommitWindowNanos},
+		{"fsync_ewma_nanos", st.FsyncEWMANanos},
+		{"page_faults", st.PageFaults},
+		{"ecalls", st.ECalls},
+		{"ocalls", st.OCalls},
+		{"copied_bytes", st.CopiedBytes},
+		{"enclave_bytes", uint64(st.EnclaveBytes)},
+		{"verified_gets", st.VerifiedGets},
+		{"proof_bytes", st.ProofBytes},
+		{"runs_probed", st.RunsProbed},
+	} {
+		fmt.Fprintf(w, "STAT %s %d\n", kv.name, kv.v)
+	}
+	fmt.Fprintln(w, "END")
 }
 
 func reply(w *bufio.Writer, err error, format string, args ...interface{}) {

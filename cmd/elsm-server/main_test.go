@@ -38,8 +38,9 @@ func dialogue(t *testing.T, store *elsm.Store, lines []string) []string {
 			}
 			reply = strings.TrimSpace(reply)
 			replies = append(replies, reply)
-			// SCAN streams ROW lines until END or ERR.
-			if strings.HasPrefix(reply, "ROW ") {
+			// SCAN streams ROW lines (and STATS streams STAT lines) until
+			// END or ERR.
+			if strings.HasPrefix(reply, "ROW ") || strings.HasPrefix(reply, "STAT ") {
 				continue
 			}
 			return
@@ -114,6 +115,40 @@ func TestServerProtocol(t *testing.T) {
 	}
 	if !strings.Contains(replies[2], "one") {
 		t.Fatalf("GET reply %q missing value", replies[2])
+	}
+}
+
+// TestServerStats checks the STATS command: STAT lines for the engine and
+// background-maintenance counters, terminated by END.
+func TestServerStats(t *testing.T) {
+	replies := dialogue(t, mustOpen(t), []string{
+		"PUT alpha one",
+		"STATS",
+		"QUIT",
+	})
+	if len(replies) < 2 || replies[0] != "OK 1" {
+		t.Fatalf("unexpected replies: %v", replies)
+	}
+	statLines := replies[1 : len(replies)-1]
+	if replies[len(replies)-1] != "END" {
+		t.Fatalf("STATS not END-terminated: %v", replies[len(replies)-1])
+	}
+	seen := map[string]bool{}
+	for _, line := range statLines {
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			t.Fatalf("malformed STAT line %q", line)
+		}
+		seen[fields[1]] = true
+	}
+	for _, name := range []string{
+		"flushes", "compactions", "background_compactions",
+		"flush_stall_nanos", "compaction_stall_nanos", "pinned_runs",
+		"group_commit_window_nanos", "wal_syncs", "verified_gets",
+	} {
+		if !seen[name] {
+			t.Fatalf("STATS missing %q (got %v)", name, seen)
+		}
 	}
 }
 

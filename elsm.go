@@ -54,6 +54,7 @@ import (
 
 	"elsm/internal/core"
 	"elsm/internal/costmodel"
+	"elsm/internal/lsm"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/vfs"
@@ -135,8 +136,16 @@ type Options struct {
 	// concurrent commits to join its group before flushing it, trading
 	// single-writer latency for larger groups. 0 (the default) relies on
 	// the natural batching window: while one group's fsync is in flight,
-	// the next group accumulates. Capped at one second.
+	// the next group accumulates. AutoGroupCommitWindow derives the wait
+	// adaptively from the observed fsync latency (an EWMA; the resolved
+	// value is reported in Stats.GroupCommitWindowNanos). Capped at one
+	// second.
 	GroupCommitWindow time.Duration
+	// InlineCompaction restores synchronous flush/compaction on the
+	// commit path — the pre-background-maintenance behaviour, where a
+	// writer that fills the memtable pays the whole level rewrite.
+	// Exists for the ablation benchmark; never enable in production.
+	InlineCompaction bool
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -147,6 +156,12 @@ type Options struct {
 	DisableWAL        bool
 }
 
+// AutoGroupCommitWindow selects the adaptive group-commit window: the
+// leader wait tracks half the fsync-latency EWMA instead of a fixed
+// duration, so fast storage pays (near) zero delay while slow storage gets
+// groups sized to its fsync cost.
+const AutoGroupCommitWindow = lsm.AutoGroupCommitWindow
+
 // validate rejects option values that would silently misbehave.
 func (o Options) validate() error {
 	if o.IterChunkKeys < 0 {
@@ -155,8 +170,8 @@ func (o Options) validate() error {
 	if o.GroupCommitMaxOps < 0 {
 		return fmt.Errorf("elsm: GroupCommitMaxOps must be ≥ 0, got %d", o.GroupCommitMaxOps)
 	}
-	if o.GroupCommitWindow < 0 {
-		return fmt.Errorf("elsm: GroupCommitWindow must be ≥ 0, got %v", o.GroupCommitWindow)
+	if o.GroupCommitWindow < 0 && o.GroupCommitWindow != AutoGroupCommitWindow {
+		return fmt.Errorf("elsm: GroupCommitWindow must be ≥ 0 or AutoGroupCommitWindow, got %v", o.GroupCommitWindow)
 	}
 	if o.GroupCommitWindow > time.Second {
 		return fmt.Errorf("elsm: GroupCommitWindow %v exceeds the 1s cap (it delays every commit)", o.GroupCommitWindow)
@@ -203,6 +218,7 @@ func Open(opts Options) (*Store, error) {
 		IterChunkKeys:        opts.IterChunkKeys,
 		GroupCommitMaxOps:    opts.GroupCommitMaxOps,
 		GroupCommitWindow:    opts.GroupCommitWindow,
+		InlineCompaction:     opts.InlineCompaction,
 		MemtableSize:         opts.MemtableSize,
 		TableFileSize:        opts.TableFileSize,
 		LevelBase:            opts.LevelBase,

@@ -127,10 +127,17 @@ func TestAuthFailureClassification(t *testing.T) {
 	for i := 0; i < 1500; i++ {
 		s.Put([]byte(fmt.Sprintf("key%05d", i)), bytes.Repeat([]byte("v"), 50))
 	}
-	// Corrupt all sstables densely.
+	// Let background flush/compaction settle so the table set is stable,
+	// then corrupt all sstables densely.
+	if err := s.Internal().(engined).Engine().WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
 	names, _ := fs.List("0")
 	for _, name := range names {
-		f, _ := fs.Open(name)
+		f, err := fs.Open(name)
+		if err != nil {
+			continue // deleted by a racing compaction install
+		}
 		for off := int64(0); off < f.Size(); off += 31 {
 			fs.Corrupt(name, off)
 		}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"elsm/internal/core"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+	"elsm/internal/ycsb"
+)
+
+// compactionSyncDelay models storage whose fsync costs real time. Every
+// SSTable write, manifest swap and WAL sync pays it, so an inline level
+// rewrite holds the commit path for many fsyncs in a row — exactly the
+// stall background maintenance removes.
+const compactionSyncDelay = 200 * time.Microsecond
+
+// compactionWriters is the concurrency of the put workload.
+const compactionWriters = 4
+
+// compactionResult is one mode's measurements.
+type compactionResult struct {
+	p50, p99, mean float64 // put latency µs, with a compaction in flight
+	opsPerSec      float64
+	steadyMean     float64 // single writer, no forced compaction
+	flushStallMs   float64
+	compactStallMs float64
+	bgCompactions  float64
+}
+
+// openCompactionStore builds the eLSM-P2 store under test: small write
+// buffer and level targets so flushes and level merges happen within the
+// measured window, on sync-delayed storage.
+func (c Config) openCompactionStore(inline bool) (*core.Store, error) {
+	fs := vfs.NewSlowSync(vfs.NewMem(), compactionSyncDelay)
+	return core.Open(core.Config{
+		FS:               fs,
+		SGX:              sgx.Params{EPCSize: c.epcBytes(), Cost: *c.Cost},
+		MemtableSize:     c.paperMB(1),
+		TableFileSize:    c.paperMB(2),
+		LevelBase:        int64(c.paperMB(4)),
+		MaxLevels:        7,
+		KeepVersions:     1,
+		CounterInterval:  256,
+		MmapReads:        true,
+		InlineCompaction: inline,
+	})
+}
+
+// compactionPoint measures one mode. The put workload runs while a
+// dedicated goroutine keeps a level compaction permanently in flight
+// (Compact(1) in a loop): with inline compaction the rewrite runs on the
+// commit path under the commit lock, so puts queue behind it; with
+// background compaction the rewrite runs on the maintenance worker and
+// puts only pay the freeze.
+func (c Config) compactionPoint(inline bool) (compactionResult, error) {
+	var res compactionResult
+
+	s, err := c.openCompactionStore(inline)
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+
+	// Preload a few levels of data so every forced compaction has real
+	// work to do, then settle.
+	preload := ycsb.GenRecords(ycsb.RecordsForBytes(int64(c.paperMB(8))), ycsb.DefaultValueSize)
+	if err := s.BulkLoad(preload); err != nil {
+		return res, err
+	}
+
+	perWriter := c.Ops / compactionWriters
+	val := make([]byte, 200)
+
+	// Keep a compaction in flight for the duration of the workload.
+	stop := make(chan struct{})
+	var compactorWG sync.WaitGroup
+	compactorWG.Add(1)
+	go func() {
+		defer compactorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Errors are tolerated (an empty level is a no-op); the loop
+			// exists to guarantee overlap, not to converge.
+			_ = s.Compact(1)
+			_ = s.Compact(2)
+		}
+	}()
+
+	lats := make([][]time.Duration, compactionWriters)
+	errCh := make(chan error, compactionWriters)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < compactionWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				key := []byte(fmt.Sprintf("cw%02d-%08d", w, i))
+				t0 := time.Now()
+				if _, perr := s.Put(key, val); perr != nil {
+					errCh <- perr
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	compactorWG.Wait()
+	close(errCh)
+	if werr := <-errCh; werr != nil {
+		return res, werr
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx].Nanoseconds()) / 1e3
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	res.p50 = pct(0.50)
+	res.p99 = pct(0.99)
+	if len(all) > 0 {
+		res.mean = float64(sum.Nanoseconds()) / 1e3 / float64(len(all))
+	}
+	res.opsPerSec = float64(len(all)) / elapsed.Seconds()
+
+	st := s.Engine().Stats()
+	res.flushStallMs = float64(st.FlushStallNanos) / 1e6
+	res.compactStallMs = float64(st.CompactionStallNanos) / 1e6
+	res.bgCompactions = float64(st.BackgroundCompactions)
+	if st.Compactions == 0 {
+		return res, fmt.Errorf("bench: no compaction ran during the %s workload", modeLabel(inline))
+	}
+
+	// Steady state: a lone writer with no forced compaction, on a fresh
+	// store — the throughput that must NOT regress under the background
+	// scheduler.
+	s2, err := c.openCompactionStore(inline)
+	if err != nil {
+		return res, err
+	}
+	defer s2.Close()
+	n := c.Ops
+	if n > 400 {
+		n = 400
+	}
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := s2.Put([]byte(fmt.Sprintf("st-%08d", i)), val); err != nil {
+			return res, err
+		}
+	}
+	res.steadyMean = float64(time.Since(t0).Nanoseconds()) / 1e3 / float64(n)
+	return res, nil
+}
+
+func modeLabel(inline bool) string {
+	if inline {
+		return "inline"
+	}
+	return "background"
+}
+
+// AblationCompaction quantifies what taking flush/compaction off the
+// commit path buys: put latency percentiles and throughput measured WHILE
+// a level compaction is in flight, inline (the rewrite runs on the commit
+// path, pre-PR behaviour) vs background (the maintenance worker runs it;
+// writers only freeze the memtable). Expected shape: inline p99 collapses
+// to roughly the full rewrite duration, background p99 stays near the
+// fsync cost — with single-writer steady-state throughput unchanged.
+func AblationCompaction(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Name: "Ablation: compaction",
+		Caption: fmt.Sprintf("%d writers + forced level compactions, %v fsync; inline vs background maintenance",
+			compactionWriters, compactionSyncDelay),
+		XLabel: "metric",
+		Series: seriesOrder("inline", "background"),
+	}
+	rows := []struct {
+		label string
+		get   func(compactionResult) float64
+	}{
+		{"put p50 µs (compacting)", func(r compactionResult) float64 { return r.p50 }},
+		{"put p99 µs (compacting)", func(r compactionResult) float64 { return r.p99 }},
+		{"put mean µs (compacting)", func(r compactionResult) float64 { return r.mean }},
+		{"put kops/sec (compacting)", func(r compactionResult) float64 { return r.opsPerSec / 1e3 }},
+		{"steady µs/op (1 writer)", func(r compactionResult) float64 { return r.steadyMean }},
+		{"flush stall ms", func(r compactionResult) float64 { return r.flushStallMs }},
+		{"compaction stall ms", func(r compactionResult) float64 { return r.compactStallMs }},
+		{"background compactions", func(r compactionResult) float64 { return r.bgCompactions }},
+	}
+	results := map[string]compactionResult{}
+	for _, inline := range []bool{true, false} {
+		label := modeLabel(inline)
+		cfg.logf("AblationCompaction mode=%s", label)
+		r, err := cfg.compactionPoint(inline)
+		if err != nil {
+			return t, fmt.Errorf("compaction ablation (%s): %w", label, err)
+		}
+		cfg.logf("    %s: p50 %.1fµs p99 %.1fµs mean %.1fµs, %.1f kops/s, steady %.1fµs",
+			label, r.p50, r.p99, r.mean, r.opsPerSec/1e3, r.steadyMean)
+		results[label] = r
+	}
+	for _, row := range rows {
+		r := Row{X: row.label, Series: map[string]float64{}}
+		for _, mode := range t.Series {
+			r.Series[mode] = row.get(results[mode])
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	return t, nil
+}

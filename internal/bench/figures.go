@@ -336,5 +336,6 @@ func All() []Experiment {
 		{"ablation-earlystop", AblationEarlyStop},
 		{"ablation-batch", AblationBatch},
 		{"ablation-commit", AblationCommit},
+		{"ablation-compaction", AblationCompaction},
 	}
 }

@@ -109,9 +109,12 @@ func TestBatchTriggersFlush(t *testing.T) {
 	cfg := smallCfg(nil)
 	s := mustOpenP2(t, cfg)
 	defer s.Close()
-	// Far beyond the 4 KiB memtable: the batch must flush and stay
-	// readable through the authenticated run path.
+	// Far beyond the 4 KiB memtable: the batch must trigger a (background)
+	// flush and stay readable through the authenticated run path.
 	if _, err := s.ApplyBatch(batchOf(0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Engine().WaitMaintenance(); err != nil {
 		t.Fatal(err)
 	}
 	if s.Engine().Stats().Flushes == 0 {

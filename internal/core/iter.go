@@ -247,10 +247,23 @@ func (c *Store) scanChunk(start, end []byte, tsq uint64, maxKeys int) ([]Result,
 // materialized protocol. The returned cursor resumes immediately after the
 // chunk's effective end.
 func (c *Store) scanChunkOnce(start, end []byte, tsq uint64, maxKeys int) (out []Result, next []byte, done bool, retry bool, err error) {
-	digs := c.snapshotDigests()
+	// Pin the run snapshot for the whole chunk: a compaction installing
+	// mid-chunk retires these runs but their files — and their lookup
+	// addressability — survive until the pin drops, so the chunk verifies
+	// coherently against the digest view. The view is loaded BEFORE the
+	// run snapshot and its pointer re-checked after every source (runs AND
+	// memtable) has been read: an install in between either adds a run the
+	// old view has no digest for (missing-digest retry below) or moves the
+	// pointer (epoch retry below) — without this bracket, a flush with no
+	// input runs installing mid-chunk would make buffered records,
+	// tombstones included, vanish from both sources at once.
+	view := c.snap.Load()
+	runs, release := c.engine.SnapshotRuns()
+	defer release()
+	digs := view.digests
 	var scans []lsm.RunScan
 	chunkEnd := end
-	for _, run := range c.engine.Runs() {
+	for _, run := range runs {
 		d, ok := digs[run.ID]
 		if !ok {
 			return nil, nil, false, true, nil
@@ -301,7 +314,14 @@ func (c *Store) scanChunkOnce(start, end []byte, tsq uint64, maxKeys int) (out [
 		ks.resolved = true
 		ks.res = resultFrom(rec)
 	}
-	for _, rec := range c.engine.MemScan(start, chunkEnd, tsq) {
+	memRecs := c.engine.MemScan(start, chunkEnd, tsq)
+	if c.snap.Load() != view {
+		// A version installed while this chunk was being assembled: the
+		// memtable observation is from a different epoch than the run
+		// scans. Retry against the new version.
+		return nil, nil, false, true, nil
+	}
+	for _, rec := range memRecs {
 		consider(rec)
 	}
 	for _, rs := range scans {

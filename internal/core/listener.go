@@ -15,18 +15,27 @@ import (
 // into output files, and commits the new digests only after the engine has
 // installed the new version.
 //
-// The engine serializes compactions on its write path, so at most one
-// compaction's staging state is live at a time.
+// The engine executes flush/compaction on a single maintenance worker, so
+// at most one compaction's staging state is live at a time; the staging
+// fields below are touched only by that worker. State shared with the
+// commit path (the WAL digest chains, bump bookkeeping) lives in the Store
+// under c.mu.
 type authListener struct {
 	c *Store
 
-	// Active compaction staging state.
+	// Active compaction staging state (maintenance worker only).
 	info      lsm.CompactionInfo
 	active    bool
 	inputs    map[uint64]*treeBuilder
 	output    *treeBuilder
 	finalized *outputTree
 	streamErr error
+	// walSwapPending marks that the engine rotated the WAL (frozen logs
+	// deleted); the walDigest swap is deferred so OnVersionInstalled can
+	// apply it ATOMICALLY with the digest-forest swap — a concurrent
+	// commit leader's periodic seal must never observe the new WAL chain
+	// paired with the old forest.
+	walSwapPending bool
 }
 
 var _ lsm.EventListener = (*authListener)(nil)
@@ -41,6 +50,7 @@ func (l *authListener) OnWALAppend(rec record.Record) {
 	c := l.c
 	c.mu.Lock()
 	c.walDigest = hashutil.WALLink(c.walDigest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+	c.freshDigest = hashutil.WALLink(c.freshDigest, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
 	c.walAppends++
 	c.mu.Unlock()
 }
@@ -61,12 +71,27 @@ func (l *authListener) OnGroupCommit(n int) {
 	}
 }
 
-// OnWALRotated resets the WAL digest after a flush truncates the log.
-func (l *authListener) OnWALRotated() {
+// OnMemtableFrozen marks a flush generation boundary: the active WAL was
+// rotated to a frozen log, records appended from now on land in a fresh
+// active log, so the chain over that log alone restarts from zero. The
+// full chain (walDigest) keeps spanning frozen + active logs until the
+// flush installs.
+func (l *authListener) OnMemtableFrozen() {
 	c := l.c
 	c.mu.Lock()
-	c.walDigest = hashutil.Zero
+	c.freshDigest = hashutil.Zero
 	c.mu.Unlock()
+}
+
+// OnWALRotated fires at flush install, after the frozen logs were deleted:
+// the live WAL is now only the active log, whose chain-from-zero is
+// freshDigest. The swap itself is deferred to OnVersionInstalled (which
+// the engine invokes immediately after, still under its lock) so the WAL
+// chain and the digest forest change in one c.mu critical section — a
+// counter bump sealing in between would otherwise fingerprint a torn
+// state.
+func (l *authListener) OnWALRotated() {
+	l.walSwapPending = true
 }
 
 // OnCompactionBegin initializes the per-run input reconstruction trees and
@@ -166,22 +191,41 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 }
 
 // OnVersionInstalled commits the staged digests: input runs are forgotten,
-// the output run's digest takes effect, and the new dataset state is pinned
-// to the monotonic counter and sealed (§5.6.1).
+// the output run's digest takes effect, and any pending WAL-chain swap
+// (flush install) is applied in the SAME c.mu critical section — one
+// copy-on-write snapshot swap, fast enough to run under the engine lock so
+// readers never observe a version whose digest is missing, and atomic so a
+// concurrent seal always fingerprints a coherent (forest, WAL chain) pair.
 func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
-	if !l.active {
-		return
-	}
 	c := l.c
-	c.mutateDigests(func(digests map[uint64]runDigest) {
-		for _, id := range info.InputRuns {
-			delete(digests, id)
+	c.mu.Lock()
+	if l.walSwapPending {
+		c.walDigest = c.freshDigest
+		l.walSwapPending = false
+	}
+	if l.active {
+		old := c.snap.Load().digests
+		next := make(map[uint64]runDigest, len(old)+1)
+		for id, d := range old {
+			next[id] = d
 		}
-		digests[info.OutputRun] = l.finalized.digest
-	})
+		for _, id := range info.InputRuns {
+			delete(next, id)
+		}
+		next[info.OutputRun] = l.finalized.digest
+		c.snap.Store(&trustedView{digests: next})
+	}
+	c.mu.Unlock()
 	l.active = false
 	l.inputs = nil
 	l.output = nil
 	l.finalized = nil
-	c.commitState()
+}
+
+// OnVersionCommitted pins the new dataset state to the monotonic counter
+// and seals it (§5.6.1) — the slow, durable half of the install, run by
+// the engine WITHOUT its lock so readers and writers are not stalled by
+// the seal write.
+func (l *authListener) OnVersionCommitted(info lsm.CompactionInfo) {
+	l.c.commitState()
 }

@@ -86,6 +86,7 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 		DisableWAL:        cfg.DisableWAL,
 		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
 		GroupCommitWindow: cfg.GroupCommitWindow,
+		InlineCompaction:  cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err

@@ -68,6 +68,9 @@ type Config struct {
 	// prior work (Speicher) that eLSM improves on (§7 distinction 1).
 	// Exists for the ablation benchmark; never enable in production.
 	DisableEarlyStop bool
+	// InlineCompaction restores synchronous flush/compaction on the commit
+	// path (pre-background behaviour) — ablation benchmarks only.
+	InlineCompaction bool
 	// KeepVersions, MemtableSize, TableFileSize, LevelBase,
 	// LevelMultiplier, MaxLevels, BlockSize, DisableCompaction and
 	// DisableWAL pass through to the engine (zero = engine default).
@@ -133,11 +136,23 @@ type Store struct {
 	// mu.
 	snap atomic.Pointer[trustedView]
 
-	// mu guards the write-side trusted state (WAL digest chain, bump
+	// mu guards the write-side trusted state (WAL digest chains, bump
 	// bookkeeping) and serializes snapshot swaps. Readers never take it.
-	mu         sync.Mutex
-	walDigest  hashutil.Hash
-	walAppends uint64
+	mu sync.Mutex
+	// walDigest chains every record in the live WAL files (frozen logs
+	// awaiting a flush install, then the active log); freshDigest chains
+	// only the records since the last memtable freeze (the active log).
+	// At flush install the frozen logs are deleted and walDigest becomes
+	// freshDigest.
+	walDigest   hashutil.Hash
+	freshDigest hashutil.Hash
+	walAppends  uint64
+
+	// sealMu serializes commitState end to end (fingerprint, counter bump,
+	// seal write): the maintenance worker and a commit leader may both
+	// reach it concurrently, and an older sealed blob must never overwrite
+	// a newer one after the counter moved on.
+	sealMu sync.Mutex
 
 	// appendsAtBump records walAppends at the last periodic counter bump;
 	// OnGroupCommit bumps again once counterInterval more records have
@@ -253,6 +268,7 @@ func Open(cfg Config) (*Store, error) {
 		DisableWAL:        cfg.DisableWAL,
 		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
 		GroupCommitWindow: cfg.GroupCommitWindow,
+		InlineCompaction:  cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err
@@ -266,8 +282,8 @@ func Open(cfg Config) (*Store, error) {
 }
 
 // trustedView is an immutable snapshot of the digest forest. The map must
-// never be mutated after the view is published via snap; mutations go
-// through mutateDigests, which copies.
+// never be mutated after the view is published via snap; writers
+// (OnVersionInstalled, recovery) publish a fresh copy under c.mu.
 type trustedView struct {
 	digests map[uint64]runDigest
 }
@@ -276,20 +292,6 @@ type trustedView struct {
 // atomic load, no lock, no copy. Callers must treat the map as read-only.
 func (c *Store) snapshotDigests() map[uint64]runDigest {
 	return c.snap.Load().digests
-}
-
-// mutateDigests publishes a new digest view built by fn from a copy of the
-// current one (copy-on-write under mu, which serializes writers).
-func (c *Store) mutateDigests(fn func(map[uint64]runDigest)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old := c.snap.Load().digests
-	next := make(map[uint64]runDigest, len(old)+1)
-	for id, d := range old {
-		next[id] = d
-	}
-	fn(next)
-	c.snap.Store(&trustedView{digests: next})
 }
 
 // stateFingerprint deterministically digests the trusted state for counter
@@ -325,8 +327,14 @@ type trustedState struct {
 }
 
 // commitState bumps the monotonic counter over the current state
-// fingerprint and persists the sealed state blob (§5.6.1).
+// fingerprint and persists the sealed state blob (§5.6.1). sealMu covers
+// the whole bump+write: a concurrent seal (commit leader vs maintenance
+// worker) must not let an older blob land after a newer counter value, or
+// recovery would see a counter/fingerprint mismatch and refuse a healthy
+// store.
 func (c *Store) commitState() {
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
 	c.mu.Lock()
 	digs := c.snap.Load().digests // consistent with walDigest: swaps hold mu
 	fp := stateFingerprint(digs, c.walDigest)
@@ -428,6 +436,10 @@ func (c *Store) recoverTrustedState(requireClean bool) error {
 	c.mu.Lock()
 	c.snap.Store(&trustedView{digests: st.Digests})
 	c.walDigest = replayDigest
+	// All live logs (any recovered frozen ones included) feed the next
+	// freeze together, so the "since last freeze" chain starts as the full
+	// replayed chain.
+	c.freshDigest = replayDigest
 	c.walAppends = st.WALAppends + uint64(extra)
 	c.appendsAtBump = c.walAppends
 	c.unverifiedReplay = extra
@@ -496,14 +508,22 @@ func (c *Store) get(key []byte, tsq uint64) (Result, error) {
 // below the hit need no proof by Lemma 5.4). With DisableEarlyStop the
 // walk continues through every run (prior-work behaviour, for the
 // ablation), verifying deeper runs' membership or non-membership too.
+//
+// The run set is pinned for the duration of the walk: a background
+// compaction installing mid-GET retires the runs but cannot delete their
+// files, so every per-run lookup still verifies against the digest
+// snapshot taken below. A retry only happens when the snapshot raced the
+// install itself (a run observed without its digest, or vice versa).
 func (c *Store) getOnce(key []byte, tsq uint64) (res Result, retry bool, err error) {
 	c.statGets.Add(1)
 	if rec, ok := c.engine.MemGet(key, tsq); ok {
 		return resultFrom(rec), false, nil
 	}
+	runs, release := c.engine.SnapshotRuns()
+	defer release()
 	digs := c.snapshotDigests()
 	var first *Result
-	for _, run := range c.engine.Runs() {
+	for _, run := range runs {
 		d, ok := digs[run.ID]
 		if !ok {
 			return Result{}, true, nil

@@ -45,6 +45,7 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 		DisableWAL:        cfg.DisableWAL,
 		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
 		GroupCommitWindow: cfg.GroupCommitWindow,
+		InlineCompaction:  cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err

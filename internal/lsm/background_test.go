@@ -1,0 +1,264 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"elsm/internal/record"
+	"elsm/internal/vfs"
+)
+
+// bgOpts forces frequent flushes/compactions with little data.
+func bgOpts(fs vfs.FS) Options {
+	return Options{
+		FS:            fs,
+		MemtableSize:  4 << 10,
+		BlockSize:     512,
+		TableFileSize: 4 << 10,
+		LevelBase:     16 << 10,
+		MaxLevels:     5,
+		KeepVersions:  1,
+	}
+}
+
+// TestBackgroundFlushInstalls checks the freeze → schedule → install
+// pipeline: a write burst over the memtable limit must produce on-disk
+// runs without any explicit Flush, and every record must stay readable
+// throughout.
+func TestBackgroundFlushInstalls(t *testing.T) {
+	s, err := Open(bgOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := map[string]string{}
+	for i := 0; i < 600; i++ {
+		key := fmt.Sprintf("key%05d", i)
+		val := fmt.Sprintf("val%05d", i)
+		if _, err := s.Put([]byte(key), []byte(val)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		want[key] = val
+	}
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("no background flush installed")
+	}
+	if len(s.Runs()) == 0 {
+		t.Fatal("no runs on disk after background flushes")
+	}
+	for key, val := range want {
+		rec, ok, err := s.Get([]byte(key), record.MaxTs)
+		if err != nil || !ok || string(rec.Value) != val {
+			t.Fatalf("key %s: ok=%v err=%v val=%q", key, ok, err, rec.Value)
+		}
+	}
+}
+
+// TestPinnedRunSurvivesCompaction checks the refcount lifecycle: a reader
+// that pinned a run keeps it addressable and its files on disk across a
+// compaction that retires it; the files are deleted only when the pin
+// drops.
+func TestPinnedRunSurvivesCompaction(t *testing.T) {
+	fs := vfs.NewMem()
+	s, err := Open(bgOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 400; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("key%05d", i)), []byte("pin-me")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	runs := s.Runs()
+	if len(runs) == 0 {
+		t.Fatal("no runs to pin")
+	}
+	target := runs[0]
+	release := s.PinRuns([]uint64{target.ID})
+	if got := s.Stats().PinnedRuns; got == 0 {
+		t.Fatal("pin not reflected in PinnedRuns")
+	}
+
+	// Force the pinned run out of the version.
+	if err := s.Compact(target.Level); err != nil {
+		t.Fatal(err)
+	}
+	stillLive := false
+	for _, r := range s.Runs() {
+		if r.ID == target.ID {
+			stillLive = true
+		}
+	}
+	if stillLive {
+		t.Fatal("compaction did not retire the pinned run")
+	}
+
+	// The retired run must remain readable through the pin.
+	lk, err := s.LookupRun(target.ID, []byte("key00007"), record.MaxTs)
+	if err != nil {
+		t.Fatalf("lookup on pinned retired run: %v", err)
+	}
+	if !lk.Found || string(lk.Rec.Value) != "pin-me" {
+		t.Fatalf("pinned retired run returned wrong data: %+v", lk)
+	}
+	sc, err := s.ScanRunChunk(target.ID, []byte("key00000"), []byte("key00020"), 0)
+	if err != nil || len(sc.Records) == 0 {
+		t.Fatalf("scan on pinned retired run: %v (%d records)", err, len(sc.Records))
+	}
+
+	// Dropping the pin deletes the files and the run becomes unknown.
+	before, _ := fs.List("0") // sst files are zero-padded numbers
+	release()
+	if _, err := s.LookupRun(target.ID, []byte("key00007"), record.MaxTs); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("released run still resolvable: %v", err)
+	}
+	after, _ := fs.List("0")
+	if len(after) >= len(before) {
+		t.Fatalf("releasing the last pin deleted no files: %d -> %d", len(before), len(after))
+	}
+	if got := s.Stats().PinnedRuns; got != 0 {
+		t.Fatalf("PinnedRuns gauge not drained: %d", got)
+	}
+}
+
+// TestAdaptiveGroupCommitWindow checks GroupCommitWindow =
+// AutoGroupCommitWindow: the resolved window must track the observed fsync
+// latency (half the EWMA) and stay under the cap.
+func TestAdaptiveGroupCommitWindow(t *testing.T) {
+	delay := 400 * time.Microsecond
+	fs := vfs.NewSlowSync(vfs.NewMem(), delay)
+	opts := bgOpts(fs)
+	opts.MemtableSize = 1 << 20 // no flushes: isolate the commit path
+	opts.GroupCommitWindow = AutoGroupCommitWindow
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.FsyncEWMANanos == 0 {
+		t.Fatal("fsync EWMA not observed")
+	}
+	if st.GroupCommitWindowNanos == 0 {
+		t.Fatal("auto window resolved to zero despite slow fsyncs")
+	}
+	if got := time.Duration(st.GroupCommitWindowNanos); got > maxAutoCommitWindow {
+		t.Fatalf("auto window %v exceeds cap %v", got, maxAutoCommitWindow)
+	}
+	// Half of a ≥400µs EWMA should be at least ~100µs.
+	if st.GroupCommitWindowNanos < uint64((delay / 4).Nanoseconds()) {
+		t.Fatalf("auto window %v implausibly small for %v fsyncs",
+			time.Duration(st.GroupCommitWindowNanos), delay)
+	}
+}
+
+// TestFixedWindowStillResolves pins the non-adaptive path: a configured
+// window is reported verbatim.
+func TestFixedWindowStillResolves(t *testing.T) {
+	opts := bgOpts(nil)
+	opts.GroupCommitWindow = 123 * time.Microsecond
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().GroupCommitWindowNanos; got != uint64((123 * time.Microsecond).Nanoseconds()) {
+		t.Fatalf("fixed window misreported: %d", got)
+	}
+}
+
+// TestCloseDrainsInFlightFlush closes the store right after a write burst
+// that scheduled a background flush: Close must drain the job (manifest
+// and digests consistent), and a reopen must recover every record.
+func TestCloseDrainsInFlightFlush(t *testing.T) {
+	fs := vfs.NewMem()
+	s, err := Open(bgOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key%05d", i)
+		if _, err := s.Put([]byte(key), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = true
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(bgOpts(fs))
+	if err != nil {
+		t.Fatalf("reopen after drain: %v", err)
+	}
+	defer s2.Close()
+	for key := range want {
+		if _, ok, err := s2.Get([]byte(key), record.MaxTs); err != nil || !ok {
+			t.Fatalf("key %s lost across close/reopen: ok=%v err=%v", key, ok, err)
+		}
+	}
+}
+
+// TestBackgroundFlushFailureFailsStop arms the fault injector so a
+// background flush dies mid-rewrite: the store must surface the failure on
+// subsequent commits instead of buffering writes it can never persist, and
+// recovery on the surviving bytes must serve every acknowledged record
+// (the frozen WAL preserved them).
+func TestBackgroundFlushFailureFailsStop(t *testing.T) {
+	mem := vfs.NewMem()
+	ffs := vfs.NewFault(mem)
+	s, err := Open(bgOpts(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := map[string]bool{}
+	// Let the store settle once so the fault lands in flush machinery, not
+	// the first WAL append.
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key%05d", i)
+		if _, err := s.Put([]byte(key), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		acked[key] = true
+	}
+	ffs.Arm(30)
+	var failed bool
+	for i := 50; i < 4000 && !failed; i++ {
+		key := fmt.Sprintf("key%05d", i)
+		if _, err := s.Put([]byte(key), []byte("v")); err != nil {
+			failed = true
+			break
+		}
+		acked[key] = true
+	}
+	if !failed {
+		t.Fatal("fault never surfaced on the commit path")
+	}
+	ffs.Disarm()
+	// "Crash": abandon without Close, reopen on the surviving bytes.
+	s2, err := Open(bgOpts(mem))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	for key := range acked {
+		if _, ok, err := s2.Get([]byte(key), record.MaxTs); err != nil || !ok {
+			t.Fatalf("acked key %s lost after mid-flush crash: ok=%v err=%v", key, ok, err)
+		}
+	}
+}

@@ -22,6 +22,17 @@ import (
 // waits on "my result is ready OR I can become leader", so there is always
 // a leader when work is pending, requests are never stranded, and no
 // background goroutine needs a lifecycle.
+//
+// When the memtable fills, the leader does NOT rewrite any level here: it
+// freezes the memtable (a pointer swap plus one WAL rename) and schedules a
+// background flush, stalling only if the previous frozen memtable is still
+// being flushed (counted in Stats.FlushStallNanos — the signature of
+// flushes falling behind the write rate).
+
+// maxAutoCommitWindow caps the adaptive leader wait derived from the fsync
+// EWMA: even on pathologically slow storage the deliberate batching delay
+// never exceeds this.
+const maxAutoCommitWindow = 2 * time.Millisecond
 
 // commitReq is one caller's pending commit.
 type commitReq struct {
@@ -62,7 +73,7 @@ func (s *Store) commit(ops []BatchOp) (uint64, error) {
 				return req.ts, req.err
 			default:
 			}
-			if w := s.opts.GroupCommitWindow; w > 0 && !s.pendingGroupFull() {
+			if w := s.resolveCommitWindow(); w > 0 && !s.pendingGroupFull() {
 				// Deliberate batching window: hold the leader role briefly
 				// so more concurrent commits can join this group. Skipped
 				// when the queue already holds a full group — sleeping
@@ -76,6 +87,25 @@ func (s *Store) commit(ops []BatchOp) (uint64, error) {
 			// either wait or lead again.
 		}
 	}
+}
+
+// resolveCommitWindow returns the leader batching window in effect: the
+// configured duration, or — when GroupCommitWindow is AutoGroupCommitWindow
+// — half the observed fsync-latency EWMA, capped. Half the fsync time is
+// the sweet spot of the group-commit feedback loop: the queue keeps filling
+// while the previous group's fsync is in flight anyway, so waiting longer
+// than the fsync itself only adds latency, while a fraction of it lets a
+// lone-leader burst coalesce without materially delaying any commit.
+func (s *Store) resolveCommitWindow() time.Duration {
+	w := s.opts.GroupCommitWindow
+	if w != AutoGroupCommitWindow {
+		return w
+	}
+	w = time.Duration(s.fsyncEWMANanos.Load()) / 2
+	if w > maxAutoCommitWindow {
+		w = maxAutoCommitWindow
+	}
+	return w
 }
 
 // pendingGroupFull reports whether the queue already carries at least
@@ -128,7 +158,10 @@ func (s *Store) commitPending() {
 // readers never wait on storage; (3) under mu again — apply the group to
 // the memtable, so records become readable only once durable and a failed
 // fsync never leaves phantom writes visible; (4) notify the listener once
-// for the whole group and wake every waiter with its timestamp.
+// for the whole group and wake every waiter with its timestamp. If the
+// apply filled the memtable, the leader freezes it and hands the flush to
+// the maintenance worker — the commit path never performs a level rewrite
+// (unless Options.InlineCompaction deliberately restores that behaviour).
 func (s *Store) commitGroup(batch []*commitReq) {
 	finish := func(err error) {
 		for _, req := range batch {
@@ -144,6 +177,13 @@ func (s *Store) commitGroup(batch []*commitReq) {
 	if s.closed {
 		s.mu.Unlock()
 		finish(ErrClosed)
+		return
+	}
+	if err := s.bgErr; err != nil {
+		// A background flush/compaction failed: the store fails stop
+		// rather than buffering writes it can never persist.
+		s.mu.Unlock()
+		finish(fmt.Errorf("lsm: background maintenance failed: %w", err))
 		return
 	}
 	total := 0
@@ -184,27 +224,106 @@ func (s *Store) commitGroup(batch []*commitReq) {
 	// the WAL writer stable until we are done).
 	if !s.opts.DisableWAL {
 		var serr error
+		syncStart := time.Now()
 		s.ocall(func() { serr = s.walW.Sync() })
 		if serr != nil {
 			finish(fmt.Errorf("lsm: wal sync: %w", serr))
 			return
 		}
+		s.observeFsync(time.Since(syncStart))
 		s.walSyncs.Add(1)
 	}
 	s.groupCommits.Add(1)
 	s.groupedRecords.Add(uint64(total))
 	s.listener.OnGroupCommit(total)
 
-	var flushErr error
+	var groupErr error
 	s.mu.Lock()
 	for i := range recs {
 		s.mem.Put(recs[i])
 	}
 	if s.mem.ApproxBytes() >= s.opts.MemtableSize {
-		if err := s.flushLocked(); err != nil {
-			flushErr = fmt.Errorf("lsm: flush: %w", err)
-		}
+		groupErr = s.handleFullMemtableLocked()
 	}
 	s.mu.Unlock()
-	finish(flushErr)
+	if groupErr == nil && s.opts.InlineCompaction {
+		groupErr = s.inlineMaintenance()
+	}
+	finish(groupErr)
+}
+
+// observeFsync feeds the fsync-latency EWMA (α = 1/4). Leaders are
+// serialized by commitMu, so the read-modify-write is race-free.
+func (s *Store) observeFsync(d time.Duration) {
+	old := s.fsyncEWMANanos.Load()
+	if old == 0 {
+		s.fsyncEWMANanos.Store(d.Nanoseconds())
+		return
+	}
+	s.fsyncEWMANanos.Store((3*old + d.Nanoseconds()) / 4)
+}
+
+// handleFullMemtableLocked is the leader's memtable-full step (caller holds
+// commitMu and mu): freeze the active table and schedule its flush. If the
+// previous frozen table is still mid-flush the leader must wait — there is
+// nowhere for writes to go — and the wait is charged to FlushStallNanos,
+// or to CompactionStallNanos when a level compaction was occupying the
+// worker at the time (compaction debt delaying the flush).
+func (s *Store) handleFullMemtableLocked() error {
+	if s.opts.InlineCompaction {
+		// Inline mode: the caller runs the rewrite synchronously after
+		// releasing mu (inlineMaintenance), retrying a leftover frozen
+		// table from a previously failed attempt — never wait here, there
+		// is no background flush coming.
+		if s.frozen != nil {
+			return nil
+		}
+		return s.freezeLocked()
+	}
+	// The maintenance-closed check breaks a shutdown race: a concurrent
+	// Close drains the worker before it can take commitMu, so a leader
+	// that would wait for a flush here would wait forever (and Close would
+	// wait forever on commitMu behind it).
+	for s.frozen != nil && s.bgErr == nil && !s.closed && !s.maintenanceClosed() {
+		blocking := s.maint.current.Load()
+		start := time.Now()
+		s.flushDone.Wait()
+		d := time.Since(start).Nanoseconds()
+		// FlushStallNanos is the TOTAL stall; CompactionStallNanos is the
+		// subset where a compaction occupied the worker when the wait
+		// began (compaction debt delaying the flush).
+		s.flushStallNanos.Add(d)
+		if blocking == jobCompact {
+			s.compactionStallNanos.Add(d)
+		}
+	}
+	switch {
+	case s.closed || s.maintenanceClosed():
+		return ErrClosed
+	case s.bgErr != nil:
+		return s.bgErr
+	case s.mem.ApproxBytes() < s.opts.MemtableSize:
+		return nil
+	}
+	if err := s.freezeLocked(); err != nil {
+		return err
+	}
+	return s.scheduleFlush()
+}
+
+// inlineMaintenance runs the legacy synchronous rewrite on the commit path
+// (InlineCompaction mode): the leader itself flushes the frozen memtable
+// and cascades overflowing levels, under commitMu, exactly where the cost
+// used to land. Exists for the ablation benchmark.
+func (s *Store) inlineMaintenance() error {
+	s.mu.RLock()
+	frozen := s.frozen != nil
+	s.mu.RUnlock()
+	if !frozen {
+		return nil
+	}
+	if err := s.flushFrozen(); err != nil {
+		return fmt.Errorf("lsm: flush: %w", err)
+	}
+	return s.compactOverflowing()
 }

@@ -6,91 +6,118 @@ import (
 	"io"
 
 	"elsm/internal/costmodel"
-	"elsm/internal/memtable"
 	"elsm/internal/record"
 	"elsm/internal/sstable"
 	"elsm/internal/vfs"
 )
 
-// flushLocked persists the memtable (§5.3 step w2). In normal (leveled)
-// mode the memtable is merged with level 1's run; with compaction disabled
-// each flush prepends a fresh immutable run to level 1 instead. Caller
-// holds s.mu.
-func (s *Store) flushLocked() error {
-	if s.mem.Count() == 0 {
+// This file implements flush and level compaction as three-phase jobs
+// executed by the maintenance worker (scheduler.go):
+//
+//  1. snapshot — a brief s.mu critical section collects the immutable
+//     inputs: the frozen memtable and the input runs, pinned by reference
+//     count so no concurrent deletion can touch their files;
+//  2. merge/build/hash — the entire level rewrite (merge iteration,
+//     retention filtering, SSTable builds, the listener's Merkle
+//     reconstruction and output-tree hashing) runs WITHOUT the engine
+//     lock: readers and the commit pipeline proceed at full speed;
+//  3. install — s.mu is re-taken only to swap the level vector, persist
+//     the manifest, retire the input runs and let the listener publish the
+//     new digest snapshot (an atomic pointer swap on the core side).
+//
+// With Options.InlineCompaction the same phases run synchronously on the
+// commit path under commitMu — the pre-background behaviour, kept for the
+// ablation benchmark.
+
+// flushFrozen persists the frozen memtable (§5.3 step w2). In normal
+// (leveled) mode it is merged with level 1's runs; with compaction disabled
+// each flush prepends a fresh immutable run to level 1 instead.
+func (s *Store) flushFrozen() error {
+	// Phase 1: snapshot the immutable inputs.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.bgErr; err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	frozen := s.frozen
+	if frozen == nil {
+		s.mu.Unlock()
 		return nil
 	}
-	var (
-		info    CompactionInfo
-		sources []mergeSource
-		inputs  []*run
-	)
 	outputRunID := s.nextRunID
 	s.nextRunID++
+	info := CompactionInfo{MemtableInput: true, OutputRun: outputRunID, OutputLevel: 1}
+	var inputs []*run
 	if s.opts.DisableCompaction {
-		info = CompactionInfo{
-			MemtableInput: true,
-			OutputRun:     outputRunID,
-			OutputLevel:   1,
-			BottomMost:    s.deepestDataLevelLocked() == 0,
-		}
-		sources = []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
+		info.BottomMost = s.deepestDataLevelLocked() == 0
 	} else {
-		info = CompactionInfo{
-			MemtableInput: true,
-			OutputRun:     outputRunID,
-			OutputLevel:   1,
-			BottomMost:    s.deepestDataLevelLocked() <= 1,
-		}
-		for _, r := range s.levels[1] {
-			info.InputRuns = append(info.InputRuns, r.id)
-			inputs = append(inputs, r)
-		}
-		sources = append(sources, mergeSource{runID: MemtableRunID, iter: s.mem.Iter()})
+		info.BottomMost = s.deepestDataLevelLocked() <= 1
+		inputs = append([]*run(nil), s.levels[1]...)
 		for _, r := range inputs {
-			sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+			info.InputRuns = append(info.InputRuns, r.id)
+			s.retainRunLocked(r)
 		}
 	}
+	frozenWALs := append([]string(nil), s.frozenWALs...)
+	s.mu.Unlock()
 
+	// Phase 2: merge, build and hash — lock-free.
+	sources := []mergeSource{{runID: MemtableRunID, iter: frozen.Iter()}}
+	for _, r := range inputs {
+		sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+	}
 	newRun, err := s.runCompaction(info, sources, inputs)
 	if err != nil {
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		return err
 	}
 
-	// Install: swap level 1, retire the old memtable, rotate the WAL.
+	// Phase 3: install the new version.
+	s.mu.Lock()
+	oldL1 := s.levels[1]
 	if s.opts.DisableCompaction {
-		s.levels[1] = append([]*run{newRun}, s.levels[1]...)
+		s.levels[1] = append([]*run{newRun}, oldL1...)
 	} else {
 		s.levels[1] = []*run{newRun}
 	}
-	s.mem.Release()
-	s.mem = memtable.New(s.enclave)
 	if err := s.persistManifestLocked(); err != nil {
+		s.levels[1] = oldL1
+		s.mu.Unlock()
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
+		s.removeFiles(newRun.fileNums())
 		return err
 	}
-	if err := s.rotateWALLocked(); err != nil {
-		return err
-	}
-	s.deleteRunsLocked(inputs)
-	s.stats.Flushes++
-	s.stats.BytesFlushed += uint64(newRun.bytes)
-	s.listener.OnVersionInstalled(info)
-
-	if !s.opts.DisableCompaction {
-		return s.maybeCascadeLocked()
-	}
-	return nil
-}
-
-// maybeCascadeLocked compacts any level that exceeds its size target
-// (§2: COMPACTION "to make room in lower levels for upcoming writes").
-func (s *Store) maybeCascadeLocked() error {
-	for lvl := 1; lvl < s.opts.MaxLevels; lvl++ {
-		if s.levelBytesLocked(lvl) > s.opts.levelTarget(lvl) {
-			if err := s.compactLevelLocked(lvl); err != nil {
-				return err
+	s.retireRunsLocked(inputs)
+	// The flushed records are durably in the new run: delete the frozen
+	// logs that carried them and swap the enclave's WAL digest to the
+	// active log's chain.
+	s.frozenWALs = s.frozenWALs[len(frozenWALs):]
+	if len(frozenWALs) > 0 {
+		s.ocall(func() {
+			for _, name := range frozenWALs {
+				_ = s.fs.Remove(name)
 			}
-		}
+		})
+	}
+	if !s.opts.DisableWAL {
+		s.listener.OnWALRotated()
+	}
+	s.frozen = nil
+	s.flushes.Add(1)
+	s.bytesFlushed.Add(uint64(newRun.bytes))
+	s.listener.OnVersionInstalled(info)
+	s.flushDone.Broadcast()
+	s.mu.Unlock()
+
+	frozen.Release()
+	s.listener.OnVersionCommitted(info)
+	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
+	if !s.opts.InlineCompaction {
+		s.scheduleOverflowCompactions()
 	}
 	return nil
 }
@@ -116,26 +143,57 @@ func (s *Store) deepestDataLevelLocked() int {
 }
 
 // Compact merges level lvl into level lvl+1 (the paper's
-// COMPACTION(Li, Li+1), §5.3).
+// COMPACTION(Li, Li+1), §5.3), synchronously: it returns once the rewrite
+// has installed (routed through the maintenance worker so it serializes
+// with background jobs).
 func (s *Store) Compact(lvl int) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
 	if lvl < 1 || lvl >= s.opts.MaxLevels {
 		return fmt.Errorf("lsm: compact: level %d out of range [1,%d)", lvl, s.opts.MaxLevels)
 	}
-	return s.compactLevelLocked(lvl)
+	if s.opts.InlineCompaction {
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		return s.compactLevel(lvl, false)
+	}
+	return s.runSync(jobCompact, lvl, nil)
 }
 
-// compactLevelLocked merges all runs of lvl and lvl+1 into a single new run
-// at lvl+1. Caller holds s.mu.
-func (s *Store) compactLevelLocked(lvl int) error {
+// compactOverflowing synchronously compacts levels over their size target
+// until none is (the inline-mode cascade; caller holds commitMu).
+func (s *Store) compactOverflowing() error {
+	return s.cascadeOverflow(func(lvl int) error {
+		return s.compactLevel(lvl, false)
+	})
+}
+
+// compactLevel merges all runs of lvl and lvl+1 into a single new run at
+// lvl+1 using the three-phase protocol. Runs on the maintenance worker (or
+// on the commit path under commitMu in inline mode).
+func (s *Store) compactLevel(lvl int, background bool) error {
+	if lvl < 1 || lvl >= s.opts.MaxLevels {
+		return fmt.Errorf("lsm: compact: level %d out of range [1,%d)", lvl, s.opts.MaxLevels)
+	}
+	// Phase 1: snapshot and pin the input runs.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.bgErr; err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if background && s.levelBytesLocked(lvl) <= s.opts.levelTarget(lvl) {
+		// The overflow that queued this job was already resolved by a
+		// synchronous Compact/Flush-settle; re-merging a healthy level
+		// would only burn write amplification — and surprise callers who
+		// were promised a quiescent store after Flush returned.
+		s.mu.Unlock()
+		return nil
+	}
 	inputs := append(append([]*run(nil), s.levels[lvl]...), s.levels[lvl+1]...)
 	if len(inputs) == 0 {
+		s.mu.Unlock()
 		return nil
 	}
 	outputRunID := s.nextRunID
@@ -145,24 +203,49 @@ func (s *Store) compactLevelLocked(lvl int) error {
 		OutputLevel: lvl + 1,
 		BottomMost:  s.deepestDataLevelLocked() <= lvl+1,
 	}
-	var sources []mergeSource
 	for _, r := range inputs {
 		info.InputRuns = append(info.InputRuns, r.id)
+		s.retainRunLocked(r)
+	}
+	s.mu.Unlock()
+
+	// Phase 2: merge, build and hash — lock-free.
+	var sources []mergeSource
+	for _, r := range inputs {
 		sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
 	}
 	newRun, err := s.runCompaction(info, sources, inputs)
 	if err != nil {
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		return err
 	}
+
+	// Phase 3: install.
+	s.mu.Lock()
+	oldUpper, oldLower := s.levels[lvl], s.levels[lvl+1]
 	s.levels[lvl] = nil
 	s.levels[lvl+1] = []*run{newRun}
 	if err := s.persistManifestLocked(); err != nil {
+		s.levels[lvl], s.levels[lvl+1] = oldUpper, oldLower
+		s.mu.Unlock()
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
+		s.removeFiles(newRun.fileNums())
 		return err
 	}
-	s.deleteRunsLocked(inputs)
-	s.stats.Compactions++
-	s.stats.BytesCompacted += uint64(newRun.bytes)
+	s.retireRunsLocked(inputs)
+	s.compactions.Add(1)
+	s.bytesCompacted.Add(uint64(newRun.bytes))
+	if background {
+		s.backgroundCompactions.Add(1)
+	}
 	s.listener.OnVersionInstalled(info)
+	s.mu.Unlock()
+
+	s.listener.OnVersionCommitted(info)
+	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
+	if !s.opts.InlineCompaction {
+		s.scheduleOverflowCompactions()
+	}
 	return nil
 }
 
@@ -170,14 +253,13 @@ func (s *Store) compactLevelLocked(lvl int) error {
 // Filter hook, applies the version/tombstone retention policy, splits the
 // output into table files (routing each through OnTableFileCreated so the
 // authentication layer can embed proofs), and verifies via OnCompactionEnd
-// before returning the new run. Caller holds s.mu.
+// before returning the new run. Runs entirely without the engine lock: its
+// inputs are immutable (a frozen memtable and pinned runs).
 func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs []*run) (*run, error) {
 	// Step m1: bulk-load input files into untrusted memory for streaming.
 	var pinnedFiles []uint64
 	for _, r := range inputs {
-		for _, th := range r.tables {
-			pinnedFiles = append(pinnedFiles, th.meta.FileNum)
-		}
+		pinnedFiles = append(pinnedFiles, r.fileNums()...)
 	}
 	s.pinViews(pinnedFiles)
 	defer s.unpinViews(pinnedFiles)
@@ -232,7 +314,7 @@ func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs
 		}
 		s.listener.Filter(info, src, rec, drop)
 		if drop {
-			s.stats.RecordsDropped++
+			s.recordsDropped.Add(1)
 		} else {
 			cur = append(cur, rec)
 			curBytes += rec.Size()
@@ -250,9 +332,10 @@ func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs
 
 	// Write output files (each routed through OnTableFileCreated).
 	newRun := &run{id: info.OutputRun}
+	newRun.refs.Store(1) // the version reference, effective at install
 	var newFiles []uint64
 	abort := func(err error) (*run, error) {
-		s.removeFilesLocked(newFiles)
+		s.removeFiles(newFiles)
 		return nil, err
 	}
 	for fi, recs := range fileRecs {
@@ -279,8 +362,7 @@ func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs
 // built inside the enclave and flushed to the untrusted FS in one OCall
 // (step m3), charging the boundary copy for the file bytes.
 func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, recs []record.Record) (*tableHandle, error) {
-	fileNum := s.nextFileNum
-	s.nextFileNum++
+	fileNum := s.nextFileNum.Add(1) - 1
 	tfi := TableFileInfo{
 		FileNum:   fileNum,
 		RunID:     info.OutputRun,
@@ -345,18 +427,10 @@ func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, recs []record.Rec
 	return &tableHandle{meta: meta, table: t, name: name}, nil
 }
 
-// deleteRunsLocked removes the files of retired runs.
-func (s *Store) deleteRunsLocked(runs []*run) {
-	var nums []uint64
-	for _, r := range runs {
-		for _, th := range r.tables {
-			nums = append(nums, th.meta.FileNum)
-		}
-	}
-	s.removeFilesLocked(nums)
-}
-
-func (s *Store) removeFilesLocked(fileNums []uint64) {
+// removeFiles closes and deletes table files (guarded by fileMu, not s.mu:
+// by the time a run's files are removed, no version and no pin references
+// it).
+func (s *Store) removeFiles(fileNums []uint64) {
 	for _, fn := range fileNums {
 		s.fileMu.Lock()
 		of, ok := s.files[fn]
@@ -383,20 +457,12 @@ func (s *Store) removeFilesLocked(fileNums []uint64) {
 // directly in the deepest level that fits. This mirrors YCSB's load phase
 // at scale without paying per-record write amplification; the records
 // stream through the same listener events as a compaction (with
-// CompactionInfo.BulkLoad set), so the output is fully authenticated.
+// CompactionInfo.BulkLoad set), so the output is fully authenticated. It
+// routes through the maintenance worker, serializing with any background
+// flush/compaction.
 func (s *Store) BulkLoad(recs []record.Record) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.mem.Count() > 0 || s.deepestDataLevelLocked() > 0 {
-		return fmt.Errorf("lsm: bulk load requires an empty store")
-	}
-	var total int64
 	var maxTs uint64
+	var total int64
 	for i := range recs {
 		if i > 0 && record.CompareRecords(recs[i-1], recs[i]) >= 0 {
 			return fmt.Errorf("%w: index %d", ErrBadBulkLoad, i)
@@ -405,6 +471,26 @@ func (s *Store) BulkLoad(recs []record.Record) error {
 		if recs[i].Ts > maxTs {
 			maxTs = recs[i].Ts
 		}
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.opts.InlineCompaction {
+		return s.bulkLoadJob(recs, total, maxTs)
+	}
+	return s.runSync(jobFunc, 0, func() error { return s.bulkLoadJob(recs, total, maxTs) })
+}
+
+// bulkLoadJob is the worker-side bulk load (caller holds commitMu, so no
+// commits interleave with the empty-store check).
+func (s *Store) bulkLoadJob(recs []record.Record, total int64, maxTs uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.mem.Count() > 0 || s.frozen != nil || s.deepestDataLevelLocked() > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("lsm: bulk load requires an empty store")
 	}
 	lvl := 1
 	for lvl < s.opts.MaxLevels && s.opts.levelTarget(lvl) < total {
@@ -418,11 +504,15 @@ func (s *Store) BulkLoad(recs []record.Record) error {
 		BottomMost:  true,
 		BulkLoad:    true,
 	}
+	s.mu.Unlock()
+
 	sources := []mergeSource{{runID: MemtableRunID, iter: newSliceIter(recs)}}
 	newRun, err := s.runCompaction(info, sources, nil)
 	if err != nil {
 		return err
 	}
+
+	s.mu.Lock()
 	// Place the run by its ACTUAL size: the listener may have inflated
 	// records (embedded proofs are several times the record size), and a
 	// run installed over its level target would trigger a pathological
@@ -435,9 +525,14 @@ func (s *Store) BulkLoad(recs []record.Record) error {
 		s.lastTs.Store(maxTs)
 	}
 	if err := s.persistManifestLocked(); err != nil {
+		s.levels[lvl] = nil
+		s.mu.Unlock()
+		s.removeFiles(newRun.fileNums())
 		return err
 	}
 	s.listener.OnVersionInstalled(info)
+	s.mu.Unlock()
+	s.listener.OnVersionCommitted(info)
 	return nil
 }
 

@@ -171,17 +171,25 @@ func (s *Store) ScanRunChunk(runID uint64, start, end []byte, maxKeys int) (RunS
 }
 
 // MemScan returns the newest version ≤ tsq of every key in [start, end]
-// from the (trusted) memtable, including tombstones.
+// from the (trusted) memtables — the active table merged with the frozen
+// one mid-flush — including tombstones.
 func (s *Store) MemScan(start, end []byte, tsq uint64) []record.Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	sources := []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
+	if s.frozen != nil {
+		sources = append(sources, mergeSource{runID: MemtableRunID, iter: s.frozen.Iter()})
+	}
+	for _, src := range sources {
+		src.iter.SeekGE(start, record.MaxTs)
+	}
+	m := newMergeIter(sources)
+	defer m.Close()
 	var out []record.Record
-	it := s.mem.Iter()
-	it.SeekGE(start, record.MaxTs)
 	var lastKey []byte
 	emitted := false
-	for it.Valid() {
-		rec := it.Record()
+	for m.Valid() {
+		rec, _ := m.Record()
 		if bytes.Compare(rec.Key, end) > 0 {
 			break
 		}
@@ -193,7 +201,7 @@ func (s *Store) MemScan(start, end []byte, tsq uint64) []record.Record {
 			out = append(out, rec)
 			emitted = true
 		}
-		it.Next()
+		m.Next()
 	}
 	return out
 }
@@ -243,6 +251,9 @@ func (s *Store) ScanChunk(start, end []byte, tsq uint64, maxKeys int) (out []rec
 		return nil, nil, false, ErrClosed
 	}
 	sources := []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
+	if s.frozen != nil {
+		sources = append(sources, mergeSource{runID: MemtableRunID, iter: s.frozen.Iter()})
+	}
 	for lvl := 1; lvl < len(s.levels); lvl++ {
 		for _, r := range s.levels[lvl] {
 			if len(r.tables) > 0 {

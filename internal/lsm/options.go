@@ -75,6 +75,11 @@ type Options struct {
 	// DisableCompaction stops merging entirely: each flush appends a new
 	// immutable run to level 1 (Figure 7b's "wo. compaction" mode).
 	DisableCompaction bool
+	// InlineCompaction restores the pre-background behaviour: flush and
+	// level compaction run synchronously on the commit path (the leader
+	// pays the whole level rewrite under commitMu). Exists for the
+	// ablation benchmark; never enable in production.
+	InlineCompaction bool
 	// DisableWAL skips write-ahead logging (bulk experiments).
 	DisableWAL bool
 	// GroupCommitMaxOps caps how many operations one commit group may
@@ -86,8 +91,17 @@ type Options struct {
 	// draining the queue, trading latency for larger groups. 0 (the
 	// default) relies on the natural batching window: the queue refills
 	// while the previous group's fsync is in flight.
+	// AutoGroupCommitWindow (-1) derives the wait adaptively from an EWMA
+	// of observed fsync latency (half the EWMA, capped at 2ms); the
+	// resolved value is reported in Stats.GroupCommitWindowNanos.
 	GroupCommitWindow time.Duration
 }
+
+// AutoGroupCommitWindow selects the adaptive leader batching window: the
+// wait tracks half the observed fsync-latency EWMA instead of a fixed
+// duration, so fast storage pays (near) zero delay and slow storage gets
+// groups sized to its fsync cost.
+const AutoGroupCommitWindow time.Duration = -1
 
 func (o Options) withDefaults() Options {
 	if o.FS == nil {
@@ -116,6 +130,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLevels <= 0 {
 		o.MaxLevels = DefaultMaxLevels
+	}
+	if o.GroupCommitWindow < 0 && o.GroupCommitWindow != AutoGroupCommitWindow {
+		o.GroupCommitWindow = 0
 	}
 	return o
 }
@@ -163,9 +180,14 @@ type TableFileInfo struct {
 
 // EventListener is the callback surface through which the eLSM
 // authentication layer attaches to the engine, mirroring RocksDB's
-// EventListener + CompactionFilter APIs (§5.5.3). All methods are invoked
-// synchronously on the engine's write path; implementations must not call
-// back into the Store.
+// EventListener + CompactionFilter APIs (§5.5.3). Commit-path hooks
+// (OnWALAppend, OnGroupCommit, OnMemtableFrozen) fire on committing
+// goroutines; compaction hooks (OnCompactionBegin through
+// OnVersionCommitted) fire on the maintenance worker, which runs at most
+// one flush/compaction at a time — so one compaction's staging state is
+// live at any moment, but implementations must make any state SHARED
+// between the two groups (e.g. a WAL digest chain) internally
+// thread-safe. Implementations must not call back into the Store.
 type EventListener interface {
 	// OnWALAppend fires before a record is appended to the untrusted WAL,
 	// letting the enclave extend its WAL digest chain (§5.3 step w1).
@@ -177,7 +199,14 @@ type EventListener interface {
 	// group-aligned WAL state (sealing mid-append would bind the counter
 	// to records a crash could still tear away).
 	OnGroupCommit(n int)
-	// OnWALRotated fires after a flush truncates the WAL.
+	// OnMemtableFrozen fires when the active memtable (and with it the
+	// active WAL) is frozen for a background flush: records appended from
+	// now on belong to the NEXT flush generation, so the authentication
+	// layer starts a fresh digest chain for them alongside the full one.
+	OnMemtableFrozen()
+	// OnWALRotated fires at flush install, after the frozen logs carrying
+	// the flushed records are deleted: the live WAL is now only the active
+	// log, and the trusted digest chain restarts from the freeze point.
 	OnWALRotated()
 	// OnCompactionBegin fires before the merge starts.
 	OnCompactionBegin(info CompactionInfo)
@@ -195,9 +224,15 @@ type EventListener interface {
 	// the new version is installed; returning an error aborts the
 	// compaction (the authenticated-compaction input check, §5.5.2).
 	OnCompactionEnd(info CompactionInfo) error
-	// OnVersionInstalled fires after the new version is durably
-	// installed; the listener commits its staged digests here.
+	// OnVersionInstalled fires under the engine lock, immediately after
+	// the new version is durably installed; the listener swaps in its
+	// staged digests here (fast, in-memory — readers resume as soon as the
+	// lock drops).
 	OnVersionInstalled(info CompactionInfo)
+	// OnVersionCommitted fires after OnVersionInstalled, WITHOUT the
+	// engine lock: the listener performs its slow durability work here
+	// (counter bump, state seal and write) off the read/write paths.
+	OnVersionCommitted(info CompactionInfo)
 }
 
 // NopListener ignores all events.
@@ -210,6 +245,9 @@ func (NopListener) OnWALAppend(record.Record) {}
 
 // OnGroupCommit implements EventListener.
 func (NopListener) OnGroupCommit(int) {}
+
+// OnMemtableFrozen implements EventListener.
+func (NopListener) OnMemtableFrozen() {}
 
 // OnWALRotated implements EventListener.
 func (NopListener) OnWALRotated() {}
@@ -230,3 +268,6 @@ func (NopListener) OnCompactionEnd(CompactionInfo) error { return nil }
 
 // OnVersionInstalled implements EventListener.
 func (NopListener) OnVersionInstalled(CompactionInfo) {}
+
+// OnVersionCommitted implements EventListener.
+func (NopListener) OnVersionCommitted(CompactionInfo) {}

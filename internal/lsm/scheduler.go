@@ -1,0 +1,217 @@
+package lsm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the maintenance scheduler: a single background
+// worker goroutine that executes flush and compaction jobs off the commit
+// path. One job runs at a time — the authentication listener stages one
+// compaction's Merkle state, and serial execution preserves the engine's
+// "at most one version install in flight" invariant — while the queue stays
+// bounded by construction: background triggers are deduplicated (at most
+// one pending flush, at most one pending compaction per level) and
+// synchronous requests are bounded by their callers, who block on the
+// result.
+//
+// Close semantics: stopMaintenance marks the queue closed and waits for the
+// worker to DRAIN — the in-flight job and everything already queued run to
+// completion, so a half-built version is never abandoned between its
+// manifest write and its digest install. New enqueues after close fail with
+// ErrClosed.
+
+// Job kinds.
+const (
+	jobIdle    = iota // worker between jobs (stall attribution)
+	jobFlush          // flush the frozen memtable into level 1
+	jobCompact        // merge level N into level N+1
+	jobFunc           // run an arbitrary closure (bulk load)
+	jobBarrier        // no-op: WaitMaintenance fence
+)
+
+// maintJob is one queued maintenance request.
+type maintJob struct {
+	kind  int
+	level int          // jobCompact only
+	fn    func() error // jobFunc only
+	done  chan error   // non-nil: a synchronous caller awaits the result
+}
+
+// maintenance is the scheduler state.
+type maintenance struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []maintJob
+	closed bool
+	wg     sync.WaitGroup
+
+	// Dedup flags for background (fire-and-forget) triggers; cleared when
+	// the job starts so a trigger during execution re-queues.
+	flushQueued   bool
+	compactQueued map[int]bool
+
+	// current is the kind of the job now executing (jobIdle when none) —
+	// read by stalled writers to attribute their wait to flush vs
+	// compaction debt.
+	current atomic.Int32
+}
+
+// startMaintenance launches the worker.
+func (s *Store) startMaintenance() {
+	m := &s.maint
+	m.cond = sync.NewCond(&m.mu)
+	m.compactQueued = make(map[int]bool)
+	m.wg.Add(1)
+	go s.maintWorker()
+}
+
+// stopMaintenance closes the queue and waits for the worker to drain it,
+// then wakes any writer stalled on a flush that will now never be
+// scheduled (it observes the closed queue and fails with ErrClosed).
+func (s *Store) stopMaintenance() {
+	m := &s.maint
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	if !already {
+		s.mu.Lock()
+		s.flushDone.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// maintenanceClosed reports whether the scheduler stopped accepting jobs.
+func (s *Store) maintenanceClosed() bool {
+	m := &s.maint
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// enqueue appends a job, returning ErrClosed after stopMaintenance.
+func (s *Store) enqueue(j maintJob) error {
+	m := &s.maint
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	return nil
+}
+
+// runSync enqueues a job and blocks until the worker has executed it.
+func (s *Store) runSync(kind, level int, fn func() error) error {
+	done := make(chan error, 1)
+	if err := s.enqueue(maintJob{kind: kind, level: level, fn: fn, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// scheduleFlush queues a background flush of the frozen memtable (at most
+// one outstanding).
+func (s *Store) scheduleFlush() error {
+	m := &s.maint
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.flushQueued {
+		m.mu.Unlock()
+		return nil
+	}
+	m.flushQueued = true
+	m.queue = append(m.queue, maintJob{kind: jobFlush})
+	m.cond.Signal()
+	m.mu.Unlock()
+	return nil
+}
+
+// scheduleCompaction queues a background compaction of lvl (at most one
+// outstanding per level).
+func (s *Store) scheduleCompaction(lvl int) {
+	m := &s.maint
+	m.mu.Lock()
+	if !m.closed && !m.compactQueued[lvl] {
+		m.compactQueued[lvl] = true
+		m.queue = append(m.queue, maintJob{kind: jobCompact, level: lvl})
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// scheduleOverflowCompactions queues a background compaction for the
+// shallowest level over its size target (§2: COMPACTION "to make room in
+// lower levels for upcoming writes"). Called after each install; cascades
+// naturally — compacting level N can push N+1 over target, and N+1's
+// install re-runs this check.
+func (s *Store) scheduleOverflowCompactions() {
+	if lvl := s.overflowingLevel(); lvl > 0 {
+		s.scheduleCompaction(lvl)
+	}
+}
+
+// maintWorker is the scheduler loop.
+func (s *Store) maintWorker() {
+	m := &s.maint
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		job := m.queue[0]
+		m.queue = m.queue[1:]
+		switch job.kind {
+		case jobFlush:
+			if job.done == nil {
+				m.flushQueued = false
+			}
+		case jobCompact:
+			if job.done == nil {
+				m.compactQueued[job.level] = false
+			}
+		}
+		m.current.Store(int32(job.kind))
+		m.mu.Unlock()
+
+		var err error
+		switch job.kind {
+		case jobFlush:
+			err = s.flushFrozen()
+		case jobCompact:
+			err = s.compactLevel(job.level, job.done == nil)
+		case jobFunc:
+			err = job.fn()
+		case jobBarrier:
+			// Fence only: reaching here means every prior job finished.
+		}
+		m.current.Store(jobIdle)
+
+		if err != nil && (job.kind == jobFlush || job.done == nil) {
+			// Fail stop: fire-and-forget failures have no caller to report
+			// to, and a FAILED FLUSH — synchronous or not — leaves the
+			// frozen memtable stranded, so commit leaders stalled on it
+			// must be woken to observe the error rather than wait forever.
+			s.mu.Lock()
+			s.setBgErrLocked(err)
+			s.mu.Unlock()
+		}
+		if job.done != nil {
+			job.done <- err
+		}
+
+		m.mu.Lock()
+	}
+}

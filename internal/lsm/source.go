@@ -30,20 +30,26 @@ var _ sstable.BlockSource = (*storeSource)(nil)
 // ReadBlock implements sstable.BlockSource.
 func (src *storeSource) ReadBlock(fileNum uint64, blockIdx int, off, length int64) ([]byte, error) {
 	s := src.s
+	// Snapshot the view pointers under fileMu: compaction pins/unpins run
+	// concurrently with readers now that the merge phase is lock-free.
 	s.fileMu.RLock()
 	of, ok := s.files[fileNum]
+	var pinnedView, mmapView []byte
+	if ok {
+		pinnedView, mmapView = of.pinned, of.view
+	}
 	s.fileMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("lsm: read block of unknown file %d", fileNum)
 	}
 
 	// Compaction-pinned view: direct streaming from untrusted memory.
-	if of.pinned != nil {
-		return src.openBlock(fileNum, blockIdx, slice(of.pinned, off, length))
+	if pinnedView != nil {
+		return src.openBlock(fileNum, blockIdx, slice(pinnedView, off, length))
 	}
 	// mmap read path.
-	if of.view != nil {
-		return src.openBlock(fileNum, blockIdx, slice(of.view, off, length))
+	if mmapView != nil {
+		return src.openBlock(fileNum, blockIdx, slice(mmapView, off, length))
 	}
 
 	cache := s.opts.Cache

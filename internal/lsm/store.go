@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -16,12 +18,32 @@ import (
 	"elsm/internal/wal"
 )
 
-// Well-known file names in the untrusted FS.
+// Well-known file names in the untrusted FS. The active WAL is always
+// walName; when the memtable freezes, the active log is renamed to a
+// frozenWALPrefix-numbered file that lives until the frozen table's flush
+// durably installs (recovery replays frozen logs in sequence order, then the
+// active log — the digest chain spans the concatenation).
 const (
-	walName      = "wal.log"
-	manifestName = "MANIFEST"
-	manifestTmp  = "MANIFEST.tmp"
+	walName         = "wal.log"
+	frozenWALPrefix = "wal-frozen-"
+	manifestName    = "MANIFEST"
+	manifestTmp     = "MANIFEST.tmp"
 )
+
+// frozenWALName formats the name of a rotated (frozen) log.
+func frozenWALName(seq uint64) string {
+	return fmt.Sprintf("%s%08d.log", frozenWALPrefix, seq)
+}
+
+// frozenWALSeq parses the sequence number out of a frozen log name.
+func frozenWALSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, frozenWALPrefix) || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	var seq uint64
+	_, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, frozenWALPrefix), ".log"), "%d", &seq)
+	return seq, err == nil
+}
 
 // Store errors.
 var (
@@ -40,11 +62,26 @@ type tableHandle struct {
 }
 
 // run is one immutable sorted run of tables (non-overlapping, key-ordered).
+// refs counts reasons the run's files must stay on disk: membership in the
+// current version holds one reference, and every pin (a compaction reading
+// it as input, a verified iterator scanning it) holds another. Files are
+// deleted only when the count reaches zero, so an in-flight read never races
+// a compaction deleting its inputs.
 type run struct {
 	id      uint64
 	tables  []*tableHandle
 	bytes   int64
 	entries int
+	refs    atomic.Int32
+}
+
+// fileNums lists the run's table file numbers.
+func (r *run) fileNums() []uint64 {
+	nums := make([]uint64, 0, len(r.tables))
+	for _, th := range r.tables {
+		nums = append(nums, th.meta.FileNum)
+	}
+	return nums
 }
 
 // openFile tracks an open untrusted file and its optional mmap views.
@@ -80,18 +117,44 @@ type Stats struct {
 	// WALTornRecords counts records dropped at recovery because their
 	// commit group never completed (crash mid-append).
 	WALTornRecords uint64
+	// FlushStallNanos is time commit leaders spent blocked because the
+	// active memtable filled while the previous frozen memtable was still
+	// flushing (the background flush could not keep up with the write rate).
+	FlushStallNanos uint64
+	// CompactionStallNanos is the portion of those stalls attributable to a
+	// level compaction occupying the maintenance worker when the wait began
+	// (compaction debt delaying the flush the writer is waiting on).
+	CompactionStallNanos uint64
+	// BackgroundCompactions counts level compactions executed by the
+	// maintenance worker (scheduled, not requested synchronously).
+	BackgroundCompactions uint64
+	// PinnedRuns is the current number of run pins held beyond version
+	// membership (compaction inputs being merged, iterator snapshots).
+	PinnedRuns uint64
+	// GroupCommitWindowNanos is the resolved leader batching window: the
+	// configured value, or — with GroupCommitWindow = AutoGroupCommitWindow —
+	// the value currently derived from the fsync-latency EWMA.
+	GroupCommitWindowNanos uint64
+	// FsyncEWMANanos is the exponentially-weighted moving average of
+	// observed WAL fsync latency feeding the adaptive window.
+	FsyncEWMANanos uint64
 }
 
 // Store is the LSM engine. Reads may run concurrently; writes flow through
 // the group-commit pipeline (commit.go), which serializes them while
-// coalescing concurrent commits into shared WAL fsyncs; compaction runs
-// synchronously on the write path (its cost is amortized into write
-// latency, matching how the paper reports Figure 7).
+// coalescing concurrent commits into shared WAL fsyncs. Flush and
+// compaction run on a dedicated maintenance worker (scheduler.go): the
+// commit path only freezes the full memtable (an O(1) pointer swap plus a
+// WAL rotation) and schedules the level rewrite, so writers never wait on a
+// multi-megabyte merge unless flushes fall behind the write rate
+// (Stats.FlushStallNanos counts exactly that).
 //
-// Lock order: commitMu > mu > the listener's own locks. commitMu
-// serializes "WAL epochs" — a commit group's append+fsync, a flush's WAL
-// rotation, close — without blocking readers, which only take mu.RLock and
-// therefore never wait on an in-flight fsync.
+// Lock order: commitMu > mu > maint.mu > the listener's own locks.
+// commitMu serializes "WAL epochs" — a commit group's append+fsync, a
+// freeze's WAL rotation, close — without blocking readers, which only take
+// mu.RLock and therefore never wait on an in-flight fsync. The maintenance
+// worker takes mu only for the snapshot and install phases of a rewrite,
+// never commitMu.
 type Store struct {
 	opts     Options
 	fs       vfs.FS
@@ -100,18 +163,39 @@ type Store struct {
 
 	commitMu sync.Mutex // guards walW append/sync/rotate epochs
 
-	mu     sync.RWMutex // guards mem, levels, counters
-	mem    *memtable.Table
+	mu     sync.RWMutex    // guards mem, frozen, levels, retired, bgErr
+	mem    *memtable.Table // active write buffer
+	frozen *memtable.Table // immutable predecessor being flushed (nil: none)
 	walW   *wal.Writer
 	levels [][]*run // levels[0] unused; levels[i] newest-run-first
 
-	gc committer // group-commit queue (commit.go)
+	// flushDone (on mu) is broadcast whenever frozen clears, a background
+	// job fails, or the store closes — the wake-ups a stalled writer or a
+	// synchronous Flush waits for.
+	flushDone *sync.Cond
+
+	// retired holds runs removed from the version but still pinned (an
+	// iterator or compaction holds a reference); findRunLocked resolves
+	// them so snapshot reads keep verifying against replaced runs.
+	retired map[uint64]*run
+
+	// frozenWALs are rotated log files carrying the frozen memtable's (and,
+	// after recovery, any predecessor's) records; deleted at flush install.
+	frozenWALs []string
+	nextWALSeq uint64
+
+	// bgErr is the first background maintenance failure; the store fails
+	// stop — subsequent commits and maintenance return it.
+	bgErr error
+
+	gc    committer   // group-commit queue (commit.go)
+	maint maintenance // flush/compaction scheduler (scheduler.go)
 
 	fileMu sync.RWMutex
 	files  map[uint64]*openFile
 
-	nextFileNum uint64
-	nextRunID   uint64
+	nextFileNum atomic.Uint64 // consumed lock-free by the build phase
+	nextRunID   uint64        // guarded by mu
 	lastTs      atomic.Uint64
 	closed      bool
 
@@ -119,13 +203,23 @@ type Store struct {
 	replayedRecords int
 	walTornRecords  int
 
-	// Commit-pipeline counters, updated outside mu (the fsync runs without
-	// the engine lock) and folded into Stats().
-	walSyncs       atomic.Uint64
-	groupCommits   atomic.Uint64
-	groupedRecords atomic.Uint64
-
-	stats Stats
+	// Event counters, updated without mu (the commit pipeline and the
+	// maintenance worker run outside the engine lock) and folded into
+	// Stats().
+	walSyncs              atomic.Uint64
+	groupCommits          atomic.Uint64
+	groupedRecords        atomic.Uint64
+	flushes               atomic.Uint64
+	compactions           atomic.Uint64
+	bytesFlushed          atomic.Uint64
+	bytesCompacted        atomic.Uint64
+	recordsDropped        atomic.Uint64
+	manifestUpdates       atomic.Uint64
+	flushStallNanos       atomic.Int64
+	compactionStallNanos  atomic.Int64
+	backgroundCompactions atomic.Uint64
+	pinnedRuns            atomic.Int64
+	fsyncEWMANanos        atomic.Int64
 }
 
 // Open creates or recovers a store.
@@ -135,23 +229,27 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("lsm: mmap reads are incompatible with block transforms (eLSM-P1 cannot mmap, §6.3)")
 	}
 	s := &Store{
-		opts:        opts,
-		fs:          opts.FS,
-		enclave:     opts.Enclave,
-		listener:    opts.Listener,
-		mem:         memtable.New(opts.Enclave),
-		levels:      make([][]*run, opts.MaxLevels+1),
-		files:       make(map[uint64]*openFile),
-		nextFileNum: 1,
-		nextRunID:   1,
+		opts:      opts,
+		fs:        opts.FS,
+		enclave:   opts.Enclave,
+		listener:  opts.Listener,
+		mem:       memtable.New(opts.Enclave),
+		levels:    make([][]*run, opts.MaxLevels+1),
+		retired:   make(map[uint64]*run),
+		files:     make(map[uint64]*openFile),
+		nextRunID: 1,
 	}
+	s.nextFileNum.Store(1)
+	s.flushDone = sync.NewCond(&s.mu)
 	s.gc.token = make(chan struct{}, 1)
+	s.nextWALSeq = 1
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
+	s.startMaintenance()
 	return s, nil
 }
 
@@ -190,10 +288,11 @@ type manifestRoot struct {
 }
 
 // persistManifestLocked writes the current version to MANIFEST atomically.
-// Caller holds s.mu.
+// Caller holds s.mu; maintenance jobs are serialized on the worker, so
+// manifest writes never reorder.
 func (s *Store) persistManifestLocked() error {
 	root := manifestRoot{
-		NextFileNum: s.nextFileNum,
+		NextFileNum: s.nextFileNum.Load(),
 		NextRunID:   s.nextRunID,
 		LastTs:      s.lastTs.Load(),
 		Levels:      make([][]manifestRun, len(s.levels)),
@@ -241,28 +340,68 @@ func (s *Store) persistManifestLocked() error {
 	if werr != nil {
 		return fmt.Errorf("lsm: manifest write: %w", werr)
 	}
-	s.stats.ManifestUpdates++
+	s.manifestUpdates.Add(1)
 	return nil
 }
 
-// recover loads the manifest (if any) and replays the WAL (if any).
+// liveWALFiles returns the frozen logs (sequence order) followed by the
+// active log name, skipping files that do not exist.
+func (s *Store) liveWALFiles() []string {
+	names := append([]string(nil), s.frozenWALs...)
+	if s.fs.Exists(walName) {
+		names = append(names, walName)
+	}
+	return names
+}
+
+// recover loads the manifest (if any) and replays the WAL files (if any).
 func (s *Store) recover() error {
 	if s.fs.Exists(manifestName) {
 		if err := s.recoverManifest(); err != nil {
 			return err
 		}
 	}
-	// Replay the WAL into the memtable. Only complete commit groups are
-	// replayed; a torn tail (crash mid-group) is truncated away so the log
-	// ends exactly at the last committed group and appends resume cleanly.
-	if s.fs.Exists(walName) {
+	// Discover frozen logs left by a crash mid-flush: their flush never
+	// installed, so their records (like the active log's) belong in the
+	// memtable. They stay on disk until the next successful flush install
+	// deletes them.
+	frozenNames, err := s.fs.List(frozenWALPrefix)
+	if err != nil {
+		return fmt.Errorf("lsm: wal list: %w", err)
+	}
+	type seqName struct {
+		seq  uint64
+		name string
+	}
+	var ordered []seqName
+	for _, name := range frozenNames {
+		if seq, ok := frozenWALSeq(name); ok {
+			ordered = append(ordered, seqName{seq, name})
+			if seq >= s.nextWALSeq {
+				s.nextWALSeq = seq + 1
+			}
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, sn := range ordered {
+		s.frozenWALs = append(s.frozenWALs, sn.name)
+	}
+
+	// Replay every live log in order into the memtable, chaining the digest
+	// across files. Only complete commit groups are replayed; a torn tail is
+	// legal only on the final (active) log — the crash signature — and is
+	// truncated away so appends resume cleanly. A tear anywhere else is
+	// tampering.
+	files := s.liveWALFiles()
+	dig := hashutil.Zero
+	for i, name := range files {
 		var f vfs.File
 		var oerr error
-		s.ocall(func() { f, oerr = s.fs.Open(walName) })
+		s.ocall(func() { f, oerr = s.fs.Open(name) })
 		if oerr != nil {
-			return fmt.Errorf("lsm: wal open: %w", oerr)
+			return fmt.Errorf("lsm: wal open %s: %w", name, oerr)
 		}
-		info, err := wal.Replay(f, func(rec record.Record) error {
+		info, err := wal.ReplayFrom(f, dig, func(rec record.Record) error {
 			s.mem.Put(rec)
 			if rec.Ts > s.lastTs.Load() {
 				s.lastTs.Store(rec.Ts)
@@ -272,9 +411,13 @@ func (s *Store) recover() error {
 		})
 		if err != nil {
 			f.Close()
-			return fmt.Errorf("lsm: wal replay: %w", err)
+			return fmt.Errorf("lsm: wal replay %s: %w", name, err)
 		}
 		if info.CommittedSize < f.Size() {
+			if i != len(files)-1 || name != walName {
+				f.Close()
+				return fmt.Errorf("lsm: frozen wal %s torn (%d records) — not a crash artifact", name, info.TornRecords)
+			}
 			s.walTornRecords = info.TornRecords
 			var terr error
 			s.ocall(func() {
@@ -287,9 +430,10 @@ func (s *Store) recover() error {
 				return fmt.Errorf("lsm: wal tail truncate: %w", terr)
 			}
 		}
-		s.walReplayDigest = info.Digest
+		dig = info.Digest
 		f.Close()
 	}
+	s.walReplayDigest = dig
 	return nil
 }
 
@@ -316,7 +460,7 @@ func (s *Store) recoverManifest() error {
 	if err := json.Unmarshal(data, &root); err != nil {
 		return fmt.Errorf("%w: %v", ErrManifestParse, err)
 	}
-	s.nextFileNum = root.NextFileNum
+	s.nextFileNum.Store(root.NextFileNum)
 	s.nextRunID = root.NextRunID
 	s.lastTs.Store(root.LastTs)
 	if len(root.Levels) > len(s.levels) {
@@ -325,6 +469,7 @@ func (s *Store) recoverManifest() error {
 	for lvl, runs := range root.Levels {
 		for _, mr := range runs {
 			r := &run{id: mr.ID}
+			r.refs.Store(1) // the version reference
 			for _, mt := range mr.Files {
 				th, err := s.openTable(mt.FileNum)
 				if err != nil {
@@ -347,7 +492,7 @@ func (s *Store) recoverManifest() error {
 	return nil
 }
 
-// openWAL creates/continues the WAL writer.
+// openWAL creates/continues the active WAL writer.
 func (s *Store) openWAL() error {
 	if s.opts.DisableWAL {
 		return nil
@@ -371,25 +516,59 @@ func (s *Store) openWAL() error {
 	return nil
 }
 
-// rotateWALLocked truncates the log after a flush. Caller holds s.mu.
-func (s *Store) rotateWALLocked() error {
-	if s.opts.DisableWAL {
+// freezeLocked hands the full active memtable to the maintenance worker:
+// the active WAL is rotated to a frozen-numbered file (so the frozen
+// table's durability is pinned to a closed log that survives until the
+// flush installs), the memtable pointer is swapped, and writes continue
+// into a fresh table immediately. O(1) plus one rename+create — no level
+// rewrite happens here. Caller holds commitMu and s.mu; s.frozen is nil.
+func (s *Store) freezeLocked() error {
+	if s.mem.Count() == 0 {
 		return nil
 	}
-	var f vfs.File
-	var err error
-	s.ocall(func() {
-		if s.walW != nil {
-			s.walW.Close()
-		}
-		f, err = s.fs.Create(walName)
-	})
-	if err != nil {
-		return fmt.Errorf("lsm: wal rotate: %w", err)
+	if s.frozen != nil {
+		panic("lsm: freeze with a frozen memtable outstanding")
 	}
-	s.walW = wal.NewWriter(f)
-	s.listener.OnWALRotated()
+	if !s.opts.DisableWAL {
+		name := frozenWALName(s.nextWALSeq)
+		var err error
+		s.ocall(func() {
+			if s.walW != nil {
+				s.walW.Close()
+				s.walW = nil
+			}
+			if err = s.fs.Rename(walName, name); err != nil {
+				return
+			}
+			var f vfs.File
+			if f, err = s.fs.Create(walName); err != nil {
+				return
+			}
+			s.walW = wal.NewWriter(f)
+		})
+		if err != nil {
+			// The writer may be gone: fail stop, commits surface bgErr.
+			err = fmt.Errorf("lsm: wal rotate: %w", err)
+			s.setBgErrLocked(err)
+			return err
+		}
+		s.nextWALSeq++
+		s.frozenWALs = append(s.frozenWALs, name)
+	}
+	s.frozen = s.mem
+	s.frozen.Freeze()
+	s.mem = memtable.New(s.enclave)
+	s.listener.OnMemtableFrozen()
 	return nil
+}
+
+// setBgErrLocked records the first background failure and wakes stalled
+// writers so they observe it. Caller holds s.mu.
+func (s *Store) setBgErrLocked(err error) {
+	if s.bgErr == nil && err != nil {
+		s.bgErr = err
+	}
+	s.flushDone.Broadcast()
 }
 
 // WALReplayDigest returns the digest chain recomputed during recovery and
@@ -408,37 +587,44 @@ func (s *Store) WALTornRecords() int {
 	return s.walTornRecords
 }
 
-// VerifyWALPrefix re-reads the WAL and checks that trusted is a prefix of
-// its digest chain, returning how many records follow that prefix. An error
+// VerifyWALPrefix re-reads the live WAL files (frozen logs in order, then
+// the active log) and checks that trusted is a prefix of the concatenated
+// digest chain, returning how many records follow that prefix. An error
 // means the log was tampered with (the trusted digest never occurs on the
 // chain). A zero trusted digest matches the empty prefix.
 func (s *Store) VerifyWALPrefix(trusted hashutil.Hash) (int, error) {
-	if s.opts.DisableWAL || !s.fs.Exists(walName) {
+	s.mu.RLock()
+	files := s.liveWALFiles()
+	s.mu.RUnlock()
+	if s.opts.DisableWAL || len(files) == 0 {
 		if trusted.IsZero() {
 			return 0, nil
 		}
 		return 0, fmt.Errorf("lsm: WAL missing but trusted digest is non-zero")
 	}
-	var f vfs.File
-	var oerr error
-	s.ocall(func() { f, oerr = s.fs.Open(walName) })
-	if oerr != nil {
-		return 0, fmt.Errorf("lsm: wal open: %w", oerr)
-	}
-	defer f.Close()
 	found := trusted.IsZero()
 	extra := 0
 	dig := hashutil.Zero
-	if _, err := wal.Replay(f, func(rec record.Record) error {
-		dig = hashutil.WALLink(dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
-		if found {
-			extra++
-		} else if dig == trusted {
-			found = true
+	for _, name := range files {
+		var f vfs.File
+		var oerr error
+		s.ocall(func() { f, oerr = s.fs.Open(name) })
+		if oerr != nil {
+			return 0, fmt.Errorf("lsm: wal open %s: %w", name, oerr)
 		}
-		return nil
-	}); err != nil {
-		return 0, err
+		_, err := wal.Replay(f, func(rec record.Record) error {
+			dig = hashutil.WALLink(dig, byte(rec.Kind), rec.Key, rec.Ts, rec.Value)
+			if found {
+				extra++
+			} else if dig == trusted {
+				found = true
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return 0, err
+		}
 	}
 	if !found {
 		return 0, fmt.Errorf("lsm: trusted WAL digest not found on chain (log tampered)")
@@ -489,6 +675,127 @@ func (s *Store) openTable(fileNum uint64) (*tableHandle, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Run reference counting
+
+// retainRunLocked takes an extra reference on r (caller holds s.mu, read or
+// write: the run is reachable, so its version reference keeps refs ≥ 1 and
+// the increment cannot resurrect a dying run).
+func (s *Store) retainRunLocked(r *run) {
+	r.refs.Add(1)
+	s.pinnedRuns.Add(1)
+}
+
+// releaseRun drops one reference; at zero the run's files are deleted. The
+// zero re-check under the write lock closes the resurrection race: a reader
+// that re-pins a retired run under mu.RLock either increments before the
+// releaser's check (which then sees refs > 0 and leaves the run alone) or
+// cannot find the run at all because it was already unlinked.
+func (s *Store) releaseRun(r *run) {
+	s.pinnedRuns.Add(-1)
+	if r.refs.Add(-1) > 0 {
+		return
+	}
+	s.mu.Lock()
+	if r.refs.Load() > 0 {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.retired, r.id)
+	s.mu.Unlock()
+	s.removeFiles(r.fileNums())
+}
+
+// retireRunsLocked removes runs from the version: they move to the retired
+// registry (still resolvable by pinned readers) and lose their version
+// reference outside the lock. Caller holds s.mu and must drop the version
+// reference — releaseRunRefs — after releasing it.
+func (s *Store) retireRunsLocked(runs []*run) {
+	for _, r := range runs {
+		s.retired[r.id] = r
+		// The version reference is accounted in pinnedRuns from here until
+		// it is dropped, keeping the gauge's invariant (refs beyond live
+		// version membership) intact.
+		s.pinnedRuns.Add(1)
+	}
+}
+
+// releaseRunRefs drops n references from each run (deleting files at
+// zero). A successful install drops TWO per input run — the retired
+// version reference plus the job's merge pin — in one explicit call;
+// abort paths drop only the job pin. Must be called without s.mu.
+func (s *Store) releaseRunRefs(runs []*run, n int) {
+	for i := 0; i < n; i++ {
+		for _, r := range runs {
+			s.releaseRun(r)
+		}
+	}
+}
+
+// SnapshotRuns returns the current version's runs in read order (newest
+// data first), pinned, with a release function — one lock acquisition for
+// both the enumeration and the pins, so the snapshot can never race an
+// install in between. Verified readers walk this snapshot: a compaction
+// installing mid-read retires the runs but cannot delete their files or
+// their lookup addressability until the release. The release function must
+// be called exactly once (calling it again is a no-op).
+func (s *Store) SnapshotRuns() ([]RunRef, func()) {
+	s.mu.RLock()
+	var refs []RunRef
+	var pinned []*run
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for idx, r := range s.levels[lvl] {
+			refs = append(refs, RunRef{ID: r.id, Level: lvl, Index: idx})
+			s.retainRunLocked(r)
+			pinned = append(pinned, r)
+		}
+	}
+	s.mu.RUnlock()
+	return refs, s.releaseOnce(pinned)
+}
+
+// PinRuns takes references on the listed runs so their files survive
+// concurrent compactions; runs already fully deleted are skipped (the
+// caller's subsequent lookup fails and retries against a fresh snapshot).
+// The returned release function must be called exactly once.
+func (s *Store) PinRuns(ids []uint64) (release func()) {
+	s.mu.RLock()
+	pinned := make([]*run, 0, len(ids))
+	for _, id := range ids {
+		if r := s.lookupRunByIDLocked(id); r != nil {
+			s.retainRunLocked(r)
+			pinned = append(pinned, r)
+		}
+	}
+	s.mu.RUnlock()
+	return s.releaseOnce(pinned)
+}
+
+// releaseOnce wraps dropping a pin set in an idempotent closure.
+func (s *Store) releaseOnce(pinned []*run) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, r := range pinned {
+				s.releaseRun(r)
+			}
+		})
+	}
+}
+
+// lookupRunByIDLocked resolves a run by ID in the live version or the
+// retired-but-pinned registry. Caller holds s.mu.
+func (s *Store) lookupRunByIDLocked(id uint64) *run {
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for _, r := range s.levels[lvl] {
+			if r.id == id {
+				return r
+			}
+		}
+	}
+	return s.retired[id]
+}
+
+// ---------------------------------------------------------------------------
 // Writes (all routed through the group-commit pipeline in commit.go)
 
 // Put inserts a key-value record, returning the assigned trusted timestamp.
@@ -501,16 +808,114 @@ func (s *Store) Delete(key []byte) (uint64, error) {
 	return s.commit([]BatchOp{{Key: key, Delete: true}})
 }
 
-// Flush forces the memtable to disk.
+// Flush forces all buffered writes to disk and waits for the resulting
+// level maintenance to settle: any outstanding frozen memtable is flushed
+// first (including one left behind by a failed earlier attempt — Flush is
+// the retry point), then the active memtable is frozen and flushed, and
+// overflowing levels are compacted. Synchronous — when Flush returns, the
+// memtable is empty and on disk.
 func (s *Store) Flush() error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	for {
+		s.commitMu.Lock()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.commitMu.Unlock()
+			return ErrClosed
+		}
+		if err := s.bgErr; err != nil {
+			s.mu.Unlock()
+			s.commitMu.Unlock()
+			return err
+		}
+		if s.frozen != nil {
+			// A frozen table is outstanding (mid-flush, or stranded by a
+			// failed inline attempt): flush it now, then re-evaluate. A
+			// background flush job racing this one is harmless — whoever
+			// runs second finds frozen == nil and no-ops.
+			s.mu.Unlock()
+			if s.opts.InlineCompaction {
+				err := s.flushFrozen()
+				s.commitMu.Unlock()
+				if err != nil {
+					return err
+				}
+			} else {
+				s.commitMu.Unlock()
+				if err := s.runSync(jobFlush, 0, nil); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if s.mem.Count() == 0 {
+			s.mu.Unlock()
+			s.commitMu.Unlock()
+			return nil
+		}
+		err := s.freezeLocked()
+		s.mu.Unlock()
+		if s.opts.InlineCompaction {
+			// Inline mode: the whole rewrite runs here, on the caller,
+			// serialized by commitMu like every other inline rewrite.
+			if err == nil {
+				err = s.flushFrozen()
+			}
+			if err == nil {
+				err = s.compactOverflowing()
+			}
+			s.commitMu.Unlock()
+			return err
+		}
+		s.commitMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := s.runSync(jobFlush, 0, nil); err != nil {
+			return err
+		}
+		return s.settleCompactions()
 	}
-	return s.flushLocked()
+}
+
+// settleCompactions synchronously compacts every level that exceeds its
+// size target until none does (the deterministic "flush and settle"
+// semantics tests and admin callers rely on).
+func (s *Store) settleCompactions() error {
+	return s.cascadeOverflow(func(lvl int) error {
+		return s.runSync(jobCompact, lvl, nil)
+	})
+}
+
+// cascadeOverflow repeatedly applies compact to the shallowest level over
+// its size target until no level is — the single definition of the
+// overflow cascade, shared by the synchronous (Flush/settle) and inline
+// paths.
+func (s *Store) cascadeOverflow(compact func(lvl int) error) error {
+	for {
+		lvl := s.overflowingLevel()
+		if lvl == 0 {
+			return nil
+		}
+		if err := compact(lvl); err != nil {
+			return err
+		}
+	}
+}
+
+// overflowingLevel returns the shallowest level over its size target, or 0.
+func (s *Store) overflowingLevel() int {
+	if s.opts.DisableCompaction {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for lvl := 1; lvl < s.opts.MaxLevels; lvl++ {
+		if s.levelBytesLocked(lvl) > s.opts.levelTarget(lvl) {
+			return lvl
+		}
+	}
+	return 0
 }
 
 // ---------------------------------------------------------------------------
@@ -528,6 +933,11 @@ func (s *Store) Get(key []byte, tsq uint64) (record.Record, bool, error) {
 	}
 	if rec, ok := s.mem.Get(key, tsq); ok {
 		return rec, true, nil
+	}
+	if s.frozen != nil {
+		if rec, ok := s.frozen.Get(key, tsq); ok {
+			return rec, true, nil
+		}
 	}
 	for lvl := 1; lvl < len(s.levels); lvl++ {
 		for _, r := range s.levels[lvl] {
@@ -589,30 +999,39 @@ func (s *Store) runsLocked() []RunRef {
 	return out
 }
 
-// findRun locates a run by ID. Caller holds s.mu.
+// findRun locates a run by ID — in the live version or, for pinned
+// snapshot readers, among retired runs awaiting deletion. Caller holds
+// s.mu.
 func (s *Store) findRunLocked(id uint64) (*run, error) {
-	for lvl := 1; lvl < len(s.levels); lvl++ {
-		for _, r := range s.levels[lvl] {
-			if r.id == id {
-				return r, nil
-			}
-		}
+	if r := s.lookupRunByIDLocked(id); r != nil {
+		return r, nil
 	}
 	return nil, fmt.Errorf("%w: %d", ErrUnknownRun, id)
 }
 
-// MemGet reads the (trusted, in-enclave) memtable.
+// MemGet reads the (trusted, in-enclave) memtables: the active table first,
+// then the frozen one (its records are strictly older).
 func (s *Store) MemGet(key []byte, tsq uint64) (record.Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.mem.Get(key, tsq)
+	if rec, ok := s.mem.Get(key, tsq); ok {
+		return rec, true
+	}
+	if s.frozen != nil {
+		return s.frozen.Get(key, tsq)
+	}
+	return record.Record{}, false
 }
 
-// MemCount returns the number of memtable entries.
+// MemCount returns the number of buffered entries (active + frozen).
 func (s *Store) MemCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.mem.Count()
+	n := s.mem.Count()
+	if s.frozen != nil {
+		n += s.frozen.Count()
+	}
+	return n
 }
 
 // LastTs returns the most recently assigned timestamp.
@@ -621,13 +1040,30 @@ func (s *Store) LastTs() uint64 { return s.lastTs.Load() }
 // Stats returns engine event counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
-	out := s.stats
-	out.WALTornRecords = uint64(s.walTornRecords)
+	torn := s.walTornRecords
 	s.mu.RUnlock()
-	out.WALSyncs = s.walSyncs.Load()
-	out.GroupCommits = s.groupCommits.Load()
-	out.GroupedRecords = s.groupedRecords.Load()
-	return out
+	pinned := s.pinnedRuns.Load()
+	if pinned < 0 {
+		pinned = 0
+	}
+	return Stats{
+		Flushes:                s.flushes.Load(),
+		Compactions:            s.compactions.Load(),
+		BytesFlushed:           s.bytesFlushed.Load(),
+		BytesCompacted:         s.bytesCompacted.Load(),
+		RecordsDropped:         s.recordsDropped.Load(),
+		ManifestUpdates:        s.manifestUpdates.Load(),
+		WALSyncs:               s.walSyncs.Load(),
+		GroupCommits:           s.groupCommits.Load(),
+		GroupedRecords:         s.groupedRecords.Load(),
+		WALTornRecords:         uint64(torn),
+		FlushStallNanos:        uint64(s.flushStallNanos.Load()),
+		CompactionStallNanos:   uint64(s.compactionStallNanos.Load()),
+		BackgroundCompactions:  s.backgroundCompactions.Load(),
+		PinnedRuns:             uint64(pinned),
+		GroupCommitWindowNanos: uint64(s.resolveCommitWindow().Nanoseconds()),
+		FsyncEWMANanos:         uint64(s.fsyncEWMANanos.Load()),
+	}
 }
 
 // Enclave exposes the simulated enclave (for the authentication layer).
@@ -649,10 +1085,28 @@ func (s *Store) DiskBytes() int64 {
 	return total
 }
 
-// Close flushes nothing (callers flush explicitly if desired) and releases
-// resources. Taking commitMu first drains any in-flight commit group before
+// WaitMaintenance blocks until every maintenance job enqueued before the
+// call (background flushes, compactions) has finished — a barrier for tests
+// and tooling that assert on post-flush state.
+func (s *Store) WaitMaintenance() error {
+	return s.runSync(jobBarrier, 0, nil)
+}
+
+// BackgroundErr reports the sticky background maintenance failure, if any.
+func (s *Store) BackgroundErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bgErr
+}
+
+// Close drains in-flight maintenance (a background flush or compaction
+// runs to completion so the manifest, run files and trusted digests stay
+// consistent), then releases resources. Buffered writes are NOT flushed —
+// callers flush explicitly if desired; the WAL preserves them for
+// recovery. Taking commitMu first drains any in-flight commit group before
 // the WAL writer goes away; commits queued behind it fail with ErrClosed.
 func (s *Store) Close() error {
+	s.stopMaintenance()
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.mu.Lock()
@@ -661,8 +1115,13 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.flushDone.Broadcast()
 	if s.walW != nil {
 		s.walW.Close()
+	}
+	if s.frozen != nil {
+		s.frozen.Release()
+		s.frozen = nil
 	}
 	s.mem.Release()
 	return nil

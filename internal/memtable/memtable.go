@@ -32,6 +32,7 @@ type Table struct {
 	rnd      *rand.Rand // guarded by mu (write lock)
 	bytes    int
 	count    int
+	frozen   bool
 	region   *sgx.Region
 	touchOff atomic.Int64
 }
@@ -64,11 +65,31 @@ func less(n *node, key []byte, ts uint64) bool {
 	return record.Compare(n.rec.Key, n.rec.Ts, key, ts) < 0
 }
 
+// Freeze marks the table immutable: it has been handed to a background
+// flush, and writes now land in its successor. A Put after Freeze is an
+// engine bug — the frozen table is concurrently merged to disk without
+// locks, so a late write would be silently lost or torn.
+func (t *Table) Freeze() {
+	t.mu.Lock()
+	t.frozen = true
+	t.mu.Unlock()
+}
+
+// Frozen reports whether Freeze was called.
+func (t *Table) Frozen() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.frozen
+}
+
 // Put inserts a record. Duplicate (key, ts) pairs overwrite.
 func (t *Table) Put(rec record.Record) {
 	rec = rec.Clone()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.frozen {
+		panic("memtable: Put on a frozen table")
+	}
 
 	var prev [maxHeight]*node
 	x := t.head

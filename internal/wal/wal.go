@@ -148,7 +148,17 @@ type ReplayInfo struct {
 // with its group) still fails with ErrCorrupt: that is tampering, not a
 // crash artifact.
 func Replay(f vfs.File, fn func(record.Record) error) (ReplayInfo, error) {
+	return ReplayFrom(f, hashutil.Zero, fn)
+}
+
+// ReplayFrom is Replay with the digest chain seeded at start instead of
+// zero. Recovery uses it to chain the digest across a sequence of log files
+// (frozen logs awaiting a flush install, then the active log): replaying
+// file N+1 from file N's final digest yields the same chain as one
+// concatenated log.
+func ReplayFrom(f vfs.File, start hashutil.Hash, fn func(record.Record) error) (ReplayInfo, error) {
 	var info ReplayInfo
+	info.Digest = start
 	data := f.Bytes()
 	if data == nil {
 		data = make([]byte, f.Size())

@@ -28,6 +28,22 @@ type Stats struct {
 	// commit group never completed (crash mid-append).
 	WALTornRecords uint64
 
+	// Background-maintenance counters. FlushStallNanos is writer time lost
+	// waiting for a lagging background flush; CompactionStallNanos is the
+	// share of it attributable to a compaction occupying the worker;
+	// BackgroundCompactions counts worker-scheduled level merges;
+	// PinnedRuns is the current number of run pins (snapshot readers,
+	// in-flight merges) beyond version membership.
+	FlushStallNanos       uint64
+	CompactionStallNanos  uint64
+	BackgroundCompactions uint64
+	PinnedRuns            uint64
+	// GroupCommitWindowNanos is the resolved leader batching window (the
+	// adaptive value when GroupCommitWindow = AutoGroupCommitWindow);
+	// FsyncEWMANanos is the fsync-latency EWMA feeding it.
+	GroupCommitWindowNanos uint64
+	FsyncEWMANanos         uint64
+
 	// Simulated SGX activity (zero for ModeUnsecured).
 	PageFaults    uint64
 	ECalls        uint64
@@ -69,6 +85,12 @@ func (s *Store) Stats() Stats {
 		out.GroupCommits = es.GroupCommits
 		out.GroupedRecords = es.GroupedRecords
 		out.WALTornRecords = es.WALTornRecords
+		out.FlushStallNanos = es.FlushStallNanos
+		out.CompactionStallNanos = es.CompactionStallNanos
+		out.BackgroundCompactions = es.BackgroundCompactions
+		out.PinnedRuns = es.PinnedRuns
+		out.GroupCommitWindowNanos = es.GroupCommitWindowNanos
+		out.FsyncEWMANanos = es.FsyncEWMANanos
 	}
 	if e, ok := s.kv.(enclaved); ok {
 		st := e.Enclave().Stats()

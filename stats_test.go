@@ -3,6 +3,9 @@ package elsm
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"elsm/internal/vfs"
 )
 
 func TestStatsSnapshot(t *testing.T) {
@@ -36,6 +39,34 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 	if st.RunsProbed == 0 || st.ProofBytes == 0 {
 		t.Fatalf("verification work not counted: %+v", st)
+	}
+}
+
+// TestStatsAdaptiveCommitWindow checks the public plumbing of the
+// adaptive group-commit window: with GroupCommitWindow =
+// AutoGroupCommitWindow on fsync-bound storage, Stats must report a
+// non-zero resolved window derived from the fsync-latency EWMA.
+func TestStatsAdaptiveCommitWindow(t *testing.T) {
+	opts := testOptions(ModeP2)
+	opts.FS = vfs.NewSlowSync(vfs.NewMem(), 300*time.Microsecond)
+	opts.MemtableSize = 1 << 20 // keep flushes out of the picture
+	opts.GroupCommitWindow = AutoGroupCommitWindow
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.FsyncEWMANanos == 0 {
+		t.Fatal("fsync EWMA not plumbed through Stats")
+	}
+	if st.GroupCommitWindowNanos == 0 {
+		t.Fatal("resolved adaptive window not plumbed through Stats")
 	}
 }
 
