@@ -1,8 +1,17 @@
 package elsm
 
 import (
+	"context"
+
 	"elsm/internal/core"
 )
+
+// CommitFuture is the handle of an asynchronous batch commit: acknowledged
+// (Ts available) once the commit timestamp is assigned and the group is
+// appended to the WAL, resolved (Wait/Done) once it is fsynced and visible
+// to reads. A crash between acknowledgment and resolution loses the batch;
+// Store.Sync is the barrier that closes the window.
+type CommitFuture = core.CommitFuture
 
 // Batch is an atomic multi-op write. Operations are buffered locally and
 // applied by Commit in ONE enclave round trip: the engine takes its write
@@ -79,17 +88,49 @@ func (b *Batch) Reset() {
 // on failure the operations stay buffered so the caller can inspect or
 // re-Commit them (note a failure after the WAL write, e.g. a flush error,
 // may already have logged the records — recovery semantics then apply).
-func (b *Batch) Commit() (uint64, error) {
+func (b *Batch) Commit() (uint64, error) { return b.CommitCtx(nil) }
+
+// CommitCtx is Commit with cancellation: a context cancelled while the
+// batch still waits in the group-commit queue withdraws it (nothing is
+// written, the operations stay buffered); once the committer has claimed
+// the batch, the commit completes regardless and its outcome is returned.
+func (b *Batch) CommitCtx(ctx context.Context) (uint64, error) {
 	if b.err != nil {
 		return 0, b.err
 	}
 	if len(b.ops) == 0 {
 		return 0, nil
 	}
-	ts, err := b.s.kv.ApplyBatch(b.ops)
+	ts, err := b.s.kv.ApplyBatchCtx(ctx, b.ops)
 	if err != nil {
 		return 0, err
 	}
 	b.ops = nil
 	return ts, nil
+}
+
+// CommitAsync commits the batch with pipelined durability: it returns a
+// CommitFuture as soon as the batch is admitted to the commit pipeline
+// (the context bounds only the admission wait against
+// Options.MaxAsyncCommitBacklog). The future is acknowledged when the
+// batch's trusted timestamp is assigned and its group is appended to the
+// WAL — at which point the committer is already pipelining the next
+// group's append with this group's fsync — and resolved when the batch is
+// durable and visible. On success the batch is empty and reusable
+// immediately; on admission failure the operations stay buffered.
+func (b *Batch) CommitAsync(ctx context.Context) (*CommitFuture, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.ops) == 0 {
+		// Parity with Commit: an empty batch is a no-op with a zero
+		// timestamp, not an acknowledgment of someone else's commit.
+		return core.NewResolvedFuture(0, nil), nil
+	}
+	fut, err := b.s.kv.CommitAsync(ctx, b.ops)
+	if err != nil {
+		return nil, err
+	}
+	b.ops = nil
+	return fut, nil
 }

@@ -14,6 +14,21 @@
 //	  A bad <n> is a protocol error: ERR, then the connection closes.
 //	SCAN <start> <end>\n           -> ROW <key> <value>\n rows streamed as
 //	                                  they verify, then END <count>\n
+//	SNAPSHOT\n                     -> OK <id> <ts>\n — pins a verified
+//	                                  point-in-time session (per connection)
+//	SGET <id> <key>\n              -> VALUE/NOTFOUND as GET, but against
+//	                                  the snapshot's pinned state
+//	SSCAN <id> <start> <end>\n     -> ROW.../END as SCAN, against the
+//	                                  snapshot (repeatable bit for bit)
+//	RELEASE <id>\n                 -> OK\n — releases the snapshot's pins
+//	PUTASYNC <key> <value>\n       -> ACK <ts>\n once the write's trusted
+//	                                  timestamp is assigned and its group
+//	                                  appended (NOT yet fsynced); durability
+//	                                  outcomes surface on SYNC
+//	SYNC\n                         -> OK <n>\n after every commit this
+//	                                  connection acknowledged is durable
+//	                                  (n = async writes settled), or ERR if
+//	                                  any of them failed
 //	STATS\n                        -> STAT <name> <value>\n per counter,
 //	                                  then END\n (engine, enclave and
 //	                                  background-maintenance counters)
@@ -163,8 +178,27 @@ func field(b []byte) string {
 	return string(b)
 }
 
+// session is per-connection protocol state: open snapshots and the
+// unsettled async-commit futures awaiting a SYNC.
+type session struct {
+	snaps    map[uint64]*elsm.Snapshot
+	nextSnap uint64
+	futures  []*elsm.CommitFuture
+}
+
+// maxSessionFutures bounds unsettled PUTASYNC futures per connection
+// (protocol abuse guard — the store's MaxAsyncCommitBacklog bounds the
+// global pipeline; this bounds one client's bookkeeping).
+const maxSessionFutures = 100000
+
 func serve(conn net.Conn, store *elsm.Store) {
 	defer conn.Close()
+	sess := &session{snaps: make(map[uint64]*elsm.Snapshot)}
+	defer func() {
+		for _, snap := range sess.snaps {
+			snap.Close()
+		}
+	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -214,6 +248,84 @@ func serve(conn net.Conn, store *elsm.Store) {
 			}
 		case cmd == "SCAN" && len(args) == 2:
 			serveScan(w, store, []byte(args[0]), []byte(args[1]))
+		case cmd == "SNAPSHOT" && len(args) == 0:
+			snap, err := store.Snapshot()
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			sess.nextSnap++
+			sess.snaps[sess.nextSnap] = snap
+			fmt.Fprintf(w, "OK %d %d\n", sess.nextSnap, snap.Ts())
+		case cmd == "SGET" && len(args) == 2:
+			snap, ok := sess.lookup(args[0])
+			if !ok {
+				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
+				break
+			}
+			res, err := snap.Get([]byte(args[1]))
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "ERR %v\n", err)
+			case !res.Found:
+				fmt.Fprintln(w, "NOTFOUND")
+			default:
+				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, field(res.Value))
+			}
+		case cmd == "SSCAN" && len(args) == 3:
+			snap, ok := sess.lookup(args[0])
+			if !ok {
+				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
+				break
+			}
+			serveIter(w, snap.Iter([]byte(args[1]), []byte(args[2])))
+		case cmd == "RELEASE" && len(args) == 1:
+			snap, ok := sess.lookup(args[0])
+			if !ok {
+				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
+				break
+			}
+			snap.Close()
+			id, _ := strconv.ParseUint(args[0], 10, 64)
+			delete(sess.snaps, id)
+			fmt.Fprintln(w, "OK")
+		case cmd == "PUTASYNC" && len(args) == 2:
+			if len(sess.futures) >= maxSessionFutures {
+				fmt.Fprintf(w, "ERR async backlog full (%d unsettled): SYNC first\n", len(sess.futures))
+				break
+			}
+			b := store.NewBatch()
+			b.Put([]byte(args[0]), []byte(args[1]))
+			fut, err := b.CommitAsync(nil)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			ts, err := fut.Ts(nil)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			sess.futures = append(sess.futures, fut)
+			fmt.Fprintf(w, "ACK %d\n", ts)
+		case cmd == "SYNC" && len(args) == 0:
+			if err := store.Sync(nil); err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			settled := len(sess.futures)
+			var failed error
+			for _, fut := range sess.futures {
+				if _, err := fut.Wait(nil); err != nil && failed == nil {
+					failed = err
+				}
+			}
+			sess.futures = sess.futures[:0]
+			if failed != nil {
+				fmt.Fprintf(w, "ERR async commit failed: %v\n", failed)
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", settled)
 		case cmd == "STATS" && len(args) == 0:
 			serveStats(w, store)
 		default:
@@ -285,11 +397,25 @@ func serveBatch(w *bufio.Writer, sc *bufio.Scanner, store *elsm.Store, nArg stri
 	return true
 }
 
+// lookup resolves a snapshot id argument against the session table.
+func (sess *session) lookup(arg string) (*elsm.Snapshot, bool) {
+	id, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	snap, ok := sess.snaps[id]
+	return snap, ok
+}
+
 // serveScan streams verified rows as the iterator produces them. A
 // mid-stream verification failure terminates the stream with ERR instead
 // of END — the client discards the partial rows.
 func serveScan(w *bufio.Writer, store *elsm.Store, start, end []byte) {
-	it := store.Iter(start, end)
+	serveIter(w, store.Iter(start, end))
+}
+
+// serveIter renders one verified stream (live or snapshot) to the wire.
+func serveIter(w *bufio.Writer, it *elsm.Iterator) {
 	count := 0
 	for it.Next() {
 		fmt.Fprintf(w, "ROW %s %s\n", field(it.Key()), field(it.Value()))
@@ -330,6 +456,8 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		{"flush_stall_nanos", st.FlushStallNanos},
 		{"compaction_stall_nanos", st.CompactionStallNanos},
 		{"pinned_runs", st.PinnedRuns},
+		{"snapshots_open", st.SnapshotsOpen},
+		{"async_commits_in_flight", st.AsyncCommitsInFlight},
 		{"group_commit_window_nanos", st.GroupCommitWindowNanos},
 		{"fsync_ewma_nanos", st.FsyncEWMANanos},
 		{"page_faults", st.PageFaults},

@@ -120,6 +120,106 @@ func TestServerProtocol(t *testing.T) {
 
 // TestServerStats checks the STATS command: STAT lines for the engine and
 // background-maintenance counters, terminated by END.
+// TestServerSnapshotVerbs drives the SNAPSHOT/SGET/SSCAN/RELEASE session
+// verbs: a pinned snapshot keeps answering with its capture-time state
+// while the live store moves on, and releasing an unknown id errors.
+func TestServerSnapshotVerbs(t *testing.T) {
+	store := mustOpen(t)
+	replies := dialogue(t, store, []string{
+		"PUT alice v1",
+		"PUT bob v1",
+		"SNAPSHOT",
+		"PUT alice v2",
+		"DEL bob",
+		"SGET 1 alice",
+		"SGET 1 bob",
+		"GET alice",
+		"GET bob",
+		"SSCAN 1 a z",
+		"RELEASE 1",
+		"SGET 1 alice",
+		"RELEASE 7",
+	})
+	if !strings.HasPrefix(replies[2], "OK 1 ") {
+		t.Fatalf("SNAPSHOT reply = %q, want OK 1 <ts>", replies[2])
+	}
+	if replies[5] != "VALUE 1 v1" {
+		t.Fatalf("snapshot get alice = %q, want the pre-churn VALUE 1 v1", replies[5])
+	}
+	if replies[6] != "VALUE 2 v1" {
+		t.Fatalf("snapshot get bob = %q, want VALUE 2 v1 (deletion must not leak in)", replies[6])
+	}
+	if replies[7] != "VALUE 3 v2" {
+		t.Fatalf("live get alice = %q, want VALUE 3 v2", replies[7])
+	}
+	if replies[8] != "NOTFOUND" {
+		t.Fatalf("live get bob = %q, want NOTFOUND", replies[8])
+	}
+	scan := replies[9 : len(replies)-3]
+	if len(scan) != 3 || scan[0] != "ROW alice v1" || scan[1] != "ROW bob v1" || scan[2] != "END 2" {
+		t.Fatalf("snapshot scan = %q, want both capture-time rows", scan)
+	}
+	if replies[len(replies)-3] != "OK" {
+		t.Fatalf("RELEASE = %q, want OK", replies[len(replies)-3])
+	}
+	if !strings.HasPrefix(replies[len(replies)-2], "ERR") {
+		t.Fatalf("SGET on released snapshot = %q, want ERR", replies[len(replies)-2])
+	}
+	if !strings.HasPrefix(replies[len(replies)-1], "ERR") {
+		t.Fatalf("RELEASE of unknown id = %q, want ERR", replies[len(replies)-1])
+	}
+	if st := store.Stats(); st.SnapshotsOpen != 0 {
+		t.Fatalf("SnapshotsOpen = %d after RELEASE, want 0", st.SnapshotsOpen)
+	}
+}
+
+// TestServerAsyncVerbs drives PUTASYNC/SYNC: acknowledgments carry
+// monotonic timestamps, SYNC settles them all, and the writes are durable
+// and visible afterwards.
+func TestServerAsyncVerbs(t *testing.T) {
+	store := mustOpen(t)
+	replies := dialogue(t, store, []string{
+		"PUTASYNC k1 v1",
+		"PUTASYNC k2 v2",
+		"PUTASYNC k3 v3",
+		"SYNC",
+		"GET k2",
+		"SYNC",
+	})
+	var last uint64
+	for i := 0; i < 3; i++ {
+		var ts uint64
+		if _, err := fmt.Sscanf(replies[i], "ACK %d", &ts); err != nil || ts <= last {
+			t.Fatalf("PUTASYNC reply %d = %q, want ACK with a fresh timestamp", i, replies[i])
+		}
+		last = ts
+	}
+	if replies[3] != "OK 3" {
+		t.Fatalf("SYNC = %q, want OK 3 (three settled futures)", replies[3])
+	}
+	if replies[4] != fmt.Sprintf("VALUE %d v2", last-1) {
+		t.Fatalf("get after SYNC = %q, want the async write", replies[4])
+	}
+	if replies[5] != "OK 0" {
+		t.Fatalf("idle SYNC = %q, want OK 0", replies[5])
+	}
+}
+
+// TestServerSnapshotsReleasedOnDisconnect checks the per-connection cleanup
+// path: a client that drops with snapshots open must not leak pins.
+func TestServerSnapshotsReleasedOnDisconnect(t *testing.T) {
+	store := mustOpen(t)
+	dialogue(t, store, []string{
+		"PUT k v",
+		"SNAPSHOT",
+		"SNAPSHOT",
+		"QUIT",
+	})
+	if st := store.Stats(); st.SnapshotsOpen != 0 {
+		t.Fatalf("SnapshotsOpen = %d after disconnect, want 0", st.SnapshotsOpen)
+	}
+}
+
 func TestServerStats(t *testing.T) {
 	replies := dialogue(t, mustOpen(t), []string{
 		"PUT alpha one",

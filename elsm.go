@@ -20,26 +20,52 @@
 //
 // Every write — single Put or client Batch — rides a cross-client
 // group-commit pipeline: concurrent commits coalesce into one grouped WAL
-// append, one fsync and at most one monotonic-counter bump, and each group
-// is marker-terminated in the log so crash recovery replays a prefix of
-// whole commits. Batches additionally pack their operations into one
-// enclave round trip:
+// append, one fsync and at most one monotonic-counter bump, each group is
+// marker-terminated in the log so crash recovery replays a prefix of whole
+// commits, and the WAL append of one group overlaps the fsync of the
+// previous (two-stage pipelining). Batches additionally pack their
+// operations into one enclave round trip:
 //
 //	b := store.NewBatch()
 //	b.Put([]byte("k1"), []byte("v1"))
 //	b.Delete([]byte("k2"))
-//	ts, err = b.Commit() // atomic
+//	ts, err = b.Commit() // atomic, durable on return
+//
+// When throughput matters more than immediate durability, CommitAsync
+// acknowledges a batch as soon as its trusted timestamp is assigned and the
+// group is appended, resolving the returned future at fsync; Sync is the
+// durability barrier:
+//
+//	fut, err := b.CommitAsync(ctx)
+//	ts, err = fut.Ts(ctx)            // acknowledged: timestamp assigned
+//	err = store.Sync(ctx)            // everything acknowledged is now durable
+//
+// Snapshots turn the paper's point-in-time verified reads into a session:
+// Snapshot pins the trusted digest snapshot with its runs and memtables, so
+// any number of Get/Iter/Scan calls observe the SAME verified state — bit
+// for bit — no matter how many flushes or compactions run concurrently:
+//
+//	snap, err := store.Snapshot()
+//	defer snap.Close()
+//	res, err = snap.Get([]byte("key"))
+//	results, err := snap.Scan([]byte("a"), []byte("z"))
 //
 // Range reads stream with incremental verification and completeness
-// checking, in memory bounded by the chunk size — or materialize with
-// Scan, which is built on the same verified stream:
+// checking, in memory bounded by the chunk size — each iterator is itself a
+// point-in-time session — or materialize with Scan, which is built on the
+// same verified stream:
 //
 //	it := store.Iter([]byte("a"), []byte("z"))
 //	for it.Next() {
 //	    use(it.Key(), it.Value())
 //	}
 //	if err := it.Close(); err != nil { ... }       // ErrAuthFailed on tamper
-//	results, err := store.Scan([]byte("a"), []byte("z"))
+//	results, err = store.Scan([]byte("a"), []byte("z"))
+//
+// Every operation has a context-aware variant (PutCtx, GetCtx, IterCtx,
+// Batch.CommitCtx, ...): cancelling the context withdraws a commit still
+// waiting in the group-commit queue, stops a streaming iterator and its
+// prefetch, and deadlines long verified scans.
 //
 // Three modes reproduce the paper's configurations: ModeP2 (the
 // contribution: buffers outside the enclave, record-granularity Merkle
@@ -48,6 +74,7 @@
 package elsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -145,7 +172,15 @@ type Options struct {
 	// commit path — the pre-background-maintenance behaviour, where a
 	// writer that fills the memtable pays the whole level rewrite.
 	// Exists for the ablation benchmark; never enable in production.
+	// It also disables commit pipelining (append/fsync overlap).
 	InlineCompaction bool
+	// MaxAsyncCommitBacklog caps how many Batch.CommitAsync commits may
+	// be acknowledged but not yet durable at once (0 = the built-in
+	// default, currently 1024). A caller hitting the cap blocks — with
+	// context cancellation — until the durability pipeline drains. The
+	// cap bounds both the memory the pending queue holds and the window
+	// of acknowledged writes a crash can lose.
+	MaxAsyncCommitBacklog int
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -175,6 +210,9 @@ func (o Options) validate() error {
 	}
 	if o.GroupCommitWindow > time.Second {
 		return fmt.Errorf("elsm: GroupCommitWindow %v exceeds the 1s cap (it delays every commit)", o.GroupCommitWindow)
+	}
+	if o.MaxAsyncCommitBacklog < 0 {
+		return fmt.Errorf("elsm: MaxAsyncCommitBacklog must be ≥ 0, got %d", o.MaxAsyncCommitBacklog)
 	}
 	return nil
 }
@@ -207,25 +245,26 @@ func Open(opts Options) (*Store, error) {
 		cost = costmodel.Calibrated()
 	}
 	cfg := core.Config{
-		FS:                   fs,
-		SGX:                  sgx.Params{EPCSize: opts.EPCSize, Cost: cost},
-		Platform:             opts.Platform,
-		Counter:              opts.Counter,
-		CacheSize:            opts.CacheSize,
-		MmapReads:            opts.MmapReads,
-		KeepVersions:         opts.KeepVersions,
-		RequireCleanRecovery: opts.RequireCleanRecovery,
-		IterChunkKeys:        opts.IterChunkKeys,
-		GroupCommitMaxOps:    opts.GroupCommitMaxOps,
-		GroupCommitWindow:    opts.GroupCommitWindow,
-		InlineCompaction:     opts.InlineCompaction,
-		MemtableSize:         opts.MemtableSize,
-		TableFileSize:        opts.TableFileSize,
-		LevelBase:            opts.LevelBase,
-		MaxLevels:            opts.MaxLevels,
-		BlockSize:            opts.BlockSize,
-		DisableCompaction:    opts.DisableCompaction,
-		DisableWAL:           opts.DisableWAL,
+		FS:                    fs,
+		SGX:                   sgx.Params{EPCSize: opts.EPCSize, Cost: cost},
+		Platform:              opts.Platform,
+		Counter:               opts.Counter,
+		CacheSize:             opts.CacheSize,
+		MmapReads:             opts.MmapReads,
+		KeepVersions:          opts.KeepVersions,
+		RequireCleanRecovery:  opts.RequireCleanRecovery,
+		IterChunkKeys:         opts.IterChunkKeys,
+		GroupCommitMaxOps:     opts.GroupCommitMaxOps,
+		GroupCommitWindow:     opts.GroupCommitWindow,
+		MaxAsyncCommitBacklog: opts.MaxAsyncCommitBacklog,
+		InlineCompaction:      opts.InlineCompaction,
+		MemtableSize:          opts.MemtableSize,
+		TableFileSize:         opts.TableFileSize,
+		LevelBase:             opts.LevelBase,
+		MaxLevels:             opts.MaxLevels,
+		BlockSize:             opts.BlockSize,
+		DisableCompaction:     opts.DisableCompaction,
+		DisableWAL:            opts.DisableWAL,
 	}
 	var (
 		kv  core.KV
@@ -259,36 +298,58 @@ func Open(opts Options) (*Store, error) {
 func (s *Store) Mode() Mode { return s.mode }
 
 // Put writes a key-value pair, returning the trusted timestamp assigned
-// inside the enclave.
-func (s *Store) Put(key, value []byte) (uint64, error) {
+// inside the enclave. The write is durable when Put returns.
+func (s *Store) Put(key, value []byte) (uint64, error) { return s.PutCtx(nil, key, value) }
+
+// PutCtx is Put with cancellation: a context cancelled while the write
+// still waits in the group-commit queue withdraws it (nothing is written);
+// once the committer has claimed it, the write completes regardless and
+// its outcome is returned.
+func (s *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
 	if s.enc != nil {
 		ek, ev, err := s.enc.sealRecord(key, value)
 		if err != nil {
 			return 0, err
 		}
-		return s.kv.Put(ek, ev)
+		return s.kv.PutCtx(ctx, ek, ev)
 	}
-	return s.kv.Put(key, value)
+	return s.kv.PutCtx(ctx, key, value)
 }
 
 // Delete removes a key (a verified tombstone write).
-func (s *Store) Delete(key []byte) (uint64, error) {
+func (s *Store) Delete(key []byte) (uint64, error) { return s.DeleteCtx(nil, key) }
+
+// DeleteCtx is Delete with commit-queue cancellation (see PutCtx).
+func (s *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
 	if s.enc != nil {
 		ek, err := s.enc.sealKey(key)
 		if err != nil {
 			return 0, err
 		}
-		return s.kv.Delete(ek)
+		return s.kv.DeleteCtx(ctx, ek)
 	}
-	return s.kv.Delete(key)
+	return s.kv.DeleteCtx(ctx, key)
 }
+
+// Sync is the durability barrier: it returns once every commit accepted
+// before the call — synchronous Commits and acknowledged CommitAsyncs
+// alike — is fsynced to stable storage.
+func (s *Store) Sync(ctx context.Context) error { return s.kv.Sync(ctx) }
 
 // Get returns the latest value of key, verified for integrity and
 // freshness (and completeness of the "not found" answer).
 func (s *Store) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
 
+// GetCtx is Get with cancellation.
+func (s *Store) GetCtx(ctx context.Context, key []byte) (Result, error) {
+	return s.GetAtCtx(ctx, key, record.MaxTs)
+}
+
 // GetAt returns the newest value with timestamp ≤ tsq.
-func (s *Store) GetAt(key []byte, tsq uint64) (Result, error) {
+func (s *Store) GetAt(key []byte, tsq uint64) (Result, error) { return s.GetAtCtx(nil, key, tsq) }
+
+// GetAtCtx is GetAt with cancellation.
+func (s *Store) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, error) {
 	if s.enc != nil {
 		ek, ok, err := s.enc.lookupKey(key)
 		if err != nil {
@@ -297,21 +358,25 @@ func (s *Store) GetAt(key []byte, tsq uint64) (Result, error) {
 		if !ok {
 			return Result{}, nil
 		}
-		res, err := s.kv.GetAt(ek, tsq)
+		res, err := s.kv.GetAtCtx(ctx, ek, tsq)
 		if err != nil || !res.Found {
 			return Result{}, err
 		}
 		return s.enc.openResult(res)
 	}
-	return s.kv.GetAt(key, tsq)
+	return s.kv.GetAtCtx(ctx, key, tsq)
 }
 
 // Scan returns the latest value of every key in [start, end], verified for
 // completeness: a host that omits a matching record is detected. It is the
 // materialized form of Iter — prefer Iter for large ranges, which streams
 // the same verified results in bounded memory.
-func (s *Store) Scan(start, end []byte) ([]Result, error) {
-	it := s.Iter(start, end)
+func (s *Store) Scan(start, end []byte) ([]Result, error) { return s.ScanCtx(nil, start, end) }
+
+// ScanCtx is Scan with cancellation: a deadline or cancel mid-range stops
+// the underlying verified stream.
+func (s *Store) ScanCtx(ctx context.Context, start, end []byte) ([]Result, error) {
+	it := s.IterCtx(ctx, start, end)
 	var out []Result
 	for it.Next() {
 		out = append(out, it.Result())
@@ -330,8 +395,12 @@ var ErrAuthFailed = core.ErrAuthFailed
 // stale, incomplete or rolled-back data detected).
 func IsAuthFailure(err error) bool { return errors.Is(err, core.ErrAuthFailed) }
 
-// Internal returns the underlying core store. It is exposed for the
-// benchmark harness and advanced integrations (bulk loading, stats).
+// Internal returns the underlying core store.
+//
+// Deprecated: the supported surfaces are Stats for metrics and the public
+// Store/Batch/Iterator/Snapshot API for data access. Internal remains only
+// for the benchmark harness and bulk-loading integrations (ycsb, ctlog)
+// that drive core.KV directly; new code should not depend on it.
 func (s *Store) Internal() core.KV { return s.kv }
 
 // Close seals the final trusted state and releases resources.

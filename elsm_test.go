@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -253,15 +254,23 @@ func TestOpenRejectsBadConfig(t *testing.T) {
 }
 
 func TestOpenValidatesTuningOptions(t *testing.T) {
-	bad := []Options{
-		{IterChunkKeys: -1},
-		{GroupCommitMaxOps: -1},
-		{GroupCommitWindow: -time.Millisecond},
-		{GroupCommitWindow: 2 * time.Second}, // over the 1s cap
+	bad := []struct {
+		opts    Options
+		wantMsg string
+	}{
+		{Options{IterChunkKeys: -1}, "IterChunkKeys must be ≥ 0"},
+		{Options{GroupCommitMaxOps: -1}, "GroupCommitMaxOps must be ≥ 0"},
+		{Options{GroupCommitWindow: -time.Millisecond}, "GroupCommitWindow must be ≥ 0"},
+		{Options{GroupCommitWindow: 2 * time.Second}, "exceeds the 1s cap"}, // over the 1s cap
+		{Options{MaxAsyncCommitBacklog: -1}, "MaxAsyncCommitBacklog must be ≥ 0"},
 	}
-	for i, opts := range bad {
-		if _, err := Open(opts); err == nil {
-			t.Fatalf("bad option set %d accepted: %+v", i, opts)
+	for i, tc := range bad {
+		_, err := Open(tc.opts)
+		if err == nil {
+			t.Fatalf("bad option set %d accepted: %+v", i, tc.opts)
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Fatalf("bad option set %d: error %q does not name the offending knob (want %q)", i, err, tc.wantMsg)
 		}
 	}
 	// And valid settings work end to end: tiny chunks, bounded groups, a

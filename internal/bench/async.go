@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"elsm/internal/core"
+	"elsm/internal/sgx"
+	"elsm/internal/vfs"
+)
+
+// asyncSyncDelay models storage whose fsync costs real time — the regime
+// the async-durability pipeline exists for (in-memory fsyncs are free and
+// would hide exactly the wait being ablated).
+const asyncSyncDelay = 200 * time.Microsecond
+
+// asyncWriterSweep is the ablation's X axis: concurrent writer goroutines.
+var asyncWriterSweep = []int{1, 4, 16}
+
+// asyncBatchOps is the batch size each writer commits per operation.
+const asyncBatchOps = 4
+
+// openAsyncStore builds the eLSM-P2 store under test on sync-delayed
+// storage.
+func (c Config) openAsyncStore() (*core.Store, error) {
+	return core.Open(core.Config{
+		FS:              vfs.NewSlowSync(vfs.NewMem(), asyncSyncDelay),
+		SGX:             sgx.Params{EPCSize: c.epcBytes(), Cost: *c.Cost},
+		MemtableSize:    c.paperMB(4),
+		TableFileSize:   c.paperMB(4),
+		LevelBase:       int64(c.paperMB(10)),
+		MaxLevels:       7,
+		KeepVersions:    1,
+		CounterInterval: 4096,
+		MmapReads:       true,
+	})
+}
+
+// asyncPoint measures one (writers, mode) cell: each writer commits
+// batches of asyncBatchOps records; in sync mode every Commit blocks until
+// its group is fsynced, in async mode CommitAsync returns at acceptance and
+// the run ends with one Sync barrier — so both modes measure time to FULL
+// durability of the same record count. Reports kops/sec of durable records
+// and fsyncs per 1000 records.
+func (c Config) asyncPoint(writers, totalOps int, async bool) (kopsPerSec, fsyncsPerK float64, err error) {
+	s, err := c.openAsyncStore()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	perWriter := totalOps / writers
+	if perWriter == 0 {
+		perWriter = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := []byte("async-ablation-value-0123456789")
+			for i := 0; i < perWriter; i++ {
+				ops := make([]core.BatchOp, asyncBatchOps)
+				for j := range ops {
+					ops[j] = core.BatchOp{
+						Key:   []byte(fmt.Sprintf("w%02d-%06d-%d", w, i, j)),
+						Value: val,
+					}
+				}
+				if async {
+					fut, aerr := s.CommitAsync(ctx, ops)
+					if aerr != nil {
+						errCh <- aerr
+						return
+					}
+					if _, aerr = fut.Ts(ctx); aerr != nil {
+						errCh <- aerr
+						return
+					}
+				} else {
+					if _, serr := s.ApplyBatch(ops); serr != nil {
+						errCh <- serr
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The durability barrier: async acknowledgments are not durable until
+	// Sync returns, so the clock covers it — both modes pay for the same
+	// guarantee.
+	if serr := s.Sync(ctx); serr != nil {
+		return 0, 0, serr
+	}
+	elapsed := time.Since(start)
+	close(errCh)
+	if werr := <-errCh; werr != nil {
+		return 0, 0, werr
+	}
+
+	records := float64(perWriter * writers * asyncBatchOps)
+	st := s.Engine().Stats()
+	kopsPerSec = records / elapsed.Seconds() / 1e3
+	fsyncsPerK = float64(st.WALSyncs) / records * 1000
+	return kopsPerSec, fsyncsPerK, nil
+}
+
+// AblationAsync quantifies what pipelined asynchronous durability buys:
+// writers committing batches back to back, sync (every commit waits for
+// its group's fsync) vs async (CommitAsync acknowledged at append, one
+// Sync barrier at the end), on storage with a real fsync cost. Durable
+// throughput is measured to the barrier in both modes. Expected shape:
+// async wins at every concurrency and the gap widens with writers — sync
+// writers serialize on fsync waits while the async pipeline overlaps the
+// next group's WAL append with the in-flight fsync and absorbs many groups
+// per fsync.
+func AblationAsync(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Name: "Ablation: async",
+		Caption: fmt.Sprintf("sync vs pipelined async commit, batches of %d, %v fsync (durable kops/sec)",
+			asyncBatchOps, asyncSyncDelay),
+		XLabel: "writers",
+		Series: seriesOrder("sync kops/s", "async kops/s", "sync fsync/1k", "async fsync/1k"),
+	}
+	for _, writers := range asyncWriterSweep {
+		row := Row{X: fmt.Sprintf("%d", writers), Series: map[string]float64{}}
+		cfg.logf("AblationAsync writers=%d", writers)
+		syncK, syncF, err := cfg.asyncPoint(writers, cfg.Ops, false)
+		if err != nil {
+			return t, fmt.Errorf("async ablation (sync, %d writers): %w", writers, err)
+		}
+		asyncK, asyncF, err := cfg.asyncPoint(writers, cfg.Ops, true)
+		if err != nil {
+			return t, fmt.Errorf("async ablation (async, %d writers): %w", writers, err)
+		}
+		cfg.logf("    sync %.1f kops/s (%.1f fsync/1k), async %.1f kops/s (%.1f fsync/1k)",
+			syncK, syncF, asyncK, asyncF)
+		row.Series["sync kops/s"] = syncK
+		row.Series["async kops/s"] = asyncK
+		row.Series["sync fsync/1k"] = syncF
+		row.Series["async fsync/1k"] = asyncF
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -337,5 +337,6 @@ func All() []Experiment {
 		{"ablation-batch", AblationBatch},
 		{"ablation-commit", AblationCommit},
 		{"ablation-compaction", AblationCompaction},
+		{"ablation-async", AblationAsync},
 	}
 }

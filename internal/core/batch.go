@@ -1,12 +1,20 @@
 package core
 
 import (
+	"context"
+
 	"elsm/internal/lsm"
 )
 
 // BatchOp is one operation of an atomic grouped write: a set, or a
 // tombstone when Delete is true.
 type BatchOp = lsm.BatchOp
+
+// NewResolvedFuture returns a future that is already accepted and resolved
+// (for no-op commits and stores without a durability pipeline).
+func NewResolvedFuture(ts uint64, err error) *CommitFuture {
+	return lsm.NewResolvedFuture(ts, err)
+}
 
 // ApplyBatch applies a group of writes in ONE enclave round trip, riding
 // the engine's cross-client group-commit pipeline: the batch extends the
@@ -15,22 +23,59 @@ type BatchOp = lsm.BatchOp
 // OnGroupCommit after the group is durable — with every concurrent commit
 // that joined the same group. It returns the batch's commit timestamp —
 // the trusted timestamp of its last record.
-func (c *Store) ApplyBatch(ops []BatchOp) (uint64, error) {
+func (c *Store) ApplyBatch(ops []BatchOp) (uint64, error) { return c.ApplyBatchCtx(nil, ops) }
+
+// ApplyBatchCtx is ApplyBatch with commit-queue cancellation: a context
+// cancelled while the batch still waits in the queue withdraws it (nothing
+// is written); once claimed by the committer the batch completes regardless.
+func (c *Store) ApplyBatchCtx(ctx context.Context, ops []BatchOp) (uint64, error) {
 	var ts uint64
 	var err error
-	c.enclave.ECall(func() { ts, err = c.engine.ApplyBatch(ops) })
+	c.enclave.ECall(func() { ts, err = c.engine.ApplyBatchCtx(ctx, ops) })
 	return ts, err
 }
 
+// CommitAsync implements KV for eLSM-P2: the batch is appended and digest-
+// chained like a synchronous commit, but the caller gets a CommitFuture
+// acknowledged at append (timestamp assigned) and resolved at fsync — the
+// engine pipelines the next group's WAL append with this group's fsync.
+func (c *Store) CommitAsync(ctx context.Context, ops []BatchOp) (*CommitFuture, error) {
+	var fut *CommitFuture
+	var err error
+	c.enclave.ECall(func() { fut, err = c.engine.CommitAsync(ctx, ops) })
+	return fut, err
+}
+
 // ApplyBatch implements KV for eLSM-P1: one ECall for the whole group.
-func (s *StoreP1) ApplyBatch(ops []BatchOp) (uint64, error) {
+func (s *StoreP1) ApplyBatch(ops []BatchOp) (uint64, error) { return s.ApplyBatchCtx(nil, ops) }
+
+// ApplyBatchCtx implements KV for eLSM-P1.
+func (s *StoreP1) ApplyBatchCtx(ctx context.Context, ops []BatchOp) (uint64, error) {
 	var ts uint64
 	var err error
-	s.enclave.ECall(func() { ts, err = s.engine.ApplyBatch(ops) })
+	s.enclave.ECall(func() { ts, err = s.engine.ApplyBatchCtx(ctx, ops) })
 	return ts, err
+}
+
+// CommitAsync implements KV for eLSM-P1.
+func (s *StoreP1) CommitAsync(ctx context.Context, ops []BatchOp) (*CommitFuture, error) {
+	var fut *CommitFuture
+	var err error
+	s.enclave.ECall(func() { fut, err = s.engine.CommitAsync(ctx, ops) })
+	return fut, err
 }
 
 // ApplyBatch implements KV for the unsecured baseline.
 func (s *Unsecured) ApplyBatch(ops []BatchOp) (uint64, error) {
 	return s.engine.ApplyBatch(ops)
+}
+
+// ApplyBatchCtx implements KV for the unsecured baseline.
+func (s *Unsecured) ApplyBatchCtx(ctx context.Context, ops []BatchOp) (uint64, error) {
+	return s.engine.ApplyBatchCtx(ctx, ops)
+}
+
+// CommitAsync implements KV for the unsecured baseline.
+func (s *Unsecured) CommitAsync(ctx context.Context, ops []BatchOp) (*CommitFuture, error) {
+	return s.engine.CommitAsync(ctx, ops)
 }

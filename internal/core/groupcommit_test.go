@@ -310,6 +310,69 @@ func TestGroupCommitCrashRecoveryMidGroup(t *testing.T) {
 	}
 }
 
+// TestFsyncFailureKeepsSealableState injects a single WAL fsync failure
+// mid-stream and checks the authentication layer's durable-frontier
+// bookkeeping survives it: later commits seal correctly, a flush rotates
+// the WAL cleanly, and the store reopens without a false rollback. This is
+// the regression test for the group-mark queue: a failed group must consume
+// its OnGroupAppended mark (OnGroupAbandoned), or the next successful
+// commit promotes a stale mark and — after a rotation — seals a digest
+// from a deleted log's chain, bricking recovery.
+func TestFsyncFailureKeepsSealableState(t *testing.T) {
+	fs := vfs.NewFault(vfs.NewMem())
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sgx.NewMonotonicCounter()
+	base := func() Config {
+		cfg := smallCfg(fs)
+		cfg.Platform = platform
+		cfg.Counter = counter
+		cfg.CounterInterval = 1 // seal after every commit group
+		return cfg
+	}
+
+	s := mustOpenP2(t, base())
+	if _, err := s.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Budget 1: the group's WAL append succeeds, its fsync fails — the
+	// group was appended (mark queued) but never became durable.
+	fs.Arm(1)
+	if _, err := s.Put([]byte("b"), []byte("2")); err == nil {
+		t.Fatal("put with failing fsync succeeded")
+	}
+	fs.Disarm()
+	// Subsequent commits must seal coherent durable state.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("c%d", i)), []byte("3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotate the WAL under the post-failure mark bookkeeping.
+	if err := s.engine.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("d"), []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: a desynchronized mark queue would have sealed a digest that
+	// matches no prefix of the live WAL and fail here as a false rollback.
+	s2 := mustOpenP2(t, base())
+	defer s2.Close()
+	for _, kv := range [][2]string{{"a", "1"}, {"c0", "3"}, {"d", "4"}} {
+		res, err := s2.Get([]byte(kv[0]))
+		if err != nil || !res.Found || string(res.Value) != kv[1] {
+			t.Fatalf("get %q after recovery = (%q, found=%v, err=%v), want %q", kv[0], res.Value, res.Found, err, kv[1])
+		}
+	}
+}
+
 // TestTamperDetectionUnderConcurrentReaders runs verified point and range
 // reads from several goroutines at once — first against an honest host
 // while writers keep committing (everything must verify), then against a

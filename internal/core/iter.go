@@ -1,11 +1,8 @@
 package core
 
 import (
-	"bytes"
-	"fmt"
-	"sort"
+	"context"
 
-	"elsm/internal/lsm"
 	"elsm/internal/record"
 )
 
@@ -21,13 +18,12 @@ const DefaultIterChunkKeys = 512
 // the whole result. A verification failure stops the stream: Next returns
 // false and Err/Close report the ErrAuthFailed cause.
 //
-// Each chunk observes the store at its own fetch time: an iterator (and a
-// Scan rebased on it) is NOT a point-in-time snapshot, so writes committed
-// mid-iteration may appear in later chunks (with one chunk of background
-// prefetch, chunk N+1 is fetched while N drains, so its observation point
-// is correspondingly earlier). For a repeatable view, pass a fixed tsq to
-// IterAt — concurrent writes receive newer timestamps and are excluded
-// (provided version history is retained, KeepVersions 0).
+// Every chunk observes the same pinned view: an iterator (and a Scan
+// rebased on it) IS a point-in-time observation — the stream pins the
+// store's run set, memtable view and (on eLSM-P2) digest forest for its
+// lifetime, so writes committed mid-iteration never appear in later chunks
+// and background prefetch cannot tear the stream across a version install.
+// Iterators must be Closed to release those pins.
 //
 // Iterators are not safe for concurrent use. The Result returned for each
 // position remains valid after further Next calls.
@@ -68,8 +64,17 @@ type chunkResult struct {
 //
 // A chunk may legally be empty without ending the stream (e.g. all keys in
 // it resolved to tombstones), so Next loops until a result or exhaustion.
+//
+// A non-nil ctx bounds the stream: once cancelled, Next stops fetching
+// (reporting ctx.Err() through Err/Close) and no further prefetch is
+// launched — a long verified scan can be deadlined or aborted mid-range.
+// onClose, if set, runs exactly once when the iterator is closed (after
+// any in-flight prefetch has drained), releasing the read view pinned for
+// the stream.
 type chunkIter struct {
+	ctx      context.Context
 	fetch    fetchChunk
+	onClose  func()
 	cursor   []byte
 	inflight chan chunkResult // nil when no prefetch is outstanding
 	buf      []Result
@@ -79,8 +84,8 @@ type chunkIter struct {
 	err      error
 }
 
-func newChunkIter(start []byte, fetch fetchChunk) *chunkIter {
-	return &chunkIter{fetch: fetch, cursor: append([]byte(nil), start...), pos: -1}
+func newChunkIter(ctx context.Context, start []byte, fetch fetchChunk, onClose func()) *chunkIter {
+	return &chunkIter{ctx: ctx, fetch: fetch, onClose: onClose, cursor: append([]byte(nil), start...), pos: -1}
 }
 
 // startPrefetch launches the fetch of the chunk at it.cursor.
@@ -117,6 +122,12 @@ func (it *chunkIter) Next() bool {
 		return true
 	}
 	for !it.done {
+		if it.ctx != nil {
+			if err := it.ctx.Err(); err != nil {
+				it.err = err
+				return false
+			}
+		}
 		res := it.nextChunk()
 		if res.err != nil {
 			it.err = res.err
@@ -141,14 +152,21 @@ func (it *chunkIter) Err() error { return it.err }
 
 // Close implements Iterator. A prefetch still in flight is drained so its
 // verification outcome is not lost: a tampered chunk the consumer never
-// reached still surfaces here.
+// reached still surfaces here. The view release (onClose) runs after the
+// drain, so no fetch can observe a released view.
 func (it *chunkIter) Close() error {
+	if it.closed {
+		return it.err
+	}
 	it.closed = true
 	if it.inflight != nil {
 		if res := <-it.inflight; res.err != nil && it.err == nil {
 			it.err = res.err
 		}
 		it.inflight = nil
+	}
+	if it.onClose != nil {
+		it.onClose()
 	}
 	return it.err
 }
@@ -202,162 +220,64 @@ func scanAll(it Iterator) ([]Result, error) {
 	return out, nil
 }
 
+// errIter is an Iterator that failed before producing anything.
+type errIter struct{ err error }
+
+func (it *errIter) Next() bool     { return false }
+func (it *errIter) Result() Result { return Result{} }
+func (it *errIter) Err() error     { return it.err }
+func (it *errIter) Close() error   { return it.err }
+
 // ---------------------------------------------------------------------------
 // eLSM-P2 streaming verified scan
 
 // Iter streams the latest verified value of every key in [start, end].
 func (c *Store) Iter(start, end []byte) Iterator { return c.IterAt(start, end, record.MaxTs) }
 
-// IterAt is Iter at a historical timestamp. Each chunk is fetched and
-// verified inside one ECall: per-record Merkle proofs establish integrity
-// and freshness, and the chunk's boundary witnesses establish completeness
-// of the covered sub-range, so by the time the stream ends the whole range
-// is completeness-verified without ever being materialized at once.
+// IterAt is Iter at a historical timestamp.
 func (c *Store) IterAt(start, end []byte, tsq uint64) Iterator {
+	return c.IterAtCtx(nil, start, end, tsq)
+}
+
+// IterAtCtx streams the newest verified value ≤ tsq of every key in
+// [start, end]. The whole stream runs against ONE pinned read view — the
+// same unit that backs Snapshot — so the iterator is a point-in-time
+// observation: writes committed mid-iteration never surface in later
+// chunks, and concurrent flushes or compactions cannot perturb (or tear)
+// the stream. Each chunk is fetched and verified inside one ECall:
+// per-record Merkle proofs establish integrity and freshness, and the
+// chunk's boundary witnesses establish completeness of the covered
+// sub-range, so by the time the stream ends the whole range is
+// completeness-verified without ever being materialized at once.
+//
+// A cancelled ctx stops the stream (Err reports the cancellation) and
+// prevents further chunk fetches, including the background prefetch. The
+// iterator MUST be closed: the view's run pins are held until Close.
+func (c *Store) IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) Iterator {
+	v, err := c.acquireView()
+	if err != nil {
+		return &errIter{err: err}
+	}
+	return c.viewIter(ctx, v, start, end, tsq)
+}
+
+// viewIter builds the chunked verified iterator over an already-pinned
+// view, taking one reference on it for the stream's lifetime.
+func (c *Store) viewIter(ctx context.Context, v *readView, start, end []byte, tsq uint64) Iterator {
 	endC := append([]byte(nil), end...)
-	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
+	return newChunkIter(ctx, start, func(cursor []byte) ([]Result, []byte, bool, error) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, false, err
+			}
+		}
 		var (
 			out  []Result
 			next []byte
 			done bool
 			err  error
 		)
-		c.enclave.ECall(func() { out, next, done, err = c.scanChunk(cursor, endC, tsq, c.iterChunkKeys) })
+		c.enclave.ECall(func() { out, next, done, err = v.scanChunk(cursor, endC, tsq, c.iterChunkKeys) })
 		return out, next, done, err
-	})
-}
-
-// scanChunk retries scanChunkOnce under concurrent compaction, like get.
-func (c *Store) scanChunk(start, end []byte, tsq uint64, maxKeys int) ([]Result, []byte, bool, error) {
-	for attempt := 0; attempt < maxRetries; attempt++ {
-		out, next, done, retry, err := c.scanChunkOnce(start, end, tsq, maxKeys)
-		if !retry {
-			return out, next, done, err
-		}
-	}
-	return nil, nil, false, fmt.Errorf("core: scan retries exhausted under concurrent compaction")
-}
-
-// scanChunkOnce runs one bounded round of the SCAN protocol of §5.4 over
-// [start, end]: every run returns at most maxKeys keys; the chunk's
-// effective end is the smallest last key among runs that hit their limit
-// (so every run's result can be verified as a complete sub-range), each
-// run's result is shrunk to that bound and checked with verifyRunScan, and
-// versions are resolved across the memtable and runs exactly as in the
-// materialized protocol. The returned cursor resumes immediately after the
-// chunk's effective end.
-func (c *Store) scanChunkOnce(start, end []byte, tsq uint64, maxKeys int) (out []Result, next []byte, done bool, retry bool, err error) {
-	// Pin the run snapshot for the whole chunk: a compaction installing
-	// mid-chunk retires these runs but their files — and their lookup
-	// addressability — survive until the pin drops, so the chunk verifies
-	// coherently against the digest view. The view is loaded BEFORE the
-	// run snapshot and its pointer re-checked after every source (runs AND
-	// memtable) has been read: an install in between either adds a run the
-	// old view has no digest for (missing-digest retry below) or moves the
-	// pointer (epoch retry below) — without this bracket, a flush with no
-	// input runs installing mid-chunk would make buffered records,
-	// tombstones included, vanish from both sources at once.
-	view := c.snap.Load()
-	runs, release := c.engine.SnapshotRuns()
-	defer release()
-	digs := view.digests
-	var scans []lsm.RunScan
-	chunkEnd := end
-	for _, run := range runs {
-		d, ok := digs[run.ID]
-		if !ok {
-			return nil, nil, false, true, nil
-		}
-		if d.NumLeaves == 0 {
-			continue
-		}
-		rs, serr := c.engine.ScanRunChunk(run.ID, start, end, maxKeys)
-		if serr != nil {
-			return nil, nil, false, true, nil
-		}
-		if c.scanTamper != nil {
-			c.scanTamper(&rs)
-		}
-		if rs.Truncated && len(rs.Records) > 0 {
-			if last := rs.Records[len(rs.Records)-1].Key; bytes.Compare(last, chunkEnd) < 0 {
-				chunkEnd = last
-			}
-		}
-		scans = append(scans, rs)
-	}
-	for i := range scans {
-		shrinkRunScan(&scans[i], chunkEnd)
-		if verr := verifyRunScan(start, chunkEnd, scans[i], digs[scans[i].RunID]); verr != nil {
-			return nil, nil, false, false, verr
-		}
-	}
-
-	// Resolve versions across sources: the memtable's records are newest,
-	// then runs in order (Lemma 5.4: the concatenated per-key version lists
-	// are timestamp-descending).
-	type keyState struct {
-		resolved bool
-		res      Result
-	}
-	states := make(map[string]*keyState)
-	order := make([]string, 0, 16)
-	consider := func(rec record.Record) {
-		ks, ok := states[string(rec.Key)]
-		if !ok {
-			ks = &keyState{}
-			states[string(rec.Key)] = ks
-			order = append(order, string(rec.Key))
-		}
-		if ks.resolved || rec.Ts > tsq {
-			return
-		}
-		ks.resolved = true
-		ks.res = resultFrom(rec)
-	}
-	memRecs := c.engine.MemScan(start, chunkEnd, tsq)
-	if c.snap.Load() != view {
-		// A version installed while this chunk was being assembled: the
-		// memtable observation is from a different epoch than the run
-		// scans. Retry against the new version.
-		return nil, nil, false, true, nil
-	}
-	for _, rec := range memRecs {
-		consider(rec)
-	}
-	for _, rs := range scans {
-		for _, rec := range rs.Records {
-			consider(rec)
-		}
-	}
-	sort.Strings(order)
-	for _, k := range order {
-		if ks := states[k]; ks.resolved && ks.res.Found {
-			out = append(out, ks.res)
-		}
-	}
-	if bytes.Equal(chunkEnd, end) {
-		return out, nil, true, false, nil
-	}
-	// The smallest key strictly greater than chunkEnd resumes the range.
-	next = append(append([]byte(nil), chunkEnd...), 0)
-	return out, next, false, false, nil
-}
-
-// shrinkRunScan truncates a per-run result to keys ≤ chunkEnd, promoting the
-// first record beyond the bound to the right-boundary witness. The promoted
-// record is the newest version of the next key — the leaf immediately after
-// the kept span — so adjacency verification still holds.
-func shrinkRunScan(rs *lsm.RunScan, chunkEnd []byte) {
-	idx := len(rs.Records)
-	for i, rec := range rs.Records {
-		if bytes.Compare(rec.Key, chunkEnd) > 0 {
-			idx = i
-			break
-		}
-	}
-	if idx == len(rs.Records) {
-		return
-	}
-	rs.Succ = &rs.Records[idx]
-	rs.Records = rs.Records[:idx]
+	}, v.release)
 }

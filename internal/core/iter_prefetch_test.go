@@ -57,7 +57,7 @@ func TestChunkIterPrefetchesOneChunkAhead(t *testing.T) {
 	chunks := mkChunks(4, 3)
 	started := make(chan int, 16)
 	var maxInflight atomic.Int32
-	it := newChunkIter(nil, stubChunks(chunks, -1, started, &maxInflight))
+	it := newChunkIter(nil, nil, stubChunks(chunks, -1, started, &maxInflight), nil)
 
 	// First Next fetches chunk 0 synchronously and must kick off the
 	// prefetch of chunk 1 without any further consumer demand.
@@ -98,7 +98,7 @@ func TestChunkIterPrefetchesOneChunkAhead(t *testing.T) {
 func TestChunkIterResultsUnchangedByPrefetch(t *testing.T) {
 	chunks := mkChunks(5, 4)
 	var maxInflight atomic.Int32
-	it := newChunkIter(nil, stubChunks(chunks, -1, nil, &maxInflight))
+	it := newChunkIter(nil, nil, stubChunks(chunks, -1, nil, &maxInflight), nil)
 	var got []Result
 	for it.Next() {
 		got = append(got, it.Result())
@@ -127,7 +127,7 @@ func TestChunkIterCloseDrainsPrefetchedError(t *testing.T) {
 	chunks := mkChunks(3, 2)
 	started := make(chan int, 16)
 	var maxInflight atomic.Int32
-	it := newChunkIter(nil, stubChunks(chunks, 1, started, &maxInflight))
+	it := newChunkIter(nil, nil, stubChunks(chunks, 1, started, &maxInflight), nil)
 	if !it.Next() {
 		t.Fatal("Next = false on first chunk")
 	}
@@ -145,7 +145,7 @@ func TestChunkIterCloseDrainsPrefetchedError(t *testing.T) {
 func TestChunkIterPrefetchErrorStopsStream(t *testing.T) {
 	chunks := mkChunks(4, 2)
 	var maxInflight atomic.Int32
-	it := newChunkIter(nil, stubChunks(chunks, 2, nil, &maxInflight))
+	it := newChunkIter(nil, nil, stubChunks(chunks, 2, nil, &maxInflight), nil)
 	n := 0
 	for it.Next() {
 		n++

@@ -55,15 +55,46 @@ func (l *authListener) OnWALAppend(rec record.Record) {
 	c.mu.Unlock()
 }
 
-// OnGroupCommit pins the dataset state to the monotonic counter (§5.6.1)
-// once the configured interval of appends has committed — at most one bump
-// per group, paid after the group is durable.
+// OnGroupAppended records the WAL chain values at a group boundary. The
+// pipelined committer appends group N+1 while group N's fsync is still in
+// flight, so the chain tip (walDigest) runs AHEAD of stable storage; the
+// mark queued here is promoted to the durable frontier by the group's
+// matching OnGroupCommit, and only the durable frontier is ever sealed —
+// a counter bump binding records an fsync has not confirmed would, after a
+// crash, demand a WAL prefix that no longer exists and brick the store as a
+// false rollback. Each mark carries the chain in BOTH bases — the full
+// chain spanning frozen+active logs, and the fresh chain over the active
+// log alone — because a flush install between append and durability
+// promotion deletes the frozen logs and rebases the trusted chain onto the
+// fresh one (OnVersionInstalled rewrites pending marks accordingly).
+func (l *authListener) OnGroupAppended() {
+	c := l.c
+	c.mu.Lock()
+	c.groupMarks = append(c.groupMarks, walMark{
+		digest:  c.walDigest,
+		fresh:   c.freshDigest,
+		appends: c.walAppends,
+	})
+	c.mu.Unlock()
+}
+
+// OnGroupCommit promotes the group's appended chain mark to the durable
+// frontier, then pins the dataset state to the monotonic counter (§5.6.1)
+// once the configured interval of appends has durably committed — at most
+// one bump per group, paid after the group is durable.
 func (l *authListener) OnGroupCommit(n int) {
 	c := l.c
 	c.mu.Lock()
-	bump := c.counterInterval > 0 && c.walAppends-c.appendsAtBump >= uint64(c.counterInterval)
+	if len(c.groupMarks) > 0 {
+		mark := c.groupMarks[0]
+		c.groupMarks = c.groupMarks[1:]
+		c.durableDigest = mark.digest
+		c.durableFresh = mark.fresh
+		c.durableAppends = mark.appends
+	}
+	bump := c.counterInterval > 0 && c.durableAppends-c.appendsAtBump >= uint64(c.counterInterval)
 	if bump {
-		c.appendsAtBump = c.walAppends
+		c.appendsAtBump = c.durableAppends
 	}
 	c.mu.Unlock()
 	if bump {
@@ -71,15 +102,34 @@ func (l *authListener) OnGroupCommit(n int) {
 	}
 }
 
+// OnGroupAbandoned consumes (and discards) the mark of a group whose fsync
+// failed: the durable frontier stays where it was — conservatively valid,
+// since a chain prefix once durable stays durable — but the mark MUST
+// leave the queue, or the next successful group's OnGroupCommit would
+// promote this group's stale mark and every later promotion would lag one
+// group behind (and a pre-rotation stale mark could later seal a digest
+// from a deleted log's chain, bricking recovery as a false rollback).
+func (l *authListener) OnGroupAbandoned() {
+	c := l.c
+	c.mu.Lock()
+	if len(c.groupMarks) > 0 {
+		c.groupMarks = c.groupMarks[1:]
+	}
+	c.mu.Unlock()
+}
+
 // OnMemtableFrozen marks a flush generation boundary: the active WAL was
 // rotated to a frozen log, records appended from now on land in a fresh
 // active log, so the chain over that log alone restarts from zero. The
 // full chain (walDigest) keeps spanning frozen + active logs until the
-// flush installs.
+// flush installs. The engine drains the commit pipeline before any freeze,
+// so no group marks are in flight here and the durable fresh frontier
+// restarts at zero with the chain itself.
 func (l *authListener) OnMemtableFrozen() {
 	c := l.c
 	c.mu.Lock()
 	c.freshDigest = hashutil.Zero
+	c.durableFresh = hashutil.Zero
 	c.mu.Unlock()
 }
 
@@ -200,7 +250,16 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 	c := l.c
 	c.mu.Lock()
 	if l.walSwapPending {
+		// The frozen logs are gone: the trusted chain rebases onto the
+		// active log's chain. The tip, the durable frontier and any group
+		// marks still awaiting durability promotion (groups appended to
+		// the active log after the freeze, fsync still in flight) all
+		// switch to their fresh-basis values.
 		c.walDigest = c.freshDigest
+		c.durableDigest = c.durableFresh
+		for i := range c.groupMarks {
+			c.groupMarks[i].digest = c.groupMarks[i].fresh
+		}
 		l.walSwapPending = false
 	}
 	if l.active {

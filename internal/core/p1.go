@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"elsm/internal/blockcache"
@@ -71,22 +72,23 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 	// once the buffer exceeds the EPC, enclave paging (Figure 2).
 	cache := blockcache.New(cacheSize, enclave)
 	engine, err := lsm.Open(lsm.Options{
-		FS:                fs,
-		Enclave:           enclave,
-		Cache:             cache,
-		Transform:         &blockSealer{bc: crypto.NewBlock(mk)},
-		MemtableSize:      cfg.MemtableSize,
-		BlockSize:         cfg.BlockSize,
-		TableFileSize:     cfg.TableFileSize,
-		LevelBase:         cfg.LevelBase,
-		LevelMultiplier:   cfg.LevelMultiplier,
-		MaxLevels:         cfg.MaxLevels,
-		KeepVersions:      cfg.KeepVersions,
-		DisableCompaction: cfg.DisableCompaction,
-		DisableWAL:        cfg.DisableWAL,
-		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
-		GroupCommitWindow: cfg.GroupCommitWindow,
-		InlineCompaction:  cfg.InlineCompaction,
+		FS:                    fs,
+		Enclave:               enclave,
+		Cache:                 cache,
+		Transform:             &blockSealer{bc: crypto.NewBlock(mk)},
+		MemtableSize:          cfg.MemtableSize,
+		BlockSize:             cfg.BlockSize,
+		TableFileSize:         cfg.TableFileSize,
+		LevelBase:             cfg.LevelBase,
+		LevelMultiplier:       cfg.LevelMultiplier,
+		MaxLevels:             cfg.MaxLevels,
+		KeepVersions:          cfg.KeepVersions,
+		DisableCompaction:     cfg.DisableCompaction,
+		DisableWAL:            cfg.DisableWAL,
+		GroupCommitMaxOps:     cfg.GroupCommitMaxOps,
+		GroupCommitWindow:     cfg.GroupCommitWindow,
+		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
+		InlineCompaction:      cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err
@@ -99,26 +101,47 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 }
 
 // Put implements KV.
-func (s *StoreP1) Put(key, value []byte) (uint64, error) {
+func (s *StoreP1) Put(key, value []byte) (uint64, error) { return s.PutCtx(nil, key, value) }
+
+// PutCtx implements KV.
+func (s *StoreP1) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
 	var ts uint64
 	var err error
-	s.enclave.ECall(func() { ts, err = s.engine.Put(key, value) })
+	s.enclave.ECall(func() { ts, err = s.engine.PutCtx(ctx, key, value) })
 	return ts, err
 }
 
 // Delete implements KV.
-func (s *StoreP1) Delete(key []byte) (uint64, error) {
+func (s *StoreP1) Delete(key []byte) (uint64, error) { return s.DeleteCtx(nil, key) }
+
+// DeleteCtx implements KV.
+func (s *StoreP1) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
 	var ts uint64
 	var err error
-	s.enclave.ECall(func() { ts, err = s.engine.Delete(key) })
+	s.enclave.ECall(func() { ts, err = s.engine.DeleteCtx(ctx, key) })
 	return ts, err
+}
+
+// Sync implements KV: the durability barrier over the commit pipeline.
+func (s *StoreP1) Sync(ctx context.Context) error {
+	var err error
+	s.enclave.ECall(func() { err = s.engine.Sync(ctx) })
+	return err
 }
 
 // Get implements KV.
 func (s *StoreP1) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
 
 // GetAt implements KV.
-func (s *StoreP1) GetAt(key []byte, tsq uint64) (Result, error) {
+func (s *StoreP1) GetAt(key []byte, tsq uint64) (Result, error) { return s.GetAtCtx(nil, key, tsq) }
+
+// GetAtCtx implements KV.
+func (s *StoreP1) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	var res Result
 	var err error
 	s.enclave.ECall(func() {
@@ -140,24 +163,17 @@ func (s *StoreP1) Scan(start, end []byte) ([]Result, error) {
 // IterAt implements KV: chunks stream through one ECall each, so large
 // ranges never materialize inside the enclave at once.
 func (s *StoreP1) IterAt(start, end []byte, tsq uint64) Iterator {
-	endC := append([]byte(nil), end...)
-	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
-		var (
-			recs []record.Record
-			next []byte
-			done bool
-			err  error
-		)
-		s.enclave.ECall(func() { recs, next, done, err = s.engine.ScanChunk(cursor, endC, tsq, s.iterChunkKeys) })
-		if err != nil {
-			return nil, nil, false, err
-		}
-		out := make([]Result, 0, len(recs))
-		for _, rec := range recs {
-			out = append(out, resultFrom(rec))
-		}
-		return out, next, done, nil
-	})
+	return s.IterAtCtx(nil, start, end, tsq)
+}
+
+// IterAtCtx implements KV. The stream runs over a pinned engine snapshot —
+// a point-in-time observation, consistent across concurrent flushes and
+// compactions, released when the iterator closes.
+func (s *StoreP1) IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) Iterator {
+	snap := newRawSnapshot(s.engine, s.enclave, s.iterChunkKeys)
+	it := snap.IterAt(ctx, start, end, tsq)
+	snap.Close() // the iterator holds its own reference until it closes
+	return it
 }
 
 // Flush forces the memtable to disk.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -63,6 +64,9 @@ type Config struct {
 	// concurrent commits to join its group (0 = rely on the natural
 	// batching window of the previous group's fsync).
 	GroupCommitWindow time.Duration
+	// MaxAsyncCommitBacklog caps acknowledged-but-not-yet-durable
+	// CommitAsync commits (0 = engine default).
+	MaxAsyncCommitBacklog int
 	// DisableEarlyStop makes every GET iterate and verify ALL runs
 	// instead of stopping at the first verified hit — the behaviour of
 	// prior work (Speicher) that eLSM improves on (§7 distinction 1).
@@ -95,7 +99,10 @@ type Result struct {
 
 // KV is the common interface implemented by the eLSM-P2, eLSM-P1 and
 // unsecured stores (Equation 1 of the paper, extended with the grouped
-// write and streaming read paths that amortize enclave-boundary costs).
+// write and streaming read paths that amortize enclave-boundary costs, and
+// the Sessions v2 surface: context-aware variants, pinned snapshots and
+// pipelined asynchronous durability). The context-free methods are thin
+// wrappers over their Ctx counterparts.
 type KV interface {
 	Put(key, value []byte) (uint64, error)
 	Delete(key []byte) (uint64, error)
@@ -109,6 +116,52 @@ type KV interface {
 	// in bounded memory; errors (verification failures included) surface
 	// through the iterator's Err/Close.
 	IterAt(start, end []byte, tsq uint64) Iterator
+
+	// Context-aware variants. A context cancelled while a write still
+	// waits in the commit queue withdraws it (nothing is written); a
+	// context cancelled mid-iteration stops the stream and aborts its
+	// prefetch.
+	PutCtx(ctx context.Context, key, value []byte) (uint64, error)
+	DeleteCtx(ctx context.Context, key []byte) (uint64, error)
+	ApplyBatchCtx(ctx context.Context, ops []BatchOp) (uint64, error)
+	GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, error)
+	IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) Iterator
+
+	// CommitAsync applies a group of writes with pipelined durability: the
+	// future is acknowledged once the commit timestamp is assigned and the
+	// group is appended to the log, and resolved once it is fsynced and
+	// visible. Sync is the durability barrier closing the window.
+	CommitAsync(ctx context.Context, ops []BatchOp) (*CommitFuture, error)
+	Sync(ctx context.Context) error
+
+	// Snapshot captures a consistent, repeatable read session: the current
+	// digest snapshot with its runs and memtables pinned. Reads through it
+	// return identical (verified, on authenticated stores) results no
+	// matter what flushes, compactions or WAL rotations happen underneath,
+	// until Close releases the pins.
+	Snapshot() (Snapshot, error)
+
+	Close() error
+}
+
+// CommitFuture is the handle of an asynchronous commit (see lsm.CommitFuture).
+type CommitFuture = lsm.CommitFuture
+
+// Snapshot is a pinned point-in-time read session over a KV store. On
+// authenticated stores every read through it is verified exactly like the
+// live paths, against the digest forest captured at creation.
+type Snapshot interface {
+	// Ts returns the snapshot's trusted timestamp frontier: the commit
+	// timestamp of the last write visible in it.
+	Ts() uint64
+	// GetAt returns the newest value with timestamp ≤ tsq as of the
+	// snapshot (tsq is clamped to Ts).
+	GetAt(ctx context.Context, key []byte, tsq uint64) (Result, error)
+	// IterAt streams the snapshot's range [start, end] at tsq in bounded
+	// memory.
+	IterAt(ctx context.Context, start, end []byte, tsq uint64) Iterator
+	// Close releases the snapshot's pins. Idempotent; open iterators keep
+	// their own pins until closed.
 	Close() error
 }
 
@@ -147,6 +200,16 @@ type Store struct {
 	walDigest   hashutil.Hash
 	freshDigest hashutil.Hash
 	walAppends  uint64
+	// The pipelined committer appends ahead of its fsyncs, so the chain
+	// tips above run ahead of stable storage. groupMarks queues one mark
+	// per appended-but-not-yet-durable commit group (FIFO, in append
+	// order); OnGroupCommit pops marks into the durable frontier below,
+	// which is the ONLY state commitState may seal — binding the counter
+	// to unsynced records would turn a crash into a false rollback.
+	groupMarks     []walMark
+	durableDigest  hashutil.Hash
+	durableFresh   hashutil.Hash
+	durableAppends uint64
 
 	// sealMu serializes commitState end to end (fingerprint, counter bump,
 	// seal write): the maintenance worker and a commit leader may both
@@ -252,23 +315,24 @@ func Open(cfg Config) (*Store, error) {
 		cache = blockcache.New(cfg.CacheSize, nil)
 	}
 	engine, err := lsm.Open(lsm.Options{
-		FS:                fs,
-		Enclave:           enclave,
-		Listener:          c.listener,
-		Cache:             cache,
-		MmapReads:         cfg.MmapReads,
-		MemtableSize:      cfg.MemtableSize,
-		BlockSize:         cfg.BlockSize,
-		TableFileSize:     cfg.TableFileSize,
-		LevelBase:         cfg.LevelBase,
-		LevelMultiplier:   cfg.LevelMultiplier,
-		MaxLevels:         cfg.MaxLevels,
-		KeepVersions:      cfg.KeepVersions,
-		DisableCompaction: cfg.DisableCompaction,
-		DisableWAL:        cfg.DisableWAL,
-		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
-		GroupCommitWindow: cfg.GroupCommitWindow,
-		InlineCompaction:  cfg.InlineCompaction,
+		FS:                    fs,
+		Enclave:               enclave,
+		Listener:              c.listener,
+		Cache:                 cache,
+		MmapReads:             cfg.MmapReads,
+		MemtableSize:          cfg.MemtableSize,
+		BlockSize:             cfg.BlockSize,
+		TableFileSize:         cfg.TableFileSize,
+		LevelBase:             cfg.LevelBase,
+		LevelMultiplier:       cfg.LevelMultiplier,
+		MaxLevels:             cfg.MaxLevels,
+		KeepVersions:          cfg.KeepVersions,
+		DisableCompaction:     cfg.DisableCompaction,
+		DisableWAL:            cfg.DisableWAL,
+		GroupCommitMaxOps:     cfg.GroupCommitMaxOps,
+		GroupCommitWindow:     cfg.GroupCommitWindow,
+		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
+		InlineCompaction:      cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +350,15 @@ func Open(cfg Config) (*Store, error) {
 // (OnVersionInstalled, recovery) publish a fresh copy under c.mu.
 type trustedView struct {
 	digests map[uint64]runDigest
+}
+
+// walMark is one commit group's WAL chain state at append time, in both
+// bases: digest spans the live logs (frozen + active), fresh spans the
+// active log alone (the basis the chain rebases onto at a flush install).
+type walMark struct {
+	digest  hashutil.Hash
+	fresh   hashutil.Hash
+	appends uint64
 }
 
 // snapshotDigests returns the current immutable digest view — a single
@@ -336,14 +409,18 @@ func (c *Store) commitState() {
 	c.sealMu.Lock()
 	defer c.sealMu.Unlock()
 	c.mu.Lock()
-	digs := c.snap.Load().digests // consistent with walDigest: swaps hold mu
-	fp := stateFingerprint(digs, c.walDigest)
+	digs := c.snap.Load().digests // consistent with the WAL frontier: swaps hold mu
+	// Seal the DURABLE WAL frontier, never the append tip: with the
+	// pipelined committer the tip may include records whose fsync is still
+	// in flight, and a counter bound to them would refuse recovery from a
+	// crash that (legitimately) tore them away.
+	fp := stateFingerprint(digs, c.durableDigest)
 	ctr := c.counter.Increment(fp)
 	st := trustedState{
 		Digests:    digs, // immutable; marshalled below without mutation
-		WALDigest:  c.walDigest,
-		WALAppends: c.walAppends,
-		LastTs:     c.engine.LastTs(),
+		WALDigest:  c.durableDigest,
+		WALAppends: c.durableAppends,
+		LastTs:     c.engine.AppliedTs(),
 		Counter:    ctr,
 	}
 	c.mu.Unlock()
@@ -441,6 +518,11 @@ func (c *Store) recoverTrustedState(requireClean bool) error {
 	// replayed chain.
 	c.freshDigest = replayDigest
 	c.walAppends = st.WALAppends + uint64(extra)
+	// Everything replayed is on disk: the durable frontier starts at the
+	// recovered tip (no groups are in flight).
+	c.durableDigest = replayDigest
+	c.durableFresh = replayDigest
+	c.durableAppends = c.walAppends
 	c.appendsAtBump = c.walAppends
 	c.unverifiedReplay = extra
 	c.mu.Unlock()
@@ -461,19 +543,35 @@ func (c *Store) UnverifiedReplay() int {
 // the enclave, §6.1)
 
 // Put writes a key-value record, returning its trusted timestamp.
-func (c *Store) Put(key, value []byte) (uint64, error) {
+func (c *Store) Put(key, value []byte) (uint64, error) { return c.PutCtx(nil, key, value) }
+
+// PutCtx is Put with commit-queue cancellation: a context cancelled while
+// the write still waits in the group-commit queue withdraws it.
+func (c *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
 	var ts uint64
 	var err error
-	c.enclave.ECall(func() { ts, err = c.engine.Put(key, value) })
+	c.enclave.ECall(func() { ts, err = c.engine.PutCtx(ctx, key, value) })
 	return ts, err
 }
 
 // Delete writes a tombstone.
-func (c *Store) Delete(key []byte) (uint64, error) {
+func (c *Store) Delete(key []byte) (uint64, error) { return c.DeleteCtx(nil, key) }
+
+// DeleteCtx is Delete with commit-queue cancellation.
+func (c *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
 	var ts uint64
 	var err error
-	c.enclave.ECall(func() { ts, err = c.engine.Delete(key) })
+	c.enclave.ECall(func() { ts, err = c.engine.DeleteCtx(ctx, key) })
 	return ts, err
+}
+
+// Sync is the durability barrier: it returns once every commit accepted
+// before the call — synchronous or asynchronous — is fsynced to the
+// untrusted log.
+func (c *Store) Sync(ctx context.Context) error {
+	var err error
+	c.enclave.ECall(func() { err = c.engine.Sync(ctx) })
+	return err
 }
 
 // Get returns the latest verified value of key.
@@ -482,89 +580,37 @@ func (c *Store) Get(key []byte) (Result, error) { return c.GetAt(key, record.Max
 // GetAt returns the newest verified value with Ts ≤ tsq (the paper's
 // GET(k, tsq)).
 func (c *Store) GetAt(key []byte, tsq uint64) (Result, error) {
+	return c.GetAtCtx(nil, key, tsq)
+}
+
+// GetAtCtx is GetAt with cancellation (checked before the enclave call —
+// a point lookup is a single short ECall). It acquires an ephemeral read
+// view — the same pinned (runs, digests) unit that backs Snapshot — runs
+// the verified GET protocol against it, and releases it: point reads,
+// iterators and snapshots share one implementation.
+func (c *Store) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	var res Result
 	var err error
-	c.enclave.ECall(func() { res, err = c.get(key, tsq) })
+	c.enclave.ECall(func() {
+		var v *readView
+		v, err = c.acquireEphemeralView()
+		if err != nil {
+			return
+		}
+		defer v.release()
+		res, err = v.getAt(key, tsq)
+	})
 	return res, err
 }
 
-// maxRetries bounds retries when a concurrent compaction replaces runs
-// between the digest snapshot and the lookup.
+// maxRetries bounds view-acquisition retries when a concurrent compaction
+// installs between the run snapshot and the digest load.
 const maxRetries = 4
-
-func (c *Store) get(key []byte, tsq uint64) (Result, error) {
-	for attempt := 0; attempt < maxRetries; attempt++ {
-		res, retry, err := c.getOnce(key, tsq)
-		if !retry {
-			return res, err
-		}
-	}
-	return Result{}, fmt.Errorf("core: get retries exhausted under concurrent compaction")
-}
-
-// getOnce runs the GET protocol of §5.3: the memtable (trusted, in-enclave)
-// first, then each run in newest-first order with per-run verification,
-// stopping at the first verified hit (the early-stop optimization — levels
-// below the hit need no proof by Lemma 5.4). With DisableEarlyStop the
-// walk continues through every run (prior-work behaviour, for the
-// ablation), verifying deeper runs' membership or non-membership too.
-//
-// The run set is pinned for the duration of the walk: a background
-// compaction installing mid-GET retires the runs but cannot delete their
-// files, so every per-run lookup still verifies against the digest
-// snapshot taken below. A retry only happens when the snapshot raced the
-// install itself (a run observed without its digest, or vice versa).
-func (c *Store) getOnce(key []byte, tsq uint64) (res Result, retry bool, err error) {
-	c.statGets.Add(1)
-	if rec, ok := c.engine.MemGet(key, tsq); ok {
-		return resultFrom(rec), false, nil
-	}
-	runs, release := c.engine.SnapshotRuns()
-	defer release()
-	digs := c.snapshotDigests()
-	var first *Result
-	for _, run := range runs {
-		d, ok := digs[run.ID]
-		if !ok {
-			return Result{}, true, nil
-		}
-		if d.NumLeaves == 0 {
-			continue
-		}
-		c.statRunsProbed.Add(1)
-		lk, lerr := c.engine.LookupRun(run.ID, key, tsq)
-		if lerr != nil {
-			return Result{}, true, nil
-		}
-		if lk.Found {
-			if _, verr := verifyMembership(key, tsq, lk.Rec, d); verr != nil {
-				return Result{}, false, verr
-			}
-			c.statProofBytes.Add(uint64(len(lk.Rec.Proof)))
-			if !c.disableEarlyStop {
-				return resultFrom(lk.Rec), false, nil
-			}
-			if first == nil {
-				r := resultFrom(lk.Rec)
-				first = &r
-			}
-			continue
-		}
-		if verr := verifyNonMembership(key, tsq, lk, d); verr != nil {
-			return Result{}, false, verr
-		}
-		if lk.Pred != nil {
-			c.statProofBytes.Add(uint64(len(lk.Pred.Proof)))
-		}
-		if lk.Succ != nil {
-			c.statProofBytes.Add(uint64(len(lk.Succ.Proof)))
-		}
-	}
-	if first != nil {
-		return *first, false, nil
-	}
-	return Result{}, false, nil
-}
 
 // resultFrom converts a verified record (tombstones become not-found).
 func resultFrom(rec record.Record) Result {
@@ -637,8 +683,11 @@ func (c *Store) RunDigests() map[uint64]DigestInfo {
 	return out
 }
 
-// Close seals the final state and shuts the store down.
+// Close seals the final state and shuts the store down. The commit
+// pipeline is drained first so the seal covers every accepted commit —
+// after a clean Close, recovery finds zero unverified WAL records.
 func (c *Store) Close() error {
+	_ = c.engine.Sync(nil) // best effort: already-closed/failed pipelines still seal the durable frontier
 	c.commitState()
 	return c.engine.Close()
 }

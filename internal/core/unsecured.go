@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"elsm/internal/blockcache"
 	"elsm/internal/lsm"
 	"elsm/internal/record"
@@ -30,22 +32,23 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 		cache = blockcache.New(cfg.CacheSize, nil)
 	}
 	engine, err := lsm.Open(lsm.Options{
-		FS:                fs,
-		Enclave:           sgx.NewUnlimited(),
-		Cache:             cache,
-		MmapReads:         cfg.MmapReads,
-		MemtableSize:      cfg.MemtableSize,
-		BlockSize:         cfg.BlockSize,
-		TableFileSize:     cfg.TableFileSize,
-		LevelBase:         cfg.LevelBase,
-		LevelMultiplier:   cfg.LevelMultiplier,
-		MaxLevels:         cfg.MaxLevels,
-		KeepVersions:      cfg.KeepVersions,
-		DisableCompaction: cfg.DisableCompaction,
-		DisableWAL:        cfg.DisableWAL,
-		GroupCommitMaxOps: cfg.GroupCommitMaxOps,
-		GroupCommitWindow: cfg.GroupCommitWindow,
-		InlineCompaction:  cfg.InlineCompaction,
+		FS:                    fs,
+		Enclave:               sgx.NewUnlimited(),
+		Cache:                 cache,
+		MmapReads:             cfg.MmapReads,
+		MemtableSize:          cfg.MemtableSize,
+		BlockSize:             cfg.BlockSize,
+		TableFileSize:         cfg.TableFileSize,
+		LevelBase:             cfg.LevelBase,
+		LevelMultiplier:       cfg.LevelMultiplier,
+		MaxLevels:             cfg.MaxLevels,
+		KeepVersions:          cfg.KeepVersions,
+		DisableCompaction:     cfg.DisableCompaction,
+		DisableWAL:            cfg.DisableWAL,
+		GroupCommitMaxOps:     cfg.GroupCommitMaxOps,
+		GroupCommitWindow:     cfg.GroupCommitWindow,
+		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
+		InlineCompaction:      cfg.InlineCompaction,
 	})
 	if err != nil {
 		return nil, err
@@ -60,14 +63,37 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 // Put implements KV.
 func (s *Unsecured) Put(key, value []byte) (uint64, error) { return s.engine.Put(key, value) }
 
+// PutCtx implements KV.
+func (s *Unsecured) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
+	return s.engine.PutCtx(ctx, key, value)
+}
+
 // Delete implements KV.
 func (s *Unsecured) Delete(key []byte) (uint64, error) { return s.engine.Delete(key) }
+
+// DeleteCtx implements KV.
+func (s *Unsecured) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
+	return s.engine.DeleteCtx(ctx, key)
+}
+
+// Sync implements KV: the durability barrier over the commit pipeline.
+func (s *Unsecured) Sync(ctx context.Context) error { return s.engine.Sync(ctx) }
 
 // Get implements KV.
 func (s *Unsecured) Get(key []byte) (Result, error) { return s.GetAt(key, record.MaxTs) }
 
 // GetAt implements KV.
 func (s *Unsecured) GetAt(key []byte, tsq uint64) (Result, error) {
+	return s.GetAtCtx(nil, key, tsq)
+}
+
+// GetAtCtx implements KV.
+func (s *Unsecured) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	rec, ok, err := s.engine.Get(key, tsq)
 	if err != nil || !ok {
 		return Result{}, err
@@ -82,18 +108,16 @@ func (s *Unsecured) Scan(start, end []byte) ([]Result, error) {
 
 // IterAt implements KV.
 func (s *Unsecured) IterAt(start, end []byte, tsq uint64) Iterator {
-	endC := append([]byte(nil), end...)
-	return newChunkIter(start, func(cursor []byte) ([]Result, []byte, bool, error) {
-		recs, next, done, err := s.engine.ScanChunk(cursor, endC, tsq, s.iterChunkKeys)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		out := make([]Result, 0, len(recs))
-		for _, rec := range recs {
-			out = append(out, resultFrom(rec))
-		}
-		return out, next, done, nil
-	})
+	return s.IterAtCtx(nil, start, end, tsq)
+}
+
+// IterAtCtx implements KV. The stream runs over a pinned engine snapshot —
+// a point-in-time observation, released when the iterator closes.
+func (s *Unsecured) IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) Iterator {
+	snap := newRawSnapshot(s.engine, nil, s.iterChunkKeys)
+	it := snap.IterAt(ctx, start, end, tsq)
+	snap.Close() // the iterator holds its own reference until it closes
+	return it
 }
 
 // Flush forces the memtable to disk.

@@ -1,5 +1,7 @@
 package lsm
 
+import "context"
+
 // BatchOp is one operation of a grouped write: a set (Delete false) or a
 // tombstone (Delete true, Value ignored).
 type BatchOp struct {
@@ -18,5 +20,13 @@ type BatchOp struct {
 // commit timestamp; records occupy the contiguous range
 // [ts-len(ops)+1, ts]).
 func (s *Store) ApplyBatch(ops []BatchOp) (uint64, error) {
-	return s.commit(ops)
+	return s.commit(nil, ops)
+}
+
+// ApplyBatchCtx is ApplyBatch with cancellation: a context cancelled while
+// the batch still waits in the commit queue withdraws it (nothing is
+// written); once the append worker has claimed the batch, the commit
+// completes regardless and its outcome is returned.
+func (s *Store) ApplyBatchCtx(ctx context.Context, ops []BatchOp) (uint64, error) {
+	return s.commit(ctx, ops)
 }

@@ -1,101 +1,371 @@
 package lsm
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elsm/internal/record"
 )
 
-// This file implements the cross-client group-commit pipeline. Concurrent
-// Put/Delete/ApplyBatch callers enqueue their operations and one of them —
-// the leader — drains the queue and commits the whole group at once: one
-// grouped WAL append, one fsync, one memtable apply, one OnGroupCommit
-// notification (where the authentication layer pays its periodic
-// monotonic-counter bump), then every waiter is woken with its own commit
-// timestamp. While a leader is inside the fsync the queue refills, so the
-// natural group size grows with storage latency and offered load — the
-// classic group-commit feedback loop — without any artificial delay.
+// This file implements the pipelined cross-client group-commit pipeline.
+// Concurrent Put/Delete/ApplyBatch/CommitAsync callers enqueue their
+// operations; two dedicated store goroutines turn the queue into durable,
+// visible state in two decoupled stages:
 //
-// The leader role is a capacity-1 token channel: every enqueued request
-// waits on "my result is ready OR I can become leader", so there is always
-// a leader when work is pending, requests are never stranded, and no
-// background goroutine needs a lifecycle.
+//   - the APPEND worker drains the queue into commit groups: one engine-lock
+//     critical section assigns the group's contiguous timestamp range,
+//     extends the enclave's WAL digest chain per record, and appends the
+//     whole group (plus its COMMIT marker) to the untrusted log — then hands
+//     the group to the sync stage and immediately starts on the next group;
+//   - the SYNC worker fsyncs the log and completes groups in append order:
+//     one fsync covers every group appended before it was issued (sync
+//     absorption), then each covered group pays its OnGroupCommit
+//     notification (the authentication layer's periodic counter bump),
+//     is applied to the memtable, and has its waiters woken / futures
+//     resolved.
 //
-// When the memtable fills, the leader does NOT rewrite any level here: it
+// Because the append stage never waits on storage, the WAL append of group
+// N+1 overlaps the in-flight fsync of group N — the classic two-stage WAL
+// pipeline — while records still become readable only once durable (the
+// memtable apply stays behind the fsync). Synchronous commits block until
+// their group completes; CommitAsync returns a CommitFuture acknowledged at
+// append (the timestamp is known) and resolved at durability, bounded by
+// MaxAsyncCommitBacklog acknowledged-but-not-durable commits.
+//
+// When the memtable fills, the append worker does NOT rewrite any level: it
+// drains the sync stage (the WAL rotation below must not race an in-flight
+// fsync, and the frozen log's records must all be in the frozen memtable),
 // freezes the memtable (a pointer swap plus one WAL rename) and schedules a
 // background flush, stalling only if the previous frozen memtable is still
-// being flushed (counted in Stats.FlushStallNanos — the signature of
-// flushes falling behind the write rate).
+// being flushed (counted in Stats.FlushStallNanos).
+//
+// With Options.InlineCompaction the pipeline collapses to the sequential
+// pre-background behaviour: the append worker itself fsyncs, applies and
+// runs flush/compaction on the commit path (the ablation baseline).
 
-// maxAutoCommitWindow caps the adaptive leader wait derived from the fsync
-// EWMA: even on pathologically slow storage the deliberate batching delay
-// never exceeds this.
+// maxAutoCommitWindow caps the adaptive batching wait derived from the
+// fsync EWMA: even on pathologically slow storage the deliberate batching
+// delay never exceeds this.
 const maxAutoCommitWindow = 2 * time.Millisecond
 
-// commitReq is one caller's pending commit.
+// CommitFuture is the handle of an asynchronous commit. It is acknowledged
+// ("accepted") when the append worker has assigned the commit timestamp and
+// appended the group to the WAL, and resolved ("done") when the group's
+// records are durable on stable storage and visible to reads. A crash
+// between acceptance and resolution loses the commit — that is the
+// durability trade CommitAsync makes; Sync is the barrier that closes it.
+type CommitFuture struct {
+	ts           uint64
+	err          error
+	acceptErr    error
+	acceptedDone bool
+	accepted     chan struct{}
+	done         chan struct{}
+}
+
+func newCommitFuture() *CommitFuture {
+	return &CommitFuture{accepted: make(chan struct{}), done: make(chan struct{})}
+}
+
+// NewResolvedFuture returns a future that is already accepted and resolved —
+// for stores that commit synchronously under the hood.
+func NewResolvedFuture(ts uint64, err error) *CommitFuture {
+	f := newCommitFuture()
+	if err != nil {
+		f.fail(err)
+		return f
+	}
+	f.accept(ts)
+	f.resolve(nil)
+	return f
+}
+
+// finishFut completes a future from the commit path: a failure before
+// acceptance closes both channels, anything later resolves normally.
+func finishFut(f *CommitFuture, err error) {
+	if f == nil {
+		return
+	}
+	if !f.acceptedDone {
+		f.fail(err)
+		return
+	}
+	f.resolve(err)
+}
+
+// accept publishes the commit timestamp (append-stage acknowledgment).
+// acceptedDone is read by the completion path, which is ordered after
+// acceptance by the pipeline handoff, so no atomicity is needed.
+func (f *CommitFuture) accept(ts uint64) {
+	f.ts = ts
+	f.acceptedDone = true
+	close(f.accepted)
+}
+
+// resolve publishes the durability outcome.
+func (f *CommitFuture) resolve(err error) {
+	f.err = err
+	close(f.done)
+}
+
+// fail marks a commit that never reached acceptance (e.g. store closed).
+func (f *CommitFuture) fail(err error) {
+	f.acceptErr = err
+	f.err = err
+	close(f.accepted)
+	close(f.done)
+}
+
+// Ts blocks until the commit is accepted and returns its commit timestamp
+// (the trusted timestamp of the commit's last record).
+func (f *CommitFuture) Ts(ctx context.Context) (uint64, error) {
+	select {
+	case <-f.accepted:
+	case <-ctxDone(ctx):
+		return 0, ctx.Err()
+	}
+	if f.acceptErr != nil {
+		return 0, f.acceptErr
+	}
+	return f.ts, nil
+}
+
+// Wait blocks until the commit is durable (or failed), returning the commit
+// timestamp and the durability outcome.
+func (f *CommitFuture) Wait(ctx context.Context) (uint64, error) {
+	select {
+	case <-f.done:
+	case <-ctxDone(ctx):
+		return 0, ctx.Err()
+	}
+	if f.err != nil {
+		return 0, f.err
+	}
+	return f.ts, nil
+}
+
+// Done returns a channel closed when the commit is durable or failed.
+func (f *CommitFuture) Done() <-chan struct{} { return f.done }
+
+// Err returns the durability outcome; only valid after Done is closed.
+func (f *CommitFuture) Err() error { return f.err }
+
+// ctxDone tolerates nil contexts (the context-free legacy wrappers).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// commitReq is one caller's pending commit. A request with no ops is a
+// Sync durability barrier: it carries nothing, and completes once every
+// group appended before it is durable.
 type commitReq struct {
-	ops  []BatchOp
-	ts   uint64 // commit timestamp (the group's last record of this request)
-	err  error
-	done chan struct{}
+	ops []BatchOp
+	ts  uint64 // commit timestamp (the group's last record of this request)
+	err error
+	fut *CommitFuture // non-nil for async commits
+	// release, if set, runs when the request settles (async backlog slot
+	// return) — before the future resolves, so gauges never lag callers
+	// woken by Done.
+	release func()
+	// claimed settles the race between the append worker taking the
+	// request and a cancelled waiter withdrawing it: whoever wins the CAS
+	// owns the request.
+	claimed atomic.Bool
+	done    chan struct{}
 }
 
-// committer is the shared commit queue.
+// finish completes the request, resolving its future if any.
+func (r *commitReq) finish(err error) {
+	r.err = err
+	if r.release != nil {
+		r.release()
+	}
+	finishFut(r.fut, err)
+	close(r.done)
+}
+
+// commitGroup is one appended group in flight between the two stages.
+type commitGroup struct {
+	reqs  []*commitReq
+	recs  []record.Record
+	total int
+	ts    uint64 // the group's last record timestamp (0 for barrier-only groups)
+}
+
+// committer is the shared two-stage commit pipeline state.
 type committer struct {
-	mu      sync.Mutex
-	pending []*commitReq
-	token   chan struct{} // capacity 1: the leader role
+	mu         sync.Mutex
+	cond       *sync.Cond // append worker wake-up: pending, wantFreeze or closed
+	pending    []*commitReq
+	wantFreeze bool // the sync stage observed a full memtable
+	closed     bool
+	workerWG   sync.WaitGroup
+
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond // sync worker wake-up AND drain/slot broadcast
+	syncq      []*commitGroup
+	inflight   int // appended groups not yet completed (pipeline depth)
+	syncBusy   bool
+	syncClosed bool
+	syncWG     sync.WaitGroup
 }
 
-// commit enqueues ops and blocks until some leader (possibly this caller)
-// has durably committed them, returning the commit timestamp of the
-// request's last record.
-func (s *Store) commit(ops []BatchOp) (uint64, error) {
+// maxPipelinedGroups bounds how many appended groups may be in flight
+// toward durability at once. Two is exactly the paper-roadmap pipeline —
+// group N+1 appends while group N's fsync is in flight — and it is also
+// what preserves group formation: while both slots are busy the queue
+// accumulates, so concurrent commits coalesce into real groups (sharing
+// one OnGroupCommit counter bump) instead of being picked off one by one
+// by an append stage that never waits.
+const maxPipelinedGroups = 2
+
+// startCommitter launches the two pipeline workers.
+func (s *Store) startCommitter() {
+	gc := &s.gc
+	gc.cond = sync.NewCond(&gc.mu)
+	gc.syncCond = sync.NewCond(&gc.syncMu)
+	s.asyncSlots = make(chan struct{}, s.opts.MaxAsyncCommitBacklog)
+	gc.workerWG.Add(1)
+	go s.commitWorker()
+	gc.syncWG.Add(1)
+	go s.syncWorker()
+}
+
+// stopCommitter fails queued commits with ErrClosed, completes in-flight
+// groups durably, and waits for both workers to exit. The append worker is
+// drained first so the sync worker never misses a late-enqueued group.
+func (s *Store) stopCommitter() {
+	gc := &s.gc
+	gc.mu.Lock()
+	gc.closed = true
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	gc.workerWG.Wait()
+	gc.syncMu.Lock()
+	gc.syncClosed = true
+	gc.syncCond.Broadcast()
+	gc.syncMu.Unlock()
+	gc.syncWG.Wait()
+}
+
+// enqueueCommit adds a request to the append queue, failing fast after
+// close.
+func (s *Store) enqueueCommit(req *commitReq) error {
+	gc := &s.gc
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.closed {
+		return ErrClosed
+	}
+	gc.pending = append(gc.pending, req)
+	gc.cond.Signal()
+	return nil
+}
+
+// commit enqueues ops and blocks until the pipeline has durably committed
+// them, returning the commit timestamp of the request's last record. A
+// context cancellation while the request is still queued withdraws it (the
+// write never happens); once the append worker has claimed it, the commit
+// completes regardless and its outcome is returned.
+func (s *Store) commit(ctx context.Context, ops []BatchOp) (uint64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
 	if len(ops) == 0 {
 		return s.lastTs.Load(), nil
 	}
 	req := &commitReq{ops: ops, done: make(chan struct{})}
-	s.gc.mu.Lock()
-	s.gc.pending = append(s.gc.pending, req)
-	s.gc.mu.Unlock()
-	for {
-		select {
-		case <-req.done:
-			return req.ts, req.err
-		case s.gc.token <- struct{}{}:
-			select {
-			case <-req.done:
-				// A previous leader already committed us; hand the token
-				// straight back instead of leading an empty round.
-				<-s.gc.token
-				return req.ts, req.err
-			default:
-			}
-			if w := s.resolveCommitWindow(); w > 0 && !s.pendingGroupFull() {
-				// Deliberate batching window: hold the leader role briefly
-				// so more concurrent commits can join this group. Skipped
-				// when the queue already holds a full group — sleeping
-				// could not grow it further.
-				time.Sleep(w)
-			}
-			s.commitPending()
-			<-s.gc.token
-			// Our own request was in the queue, so unless GroupCommitMaxOps
-			// split it into a later group it is done now; if not, loop and
-			// either wait or lead again.
+	return s.awaitReq(ctx, req)
+}
+
+// Sync is the durability barrier: it blocks until every commit accepted
+// before the call — synchronous or asynchronous — is durable on stable
+// storage. It rides the pipeline as an empty group, so it orders after all
+// prior appends and completes only once the sync stage has fsynced past
+// them.
+func (s *Store) Sync(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	req := &commitReq{done: make(chan struct{})} // no ops: a pure barrier
+	_, err := s.awaitReq(ctx, req)
+	return err
+}
+
+// awaitReq enqueues req and waits for completion or ctx cancellation.
+func (s *Store) awaitReq(ctx context.Context, req *commitReq) (uint64, error) {
+	if err := s.enqueueCommit(req); err != nil {
+		return 0, err
+	}
+	select {
+	case <-req.done:
+		return req.ts, req.err
+	case <-ctxDone(ctx):
+		if req.claimed.CompareAndSwap(false, true) {
+			// Still queued: withdrawn before any effect. The append
+			// worker skips claimed requests when draining.
+			return 0, ctx.Err()
 		}
+		// The append worker owns it; the commit will complete.
+		<-req.done
+		return req.ts, req.err
 	}
 }
 
-// resolveCommitWindow returns the leader batching window in effect: the
-// configured duration, or — when GroupCommitWindow is AutoGroupCommitWindow
-// — half the observed fsync-latency EWMA, capped. Half the fsync time is
-// the sweet spot of the group-commit feedback loop: the queue keeps filling
-// while the previous group's fsync is in flight anyway, so waiting longer
-// than the fsync itself only adds latency, while a fraction of it lets a
-// lone-leader burst coalesce without materially delaying any commit.
+// CommitAsync enqueues ops and returns a CommitFuture immediately. The
+// future is acknowledged once the append worker has assigned the commit
+// timestamp (CommitFuture.Ts) and resolved when the group is durable and
+// visible (CommitFuture.Wait / Done). The context bounds only the admission
+// wait against MaxAsyncCommitBacklog — once accepted into the queue the
+// commit proceeds regardless.
+func (s *Store) CommitAsync(ctx context.Context, ops []BatchOp) (*CommitFuture, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return NewResolvedFuture(s.lastTs.Load(), nil), nil
+	}
+	// Backlog gate: a slot is held from admission to durability.
+	select {
+	case s.asyncSlots <- struct{}{}:
+	case <-ctxDone(ctx):
+		return nil, ctx.Err()
+	}
+	s.asyncInFlight.Add(1)
+	fut := newCommitFuture()
+	req := &commitReq{ops: ops, fut: fut, release: s.releaseAsyncSlot, done: make(chan struct{})}
+	if err := s.enqueueCommit(req); err != nil {
+		s.releaseAsyncSlot()
+		return nil, err
+	}
+	return fut, nil
+}
+
+func (s *Store) releaseAsyncSlot() {
+	s.asyncInFlight.Add(-1)
+	<-s.asyncSlots
+}
+
+// resolveCommitWindow returns the batching window in effect: the configured
+// duration, or — when GroupCommitWindow is AutoGroupCommitWindow — half the
+// observed fsync-latency EWMA, capped. Half the fsync time is the sweet
+// spot of the group-commit feedback loop: the queue keeps filling while the
+// previous group's fsync is in flight anyway, so waiting longer than the
+// fsync itself only adds latency, while a fraction of it lets a lone burst
+// coalesce without materially delaying any commit.
 func (s *Store) resolveCommitWindow() time.Duration {
 	w := s.opts.GroupCommitWindow
 	if w != AutoGroupCommitWindow {
@@ -127,55 +397,119 @@ func (s *Store) pendingGroupFull() bool {
 	return false
 }
 
-// commitPending drains (a bounded prefix of) the queue and commits it as
-// one group. Caller holds the leader token.
-func (s *Store) commitPending() {
-	s.gc.mu.Lock()
-	batch := s.gc.pending
-	if max := s.opts.GroupCommitMaxOps; max > 0 {
-		n := 0
-		for i, req := range batch {
-			n += len(req.ops)
-			if n >= max && i+1 < len(batch) {
-				batch = batch[:i+1]
-				break
-			}
+// commitWorker is the append stage: it drains the queue into groups and
+// appends each to the WAL, never waiting on an fsync.
+func (s *Store) commitWorker() {
+	gc := &s.gc
+	defer gc.workerWG.Done()
+	for {
+		gc.mu.Lock()
+		for len(gc.pending) == 0 && !gc.wantFreeze && !gc.closed {
+			gc.cond.Wait()
 		}
-	}
-	s.gc.pending = s.gc.pending[len(batch):]
-	s.gc.mu.Unlock()
-	if len(batch) > 0 {
-		s.commitGroup(batch)
+		if gc.closed {
+			// Fail everything still queued (the documented Close
+			// semantics: queued commits fail, in-flight groups drain).
+			pending := gc.pending
+			gc.pending = nil
+			gc.mu.Unlock()
+			for _, req := range pending {
+				if req.claimed.CompareAndSwap(false, true) {
+					req.finish(ErrClosed)
+				}
+			}
+			return
+		}
+		freeze := gc.wantFreeze
+		gc.wantFreeze = false
+		gc.mu.Unlock()
+
+		if freeze {
+			// The sync stage saw the memtable fill: freeze it promptly
+			// even if no further commits arrive to trigger the check.
+			// Failures surface as bgErr (set inside) or on later commits.
+			s.commitMu.Lock()
+			_ = s.ensureMemtableRoom()
+			s.commitMu.Unlock()
+		}
+		if w := s.resolveCommitWindow(); w > 0 && !s.pendingGroupFull() {
+			// Deliberate batching window: hold the append stage briefly so
+			// more concurrent commits can join this group. Skipped when
+			// the queue already holds a full group.
+			time.Sleep(w)
+		}
+		if !s.opts.InlineCompaction {
+			s.waitPipelineSlot()
+		}
+		if batch := s.drainPending(); len(batch) > 0 {
+			s.processGroup(batch)
+		}
 	}
 }
 
-// commitGroup durably commits one group. Caller holds the leader token.
-//
-// Phases: (1) under mu — assign the group's contiguous timestamp range,
-// extend the enclave's WAL digest chain per record, and append the whole
-// group (plus its COMMIT marker) to the untrusted log in one OCall;
-// (2) outside mu but under commitMu — fsync the log, so concurrent
-// readers never wait on storage; (3) under mu again — apply the group to
-// the memtable, so records become readable only once durable and a failed
-// fsync never leaves phantom writes visible; (4) notify the listener once
-// for the whole group and wake every waiter with its timestamp. If the
-// apply filled the memtable, the leader freezes it and hands the flush to
-// the maintenance worker — the commit path never performs a level rewrite
-// (unless Options.InlineCompaction deliberately restores that behaviour).
-func (s *Store) commitGroup(batch []*commitReq) {
+// waitPipelineSlot blocks until fewer than maxPipelinedGroups appended
+// groups are awaiting durability — the backpressure that both bounds the
+// pipeline and lets the pending queue coalesce into real groups.
+func (s *Store) waitPipelineSlot() {
+	gc := &s.gc
+	gc.syncMu.Lock()
+	for gc.inflight >= maxPipelinedGroups && !gc.syncClosed {
+		gc.syncCond.Wait()
+	}
+	gc.syncMu.Unlock()
+}
+
+// drainPending claims a bounded prefix of the queue as the next group,
+// skipping requests withdrawn by context cancellation.
+func (s *Store) drainPending() []*commitReq {
+	gc := &s.gc
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	max := s.opts.GroupCommitMaxOps
+	var batch []*commitReq
+	n, i := 0, 0
+	for ; i < len(gc.pending); i++ {
+		req := gc.pending[i]
+		if !req.claimed.CompareAndSwap(false, true) {
+			continue // withdrawn
+		}
+		batch = append(batch, req)
+		n += len(req.ops)
+		if max > 0 && n >= max {
+			i++
+			break
+		}
+	}
+	gc.pending = append(gc.pending[:0:0], gc.pending[i:]...)
+	return batch
+}
+
+// processGroup runs the append stage for one group and hands it to the sync
+// stage (or, in InlineCompaction mode, completes it synchronously in full).
+func (s *Store) processGroup(batch []*commitReq) {
 	finish := func(err error) {
 		for _, req := range batch {
-			req.err = err
-			close(req.done)
+			req.finish(err)
 		}
 	}
 
 	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+
+	if !s.opts.InlineCompaction {
+		// Backpressure point: if the memtable is full, drain the pipeline,
+		// freeze it and schedule the flush BEFORE appending this group, so
+		// the group's records land in the fresh active log and memtable.
+		if err := s.ensureMemtableRoom(); err != nil {
+			s.commitMu.Unlock()
+			finish(err)
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.commitMu.Unlock()
 		finish(ErrClosed)
 		return
 	}
@@ -183,6 +517,7 @@ func (s *Store) commitGroup(batch []*commitReq) {
 		// A background flush/compaction failed: the store fails stop
 		// rather than buffering writes it can never persist.
 		s.mu.Unlock()
+		s.commitMu.Unlock()
 		finish(fmt.Errorf("lsm: background maintenance failed: %w", err))
 		return
 	}
@@ -190,70 +525,242 @@ func (s *Store) commitGroup(batch []*commitReq) {
 	for _, req := range batch {
 		total += len(req.ops)
 	}
-	last := s.lastTs.Add(uint64(total))
-	ts := last - uint64(total) + 1
-	recs := make([]record.Record, 0, total)
-	for _, req := range batch {
-		for _, op := range req.ops {
-			kind := record.KindSet
-			value := op.Value
-			if op.Delete {
-				kind = record.KindDelete
-				value = nil
+	var recs []record.Record
+	var groupTs uint64
+	if total > 0 {
+		last := s.lastTs.Add(uint64(total))
+		ts := last - uint64(total) + 1
+		groupTs = last
+		recs = make([]record.Record, 0, total)
+		for _, req := range batch {
+			for _, op := range req.ops {
+				kind := record.KindSet
+				value := op.Value
+				if op.Delete {
+					kind = record.KindDelete
+					value = nil
+				}
+				rec := record.Record{Key: op.Key, Ts: ts, Kind: kind, Value: value}
+				s.listener.OnWALAppend(rec)
+				recs = append(recs, rec)
+				ts++
 			}
-			rec := record.Record{Key: op.Key, Ts: ts, Kind: kind, Value: value}
-			s.listener.OnWALAppend(rec)
-			recs = append(recs, rec)
-			ts++
+			req.ts = ts - 1
+			if len(req.ops) == 0 {
+				req.ts = s.lastTs.Load()
+			}
 		}
-		req.ts = ts - 1
-	}
-	if !s.opts.DisableWAL {
-		var werr error
-		s.ocall(func() { werr = s.walW.AppendBatch(recs) })
-		if werr != nil {
-			s.mu.Unlock()
-			finish(werr)
-			return
+		if !s.opts.DisableWAL {
+			var werr error
+			s.ocall(func() { werr = s.walW.AppendBatch(recs) })
+			if werr != nil {
+				s.mu.Unlock()
+				s.commitMu.Unlock()
+				finish(werr)
+				return
+			}
+		}
+		s.listener.OnGroupAppended()
+	} else {
+		for _, req := range batch {
+			req.ts = s.lastTs.Load()
 		}
 	}
 	s.mu.Unlock()
 
-	// The fsync runs without the engine lock: readers proceed, and commits
-	// arriving meanwhile queue up to form the next group (commitMu keeps
-	// the WAL writer stable until we are done).
-	if !s.opts.DisableWAL {
+	// Acceptance: timestamps are assigned and the group is in the log
+	// (not yet durable) — acknowledge async futures now.
+	for _, req := range batch {
+		if req.fut != nil {
+			req.fut.accept(req.ts)
+		}
+	}
+
+	group := &commitGroup{reqs: batch, recs: recs, total: total, ts: groupTs}
+	if s.opts.InlineCompaction {
+		// Sequential completion under commitMu: the inline rewrite must
+		// serialize with Flush/Compact exactly as the pre-pipeline commit
+		// path did.
+		s.completeGroupInline(group)
+		s.commitMu.Unlock()
+		return
+	}
+	// Hand off to the sync stage BEFORE releasing commitMu, so the sync
+	// queue preserves append order (completion, apply and barriers all
+	// rely on it).
+	gc := &s.gc
+	gc.syncMu.Lock()
+	gc.syncq = append(gc.syncq, group)
+	gc.inflight++
+	gc.syncCond.Signal()
+	gc.syncMu.Unlock()
+	s.commitMu.Unlock()
+}
+
+// syncWorker is the sync stage: it fsyncs appended groups and completes
+// them in order. All groups queued at wake-up share one fsync (sync
+// absorption) — except with GroupCommitMaxOps == 1, where every group pays
+// its own fsync, preserving the documented per-op-commit baseline.
+func (s *Store) syncWorker() {
+	gc := &s.gc
+	defer gc.syncWG.Done()
+	gc.syncMu.Lock()
+	for {
+		for len(gc.syncq) == 0 && !gc.syncClosed {
+			gc.syncCond.Wait()
+		}
+		if len(gc.syncq) == 0 {
+			gc.syncMu.Unlock()
+			return
+		}
+		var groups []*commitGroup
+		if s.opts.GroupCommitMaxOps == 1 {
+			groups = gc.syncq[:1]
+			gc.syncq = append(gc.syncq[:0:0], gc.syncq[1:]...)
+		} else {
+			groups = gc.syncq
+			gc.syncq = nil
+		}
+		gc.syncBusy = true
+		gc.syncMu.Unlock()
+
+		s.completeGroups(groups)
+
+		gc.syncMu.Lock()
+		gc.inflight -= len(groups)
+		gc.syncBusy = false
+		gc.syncCond.Broadcast() // wake drainSync and pipeline-slot waiters
+	}
+}
+
+// drainSync blocks until the sync stage is idle and its queue empty. The
+// caller must hold commitMu (so no new groups can be appended meanwhile) —
+// afterwards every accepted commit is durable and applied, and the WAL file
+// has no fsync in flight, making rotation safe.
+func (s *Store) drainSync() {
+	gc := &s.gc
+	gc.syncMu.Lock()
+	for len(gc.syncq) > 0 || gc.syncBusy {
+		gc.syncCond.Wait()
+	}
+	gc.syncMu.Unlock()
+}
+
+// completeGroups fsyncs and completes a run of appended groups in order.
+func (s *Store) completeGroups(groups []*commitGroup) {
+	anyRecs := false
+	for _, g := range groups {
+		if g.total > 0 {
+			anyRecs = true
+		}
+	}
+	if anyRecs && !s.opts.DisableWAL {
 		var serr error
 		syncStart := time.Now()
 		s.ocall(func() { serr = s.walW.Sync() })
 		if serr != nil {
+			// The groups' durability is unknown; fail them without
+			// applying (records never become visible unless durable).
+			// Their WAL records may still be replayed after a crash —
+			// the same exposure a failed fsync always had. Each appended
+			// group must still consume its OnGroupAppended mark
+			// (OnGroupAbandoned) or the listener's durable-frontier queue
+			// would desynchronize from later, successful groups.
+			err := fmt.Errorf("lsm: wal sync: %w", serr)
+			for _, g := range groups {
+				if g.total > 0 {
+					s.listener.OnGroupAbandoned()
+				}
+				for _, req := range g.reqs {
+					req.finish(err)
+				}
+			}
+			return
+		}
+		s.observeFsync(time.Since(syncStart))
+		s.walSyncs.Add(1)
+	}
+
+	memFull := false
+	for _, g := range groups {
+		if g.total > 0 {
+			s.groupCommits.Add(1)
+			s.groupedRecords.Add(uint64(g.total))
+			s.listener.OnGroupCommit(g.total)
+			s.mu.Lock()
+			for i := range g.recs {
+				s.mem.Put(g.recs[i])
+			}
+			s.appliedTs.Store(g.ts)
+			if s.mem.ApproxBytes() >= s.opts.MemtableSize {
+				memFull = true
+			}
+			s.mu.Unlock()
+		}
+		for _, req := range g.reqs {
+			req.finish(nil)
+		}
+	}
+	if memFull {
+		// Nudge the append worker: it owns freezes, and without this a
+		// write burst followed by silence would leave the memtable full
+		// until the next commit.
+		gc := &s.gc
+		gc.mu.Lock()
+		if !gc.closed {
+			gc.wantFreeze = true
+			gc.cond.Signal()
+		}
+		gc.mu.Unlock()
+	}
+}
+
+// completeGroupInline is the sequential (InlineCompaction) completion: the
+// append worker itself fsyncs, applies, and runs the legacy synchronous
+// flush/compaction on the commit path — the ablation baseline where a
+// writer that fills the memtable pays the whole level rewrite.
+func (s *Store) completeGroupInline(group *commitGroup) {
+	finish := func(err error) {
+		for _, req := range group.reqs {
+			req.finish(err)
+		}
+	}
+	if group.total > 0 && !s.opts.DisableWAL {
+		var serr error
+		syncStart := time.Now()
+		s.ocall(func() { serr = s.walW.Sync() })
+		if serr != nil {
+			s.listener.OnGroupAbandoned() // consume the group's appended mark
 			finish(fmt.Errorf("lsm: wal sync: %w", serr))
 			return
 		}
 		s.observeFsync(time.Since(syncStart))
 		s.walSyncs.Add(1)
 	}
-	s.groupCommits.Add(1)
-	s.groupedRecords.Add(uint64(total))
-	s.listener.OnGroupCommit(total)
-
 	var groupErr error
-	s.mu.Lock()
-	for i := range recs {
-		s.mem.Put(recs[i])
+	if group.total > 0 {
+		s.groupCommits.Add(1)
+		s.groupedRecords.Add(uint64(group.total))
+		s.listener.OnGroupCommit(group.total)
+		s.mu.Lock()
+		for i := range group.recs {
+			s.mem.Put(group.recs[i])
+		}
+		s.appliedTs.Store(group.ts)
+		if s.mem.ApproxBytes() >= s.opts.MemtableSize && s.frozen == nil {
+			groupErr = s.freezeLocked()
+		}
+		s.mu.Unlock()
 	}
-	if s.mem.ApproxBytes() >= s.opts.MemtableSize {
-		groupErr = s.handleFullMemtableLocked()
-	}
-	s.mu.Unlock()
-	if groupErr == nil && s.opts.InlineCompaction {
+	if groupErr == nil {
 		groupErr = s.inlineMaintenance()
 	}
 	finish(groupErr)
 }
 
-// observeFsync feeds the fsync-latency EWMA (α = 1/4). Leaders are
-// serialized by commitMu, so the read-modify-write is race-free.
+// observeFsync feeds the fsync-latency EWMA (α = 1/4). Only the sync stage
+// (or the inline append worker) calls it, so the read-modify-write is
+// race-free.
 func (s *Store) observeFsync(d time.Duration) {
 	old := s.fsyncEWMANanos.Load()
 	if old == 0 {
@@ -263,27 +770,27 @@ func (s *Store) observeFsync(d time.Duration) {
 	s.fsyncEWMANanos.Store((3*old + d.Nanoseconds()) / 4)
 }
 
-// handleFullMemtableLocked is the leader's memtable-full step (caller holds
-// commitMu and mu): freeze the active table and schedule its flush. If the
-// previous frozen table is still mid-flush the leader must wait — there is
-// nowhere for writes to go — and the wait is charged to FlushStallNanos,
-// or to CompactionStallNanos when a level compaction was occupying the
-// worker at the time (compaction debt delaying the flush).
-func (s *Store) handleFullMemtableLocked() error {
-	if s.opts.InlineCompaction {
-		// Inline mode: the caller runs the rewrite synchronously after
-		// releasing mu (inlineMaintenance), retrying a leftover frozen
-		// table from a previously failed attempt — never wait here, there
-		// is no background flush coming.
-		if s.frozen != nil {
-			return nil
-		}
-		return s.freezeLocked()
+// ensureMemtableRoom is the append worker's memtable-full step (caller
+// holds commitMu, NOT s.mu): if the active memtable is over its size
+// target, drain the sync pipeline (every appended record must be applied
+// before its log is frozen, and no fsync may be in flight across the WAL
+// rotation), wait out any still-flushing predecessor — charged to
+// FlushStallNanos, or to CompactionStallNanos when a level compaction was
+// occupying the worker at the time — then freeze the memtable and schedule
+// its flush.
+func (s *Store) ensureMemtableRoom() error {
+	s.mu.RLock()
+	full := s.mem.ApproxBytes() >= s.opts.MemtableSize
+	s.mu.RUnlock()
+	if !full {
+		return nil
 	}
+	s.drainSync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	// The maintenance-closed check breaks a shutdown race: a concurrent
-	// Close drains the worker before it can take commitMu, so a leader
-	// that would wait for a flush here would wait forever (and Close would
-	// wait forever on commitMu behind it).
+	// Close drains the maintenance worker first, so waiting for a flush
+	// here would wait forever.
 	for s.frozen != nil && s.bgErr == nil && !s.closed && !s.maintenanceClosed() {
 		blocking := s.maint.current.Load()
 		start := time.Now()
@@ -312,9 +819,9 @@ func (s *Store) handleFullMemtableLocked() error {
 }
 
 // inlineMaintenance runs the legacy synchronous rewrite on the commit path
-// (InlineCompaction mode): the leader itself flushes the frozen memtable
-// and cascades overflowing levels, under commitMu, exactly where the cost
-// used to land. Exists for the ablation benchmark.
+// (InlineCompaction mode): the append worker itself flushes the frozen
+// memtable and cascades overflowing levels, exactly where the cost used to
+// land. Exists for the ablation benchmark.
 func (s *Store) inlineMaintenance() error {
 	s.mu.RLock()
 	frozen := s.frozen != nil

@@ -474,6 +474,7 @@ func (s *Store) BulkLoad(recs []record.Record) error {
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	s.drainSync() // the empty-store check must not race in-flight commit applies
 	if s.opts.InlineCompaction {
 		return s.bulkLoadJob(recs, total, maxTs)
 	}
@@ -523,6 +524,9 @@ func (s *Store) bulkLoadJob(recs []record.Record, total int64, maxTs uint64) err
 	s.levels[lvl] = []*run{newRun}
 	if maxTs > s.lastTs.Load() {
 		s.lastTs.Store(maxTs)
+	}
+	if maxTs > s.appliedTs.Load() {
+		s.appliedTs.Store(maxTs)
 	}
 	if err := s.persistManifestLocked(); err != nil {
 		s.levels[lvl] = nil

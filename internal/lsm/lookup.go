@@ -36,10 +36,13 @@ func (s *Store) LookupRun(runID uint64, key []byte, tsq uint64) (RunLookup, erro
 	if err != nil {
 		return RunLookup{}, err
 	}
-	return s.lookupRunLocked(r, key, tsq)
+	return lookupRun(r, key, tsq)
 }
 
-func (s *Store) lookupRunLocked(r *run, key []byte, tsq uint64) (RunLookup, error) {
+// lookupRun searches one immutable run. Safe without the engine lock as
+// long as the run is reachable (version membership or a pin) — its tables
+// and files never change.
+func lookupRun(r *run, key []byte, tsq uint64) (RunLookup, error) {
 	out := RunLookup{RunID: r.id}
 	if len(r.tables) == 0 {
 		out.EmptyRun = true
@@ -112,6 +115,13 @@ func (s *Store) ScanRunChunk(runID uint64, start, end []byte, maxKeys int) (RunS
 	if err != nil {
 		return RunScan{}, err
 	}
+	return scanRunChunk(r, start, end, maxKeys)
+}
+
+// scanRunChunk is the untrusted side of a one-level SCAN over an immutable
+// run, bounded to maxKeys distinct keys. Safe without the engine lock for
+// reachable (pinned) runs.
+func scanRunChunk(r *run, start, end []byte, maxKeys int) (RunScan, error) {
 	out := RunScan{RunID: r.id}
 	if len(r.tables) == 0 {
 		out.EmptyRun = true
@@ -175,35 +185,9 @@ func (s *Store) ScanRunChunk(runID uint64, start, end []byte, maxKeys int) (RunS
 // one mid-flush — including tombstones.
 func (s *Store) MemScan(start, end []byte, tsq uint64) []record.Record {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sources := []mergeSource{{runID: MemtableRunID, iter: s.mem.Iter()}}
-	if s.frozen != nil {
-		sources = append(sources, mergeSource{runID: MemtableRunID, iter: s.frozen.Iter()})
-	}
-	for _, src := range sources {
-		src.iter.SeekGE(start, record.MaxTs)
-	}
-	m := newMergeIter(sources)
-	defer m.Close()
-	var out []record.Record
-	var lastKey []byte
-	emitted := false
-	for m.Valid() {
-		rec, _ := m.Record()
-		if bytes.Compare(rec.Key, end) > 0 {
-			break
-		}
-		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
-			lastKey = append([]byte(nil), rec.Key...)
-			emitted = false
-		}
-		if !emitted && rec.Ts <= tsq {
-			out = append(out, rec)
-			emitted = true
-		}
-		m.Next()
-	}
-	return out
+	mem, frozen := s.mem, s.frozen
+	s.mu.RUnlock()
+	return memScanTables(mem, frozen, start, end, tsq)
 }
 
 // WarmCache streams every data block of every run through the block source
@@ -261,38 +245,5 @@ func (s *Store) ScanChunk(start, end []byte, tsq uint64, maxKeys int) (out []rec
 			}
 		}
 	}
-	for _, src := range sources {
-		src.iter.SeekGE(start, record.MaxTs)
-	}
-	m := newMergeIter(sources)
-	defer m.Close()
-
-	var lastKey []byte
-	keys := 0
-	resolved := false
-	done = true
-	for m.Valid() {
-		rec, _ := m.Record()
-		if bytes.Compare(rec.Key, end) > 0 {
-			break
-		}
-		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
-			if maxKeys > 0 && keys >= maxKeys {
-				next = append([]byte(nil), rec.Key...)
-				done = false
-				break
-			}
-			keys++
-			lastKey = append(lastKey[:0], rec.Key...)
-			resolved = false
-		}
-		if !resolved && rec.Ts <= tsq {
-			resolved = true
-			if rec.Kind == record.KindSet {
-				out = append(out, rec)
-			}
-		}
-		m.Next()
-	}
-	return out, next, done, nil
+	return scanChunkSources(sources, start, end, tsq, maxKeys)
 }

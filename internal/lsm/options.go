@@ -95,7 +95,18 @@ type Options struct {
 	// of observed fsync latency (half the EWMA, capped at 2ms); the
 	// resolved value is reported in Stats.GroupCommitWindowNanos.
 	GroupCommitWindow time.Duration
+	// MaxAsyncCommitBacklog caps how many CommitAsync commits may be
+	// accepted but not yet durable; a caller hitting the cap blocks (with
+	// context cancellation) until the pipeline drains. 0 selects
+	// DefaultMaxAsyncCommitBacklog.
+	MaxAsyncCommitBacklog int
 }
+
+// DefaultMaxAsyncCommitBacklog bounds the number of acknowledged-but-not-
+// yet-durable async commits. Large enough to keep the WAL/fsync pipeline
+// saturated, small enough to bound the data a crash can lose and the memory
+// the pending queue holds.
+const DefaultMaxAsyncCommitBacklog = 1024
 
 // AutoGroupCommitWindow selects the adaptive leader batching window: the
 // wait tracks half the observed fsync-latency EWMA instead of a fixed
@@ -133,6 +144,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupCommitWindow < 0 && o.GroupCommitWindow != AutoGroupCommitWindow {
 		o.GroupCommitWindow = 0
+	}
+	if o.MaxAsyncCommitBacklog <= 0 {
+		o.MaxAsyncCommitBacklog = DefaultMaxAsyncCommitBacklog
 	}
 	return o
 }
@@ -192,13 +206,31 @@ type EventListener interface {
 	// OnWALAppend fires before a record is appended to the untrusted WAL,
 	// letting the enclave extend its WAL digest chain (§5.3 step w1).
 	OnWALAppend(rec record.Record)
+	// OnGroupAppended fires once per commit group, immediately after the
+	// group's records were appended (NOT yet fsynced) to the untrusted
+	// log, on the appending goroutine under the engine lock. With the
+	// pipelined committer the WAL chain tip runs ahead of durable storage;
+	// this hook lets the authentication layer remember the chain value at
+	// each group boundary so the matching OnGroupCommit can promote exactly
+	// that prefix to "durable" — a seal must never fingerprint WAL records
+	// an fsync has not yet confirmed, or a crash would strand the counter
+	// beyond any recoverable state.
+	OnGroupAppended()
 	// OnGroupCommit fires once per commit group, after the group's n
-	// records are durably synced to the untrusted log. The authentication
-	// layer performs its periodic monotonic-counter bump here, so a group
-	// pays at most one bump — and the bump always pins a durable,
-	// group-aligned WAL state (sealing mid-append would bind the counter
-	// to records a crash could still tear away).
+	// records are durably synced to the untrusted log, in group append
+	// order. The authentication layer performs its periodic monotonic-
+	// counter bump here, so a group pays at most one bump — and the bump
+	// always pins a durable, group-aligned WAL state (sealing mid-append
+	// would bind the counter to records a crash could still tear away).
 	OnGroupCommit(n int)
+	// OnGroupAbandoned fires instead of OnGroupCommit when an appended
+	// group's fsync FAILED: the group's durability is unknown, so the
+	// listener must consume (and discard) the group's OnGroupAppended mark
+	// without promoting the durable frontier — every appended group fires
+	// exactly one of OnGroupCommit/OnGroupAbandoned, in append order, or
+	// the mark queue would desynchronize and later promotions would pin
+	// the wrong chain value.
+	OnGroupAbandoned()
 	// OnMemtableFrozen fires when the active memtable (and with it the
 	// active WAL) is frozen for a background flush: records appended from
 	// now on belong to the NEXT flush generation, so the authentication
@@ -243,8 +275,14 @@ var _ EventListener = NopListener{}
 // OnWALAppend implements EventListener.
 func (NopListener) OnWALAppend(record.Record) {}
 
+// OnGroupAppended implements EventListener.
+func (NopListener) OnGroupAppended() {}
+
 // OnGroupCommit implements EventListener.
 func (NopListener) OnGroupCommit(int) {}
+
+// OnGroupAbandoned implements EventListener.
+func (NopListener) OnGroupAbandoned() {}
 
 // OnMemtableFrozen implements EventListener.
 func (NopListener) OnMemtableFrozen() {}

@@ -1,0 +1,241 @@
+package lsm
+
+import (
+	"bytes"
+	"sync"
+
+	"elsm/internal/memtable"
+	"elsm/internal/record"
+)
+
+// Snapshot is a pinned, immutable view of the store at one applied
+// timestamp: the run set of the version current at acquisition (each run
+// reference-counted so a concurrent compaction cannot delete its files),
+// plus the memtable pair (active and frozen) live at that moment. Reads
+// through the snapshot are clamped to its timestamp, so records committed
+// later — which can only carry higher timestamps — never surface, records
+// flushed later remain readable from the captured memtables, and the view
+// is repeatable bit for bit no matter how much flushing, compaction or WAL
+// rotation happens underneath.
+//
+// A Snapshot pins disk space (replaced runs survive until release) and must
+// be Released exactly once; Release is idempotent. Runs are addressed by
+// INDEX into Runs() — the snapshot's read order — not by run ID, keeping
+// the hot acquisition path (one per verified point read) map-free.
+type Snapshot struct {
+	s      *Store
+	ts     uint64
+	mem    *memtable.Table
+	frozen *memtable.Table // nil if no flush was in flight at acquisition
+	refs   []RunRef
+	runs   []*run // aligned with refs
+	gauged bool   // counted in Stats.SnapshotsOpen (sessions, not point reads)
+	once   sync.Once
+}
+
+// AcquireSnapshot pins the current applied state as a read SESSION,
+// counted in Stats.SnapshotsOpen. One engine-lock acquisition captures the
+// timestamp frontier, the memtable pointers and the run set with their
+// pins, so the snapshot can never straddle a version install.
+func (s *Store) AcquireSnapshot() *Snapshot { return s.acquireSnapshot(true) }
+
+// AcquireEphemeralSnapshot is AcquireSnapshot for a one-shot read: same
+// pins and consistency, but not counted as an open session (a point GET
+// should not flicker the SnapshotsOpen gauge).
+func (s *Store) AcquireEphemeralSnapshot() *Snapshot { return s.acquireSnapshot(false) }
+
+func (s *Store) acquireSnapshot(gauged bool) *Snapshot {
+	snap := &Snapshot{s: s, gauged: gauged}
+	s.mu.RLock()
+	snap.ts = s.appliedTs.Load()
+	snap.mem = s.mem
+	snap.frozen = s.frozen
+	for lvl := 1; lvl < len(s.levels); lvl++ {
+		for idx, r := range s.levels[lvl] {
+			snap.refs = append(snap.refs, RunRef{ID: r.id, Level: lvl, Index: idx})
+			s.retainRunLocked(r)
+			snap.runs = append(snap.runs, r)
+		}
+	}
+	s.mu.RUnlock()
+	if gauged {
+		s.snapshotsOpen.Add(1)
+	}
+	return snap
+}
+
+// Ts returns the snapshot's timestamp: the last commit visible in it.
+func (sn *Snapshot) Ts() uint64 { return sn.ts }
+
+// Runs lists the snapshot's pinned runs in read order (newest data first).
+func (sn *Snapshot) Runs() []RunRef { return sn.refs }
+
+// Release drops the snapshot's run pins, allowing files of runs replaced
+// since acquisition to be deleted. Idempotent.
+func (sn *Snapshot) Release() {
+	sn.once.Do(func() {
+		for _, r := range sn.runs {
+			sn.s.releaseRun(r)
+		}
+		if sn.gauged {
+			sn.s.snapshotsOpen.Add(-1)
+		}
+	})
+}
+
+// clamp bounds a query timestamp to the snapshot's frontier.
+func (sn *Snapshot) clamp(tsq uint64) uint64 {
+	if tsq > sn.ts {
+		return sn.ts
+	}
+	return tsq
+}
+
+// MemGet reads the snapshot's (trusted, in-enclave) memtables: the captured
+// active table first, then the captured frozen one. Records committed after
+// acquisition live in the same skiplist but carry timestamps beyond the
+// clamp, so they never match.
+func (sn *Snapshot) MemGet(key []byte, tsq uint64) (record.Record, bool) {
+	tsq = sn.clamp(tsq)
+	if rec, ok := sn.mem.Get(key, tsq); ok {
+		return rec, true
+	}
+	if sn.frozen != nil {
+		return sn.frozen.Get(key, tsq)
+	}
+	return record.Record{}, false
+}
+
+// MemScan returns the newest version ≤ tsq of every key in [start, end]
+// from the snapshot's memtables, including tombstones.
+func (sn *Snapshot) MemScan(start, end []byte, tsq uint64) []record.Record {
+	return memScanTables(sn.mem, sn.frozen, start, end, sn.clamp(tsq))
+}
+
+// LookupRun performs the untrusted side of a one-level GET against the
+// i-th pinned run (index into Runs()). No engine lock is needed: the run
+// is immutable and its files outlive the snapshot.
+func (sn *Snapshot) LookupRun(i int, key []byte, tsq uint64) (RunLookup, error) {
+	if i < 0 || i >= len(sn.runs) {
+		return RunLookup{}, ErrUnknownRun
+	}
+	return lookupRun(sn.runs[i], key, sn.clamp(tsq))
+}
+
+// ScanRunChunk performs the untrusted side of a one-level SCAN chunk
+// against the i-th pinned run (see Store.ScanRunChunk).
+func (sn *Snapshot) ScanRunChunk(i int, start, end []byte, maxKeys int) (RunScan, error) {
+	if i < 0 || i >= len(sn.runs) {
+		return RunScan{}, ErrUnknownRun
+	}
+	return scanRunChunk(sn.runs[i], start, end, maxKeys)
+}
+
+// Get returns the newest record of key with Ts ≤ tsq in the snapshot — the
+// raw (unverified) read used by the eLSM-P1 and unsecured stores.
+// Tombstones are returned as-is.
+func (sn *Snapshot) Get(key []byte, tsq uint64) (record.Record, bool, error) {
+	tsq = sn.clamp(tsq)
+	if rec, ok := sn.MemGet(key, tsq); ok {
+		return rec, true, nil
+	}
+	for _, r := range sn.runs {
+		rec, ok, err := runGet(r, key, tsq)
+		if err != nil {
+			return record.Record{}, false, err
+		}
+		if ok {
+			return rec, true, nil
+		}
+	}
+	return record.Record{}, false, nil
+}
+
+// ScanChunk is the snapshot form of Store.ScanChunk: the raw merged range
+// read over the pinned sources, bounded to maxKeys distinct keys.
+func (sn *Snapshot) ScanChunk(start, end []byte, tsq uint64, maxKeys int) (out []record.Record, next []byte, done bool, err error) {
+	tsq = sn.clamp(tsq)
+	sources := []mergeSource{{runID: MemtableRunID, iter: sn.mem.Iter()}}
+	if sn.frozen != nil {
+		sources = append(sources, mergeSource{runID: MemtableRunID, iter: sn.frozen.Iter()})
+	}
+	for _, r := range sn.runs {
+		if len(r.tables) > 0 {
+			sources = append(sources, mergeSource{runID: r.id, iter: newRunIter(r)})
+		}
+	}
+	return scanChunkSources(sources, start, end, tsq, maxKeys)
+}
+
+// memScanTables merges the given memtables (frozen may be nil) into the
+// newest version ≤ tsq per key in [start, end], tombstones included.
+func memScanTables(mem, frozen *memtable.Table, start, end []byte, tsq uint64) []record.Record {
+	sources := []mergeSource{{runID: MemtableRunID, iter: mem.Iter()}}
+	if frozen != nil {
+		sources = append(sources, mergeSource{runID: MemtableRunID, iter: frozen.Iter()})
+	}
+	for _, src := range sources {
+		src.iter.SeekGE(start, record.MaxTs)
+	}
+	m := newMergeIter(sources)
+	defer m.Close()
+	var out []record.Record
+	var lastKey []byte
+	emitted := false
+	for m.Valid() {
+		rec, _ := m.Record()
+		if bytes.Compare(rec.Key, end) > 0 {
+			break
+		}
+		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
+			lastKey = append([]byte(nil), rec.Key...)
+			emitted = false
+		}
+		if !emitted && rec.Ts <= tsq {
+			out = append(out, rec)
+			emitted = true
+		}
+		m.Next()
+	}
+	return out
+}
+
+// scanChunkSources resolves the merged sources into the newest version
+// ≤ tsq per key, bounded to maxKeys distinct keys (0 = unlimited) — the
+// shared body of Store.ScanChunk and Snapshot.ScanChunk.
+func scanChunkSources(sources []mergeSource, start, end []byte, tsq uint64, maxKeys int) (out []record.Record, next []byte, done bool, err error) {
+	for _, src := range sources {
+		src.iter.SeekGE(start, record.MaxTs)
+	}
+	m := newMergeIter(sources)
+	defer m.Close()
+
+	var lastKey []byte
+	keys := 0
+	resolved := false
+	done = true
+	for m.Valid() {
+		rec, _ := m.Record()
+		if bytes.Compare(rec.Key, end) > 0 {
+			break
+		}
+		if lastKey == nil || !bytes.Equal(rec.Key, lastKey) {
+			if maxKeys > 0 && keys >= maxKeys {
+				next = append([]byte(nil), rec.Key...)
+				done = false
+				break
+			}
+			keys++
+			lastKey = append(lastKey[:0], rec.Key...)
+			resolved = false
+		}
+		if !resolved && rec.Ts <= tsq {
+			resolved = true
+			if rec.Kind == record.KindSet {
+				out = append(out, rec)
+			}
+		}
+		m.Next()
+	}
+	return out, next, done, nil
+}

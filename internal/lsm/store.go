@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -131,6 +132,12 @@ type Stats struct {
 	// PinnedRuns is the current number of run pins held beyond version
 	// membership (compaction inputs being merged, iterator snapshots).
 	PinnedRuns uint64
+	// SnapshotsOpen is the current number of open engine snapshots
+	// (verified read sessions pinning runs and memtables).
+	SnapshotsOpen uint64
+	// AsyncCommitsInFlight is the current number of CommitAsync commits
+	// acknowledged but not yet durable (bounded by MaxAsyncCommitBacklog).
+	AsyncCommitsInFlight uint64
 	// GroupCommitWindowNanos is the resolved leader batching window: the
 	// configured value, or — with GroupCommitWindow = AutoGroupCommitWindow —
 	// the value currently derived from the fsync-latency EWMA.
@@ -141,20 +148,22 @@ type Stats struct {
 }
 
 // Store is the LSM engine. Reads may run concurrently; writes flow through
-// the group-commit pipeline (commit.go), which serializes them while
-// coalescing concurrent commits into shared WAL fsyncs. Flush and
-// compaction run on a dedicated maintenance worker (scheduler.go): the
-// commit path only freezes the full memtable (an O(1) pointer swap plus a
-// WAL rotation) and schedules the level rewrite, so writers never wait on a
-// multi-megabyte merge unless flushes fall behind the write rate
-// (Stats.FlushStallNanos counts exactly that).
+// the two-stage group-commit pipeline (commit.go): an append worker coalesces
+// concurrent commits into groups and appends them to the WAL, a sync worker
+// fsyncs and applies them — so the append of group N+1 overlaps the fsync of
+// group N. Flush and compaction run on a dedicated maintenance worker
+// (scheduler.go): the commit path only freezes the full memtable (an O(1)
+// pointer swap plus a WAL rotation) and schedules the level rewrite, so
+// writers never wait on a multi-megabyte merge unless flushes fall behind
+// the write rate (Stats.FlushStallNanos counts exactly that).
 //
-// Lock order: commitMu > mu > maint.mu > the listener's own locks.
-// commitMu serializes "WAL epochs" — a commit group's append+fsync, a
-// freeze's WAL rotation, close — without blocking readers, which only take
-// mu.RLock and therefore never wait on an in-flight fsync. The maintenance
-// worker takes mu only for the snapshot and install phases of a rewrite,
-// never commitMu.
+// Lock order: commitMu > mu > gc.syncMu / maint.mu > the listener's own
+// locks. commitMu serializes append epochs — a commit group's WAL append, a
+// freeze's WAL rotation (which first drains the sync stage, so no fsync is
+// in flight across the rename), close — without covering fsyncs and without
+// blocking readers, which only take mu.RLock and therefore never wait on
+// storage. The maintenance worker takes mu only for the snapshot and
+// install phases of a rewrite, never commitMu.
 type Store struct {
 	opts     Options
 	fs       vfs.FS
@@ -188,8 +197,16 @@ type Store struct {
 	// stop — subsequent commits and maintenance return it.
 	bgErr error
 
-	gc    committer   // group-commit queue (commit.go)
+	gc    committer   // two-stage group-commit pipeline (commit.go)
 	maint maintenance // flush/compaction scheduler (scheduler.go)
+
+	// asyncSlots is the MaxAsyncCommitBacklog admission semaphore;
+	// asyncInFlight mirrors its occupancy for Stats.
+	asyncSlots    chan struct{}
+	asyncInFlight atomic.Int64
+
+	// snapshotsOpen gauges AcquireSnapshot handles not yet released.
+	snapshotsOpen atomic.Int64
 
 	fileMu sync.RWMutex
 	files  map[uint64]*openFile
@@ -197,7 +214,13 @@ type Store struct {
 	nextFileNum atomic.Uint64 // consumed lock-free by the build phase
 	nextRunID   uint64        // guarded by mu
 	lastTs      atomic.Uint64
-	closed      bool
+	// appliedTs is the last timestamp durably applied to the memtable: the
+	// pipelined committer assigns timestamps (lastTs) at append but makes
+	// records visible only after their group's fsync, so reads and
+	// snapshots anchor to appliedTs — every record ≤ appliedTs is visible,
+	// every record > appliedTs is not yet. Stored under mu in apply order.
+	appliedTs atomic.Uint64
+	closed    bool
 
 	walReplayDigest hashutil.Hash
 	replayedRecords int
@@ -241,7 +264,6 @@ func Open(opts Options) (*Store, error) {
 	}
 	s.nextFileNum.Store(1)
 	s.flushDone = sync.NewCond(&s.mu)
-	s.gc.token = make(chan struct{}, 1)
 	s.nextWALSeq = 1
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -249,7 +271,11 @@ func Open(opts Options) (*Store, error) {
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
+	// Everything recovered is visible: the applied frontier starts at the
+	// recovered timestamp high-water mark.
+	s.appliedTs.Store(s.lastTs.Load())
 	s.startMaintenance()
+	s.startCommitter()
 	return s, nil
 }
 
@@ -639,9 +665,18 @@ func (s *Store) EnsureTs(minTs uint64) {
 	for {
 		cur := s.lastTs.Load()
 		if cur >= minTs {
-			return
+			break
 		}
 		if s.lastTs.CompareAndSwap(cur, minTs) {
+			break
+		}
+	}
+	for {
+		cur := s.appliedTs.Load()
+		if cur >= minTs {
+			return
+		}
+		if s.appliedTs.CompareAndSwap(cur, minTs) {
 			return
 		}
 	}
@@ -800,12 +835,22 @@ func (s *Store) lookupRunByIDLocked(id uint64) *run {
 
 // Put inserts a key-value record, returning the assigned trusted timestamp.
 func (s *Store) Put(key, value []byte) (uint64, error) {
-	return s.commit([]BatchOp{{Key: key, Value: value}})
+	return s.commit(nil, []BatchOp{{Key: key, Value: value}})
+}
+
+// PutCtx is Put with queue-wait cancellation (see ApplyBatchCtx).
+func (s *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
+	return s.commit(ctx, []BatchOp{{Key: key, Value: value}})
 }
 
 // Delete writes a tombstone for key.
 func (s *Store) Delete(key []byte) (uint64, error) {
-	return s.commit([]BatchOp{{Key: key, Delete: true}})
+	return s.commit(nil, []BatchOp{{Key: key, Delete: true}})
+}
+
+// DeleteCtx is Delete with queue-wait cancellation (see ApplyBatchCtx).
+func (s *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
+	return s.commit(ctx, []BatchOp{{Key: key, Delete: true}})
 }
 
 // Flush forces all buffered writes to disk and waits for the resulting
@@ -817,6 +862,12 @@ func (s *Store) Delete(key []byte) (uint64, error) {
 func (s *Store) Flush() error {
 	for {
 		s.commitMu.Lock()
+		// Quiesce the commit pipeline: appended-but-unapplied groups must
+		// land in the memtable before it is frozen (the rotated log and the
+		// frozen table must carry the same records), and the WAL file must
+		// have no fsync in flight across the rotation. Holding commitMu
+		// keeps new groups out until the freeze is done.
+		s.drainSync()
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -941,7 +992,7 @@ func (s *Store) Get(key []byte, tsq uint64) (record.Record, bool, error) {
 	}
 	for lvl := 1; lvl < len(s.levels); lvl++ {
 		for _, r := range s.levels[lvl] {
-			rec, ok, err := s.runGet(r, key, tsq)
+			rec, ok, err := runGet(r, key, tsq)
 			if err != nil {
 				return record.Record{}, false, err
 			}
@@ -953,8 +1004,8 @@ func (s *Store) Get(key []byte, tsq uint64) (record.Record, bool, error) {
 	return record.Record{}, false, nil
 }
 
-// runGet searches one run.
-func (s *Store) runGet(r *run, key []byte, tsq uint64) (record.Record, bool, error) {
+// runGet searches one immutable run (lock-free for reachable runs).
+func runGet(r *run, key []byte, tsq uint64) (record.Record, bool, error) {
 	ti := seekTable(r.tables, key, tsq)
 	if ti >= len(r.tables) {
 		return record.Record{}, false, nil
@@ -1034,8 +1085,14 @@ func (s *Store) MemCount() int {
 	return n
 }
 
-// LastTs returns the most recently assigned timestamp.
+// LastTs returns the most recently assigned timestamp. With the pipelined
+// committer this can run ahead of durable, visible state — see AppliedTs.
 func (s *Store) LastTs() uint64 { return s.lastTs.Load() }
+
+// AppliedTs returns the last timestamp durably applied to the memtable:
+// every record at or below it is fsynced and readable, every record above
+// it is still in the commit pipeline.
+func (s *Store) AppliedTs() uint64 { return s.appliedTs.Load() }
 
 // Stats returns engine event counters.
 func (s *Store) Stats() Stats {
@@ -1045,6 +1102,14 @@ func (s *Store) Stats() Stats {
 	pinned := s.pinnedRuns.Load()
 	if pinned < 0 {
 		pinned = 0
+	}
+	snaps := s.snapshotsOpen.Load()
+	if snaps < 0 {
+		snaps = 0
+	}
+	async := s.asyncInFlight.Load()
+	if async < 0 {
+		async = 0
 	}
 	return Stats{
 		Flushes:                s.flushes.Load(),
@@ -1061,6 +1126,8 @@ func (s *Store) Stats() Stats {
 		CompactionStallNanos:   uint64(s.compactionStallNanos.Load()),
 		BackgroundCompactions:  s.backgroundCompactions.Load(),
 		PinnedRuns:             uint64(pinned),
+		SnapshotsOpen:          uint64(snaps),
+		AsyncCommitsInFlight:   uint64(async),
 		GroupCommitWindowNanos: uint64(s.resolveCommitWindow().Nanoseconds()),
 		FsyncEWMANanos:         uint64(s.fsyncEWMANanos.Load()),
 	}
@@ -1101,12 +1168,13 @@ func (s *Store) BackgroundErr() error {
 
 // Close drains in-flight maintenance (a background flush or compaction
 // runs to completion so the manifest, run files and trusted digests stay
-// consistent), then releases resources. Buffered writes are NOT flushed —
-// callers flush explicitly if desired; the WAL preserves them for
-// recovery. Taking commitMu first drains any in-flight commit group before
-// the WAL writer goes away; commits queued behind it fail with ErrClosed.
+// consistent) and the commit pipeline (appended groups are fsynced, applied
+// and acknowledged; commits still queued fail with ErrClosed), then
+// releases resources. Buffered writes are NOT flushed — callers flush
+// explicitly if desired; the WAL preserves them for recovery.
 func (s *Store) Close() error {
 	s.stopMaintenance()
+	s.stopCommitter()
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.mu.Lock()

@@ -183,8 +183,13 @@ func (t *Table) ApproxBytes() int {
 	return t.bytes
 }
 
-// Release frees the enclave region backing this memtable.
+// Release frees the enclave region backing this memtable. The skiplist
+// itself stays readable: a pinned snapshot may keep serving reads from a
+// flushed (and Released) table, it just no longer charges enclave-memory
+// cost. Taking the write lock serializes with concurrent readers' touch.
 func (t *Table) Release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.region != nil {
 		t.region.Free()
 		t.region = nil

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"time"
-
-	"elsm/internal/core"
 )
 
 // ConcurrentStats aggregates a multi-threaded run (§5.5.2: "eLSM-P2
@@ -29,7 +27,7 @@ func (s ConcurrentStats) String() string {
 // each, all against the same store. Each thread gets an independent key
 // chooser and RNG (seeded distinctly) so threads do not serialize on shared
 // generator state — matching YCSB's threadcount semantics.
-func RunConcurrent(kv core.KV, wl Workload, n, threads, opsPerThread int, seed int64) (ConcurrentStats, error) {
+func RunConcurrent(kv DB, wl Workload, n, threads, opsPerThread int, seed int64) (ConcurrentStats, error) {
 	if threads < 1 {
 		threads = 1
 	}

@@ -10,10 +10,10 @@ import (
 // lockedKV makes the test mapKV safe for concurrent use.
 type lockedKV struct {
 	mu    sync.Mutex
-	inner core.KV
+	inner *mapKV
 }
 
-var _ core.KV = (*lockedKV)(nil)
+var _ DB = (*lockedKV)(nil)
 
 func (l *lockedKV) Put(k, v []byte) (uint64, error) {
 	l.mu.Lock()

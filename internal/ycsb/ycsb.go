@@ -247,9 +247,19 @@ func RecordsForBytes(bytes int64) int {
 	return int(n)
 }
 
+// DB is the minimal store surface the YCSB driver needs. core.KV (and so
+// every eLSM store mode) satisfies it; tests drive it with trivial fakes
+// without having to stub the full Sessions v2 interface.
+type DB interface {
+	Put(key, value []byte) (uint64, error)
+	ApplyBatch(ops []core.BatchOp) (uint64, error)
+	Get(key []byte) (core.Result, error)
+	IterAt(start, end []byte, tsq uint64) core.Iterator
+}
+
 // Load inserts n records through the KV's write path (the slow, realistic
 // load used by small experiments; large ones use BulkLoad).
-func Load(kv core.KV, n int, valueSize int) error {
+func Load(kv DB, n int, valueSize int) error {
 	if valueSize <= 0 {
 		valueSize = DefaultValueSize
 	}
@@ -264,7 +274,7 @@ func Load(kv core.KV, n int, valueSize int) error {
 // LoadBatched inserts n records through the grouped write path in batches
 // of batchSize, amortizing enclave round trips and group fsyncs across each
 // batch (the batched-ingestion load phase).
-func LoadBatched(kv core.KV, n, valueSize, batchSize int) error {
+func LoadBatched(kv DB, n, valueSize, batchSize int) error {
 	if valueSize <= 0 {
 		valueSize = DefaultValueSize
 	}
@@ -305,7 +315,7 @@ func (s Stats) String() string {
 
 // Runner drives a workload against a store.
 type Runner struct {
-	KV       core.KV
+	KV       DB
 	Workload Workload
 	Chooser  *KeyChooser
 	rnd      *rand.Rand
@@ -313,7 +323,7 @@ type Runner struct {
 }
 
 // NewRunner prepares a runner over a dataset of n loaded records.
-func NewRunner(kv core.KV, wl Workload, n int, seed int64) *Runner {
+func NewRunner(kv DB, wl Workload, n int, seed int64) *Runner {
 	return &Runner{
 		KV:       kv,
 		Workload: wl,

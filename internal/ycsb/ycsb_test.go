@@ -138,7 +138,7 @@ type mapKV struct {
 	ts uint64
 }
 
-var _ core.KV = (*mapKV)(nil)
+var _ DB = (*mapKV)(nil)
 
 func newMapKV() *mapKV { return &mapKV{m: map[string][]byte{}} }
 

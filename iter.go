@@ -1,6 +1,8 @@
 package elsm
 
 import (
+	"context"
+
 	"elsm/internal/core"
 	"elsm/internal/record"
 )
@@ -13,10 +15,11 @@ import (
 // arbitrarily large range runs in memory bounded by the internal chunk
 // size.
 //
-// The stream is not a point-in-time snapshot: each internal chunk observes
-// the store at its own fetch time, so writes committed mid-iteration may
-// surface in later chunks. IterAt with a fixed historical timestamp gives
-// a repeatable view when version history is retained.
+// The stream IS a point-in-time observation: the iterator pins the store's
+// digest snapshot, runs and memtable view for its whole lifetime (the same
+// machinery as Store.Snapshot), so writes committed mid-iteration never
+// surface in later chunks and concurrent flushes or compactions cannot
+// perturb the stream. Iterators must be Closed to release those pins.
 //
 // Usage:
 //
@@ -38,21 +41,33 @@ type Iterator struct {
 // Iter streams the latest verified value of every key in [start, end].
 func (s *Store) Iter(start, end []byte) *Iterator { return s.IterAt(start, end, record.MaxTs) }
 
+// IterCtx is Iter with cancellation: cancelling ctx stops the stream (Err
+// reports the cancellation) and aborts the background chunk prefetch —
+// the way to deadline a long verified scan.
+func (s *Store) IterCtx(ctx context.Context, start, end []byte) *Iterator {
+	return s.IterAtCtx(ctx, start, end, record.MaxTs)
+}
+
 // IterAt is Iter at a historical timestamp (newest version ≤ tsq per key).
 func (s *Store) IterAt(start, end []byte, tsq uint64) *Iterator {
+	return s.IterAtCtx(nil, start, end, tsq)
+}
+
+// IterAtCtx is IterAt with cancellation.
+func (s *Store) IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) *Iterator {
 	if s.enc != nil {
 		estart, eend, err := s.enc.rangeBounds(start, end)
 		if err != nil {
 			return &Iterator{err: err}
 		}
 		return &Iterator{
-			inner: s.kv.IterAt(estart, eend, tsq),
+			inner: s.kv.IterAtCtx(ctx, estart, eend, tsq),
 			enc:   s.enc,
 			start: append([]byte(nil), start...),
 			end:   append([]byte(nil), end...),
 		}
 	}
-	return &Iterator{inner: s.kv.IterAt(start, end, tsq)}
+	return &Iterator{inner: s.kv.IterAtCtx(ctx, start, end, tsq)}
 }
 
 // Next advances to the next verified result, returning false at the end of

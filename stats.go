@@ -38,6 +38,12 @@ type Stats struct {
 	CompactionStallNanos  uint64
 	BackgroundCompactions uint64
 	PinnedRuns            uint64
+	// Sessions v2 gauges. SnapshotsOpen counts open Snapshot sessions
+	// (plus live iterators, which pin the same machinery);
+	// AsyncCommitsInFlight counts CommitAsync batches acknowledged but not
+	// yet durable (bounded by Options.MaxAsyncCommitBacklog).
+	SnapshotsOpen        uint64
+	AsyncCommitsInFlight uint64
 	// GroupCommitWindowNanos is the resolved leader batching window (the
 	// adaptive value when GroupCommitWindow = AutoGroupCommitWindow);
 	// FsyncEWMANanos is the fsync-latency EWMA feeding it.
@@ -89,6 +95,8 @@ func (s *Store) Stats() Stats {
 		out.CompactionStallNanos = es.CompactionStallNanos
 		out.BackgroundCompactions = es.BackgroundCompactions
 		out.PinnedRuns = es.PinnedRuns
+		out.SnapshotsOpen = es.SnapshotsOpen
+		out.AsyncCommitsInFlight = es.AsyncCommitsInFlight
 		out.GroupCommitWindowNanos = es.GroupCommitWindowNanos
 		out.FsyncEWMANanos = es.FsyncEWMANanos
 	}
