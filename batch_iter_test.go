@@ -10,7 +10,6 @@ import (
 	"path/filepath"
 	"testing"
 
-	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/ycsb"
 )
@@ -148,12 +147,7 @@ func TestIteratorStreams10kBounded(t *testing.T) {
 	}
 	defer s.Close()
 	const n = 10_000
-	type bulk interface {
-		BulkLoad([]record.Record) error
-	}
-	if err := s.Internal().(bulk).BulkLoad(ycsb.GenRecords(n, 32)); err != nil {
-		t.Fatal(err)
-	}
+	bulkLoad(t, s, ycsb.GenRecords(n, 32))
 	before := s.Stats().ECalls
 	it := s.Iter(ycsb.Key(0), ycsb.Key(n))
 	count := 0

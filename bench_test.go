@@ -82,12 +82,7 @@ func benchStore(b *testing.B, mode Mode) *Store {
 
 func loadStore(b *testing.B, s *Store, n int) {
 	b.Helper()
-	type bulk interface {
-		BulkLoad([]record.Record) error
-	}
-	if err := s.Internal().(bulk).BulkLoad(ycsb.GenRecords(n, ycsb.DefaultValueSize)); err != nil {
-		b.Fatal(err)
-	}
+	bulkLoad(b, s, ycsb.GenRecords(n, ycsb.DefaultValueSize))
 }
 
 func benchmarkGet(b *testing.B, mode Mode) {

@@ -36,7 +36,7 @@ func main() {
 		log.Fatalf("open store: %v", err)
 	}
 	defer store.Close()
-	srv := ctlog.NewServer(store.Internal())
+	srv := ctlog.NewServer(store)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

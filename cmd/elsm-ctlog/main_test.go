@@ -56,7 +56,7 @@ func TestCTLogProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	srv := ctlog.NewServer(store.Internal())
+	srv := ctlog.NewServer(store)
 
 	replies := ctDialogue(t, srv, []string{
 		"ADD www.example.com 100 TestCA",

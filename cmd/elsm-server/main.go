@@ -52,9 +52,14 @@
 // deliberate batching delay for fsync-bound deployments; -commit-max-ops
 // caps group size (1 disables coalescing).
 //
+// -shards N partitions the store into N hash-partitioned authenticated
+// instances behind the router: concurrent connections spread across N
+// commit pipelines, SCAN merges the per-shard verified streams, and STATS
+// reports both aggregate and per-shard (shardN_*) gauges.
+//
 // Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
 //
-//	[-commit-window 0] [-commit-max-ops 0] [-iter-chunk-keys 0]
+//	[-shards 1] [-commit-window 0] [-commit-max-ops 0] [-iter-chunk-keys 0]
 package main
 
 import (
@@ -77,6 +82,7 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
 		dir          = flag.String("dir", "", "data directory (empty: in-memory)")
 		mode         = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
+		shards       = flag.Int("shards", 1, "hash-partitioned shard count (power of two; each shard runs its own WAL, committer and maintenance worker)")
 		commitWindow = flag.Duration("commit-window", 0, "group-commit batching window (0: natural batching only, -1ns: adaptive from fsync latency)")
 		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
 		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
@@ -86,6 +92,7 @@ func main() {
 
 	opts := elsm.Options{
 		Dir:               *dir,
+		Shards:            *shards,
 		GroupCommitWindow: *commitWindow,
 		GroupCommitMaxOps: *commitMaxOps,
 		IterChunkKeys:     *chunkKeys,
@@ -112,7 +119,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("elsm-server (%s) listening on %s", store.Mode(), ln.Addr())
+	log.Printf("elsm-server (%s, %d shard(s)) listening on %s", store.Mode(), store.Shards(), ln.Addr())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -434,13 +441,17 @@ func serveIter(w *bufio.Writer, it *elsm.Iterator) {
 // serveStats dumps the store's counters, one STAT line each — the wire
 // form of elsm.Stats, including the background-maintenance counters
 // (flush/compaction stalls, background compactions, pinned runs) and the
-// resolved group-commit window.
+// resolved group-commit window. The aggregate lines sum every shard; the
+// trailing shardN_* gauges (WAL syncs, open snapshots, async commits in
+// flight, per-shard pipeline activity) expose the sharded topology, so an
+// operator can see whether load spreads or one partition runs hot.
 func serveStats(w *bufio.Writer, store *elsm.Store) {
 	st := store.Stats()
 	for _, kv := range []struct {
 		name string
 		v    uint64
 	}{
+		{"shards", uint64(st.Shards)},
 		{"flushes", st.Flushes},
 		{"compactions", st.Compactions},
 		{"background_compactions", st.BackgroundCompactions},
@@ -470,6 +481,13 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		{"runs_probed", st.RunsProbed},
 	} {
 		fmt.Fprintf(w, "STAT %s %d\n", kv.name, kv.v)
+	}
+	for i, ss := range store.ShardStats() {
+		fmt.Fprintf(w, "STAT shard%d_wal_syncs %d\n", i, ss.WALSyncs)
+		fmt.Fprintf(w, "STAT shard%d_group_commits %d\n", i, ss.GroupCommits)
+		fmt.Fprintf(w, "STAT shard%d_snapshots_open %d\n", i, ss.SnapshotsOpen)
+		fmt.Fprintf(w, "STAT shard%d_async_commits_in_flight %d\n", i, ss.AsyncCommitsInFlight)
+		fmt.Fprintf(w, "STAT shard%d_disk_bytes %d\n", i, uint64(ss.DiskBytes))
 	}
 	fmt.Fprintln(w, "END")
 }

@@ -242,13 +242,84 @@ func TestServerStats(t *testing.T) {
 		seen[fields[1]] = true
 	}
 	for _, name := range []string{
-		"flushes", "compactions", "background_compactions",
+		"shards", "flushes", "compactions", "background_compactions",
 		"flush_stall_nanos", "compaction_stall_nanos", "pinned_runs",
 		"group_commit_window_nanos", "wal_syncs", "verified_gets",
+		"shard0_wal_syncs", "shard0_snapshots_open", "shard0_async_commits_in_flight",
 	} {
 		if !seen[name] {
 			t.Fatalf("STATS missing %q (got %v)", name, seen)
 		}
+	}
+}
+
+// TestServerShardedStore drives the wire protocol against a 4-shard store:
+// cross-shard MPUT batches, merged verified SCAN, snapshot verbs over the
+// router snapshot, and the per-shard STATS gauges that make the topology
+// observable.
+func TestServerShardedStore(t *testing.T) {
+	store, err := elsm.Open(elsm.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	lines := []string{
+		"MPUT alpha 1 bravo 2 charlie 3 delta 4 echo 5 foxtrot 6",
+		"GET charlie",
+		"SNAPSHOT",
+		"PUT alpha overwritten",
+		"SGET 1 alpha",
+		"SSCAN 1 a z",
+		"SCAN a z",
+		"RELEASE 1",
+		"STATS",
+		"QUIT",
+	}
+	replies := dialogue(t, store, lines)
+	if !strings.HasPrefix(replies[0], "OK ") {
+		t.Fatalf("cross-shard MPUT: %q", replies[0])
+	}
+	if !strings.HasPrefix(replies[1], "VALUE ") || !strings.HasSuffix(replies[1], " 3") {
+		t.Fatalf("GET after cross-shard batch: %q", replies[1])
+	}
+	// The snapshot predates the overwrite: SGET must serve the old value.
+	var sgetRow string
+	for _, r := range replies {
+		if strings.HasPrefix(r, "VALUE ") && strings.HasSuffix(r, " 1") {
+			sgetRow = r
+		}
+	}
+	if sgetRow == "" {
+		t.Fatalf("snapshot read did not serve the pre-overwrite value: %v", replies)
+	}
+	// Both the snapshot scan and the live merged scan return all six keys,
+	// END-terminated, with ROW lines in key order.
+	ends, rows := 0, []string{}
+	for _, r := range replies {
+		if r == "END 6" {
+			ends++
+		}
+		if strings.HasPrefix(r, "ROW ") {
+			rows = append(rows, strings.Fields(r)[1])
+		}
+	}
+	if ends != 2 || len(rows) != 12 {
+		t.Fatalf("merged scans: %d END 6 lines, %d rows (want 2 and 12): %v", ends, len(rows), replies)
+	}
+	for i := 1; i < 6; i++ {
+		if rows[i-1] >= rows[i] || rows[6+i-1] >= rows[6+i] {
+			t.Fatalf("merged scan rows out of key order: %v", rows)
+		}
+	}
+	shardStats := 0
+	for _, r := range replies {
+		if strings.HasPrefix(r, "STAT shard3_") {
+			shardStats++
+		}
+	}
+	if shardStats == 0 {
+		t.Fatalf("per-shard STATS gauges missing for shard 3: %v", replies)
 	}
 }
 

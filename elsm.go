@@ -67,6 +67,19 @@
 // waiting in the group-commit queue, stops a streaming iterator and its
 // prefetch, and deadlines long verified scans.
 //
+// For write-heavy deployments, Options.Shards hash-partitions the store
+// into N independent authenticated instances behind a router (N WALs, N
+// group-commit pipelines, N maintenance workers — and N independent trust
+// roots), with the same API on top: batches split across shards and commit
+// in parallel, scans merge the per-shard verified streams in key order,
+// and snapshots pin all shards atomically:
+//
+//	store, err := elsm.Open(elsm.Options{Dir: dir, Shards: 4})
+//
+// The shard count is part of the on-disk layout — reopen with the value
+// the store was created with (and pass per-shard ShardCounters to keep
+// rollback detection across restarts).
+//
 // Three modes reproduce the paper's configurations: ModeP2 (the
 // contribution: buffers outside the enclave, record-granularity Merkle
 // authentication), ModeP1 (the strawman: everything in-enclave,
@@ -181,6 +194,30 @@ type Options struct {
 	// cap bounds both the memory the pending queue holds and the window
 	// of acknowledged writes a crash can lose.
 	MaxAsyncCommitBacklog int
+	// Shards partitions the store into this many independent authenticated
+	// instances behind a stable-hash router (0 or 1 = a single instance,
+	// the previous behaviour; must be a power of two). Each shard owns its
+	// own WAL, memtable pair, digest forest, group committer, maintenance
+	// worker and monotonic counter under a per-shard subdirectory
+	// ("shard-00", "shard-01", ...), so concurrent writers spread across N
+	// commit pipelines and N fsync streams instead of serializing through
+	// one. Single-key operations route to one shard; batches split into
+	// per-shard sub-batches committed in parallel (atomic per shard,
+	// all-or-error at the router); scans merge the per-shard verified
+	// streams in key order, preserving completeness; Snapshot pins all N
+	// shards atomically. With Shards > 1, trusted timestamps are per-shard
+	// (values from different shards are incomparable) and Snapshot.Ts
+	// reports the router's commit sequence instead. The shard count is
+	// part of the on-disk layout: reopen with the value the store was
+	// created with.
+	Shards int
+	// ShardCounters persists each shard's root of trust across restarts
+	// when Shards > 1: one trusted monotonic counter per shard, in shard
+	// order (the sharded counterpart of Counter, which is single-instance
+	// — each shard seals and verifies against its own counter, so one
+	// shard's state never binds another's). Empty means fresh counters
+	// (no rollback detection across reopen).
+	ShardCounters []*sgx.MonotonicCounter
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -214,6 +251,21 @@ func (o Options) validate() error {
 	if o.MaxAsyncCommitBacklog < 0 {
 		return fmt.Errorf("elsm: MaxAsyncCommitBacklog must be ≥ 0, got %d", o.MaxAsyncCommitBacklog)
 	}
+	if o.Shards < 1 {
+		return fmt.Errorf("elsm: Shards must be ≥ 1, got %d", o.Shards)
+	}
+	if o.Shards&(o.Shards-1) != 0 {
+		return fmt.Errorf("elsm: Shards must be a power of two (stable mask-based hash routing), got %d", o.Shards)
+	}
+	if len(o.ShardCounters) > 0 && len(o.ShardCounters) != o.Shards {
+		return fmt.Errorf("elsm: ShardCounters carries %d counters for %d shards (one per shard, in shard order)", len(o.ShardCounters), o.Shards)
+	}
+	if o.Counter != nil && len(o.ShardCounters) > 0 {
+		return fmt.Errorf("elsm: Counter and ShardCounters are mutually exclusive (ambiguous roots of trust)")
+	}
+	if o.Shards > 1 && o.Counter != nil {
+		return fmt.Errorf("elsm: Counter is single-instance; with Shards > 1 pass per-shard roots of trust via ShardCounters")
+	}
 	return nil
 }
 
@@ -224,13 +276,72 @@ type Store struct {
 	enc  *encLayer
 }
 
+// cost resolves the simulated-enclave cost model.
+func (o Options) cost() costmodel.Model {
+	if o.SimulateHardwareCosts {
+		return costmodel.Calibrated()
+	}
+	return costmodel.Zero
+}
+
+// coreConfig maps the engine-tuning options onto a core.Config — the ONE
+// place the pass-through fields are enumerated, shared by the single-
+// instance and sharded open paths (which differ only in FS layout, enclave
+// sharing and trust-root wiring, set by the callers on the returned value).
+func (o Options) coreConfig(fs vfs.FS) core.Config {
+	return core.Config{
+		FS:                    fs,
+		CacheSize:             o.CacheSize,
+		MmapReads:             o.MmapReads,
+		KeepVersions:          o.KeepVersions,
+		RequireCleanRecovery:  o.RequireCleanRecovery,
+		IterChunkKeys:         o.IterChunkKeys,
+		GroupCommitMaxOps:     o.GroupCommitMaxOps,
+		GroupCommitWindow:     o.GroupCommitWindow,
+		MaxAsyncCommitBacklog: o.MaxAsyncCommitBacklog,
+		InlineCompaction:      o.InlineCompaction,
+		MemtableSize:          o.MemtableSize,
+		TableFileSize:         o.TableFileSize,
+		LevelBase:             o.LevelBase,
+		MaxLevels:             o.MaxLevels,
+		BlockSize:             o.BlockSize,
+		DisableCompaction:     o.DisableCompaction,
+		DisableWAL:            o.DisableWAL,
+	}
+}
+
+// openMode opens one store instance of the given design.
+func openMode(mode Mode, cfg core.Config) (core.KV, error) {
+	switch mode {
+	case ModeP2:
+		return core.Open(cfg)
+	case ModeP1:
+		return core.OpenP1(cfg)
+	case ModeUnsecured:
+		return core.OpenUnsecured(cfg)
+	default:
+		return nil, fmt.Errorf("elsm: unknown mode %d", mode)
+	}
+}
+
 // Open creates or recovers a store.
 func Open(opts Options) (*Store, error) {
 	if opts.Mode == 0 {
 		opts.Mode = ModeP2
 	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
 	if err := opts.validate(); err != nil {
 		return nil, err
+	}
+	if opts.Shards > 1 {
+		return openSharded(opts)
+	}
+	if opts.Counter == nil && len(opts.ShardCounters) == 1 {
+		// A one-shard store is a single instance; accept the sharded
+		// spelling of its root of trust.
+		opts.Counter = opts.ShardCounters[0]
 	}
 	fs := opts.FS
 	if fs == nil && opts.Dir != "" {
@@ -240,46 +351,11 @@ func Open(opts Options) (*Store, error) {
 		}
 		fs = osfs
 	}
-	cost := costmodel.Zero
-	if opts.SimulateHardwareCosts {
-		cost = costmodel.Calibrated()
-	}
-	cfg := core.Config{
-		FS:                    fs,
-		SGX:                   sgx.Params{EPCSize: opts.EPCSize, Cost: cost},
-		Platform:              opts.Platform,
-		Counter:               opts.Counter,
-		CacheSize:             opts.CacheSize,
-		MmapReads:             opts.MmapReads,
-		KeepVersions:          opts.KeepVersions,
-		RequireCleanRecovery:  opts.RequireCleanRecovery,
-		IterChunkKeys:         opts.IterChunkKeys,
-		GroupCommitMaxOps:     opts.GroupCommitMaxOps,
-		GroupCommitWindow:     opts.GroupCommitWindow,
-		MaxAsyncCommitBacklog: opts.MaxAsyncCommitBacklog,
-		InlineCompaction:      opts.InlineCompaction,
-		MemtableSize:          opts.MemtableSize,
-		TableFileSize:         opts.TableFileSize,
-		LevelBase:             opts.LevelBase,
-		MaxLevels:             opts.MaxLevels,
-		BlockSize:             opts.BlockSize,
-		DisableCompaction:     opts.DisableCompaction,
-		DisableWAL:            opts.DisableWAL,
-	}
-	var (
-		kv  core.KV
-		err error
-	)
-	switch opts.Mode {
-	case ModeP2:
-		kv, err = core.Open(cfg)
-	case ModeP1:
-		kv, err = core.OpenP1(cfg)
-	case ModeUnsecured:
-		kv, err = core.OpenUnsecured(cfg)
-	default:
-		return nil, fmt.Errorf("elsm: unknown mode %d", opts.Mode)
-	}
+	cfg := opts.coreConfig(fs)
+	cfg.SGX = sgx.Params{EPCSize: opts.EPCSize, Cost: opts.cost()}
+	cfg.Platform = opts.Platform
+	cfg.Counter = opts.Counter
+	kv, err := openMode(opts.Mode, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -395,12 +471,16 @@ var ErrAuthFailed = core.ErrAuthFailed
 // stale, incomplete or rolled-back data detected).
 func IsAuthFailure(err error) bool { return errors.Is(err, core.ErrAuthFailed) }
 
-// Internal returns the underlying core store.
+// Internal returns the underlying core store — the shard router when
+// Shards > 1, the single instance otherwise.
 //
-// Deprecated: the supported surfaces are Stats for metrics and the public
-// Store/Batch/Iterator/Snapshot API for data access. Internal remains only
-// for the benchmark harness and bulk-loading integrations (ycsb, ctlog)
-// that drive core.KV directly; new code should not depend on it.
+// Deprecated: the supported surfaces are Stats/ShardStats for metrics,
+// Flush/WaitMaintenance for maintenance fencing, and the public
+// Store/Batch/Iterator/Snapshot API for data access; every former caller
+// has been migrated to them. Internal remains only as a shim for
+// out-of-tree integrations that drive core.KV directly and delegates to
+// the same instance those surfaces observe; new code should not depend on
+// it.
 func (s *Store) Internal() core.KV { return s.kv }
 
 // Close seals the final trusted state and releases resources.

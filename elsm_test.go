@@ -130,7 +130,7 @@ func TestAuthFailureClassification(t *testing.T) {
 	}
 	// Let background flush/compaction settle so the table set is stable,
 	// then corrupt all sstables densely.
-	if err := s.Internal().(engined).Engine().WaitMaintenance(); err != nil {
+	if err := s.WaitMaintenance(); err != nil {
 		t.Fatal(err)
 	}
 	names, _ := fs.List("0")

@@ -21,7 +21,7 @@ func main() {
 		log.Fatalf("open: %v", err)
 	}
 	defer store.Close()
-	logServer := ctlog.NewServer(store.Internal())
+	logServer := ctlog.NewServer(store)
 
 	// --- Log server: CAs submit an intensive stream of certificates.
 	fmt.Println("## log server: ingesting certificate stream")

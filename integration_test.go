@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/vfs"
 	"elsm/internal/ycsb"
@@ -40,14 +39,9 @@ func TestYCSBWorkloadsAllModes(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer s.Close()
-				type bulk interface {
-					BulkLoad([]record.Record) error
-				}
-				if err := s.Internal().(bulk).BulkLoad(ycsb.GenRecords(loaded, 64)); err != nil {
-					t.Fatal(err)
-				}
+				bulkLoad(t, s, ycsb.GenRecords(loaded, 64))
 				wl.ValueSize = 64
-				r := ycsb.NewRunner(s.Internal(), wl, loaded, 99)
+				r := ycsb.NewRunner(storeDB{s}, wl, loaded, 99)
 				st, err := r.RunOps(800)
 				if err != nil {
 					t.Fatalf("workload %s on %s: %v", wl.Name, mode, err)
@@ -71,15 +65,10 @@ func TestConcurrentYCSBOnVerifiedStore(t *testing.T) {
 	}
 	defer s.Close()
 	const n = 1500
-	type bulk interface {
-		BulkLoad([]record.Record) error
-	}
-	if err := s.Internal().(bulk).BulkLoad(ycsb.GenRecords(n, 64)); err != nil {
-		t.Fatal(err)
-	}
+	bulkLoad(t, s, ycsb.GenRecords(n, 64))
 	wl := ycsb.WorkloadA()
 	wl.ValueSize = 64
-	st, err := ycsb.RunConcurrent(s.Internal(), wl, n, 4, 500, 7)
+	st, err := ycsb.RunConcurrent(storeDB{s}, wl, n, 4, 500, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -338,5 +338,6 @@ func All() []Experiment {
 		{"ablation-commit", AblationCommit},
 		{"ablation-compaction", AblationCompaction},
 		{"ablation-async", AblationAsync},
+		{"ablation-shards", AblationShards},
 	}
 }

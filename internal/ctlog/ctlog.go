@@ -63,13 +63,23 @@ var (
 	ErrMismatch  = errors.New("ctlog: presented certificate does not match logged certificate")
 )
 
+// KV is the verified-store surface the log server needs: authenticated
+// point writes, verified-freshness lookups and completeness-verified range
+// scans. Both the public *elsm.Store (sharded or not) and any core.KV
+// satisfy it.
+type KV interface {
+	Put(key, value []byte) (uint64, error)
+	Get(key []byte) (core.Result, error)
+	Scan(start, end []byte) ([]core.Result, error)
+}
+
 // Server is the eLSM-backed CT log server.
 type Server struct {
-	kv core.KV
+	kv KV
 }
 
 // NewServer wraps a (typically eLSM-P2) store.
-func NewServer(kv core.KV) *Server { return &Server{kv: kv} }
+func NewServer(kv KV) *Server { return &Server{kv: kv} }
 
 // AddChain logs a certificate submission, returning the log timestamp.
 // Re-submission for the same hostname supersedes (rotation): freshness

@@ -153,6 +153,54 @@ func (f *CommitFuture) Done() <-chan struct{} { return f.done }
 // Err returns the durability outcome; only valid after Done is closed.
 func (f *CommitFuture) Err() error { return f.err }
 
+// NewAggregateFuture composes child commit futures into one — the handle of
+// a commit split across several independent pipelines (the shard router's
+// cross-shard batches). The aggregate is accepted once EVERY child is
+// accepted, publishing the highest child timestamp, and resolved once every
+// child is durable; the first child failure (at either stage) is the
+// aggregate outcome, reported only after all children settle so the caller
+// never races a still-in-flight sibling. onSettled, if non-nil, runs
+// exactly once after every child has settled and before the aggregate
+// resolves — the router uses it to release its snapshot gate, so a snapshot
+// taken after the gate opens observes the whole batch on every shard.
+func NewAggregateFuture(children []*CommitFuture, onSettled func()) *CommitFuture {
+	f := newCommitFuture()
+	go func() {
+		var maxTs uint64
+		var acceptErr error
+		for _, c := range children {
+			ts, err := c.Ts(nil)
+			if err != nil && acceptErr == nil {
+				acceptErr = err
+			}
+			if ts > maxTs {
+				maxTs = ts
+			}
+		}
+		if acceptErr == nil {
+			// Acknowledge as soon as the slowest child is accepted: every
+			// shard has assigned timestamps and appended its group, and the
+			// per-shard pipelines are already fsyncing behind us.
+			f.accept(maxTs)
+		}
+		var resolveErr error
+		for _, c := range children {
+			if _, err := c.Wait(nil); err != nil && resolveErr == nil {
+				resolveErr = err
+			}
+		}
+		if onSettled != nil {
+			onSettled()
+		}
+		if acceptErr != nil {
+			f.fail(acceptErr)
+			return
+		}
+		f.resolve(resolveErr)
+	}()
+	return f
+}
+
 // ctxDone tolerates nil contexts (the context-free legacy wrappers).
 func ctxDone(ctx context.Context) <-chan struct{} {
 	if ctx == nil {

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"bytes"
+
+	"elsm/internal/core"
+)
+
+// mergeIter merges k key-ascending verified streams (one per shard) into
+// one key-ascending stream with a loser tree: a tournament over the k
+// stream heads where each internal node remembers the LOSER of its match
+// and the overall winner sits at the root. Advancing costs one leaf refill
+// plus a replay of the single root-to-leaf path — ⌈log₂ k⌉ comparisons —
+// instead of the 2·log k of a binary heap's sift-down, and the comparison
+// path is branch-predictable because only the winner's path changes.
+//
+// Hash partitions are disjoint, so no two streams ever present the same
+// key and the merge needs no duplicate resolution; ties cannot occur (the
+// index-order tiebreak exists only for exhausted sentinels). Each input
+// stream verifies its own chunk proofs and range completeness as it is
+// drained, so a verification failure on ANY shard stops the merged stream
+// with that shard's error — the merged result is complete iff every
+// per-shard range was complete, which is exactly what each shard proves.
+//
+// The k streams keep their own one-chunk background prefetch, so a merged
+// scan keeps up to k chunks in flight — the sharded counterpart of the
+// single-store iterator's lookahead.
+type mergeIter struct {
+	its  []core.Iterator
+	keys [][]byte // current head key per stream; nil = exhausted
+	k    int      // live stream count (len(its))
+	cap2 int      // leaf slots: k padded to a power of two
+	tree []int    // internal nodes 1..cap2-1: losing leaf of that match
+	win  int      // current overall winner leaf
+
+	onClose func()
+	cur     core.Result
+	primed  bool
+	closed  bool
+	err     error
+}
+
+var _ core.Iterator = (*mergeIter)(nil)
+
+// NewMergeIter merges already-positioned (not yet advanced) iterators in
+// key order, taking ownership: Close closes every input. onClose, if
+// non-nil, runs once after the inputs close — the router releases the
+// backing snapshot through it.
+func NewMergeIter(its []core.Iterator, onClose func()) core.Iterator {
+	k := len(its)
+	if k == 1 && onClose == nil {
+		return its[0]
+	}
+	cap2 := 1
+	for cap2 < k {
+		cap2 <<= 1
+	}
+	return &mergeIter{
+		its:     its,
+		keys:    make([][]byte, cap2),
+		k:       k,
+		cap2:    cap2,
+		tree:    make([]int, cap2),
+		onClose: onClose,
+	}
+}
+
+// beats reports whether leaf a wins against leaf b: exhausted leaves lose
+// to live ones, and live leaves compare by key (lower key wins; the merge
+// is ascending). Pad leaves (index ≥ k) are permanently exhausted.
+func (m *mergeIter) beats(a, b int) bool {
+	ka, kb := m.keys[a], m.keys[b]
+	switch {
+	case ka == nil:
+		return kb == nil && a < b
+	case kb == nil:
+		return true
+	default:
+		return bytes.Compare(ka, kb) < 0
+	}
+}
+
+// advance refills leaf i from its stream; a stream error stops the merge.
+func (m *mergeIter) advance(i int) {
+	if m.its[i].Next() {
+		m.keys[i] = m.its[i].Result().Key
+		return
+	}
+	m.keys[i] = nil
+	if err := m.its[i].Err(); err != nil && m.err == nil {
+		m.err = err
+	}
+}
+
+// rebuild plays the full tournament bottom-up: winners propagate toward
+// the root, each internal node records its match's loser.
+func (m *mergeIter) rebuild() {
+	winner := make([]int, 2*m.cap2)
+	for i := 0; i < m.cap2; i++ {
+		winner[m.cap2+i] = i
+	}
+	for n := m.cap2 - 1; n >= 1; n-- {
+		a, b := winner[2*n], winner[2*n+1]
+		if m.beats(a, b) {
+			winner[n], m.tree[n] = a, b
+		} else {
+			winner[n], m.tree[n] = b, a
+		}
+	}
+	m.win = winner[1]
+}
+
+// replay re-runs only the matches on leaf's root path — the one path the
+// last advance could have changed.
+func (m *mergeIter) replay(leaf int) {
+	w := leaf
+	for n := (m.cap2 + leaf) >> 1; n >= 1; n >>= 1 {
+		if m.beats(m.tree[n], w) {
+			m.tree[n], w = w, m.tree[n]
+		}
+	}
+	m.win = w
+}
+
+// Next implements core.Iterator.
+func (m *mergeIter) Next() bool {
+	if m.closed || m.err != nil {
+		return false
+	}
+	if !m.primed {
+		for i := 0; i < m.k; i++ {
+			m.advance(i)
+			if m.err != nil {
+				return false
+			}
+		}
+		m.rebuild()
+		m.primed = true
+	} else {
+		m.advance(m.win)
+		if m.err != nil {
+			return false
+		}
+		m.replay(m.win)
+	}
+	if m.keys[m.win] == nil {
+		return false // every stream exhausted
+	}
+	m.cur = m.its[m.win].Result()
+	return true
+}
+
+// Result implements core.Iterator.
+func (m *mergeIter) Result() core.Result { return m.cur }
+
+// Err implements core.Iterator.
+func (m *mergeIter) Err() error { return m.err }
+
+// Close implements core.Iterator: closes every input stream first — so a
+// tampered chunk still in some shard's prefetch surfaces here — then runs
+// the onClose hook (releasing the router snapshot backing a live-path
+// merge). Returns the error that stopped the merge, or the first input
+// close error.
+func (m *mergeIter) Close() error {
+	if m.closed {
+		return m.err
+	}
+	m.closed = true
+	for _, it := range m.its {
+		if err := it.Close(); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
+	if m.onClose != nil {
+		m.onClose()
+	}
+	return m.err
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsm/internal/core"
+)
+
+// fakeIter serves a fixed ascending result list, optionally failing after a
+// given number of results (simulating a mid-stream verification failure on
+// one shard).
+type fakeIter struct {
+	res      []core.Result
+	pos      int
+	failAt   int // -1: never
+	err      error
+	closed   bool
+	closeErr error
+}
+
+var errFakeAuth = errors.New("fake: verification failed")
+
+func (it *fakeIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.failAt >= 0 && it.pos+1 >= it.failAt {
+		it.err = errFakeAuth
+		return false
+	}
+	if it.pos+1 >= len(it.res) {
+		return false
+	}
+	it.pos++
+	return true
+}
+func (it *fakeIter) Result() core.Result { return it.res[it.pos] }
+func (it *fakeIter) Err() error          { return it.err }
+func (it *fakeIter) Close() error {
+	it.closed = true
+	if it.err != nil {
+		return it.err
+	}
+	return it.closeErr
+}
+
+func results(keys ...string) []core.Result {
+	out := make([]core.Result, len(keys))
+	for i, k := range keys {
+		out[i] = core.Result{Key: []byte(k), Value: []byte("v-" + k), Found: true}
+	}
+	return out
+}
+
+// TestMergeIterOrdersAcrossStreams drives the loser tree over stream counts
+// that exercise padding (non-power-of-two), empty streams and single-stream
+// degeneration, against a sort-based oracle.
+func TestMergeIterOrdersAcrossStreams(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for _, k := range []int{1, 2, 3, 4, 5, 8, 13} {
+		t.Run(fmt.Sprintf("streams%d", k), func(t *testing.T) {
+			// Partition a random disjoint key set across k streams.
+			var all []string
+			streams := make([][]string, k)
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key%06d", rnd.Intn(1_000_000))
+				si := KeyShard([]byte(key), 16) % k
+				streams[si] = append(streams[si], key)
+			}
+			seen := map[string]bool{}
+			its := make([]core.Iterator, k)
+			for i := range its {
+				sort.Strings(streams[i])
+				var uniq []string
+				for _, key := range streams[i] {
+					if !seen[key] {
+						uniq = append(uniq, key)
+						seen[key] = true
+						all = append(all, key)
+					}
+				}
+				its[i] = &fakeIter{res: results(uniq...), pos: -1, failAt: -1}
+			}
+			sort.Strings(all)
+
+			closed := false
+			it := NewMergeIter(its, func() { closed = true })
+			var got []string
+			for it.Next() {
+				got = append(got, string(it.Result().Key))
+				if want := "v-" + got[len(got)-1]; string(it.Result().Value) != want {
+					t.Fatalf("value mismatch at %q: %q", got[len(got)-1], it.Result().Value)
+				}
+			}
+			if err := it.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !closed {
+				t.Fatal("onClose hook did not run")
+			}
+			if len(got) != len(all) {
+				t.Fatalf("merged %d results, want %d", len(got), len(all))
+			}
+			for i := range got {
+				if got[i] != all[i] {
+					t.Fatalf("order diverged at %d: %q vs %q", i, got[i], all[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeIterPropagatesStreamFailure proves a mid-stream failure on ONE
+// shard stops the whole merge with that error — exactly how a per-shard
+// verification failure must surface — and that Close still closes every
+// input.
+func TestMergeIterPropagatesStreamFailure(t *testing.T) {
+	a := &fakeIter{res: results("a1", "a3", "a5"), pos: -1, failAt: 2}
+	b := &fakeIter{res: results("b2", "b4", "b6"), pos: -1, failAt: -1}
+	it := NewMergeIter([]core.Iterator{a, b}, nil)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Close(); !errors.Is(err, errFakeAuth) {
+		t.Fatalf("merge swallowed the stream failure: %v after %d results", err, n)
+	}
+	if !a.closed || !b.closed {
+		t.Fatalf("inputs not closed: a=%v b=%v", a.closed, b.closed)
+	}
+	if it.Next() {
+		t.Fatal("Next after Close")
+	}
+}
+
+// TestMergeIterCloseSurfacesLateError: an error only visible at input Close
+// (e.g. a tampered chunk sitting in a shard's prefetch) must surface from
+// the merged Close.
+func TestMergeIterCloseSurfacesLateError(t *testing.T) {
+	a := &fakeIter{res: results("a"), pos: -1, failAt: -1, closeErr: errFakeAuth}
+	b := &fakeIter{res: results("b"), pos: -1, failAt: -1}
+	it := NewMergeIter([]core.Iterator{a, b}, nil)
+	for it.Next() {
+	}
+	if err := it.Close(); !errors.Is(err, errFakeAuth) {
+		t.Fatalf("late close error lost: %v", err)
+	}
+}
+
+// TestKeyShardStableAndBalanced pins the routing function: deterministic,
+// in-range, and not pathologically unbalanced on sequential keys.
+func TestKeyShardStableAndBalanced(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 8000; i++ {
+		key := []byte(fmt.Sprintf("user%012d", i))
+		si := KeyShard(key, n)
+		if si != KeyShard(key, n) {
+			t.Fatal("routing not deterministic")
+		}
+		if si < 0 || si >= n {
+			t.Fatalf("shard %d out of range", si)
+		}
+		counts[si]++
+	}
+	for i, c := range counts {
+		if c < 8000/n/2 || c > 8000/n*2 {
+			t.Fatalf("shard %d holds %d of 8000 keys (counts %v) — hash badly skewed", i, c, counts)
+		}
+	}
+}

@@ -60,6 +60,58 @@ type File interface {
 }
 
 // ---------------------------------------------------------------------------
+// Sub-filesystems
+
+// subber is implemented by filesystems with a native notion of
+// subdirectories (OSFS); everything else gets the generic name-prefix view.
+type subber interface {
+	Sub(dir string) (FS, error)
+}
+
+// Sub returns a view of fs rooted at the named subdirectory — the unit the
+// shard router uses to give each shard an isolated per-shard directory
+// (its own WAL, SSTables, manifest and sealed state) inside one parent
+// store location. OSFS creates a real directory; other implementations get
+// a name-prefix view, which composes with the fault/latency-injecting
+// wrappers used in tests.
+func Sub(fs FS, dir string) (FS, error) {
+	if s, ok := fs.(subber); ok {
+		return s.Sub(dir)
+	}
+	return &prefixFS{inner: fs, prefix: dir + "/"}, nil
+}
+
+// prefixFS scopes an FS to a name prefix. It relies only on the FS
+// interface, so it layers over MemFS, FaultFS and SlowSyncFS alike.
+type prefixFS struct {
+	inner  FS
+	prefix string
+}
+
+var _ FS = (*prefixFS)(nil)
+
+func (fs *prefixFS) Create(name string) (File, error) { return fs.inner.Create(fs.prefix + name) }
+func (fs *prefixFS) Open(name string) (File, error)   { return fs.inner.Open(fs.prefix + name) }
+func (fs *prefixFS) Remove(name string) error         { return fs.inner.Remove(fs.prefix + name) }
+func (fs *prefixFS) Exists(name string) bool          { return fs.inner.Exists(fs.prefix + name) }
+
+func (fs *prefixFS) Rename(oldName, newName string) error {
+	return fs.inner.Rename(fs.prefix+oldName, fs.prefix+newName)
+}
+
+func (fs *prefixFS) List(prefix string) ([]string, error) {
+	names, err := fs.inner.List(fs.prefix + prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, strings.TrimPrefix(n, fs.prefix))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
 // MemFS
 
 // MemFS is an in-memory FS safe for concurrent use.
@@ -296,8 +348,19 @@ func NewOS(dir string) (*OSFS, error) {
 
 func (fs *OSFS) path(name string) string { return filepath.Join(fs.dir, name) }
 
-// Create implements FS.
+// Sub implements the native subdirectory view: a real directory on disk,
+// created if needed.
+func (fs *OSFS) Sub(dir string) (FS, error) { return NewOS(filepath.Join(fs.dir, dir)) }
+
+// Create implements FS. Names may carry a directory part ("shard-00/wal")
+// — the prefix form a Sub view over a wrapper FS produces — in which case
+// the directory is created on demand.
 func (fs *OSFS) Create(name string) (File, error) {
+	if dir := filepath.Dir(name); dir != "." {
+		if err := os.MkdirAll(filepath.Join(fs.dir, dir), 0o755); err != nil {
+			return nil, fmt.Errorf("vfs: create %s: %w", name, err)
+		}
+	}
 	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("vfs: create %s: %w", name, err)
@@ -336,16 +399,26 @@ func (fs *OSFS) Rename(oldName, newName string) error {
 	return nil
 }
 
-// List implements FS.
+// List implements FS. A prefix with a directory part ("shard-00/wal")
+// lists inside that subdirectory, returning full prefixed names — so a Sub
+// view over a wrapper FS (whose names keep their "shard-NN/" prefix all
+// the way down) enumerates its files like any other.
 func (fs *OSFS) List(prefix string) ([]string, error) {
-	entries, err := os.ReadDir(fs.dir)
+	subdir, base := "", prefix
+	if i := strings.LastIndexByte(prefix, '/'); i >= 0 {
+		subdir, base = prefix[:i+1], prefix[i+1:]
+	}
+	entries, err := os.ReadDir(filepath.Join(fs.dir, subdir))
 	if err != nil {
+		if os.IsNotExist(err) && subdir != "" {
+			return nil, nil // a sub-namespace nothing was written to yet
+		}
 		return nil, fmt.Errorf("vfs: list: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
-			names = append(names, e.Name())
+		if !e.IsDir() && strings.HasPrefix(e.Name(), base) {
+			names = append(names, subdir+e.Name())
 		}
 	}
 	sort.Strings(names)

@@ -188,3 +188,71 @@ func TestMemConcurrentAccess(t *testing.T) {
 		t.Fatalf("total = %d", fs.TotalBytes())
 	}
 }
+
+// TestSubIsolatesShardDirectories: two Sub views of one parent FS are
+// fully isolated namespaces (the shard router's per-shard directories),
+// on both the prefix view (MemFS) and the native view (OSFS).
+func TestSubIsolatesShardDirectories(t *testing.T) {
+	parents := map[string]FS{"mem": NewMem()}
+	osfs, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents["os"] = osfs
+	// A wrapper over a disk-backed FS takes the prefix-fallback path: the
+	// names carry their "shard-NN/" part down to OSFS, which must create
+	// and list the subdirectory transparently.
+	wrappedOS, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents["slowsync-over-os"] = NewSlowSync(wrappedOS, 0)
+	parents["fault-over-mem"] = NewFault(NewMem())
+	for name, parent := range parents {
+		t.Run(name, func(t *testing.T) {
+			a, err := Sub(parent, "shard-00")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Sub(parent, "shard-01")
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := a.Create("wal.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Append([]byte("shard0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if b.Exists("wal.log") {
+				t.Fatal("sibling sub-FS sees the other shard's file")
+			}
+			if !a.Exists("wal.log") {
+				t.Fatal("sub-FS lost its own file")
+			}
+			names, err := a.List("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "wal.log" {
+				t.Fatalf("sub-FS List = %v (names must be prefix-free)", names)
+			}
+			if err := a.Rename("wal.log", "wal.old"); err != nil {
+				t.Fatal(err)
+			}
+			if b.Exists("wal.old") || !a.Exists("wal.old") {
+				t.Fatal("rename leaked across sub-FS boundaries")
+			}
+			if err := a.Remove("wal.old"); err != nil {
+				t.Fatal(err)
+			}
+			if a.Exists("wal.old") {
+				t.Fatal("remove did not take effect in sub-FS")
+			}
+		})
+	}
+}

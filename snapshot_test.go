@@ -61,8 +61,7 @@ func TestSnapshotPinnedUnderChurn(t *testing.T) {
 			}
 			// Put some of the dataset on disk so the snapshot pins runs,
 			// not just memtables.
-			engine := s.Internal().(engined).Engine()
-			if err := engine.Flush(); err != nil {
+			if err := s.Flush(); err != nil {
 				t.Fatal(err)
 			}
 			for i := 0; i < 10; i++ {
@@ -93,7 +92,7 @@ func TestSnapshotPinnedUnderChurn(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				if err := engine.Flush(); err != nil {
+				if err := s.Flush(); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -102,7 +101,7 @@ func TestSnapshotPinnedUnderChurn(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			if err := engine.Flush(); err != nil { // settles overflowing levels too
+			if err := s.Flush(); err != nil { // settles overflowing levels too
 				t.Fatal(err)
 			}
 			if st := s.Stats(); st.Compactions == 0 && mode != ModeUnsecured {

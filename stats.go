@@ -4,11 +4,19 @@ import (
 	"elsm/internal/core"
 	"elsm/internal/lsm"
 	"elsm/internal/sgx"
+	"elsm/internal/shard"
 )
 
 // Stats is a point-in-time snapshot of the store's engine and simulated-
-// enclave activity, for observability and the benchmark harness.
+// enclave activity, for observability and the benchmark harness. On a
+// sharded store, Store.Stats aggregates across shards (counters sum;
+// per-pipeline gauges like GroupCommitWindowNanos report the maximum) and
+// Store.ShardStats exposes the per-shard breakdown.
 type Stats struct {
+	// Shards is the partition count these counters cover: the store's
+	// shard count for the aggregate view, 1 for a per-shard entry.
+	Shards int
+
 	// Mode-independent engine counters.
 	Flushes         uint64
 	Compactions     uint64
@@ -20,7 +28,9 @@ type Stats struct {
 
 	// Group-commit pipeline counters. WALSyncs/GroupCommits stay far below
 	// the committed-operation count when concurrent writers coalesce;
-	// GroupedRecords/GroupCommits is the mean group size.
+	// GroupedRecords/GroupCommits is the mean group size. On a sharded
+	// store each shard runs its own pipeline, so the aggregate counts N
+	// parallel fsync streams.
 	WALSyncs       uint64
 	GroupCommits   uint64
 	GroupedRecords uint64
@@ -39,18 +49,23 @@ type Stats struct {
 	BackgroundCompactions uint64
 	PinnedRuns            uint64
 	// Sessions v2 gauges. SnapshotsOpen counts open Snapshot sessions
-	// (plus live iterators, which pin the same machinery);
-	// AsyncCommitsInFlight counts CommitAsync batches acknowledged but not
-	// yet durable (bounded by Options.MaxAsyncCommitBacklog).
+	// (plus live iterators, which pin the same machinery); a router
+	// snapshot pins every shard, so a sharded aggregate counts N per
+	// open session. AsyncCommitsInFlight counts CommitAsync batches
+	// acknowledged but not yet durable (bounded per shard by
+	// Options.MaxAsyncCommitBacklog).
 	SnapshotsOpen        uint64
 	AsyncCommitsInFlight uint64
 	// GroupCommitWindowNanos is the resolved leader batching window (the
 	// adaptive value when GroupCommitWindow = AutoGroupCommitWindow);
-	// FsyncEWMANanos is the fsync-latency EWMA feeding it.
+	// FsyncEWMANanos is the fsync-latency EWMA feeding it. Aggregated as
+	// the maximum across shards.
 	GroupCommitWindowNanos uint64
 	FsyncEWMANanos         uint64
 
-	// Simulated SGX activity (zero for ModeUnsecured).
+	// Simulated SGX activity (zero for ModeUnsecured). Shards share one
+	// enclave, so the aggregate equals any one shard's view and per-shard
+	// entries repeat it.
 	PageFaults    uint64
 	ECalls        uint64
 	OCalls        uint64
@@ -74,11 +89,10 @@ type enclaved interface {
 	Enclave() *sgx.Enclave
 }
 
-// Stats returns current counters. Fields not applicable to the store's
-// mode are zero.
-func (s *Store) Stats() Stats {
-	var out Stats
-	if e, ok := s.kv.(engined); ok {
+// statsOf collects one KV instance's counters.
+func statsOf(kv core.KV) Stats {
+	out := Stats{Shards: 1}
+	if e, ok := kv.(engined); ok {
 		es := e.Engine().Stats()
 		out.Flushes = es.Flushes
 		out.Compactions = es.Compactions
@@ -100,7 +114,7 @@ func (s *Store) Stats() Stats {
 		out.GroupCommitWindowNanos = es.GroupCommitWindowNanos
 		out.FsyncEWMANanos = es.FsyncEWMANanos
 	}
-	if e, ok := s.kv.(enclaved); ok {
+	if e, ok := kv.(enclaved); ok {
 		st := e.Enclave().Stats()
 		out.PageFaults = st.PageFaults
 		out.ECalls = st.ECalls
@@ -109,11 +123,84 @@ func (s *Store) Stats() Stats {
 		out.ResidentPages = st.ResidentPages
 		out.EnclaveBytes = st.AllocatedBytes
 	}
-	if p2, ok := s.kv.(*core.Store); ok {
+	if p2, ok := kv.(*core.Store); ok {
 		vs := p2.VerifyStatsSnapshot()
 		out.VerifiedGets = vs.Gets
 		out.ProofBytes = vs.ProofBytes
 		out.RunsProbed = vs.RunsProbed
+	}
+	return out
+}
+
+// add folds another shard's counters into the aggregate: counters and
+// current-level gauges sum, per-pipeline tuning gauges take the maximum.
+// Enclave fields are NOT folded here — shards share one enclave, so the
+// caller counts it once.
+func (s *Stats) add(o Stats) {
+	s.Shards += o.Shards
+	s.Flushes += o.Flushes
+	s.Compactions += o.Compactions
+	s.BytesFlushed += o.BytesFlushed
+	s.BytesCompacted += o.BytesCompacted
+	s.RecordsDropped += o.RecordsDropped
+	s.ManifestUpdates += o.ManifestUpdates
+	s.DiskBytes += o.DiskBytes
+	s.WALSyncs += o.WALSyncs
+	s.GroupCommits += o.GroupCommits
+	s.GroupedRecords += o.GroupedRecords
+	s.WALTornRecords += o.WALTornRecords
+	s.FlushStallNanos += o.FlushStallNanos
+	s.CompactionStallNanos += o.CompactionStallNanos
+	s.BackgroundCompactions += o.BackgroundCompactions
+	s.PinnedRuns += o.PinnedRuns
+	s.SnapshotsOpen += o.SnapshotsOpen
+	s.AsyncCommitsInFlight += o.AsyncCommitsInFlight
+	if o.GroupCommitWindowNanos > s.GroupCommitWindowNanos {
+		s.GroupCommitWindowNanos = o.GroupCommitWindowNanos
+	}
+	if o.FsyncEWMANanos > s.FsyncEWMANanos {
+		s.FsyncEWMANanos = o.FsyncEWMANanos
+	}
+	s.VerifiedGets += o.VerifiedGets
+	s.ProofBytes += o.ProofBytes
+	s.RunsProbed += o.RunsProbed
+}
+
+// Stats returns current counters — aggregated across every shard on a
+// sharded store. Fields not applicable to the store's mode are zero.
+func (s *Store) Stats() Stats {
+	r, ok := s.kv.(*shard.Router)
+	if !ok {
+		return statsOf(s.kv)
+	}
+	var out Stats
+	for i := 0; i < r.NumShards(); i++ {
+		st := statsOf(r.Shard(i))
+		if i == 0 {
+			// The enclave is shared: count its activity once.
+			out.PageFaults = st.PageFaults
+			out.ECalls = st.ECalls
+			out.OCalls = st.OCalls
+			out.CopiedBytes = st.CopiedBytes
+			out.ResidentPages = st.ResidentPages
+			out.EnclaveBytes = st.EnclaveBytes
+		}
+		out.add(st)
+	}
+	return out
+}
+
+// ShardStats returns the per-shard counter breakdown, in shard order. A
+// single-instance store returns one entry (identical to Stats). Enclave
+// fields repeat the shared enclave's totals in every entry.
+func (s *Store) ShardStats() []Stats {
+	r, ok := s.kv.(*shard.Router)
+	if !ok {
+		return []Stats{statsOf(s.kv)}
+	}
+	out := make([]Stats, r.NumShards())
+	for i := range out {
+		out[i] = statsOf(r.Shard(i))
 	}
 	return out
 }

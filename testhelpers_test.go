@@ -1,0 +1,46 @@
+package elsm
+
+import (
+	"testing"
+
+	"elsm/internal/core"
+	"elsm/internal/record"
+)
+
+// bulkLoad populates an empty store through the authenticated bulk-ingest
+// path (every mode and the shard router support it) — the loading hook the
+// tests use instead of the deprecated Internal() escape hatch.
+func bulkLoad(t testing.TB, s *Store, recs []record.Record) {
+	t.Helper()
+	type bulk interface {
+		BulkLoad([]record.Record) error
+	}
+	if err := s.kv.(bulk).BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeDB drives the PUBLIC Store surface through the ycsb.DB interface, so
+// the workload tests exercise exactly what a client sees (batches through
+// Batch.Commit, range reads through the public iterator) on sharded and
+// unsharded stores alike.
+type storeDB struct{ s *Store }
+
+func (d storeDB) Put(key, value []byte) (uint64, error) { return d.s.Put(key, value) }
+func (d storeDB) Get(key []byte) (core.Result, error)   { return d.s.Get(key) }
+
+func (d storeDB) ApplyBatch(ops []core.BatchOp) (uint64, error) {
+	b := d.s.NewBatch()
+	for _, op := range ops {
+		if op.Delete {
+			b.Delete(op.Key)
+		} else {
+			b.Put(op.Key, op.Value)
+		}
+	}
+	return b.Commit()
+}
+
+func (d storeDB) IterAt(start, end []byte, tsq uint64) core.Iterator {
+	return d.s.IterAt(start, end, tsq)
+}
