@@ -101,6 +101,9 @@ func (b *Batch) CommitCtx(ctx context.Context) (uint64, error) {
 	if len(b.ops) == 0 {
 		return 0, nil
 	}
+	if b.s.readOnly {
+		return 0, ErrReadOnlyReplica
+	}
 	ts, err := b.s.kv.ApplyBatchCtx(ctx, b.ops)
 	if err != nil {
 		return 0, err
@@ -126,6 +129,9 @@ func (b *Batch) CommitAsync(ctx context.Context) (*CommitFuture, error) {
 		// Parity with Commit: an empty batch is a no-op with a zero
 		// timestamp, not an acknowledgment of someone else's commit.
 		return core.NewResolvedFuture(0, nil), nil
+	}
+	if b.s.readOnly {
+		return nil, ErrReadOnlyReplica
 	}
 	fut, err := b.s.kv.CommitAsync(ctx, b.ops)
 	if err != nil {

@@ -30,8 +30,16 @@
 //	                                  (n = async writes settled), or ERR if
 //	                                  any of them failed
 //	STATS\n                        -> STAT <name> <value>\n per counter,
-//	                                  then END\n (engine, enclave and
-//	                                  background-maintenance counters)
+//	                                  then END\n (engine, enclave,
+//	                                  background-maintenance and replication
+//	                                  counters)
+//	REPL CKPT <shard>\n            -> OK\n + the shard's portable verified
+//	                                  checkpoint as a binary stream
+//	REPL TAIL <shard> <fromTs>\n   -> OK\n + attested commit-group frames
+//	                                  from fromTs, streamed live (the
+//	                                  connection becomes the stream), or
+//	                                  ERR ...behind...\n when fromTs left
+//	                                  the leader's retained ring
 //	QUIT\n                         -> closes the connection
 //
 // Fields are binary-safe: a field is either a bare token (no spaces,
@@ -57,9 +65,17 @@
 // commit pipelines, SCAN merges the per-shard verified streams, and STATS
 // reports both aggregate and per-shard (shardN_*) gauges.
 //
+// With -repl-secret the server becomes a replication leader: followers
+// bootstrap over REPL CKPT and stay current over REPL TAIL, every stream
+// attested against the shared secret (the stand-in for remote attestation).
+// With -follow the server opens as a read-only replica of that leader:
+// reads verify against the follower's own Merkle forest, writes draw ERR,
+// and STATS exposes repl_lag_groups / repl_lag_bytes.
+//
 // Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
 //
 //	[-shards 1] [-commit-window 0] [-commit-max-ops 0] [-iter-chunk-keys 0]
+//	[-repl-secret s] [-follow leader:7878]
 package main
 
 import (
@@ -72,6 +88,7 @@ import (
 	"strings"
 
 	"elsm"
+	"elsm/internal/sgx"
 )
 
 // maxBatchOps bounds one BATCH group (protocol abuse guard).
@@ -87,6 +104,8 @@ func main() {
 		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
 		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
 		inlineComp   = flag.Bool("inline-compaction", false, "run flush/compaction inline on the commit path (ablation baseline; stalls writers)")
+		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this address (requires -repl-secret and mode p2)")
+		replSecret   = flag.String("repl-secret", "", "shared attestation secret binding leader and followers (stands in for remote attestation; required with -follow, enables the leader's REPL endpoint)")
 	)
 	flag.Parse()
 
@@ -109,7 +128,19 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
-	store, err := elsm.Open(opts)
+	if *replSecret != "" {
+		opts.Platform = sgx.NewPlatformFromSecret([]byte(*replSecret))
+	}
+	var store *elsm.Store
+	var err error
+	if *follow != "" {
+		if *replSecret == "" {
+			log.Fatal("-follow requires -repl-secret (the shared attestation root)")
+		}
+		store, err = elsm.OpenFollower(opts, elsm.NewFollowerSource(*follow))
+	} else {
+		store, err = elsm.Open(opts)
+	}
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
@@ -119,7 +150,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("elsm-server (%s, %d shard(s)) listening on %s", store.Mode(), store.Shards(), ln.Addr())
+	role := "leader"
+	if store.IsFollower() {
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	log.Printf("elsm-server (%s, %d shard(s), %s) listening on %s", store.Mode(), store.Shards(), role, ln.Addr())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -335,6 +370,11 @@ func serve(conn net.Conn, store *elsm.Store) {
 			fmt.Fprintf(w, "OK %d\n", settled)
 		case cmd == "STATS" && len(args) == 0:
 			serveStats(w, store)
+		case cmd == "REPL" && len(args) >= 2:
+			// The connection becomes a one-way binary stream (checkpoint
+			// bytes or group frames) and ends with it.
+			serveRepl(w, conn, store, args)
+			return
 		default:
 			fmt.Fprintf(w, "ERR unknown command or wrong arity %q\n", cmd)
 		}
@@ -479,6 +519,9 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		{"verified_gets", st.VerifiedGets},
 		{"proof_bytes", st.ProofBytes},
 		{"runs_probed", st.RunsProbed},
+		{"repl_lag_groups", st.ReplLagGroups},
+		{"repl_lag_bytes", st.ReplLagBytes},
+		{"followers_connected", st.FollowersConnected},
 	} {
 		fmt.Fprintf(w, "STAT %s %d\n", kv.name, kv.v)
 	}
@@ -490,6 +533,73 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		fmt.Fprintf(w, "STAT shard%d_disk_bytes %d\n", i, uint64(ss.DiskBytes))
 	}
 	fmt.Fprintln(w, "END")
+}
+
+// serveRepl handles the replication endpoint:
+//
+//	REPL CKPT <shard>\n          -> OK\n + the shard's checkpoint stream
+//	REPL TAIL <shard> <fromTs>\n -> OK\n + attested group frames from
+//	                                fromTs, streamed until either side goes
+//	                                away, or ERR ...behind...\n when fromTs
+//	                                has fallen out of the leader's retained
+//	                                ring (the follower re-bootstraps)
+//
+// The OK line is deferred until the stream produces its first byte, so
+// errors that precede any payload (bad shard, behind the ring, not a P2
+// leader) surface on the status line instead of a truncated stream.
+func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string) {
+	sub := strings.ToUpper(args[0])
+	shard, err := strconv.Atoi(args[1])
+	if err != nil || shard < 0 || shard >= store.Shards() {
+		fmt.Fprintf(w, "ERR bad shard %q\n", args[1])
+		return
+	}
+	sw := &statusWriter{w: w}
+	switch {
+	case sub == "CKPT" && len(args) == 2:
+		err = store.ServeCheckpoint(shard, sw)
+	case sub == "TAIL" && len(args) == 3:
+		fromTs, perr := strconv.ParseUint(args[2], 10, 64)
+		if perr != nil {
+			fmt.Fprintf(w, "ERR bad fromTs %q\n", args[2])
+			return
+		}
+		// Followers never send after the command line: the next read
+		// completes when the peer closes, unblocking a tail idling at the
+		// head of a quiet leader.
+		stop := make(chan struct{})
+		go func() {
+			conn.Read(make([]byte, 1))
+			close(stop)
+		}()
+		err = store.ServeTail(shard, fromTs, sw, stop)
+	default:
+		fmt.Fprintf(w, "ERR unknown REPL form %q\n", sub)
+		return
+	}
+	if !sw.started && err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+	}
+}
+
+// statusWriter defers the REPL "OK" status line until the first payload
+// byte, letting pre-stream failures use the status line instead.
+type statusWriter struct {
+	w       *bufio.Writer
+	started bool
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.started {
+		sw.started = true
+		fmt.Fprintln(sw.w, "OK")
+	}
+	n, err := sw.w.Write(p)
+	if err == nil {
+		// Flush per write: tail frames must reach the follower promptly.
+		err = sw.w.Flush()
+	}
+	return n, err
 }
 
 func reply(w *bufio.Writer, err error, format string, args ...interface{}) {

@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"elsm"
+	"elsm/internal/repl"
+	"elsm/internal/sgx"
 	"elsm/internal/vfs"
 )
 
@@ -546,4 +549,110 @@ func TestServerBatchAbortDrainsPipelinedOps(t *testing.T) {
 	if replies[1] != "NOTFOUND" || replies[2] != "NOTFOUND" {
 		t.Fatalf("drained batch ops leaked as commands: %v", replies[1:])
 	}
+}
+
+// pipeDialer turns serve() into a dialable endpoint: every Dial spawns a
+// fresh serve goroutine on one end of a net.Pipe, exactly as one TCP accept
+// would.
+func pipeDialer(store *elsm.Store) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, server := net.Pipe()
+		go serve(server, store)
+		return client, nil
+	}
+}
+
+// TestServerReplProtocol drives the REPL endpoint end to end over the wire:
+// a follower bootstraps from REPL CKPT, tails REPL TAIL, converges with the
+// leader, and both sides expose the replication gauges on STATS.
+func TestServerReplProtocol(t *testing.T) {
+	secret := []byte("server-repl-secret")
+	leader, err := elsm.Open(elsm.Options{Platform: sgx.NewPlatformFromSecret(secret)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	for i := 0; i < 50; i++ {
+		if _, err := leader.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leader hubs exist before a follower dials in (the server does this
+	// lazily on the first REPL command; either order works).
+	if _, err := leader.ReplicationSource(); err != nil {
+		t.Fatal(err)
+	}
+
+	netSrc := repl.NewNetSource("pipe")
+	netSrc.Dial = pipeDialer(leader)
+	follower, err := elsm.OpenFollower(elsm.Options{Platform: sgx.NewPlatformFromSecret(secret)}, netSrc)
+	if err != nil {
+		t.Fatalf("open follower over wire: %v", err)
+	}
+	t.Cleanup(func() { follower.Close() })
+
+	for i := 0; i < 50; i++ {
+		if _, err := leader.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := follower.ReplicationErr(); err != nil {
+			t.Fatalf("replication failed: %v", err)
+		}
+		res, err := follower.Get([]byte("k049"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found && string(res.Value) == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never converged over the wire protocol")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// STATS on the follower exposes the lag gauges; on the leader, the
+	// connected-follower count.
+	replies := dialogue(t, follower, []string{"STATS", "QUIT"})
+	stats := statMap(t, replies)
+	for _, name := range []string{"repl_lag_groups", "repl_lag_bytes", "followers_connected"} {
+		if _, ok := stats[name]; !ok {
+			t.Fatalf("follower STATS missing %q", name)
+		}
+	}
+	replies = dialogue(t, leader, []string{"STATS", "QUIT"})
+	if got := statMap(t, replies)["followers_connected"]; got < 1 {
+		t.Fatalf("leader followers_connected = %d, want >= 1", got)
+	}
+
+	// A write against the follower draws ERR, and REPL rejects bad forms
+	// on the status line.
+	replies = dialogue(t, follower, []string{"PUT x y", "QUIT"})
+	if !strings.HasPrefix(replies[0], "ERR") || !strings.Contains(replies[0], "replica") {
+		t.Fatalf("follower PUT reply %q, want ERR ...replica...", replies[0])
+	}
+	replies = dialogue(t, leader, []string{"REPL CKPT 9", "QUIT"})
+	if !strings.HasPrefix(replies[0], "ERR") {
+		t.Fatalf("REPL bad shard reply %q, want ERR", replies[0])
+	}
+}
+
+// statMap parses STAT lines from a dialogue reply slice.
+func statMap(t *testing.T, replies []string) map[string]uint64 {
+	t.Helper()
+	out := map[string]uint64{}
+	for _, line := range replies {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			v, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bad STAT value in %q", line)
+			}
+			out[fields[1]] = v
+		}
+	}
+	return out
 }

@@ -80,6 +80,26 @@
 // the store was created with (and pass per-shard ShardCounters to keep
 // rollback detection across restarts).
 //
+// Read replicas scale verified reads: a leader exports portable verified
+// checkpoints and ships its committed groups with attestation, and a
+// follower — bootstrapped from the checkpoint, tailing the shipped log —
+// serves the same verified Gets and Scans read-only (writes fail with
+// ErrReadOnlyReplica). Every checkpoint run and every shipped group is
+// verified against attested digests before the follower applies it;
+// tampering anywhere fail-stops the replica instead of serving wrong
+// data. Both sides derive their platform from a shared secret (the
+// stand-in for remote attestation):
+//
+//	platform := sgx.NewPlatformFromSecret(secret)
+//	leader, _ := elsm.Open(elsm.Options{Platform: platform})
+//	src, _ := leader.ReplicationSource()      // or NewFollowerSource(addr)
+//	follower, _ := elsm.OpenFollower(elsm.Options{Platform: platform}, src)
+//	res, _ := follower.Get([]byte("key"))     // verified replica read
+//
+// Stats.ReplLagGroups / ReplLagBytes report how far a follower trails;
+// elsm-server serves the same roles with -repl-secret (leader) and
+// -follow (replica).
+//
 // Three modes reproduce the paper's configurations: ModeP2 (the
 // contribution: buffers outside the enclave, record-granularity Merkle
 // authentication), ModeP1 (the strawman: everything in-enclave,
@@ -90,12 +110,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"elsm/internal/core"
 	"elsm/internal/costmodel"
 	"elsm/internal/lsm"
 	"elsm/internal/record"
+	"elsm/internal/repl"
 	"elsm/internal/sgx"
 	"elsm/internal/vfs"
 )
@@ -274,6 +296,13 @@ type Store struct {
 	mode Mode
 	kv   core.KV
 	enc  *encLayer
+
+	// Replication roles (replica.go). A follower applies shipped groups
+	// and rejects local writes; a leader lazily hosts per-shard hubs.
+	readOnly bool
+	tailers  []*repl.Tailer
+	replMu   sync.Mutex
+	leaders  []*repl.Leader
 }
 
 // cost resolves the simulated-enclave cost model.
@@ -382,6 +411,9 @@ func (s *Store) Put(key, value []byte) (uint64, error) { return s.PutCtx(nil, ke
 // once the committer has claimed it, the write completes regardless and
 // its outcome is returned.
 func (s *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
+	if s.readOnly {
+		return 0, ErrReadOnlyReplica
+	}
 	if s.enc != nil {
 		ek, ev, err := s.enc.sealRecord(key, value)
 		if err != nil {
@@ -397,6 +429,9 @@ func (s *Store) Delete(key []byte) (uint64, error) { return s.DeleteCtx(nil, key
 
 // DeleteCtx is Delete with commit-queue cancellation (see PutCtx).
 func (s *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
+	if s.readOnly {
+		return 0, ErrReadOnlyReplica
+	}
 	if s.enc != nil {
 		ek, err := s.enc.sealKey(key)
 		if err != nil {
@@ -471,17 +506,18 @@ var ErrAuthFailed = core.ErrAuthFailed
 // stale, incomplete or rolled-back data detected).
 func IsAuthFailure(err error) bool { return errors.Is(err, core.ErrAuthFailed) }
 
-// Internal returns the underlying core store — the shard router when
-// Shards > 1, the single instance otherwise.
-//
-// Deprecated: the supported surfaces are Stats/ShardStats for metrics,
-// Flush/WaitMaintenance for maintenance fencing, and the public
-// Store/Batch/Iterator/Snapshot API for data access; every former caller
-// has been migrated to them. Internal remains only as a shim for
-// out-of-tree integrations that drive core.KV directly and delegates to
-// the same instance those surfaces observe; new code should not depend on
-// it.
-func (s *Store) Internal() core.KV { return s.kv }
-
-// Close seals the final trusted state and releases resources.
-func (s *Store) Close() error { return s.kv.Close() }
+// Close seals the final trusted state and releases resources. On a
+// follower it stops the tailers first; on a leader it detaches the
+// replication hubs (ending every follower's stream).
+func (s *Store) Close() error {
+	for _, t := range s.tailers {
+		t.Close()
+	}
+	s.replMu.Lock()
+	for _, l := range s.leaders {
+		l.Close()
+	}
+	s.leaders = nil
+	s.replMu.Unlock()
+	return s.kv.Close()
+}

@@ -339,5 +339,6 @@ func All() []Experiment {
 		{"ablation-compaction", AblationCompaction},
 		{"ablation-async", AblationAsync},
 		{"ablation-shards", AblationShards},
+		{"ablation-repl", AblationRepl},
 	}
 }

@@ -744,6 +744,7 @@ func (s *Store) completeGroups(groups []*commitGroup) {
 				memFull = true
 			}
 			s.mu.Unlock()
+			s.notifyGroupSink(g.recs, g.ts)
 		}
 		for _, req := range g.reqs {
 			req.finish(nil)
@@ -799,6 +800,7 @@ func (s *Store) completeGroupInline(group *commitGroup) {
 			groupErr = s.freezeLocked()
 		}
 		s.mu.Unlock()
+		s.notifyGroupSink(group.recs, group.ts)
 	}
 	if groupErr == nil {
 		groupErr = s.inlineMaintenance()

@@ -208,6 +208,10 @@ type Store struct {
 	// snapshotsOpen gauges AcquireSnapshot handles not yet released.
 	snapshotsOpen atomic.Int64
 
+	// groupSink, when set, receives every durably committed group in
+	// commit order (replication shipping, repl.go).
+	groupSink atomic.Pointer[GroupSink]
+
 	fileMu sync.RWMutex
 	files  map[uint64]*openFile
 

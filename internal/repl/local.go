@@ -1,0 +1,67 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// LocalSource adapts in-process leader hubs (one per shard) into a Source:
+// checkpoint and tail streams flow through pipes, so the follower-side
+// verification path is byte-identical to the networked one.
+type LocalSource struct {
+	leaders []*Leader
+}
+
+// NewLocalSource wraps per-shard leader hubs.
+func NewLocalSource(leaders []*Leader) *LocalSource {
+	return &LocalSource{leaders: leaders}
+}
+
+func (ls *LocalSource) leader(shard int) (*Leader, error) {
+	if shard < 0 || shard >= len(ls.leaders) {
+		return nil, fmt.Errorf("repl: no such shard %d", shard)
+	}
+	return ls.leaders[shard], nil
+}
+
+// Checkpoint streams shard's checkpoint through a pipe.
+func (ls *LocalSource) Checkpoint(shard int) (io.ReadCloser, error) {
+	l, err := ls.leader(shard)
+	if err != nil {
+		return nil, err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(l.WriteCheckpoint(pw))
+	}()
+	return pr, nil
+}
+
+// Tail streams shard's group frames through a pipe; closing the returned
+// reader stops the serving goroutine (including one idling at the head
+// waiting for new groups).
+func (ls *LocalSource) Tail(shard int, fromTs uint64) (io.ReadCloser, error) {
+	l, err := ls.leader(shard)
+	if err != nil {
+		return nil, err
+	}
+	pr, pw := io.Pipe()
+	stop := make(chan struct{})
+	go func() {
+		pw.CloseWithError(l.ServeTail(fromTs, pw, stop))
+	}()
+	return &stopOnClose{ReadCloser: pr, stop: stop}, nil
+}
+
+// stopOnClose couples a pipe reader's Close to a serve-side stop signal.
+type stopOnClose struct {
+	io.ReadCloser
+	stop chan struct{}
+	once sync.Once
+}
+
+func (s *stopOnClose) Close() error {
+	s.once.Do(func() { close(s.stop) })
+	return s.ReadCloser.Close()
+}

@@ -1,0 +1,78 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+// netDialTimeout bounds one REPL connection attempt.
+const netDialTimeout = 5 * time.Second
+
+// NetSource speaks the elsm-server REPL protocol: one TCP connection per
+// stream, opened with a single text command line, answered with "OK\n"
+// followed by the raw binary stream (checkpoint bytes or group frames), or
+// with "ERR <reason>\n".
+type NetSource struct {
+	addr string
+	// Dial overrides net.Dial (tests); nil uses TCP.
+	Dial func() (net.Conn, error)
+}
+
+// NewNetSource creates a source dialing addr for every stream.
+func NewNetSource(addr string) *NetSource { return &NetSource{addr: addr} }
+
+func (ns *NetSource) dial() (net.Conn, error) {
+	if ns.Dial != nil {
+		return ns.Dial()
+	}
+	return net.DialTimeout("tcp", ns.addr, netDialTimeout)
+}
+
+// open sends one command line and consumes the status line.
+func (ns *NetSource) open(cmd string) (io.ReadCloser, error) {
+	conn, err := ns.dial()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("repl: %s: no status: %w", cmd, err)
+	}
+	status = strings.TrimRight(status, "\r\n")
+	if status != "OK" {
+		conn.Close()
+		if strings.Contains(status, "behind") {
+			return nil, fmt.Errorf("%w (%s)", ErrBehind, status)
+		}
+		return nil, fmt.Errorf("repl: %s: %s", cmd, status)
+	}
+	return &connStream{Reader: br, conn: conn}, nil
+}
+
+// Checkpoint requests shard's checkpoint stream.
+func (ns *NetSource) Checkpoint(shard int) (io.ReadCloser, error) {
+	return ns.open(fmt.Sprintf("REPL CKPT %d", shard))
+}
+
+// Tail requests shard's group frames from fromTs.
+func (ns *NetSource) Tail(shard int, fromTs uint64) (io.ReadCloser, error) {
+	return ns.open(fmt.Sprintf("REPL TAIL %d %d", shard, fromTs))
+}
+
+// connStream couples the buffered reader with its connection's lifetime.
+type connStream struct {
+	io.Reader
+	conn net.Conn
+}
+
+func (cs *connStream) Close() error { return cs.conn.Close() }

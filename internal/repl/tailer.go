@@ -1,0 +1,197 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elsm/internal/core"
+)
+
+// reconnectDelay paces reconnect attempts after a transport failure.
+const reconnectDelay = 50 * time.Millisecond
+
+// Tailer drives one shard's follower side: it tails the source from the
+// store's applied frontier, verifies every frame (attestation report, WAL
+// hash chain, timestamp contiguity) and applies it through the store's
+// replication pipeline. Transport failures reconnect and resume from the
+// durable frontier; verification failures fail stop — Err() reports the
+// reason and the tailer stays down until the operator re-bootstraps.
+type Tailer struct {
+	st    *core.Store
+	src   Source
+	shard int
+
+	lagGroups atomic.Uint64
+	lagBytes  atomic.Uint64
+	lagTs     atomic.Uint64
+	applied   atomic.Uint64 // frames applied (tests, gauges)
+
+	mu     sync.Mutex
+	rc     io.ReadCloser
+	failed error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartTailer begins tailing src for shard into st.
+func StartTailer(st *core.Store, src Source, shard int) *Tailer {
+	t := &Tailer{
+		st:    st,
+		src:   src,
+		shard: shard,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go t.run()
+	return t
+}
+
+// Close stops the tailer and waits for it to exit.
+func (t *Tailer) Close() {
+	t.mu.Lock()
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	if t.rc != nil {
+		t.rc.Close()
+	}
+	t.mu.Unlock()
+	<-t.done
+}
+
+// Err reports the fail-stop reason, nil while healthy (transport blips
+// that reconnect do not count).
+func (t *Tailer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// Lag reports the replication lag observed at the last applied frame:
+// groups behind the leader's head, payload bytes behind, and the leader's
+// frontier timestamp delta.
+func (t *Tailer) Lag() (groups, bytes uint64) {
+	return t.lagGroups.Load(), t.lagBytes.Load()
+}
+
+// AppliedFrames reports how many frames the tailer has applied.
+func (t *Tailer) AppliedFrames() uint64 { return t.applied.Load() }
+
+// stopping reports whether Close was requested.
+func (t *Tailer) stopping() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail records the fail-stop reason.
+func (t *Tailer) fail(err error) {
+	t.mu.Lock()
+	if t.failed == nil {
+		t.failed = err
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tailer) run() {
+	defer close(t.done)
+	for !t.stopping() {
+		rc, err := t.src.Tail(t.shard, t.st.Engine().AppliedTs())
+		if err != nil {
+			if errors.Is(err, ErrBehind) {
+				t.fail(err)
+				return
+			}
+			if t.stopping() {
+				return
+			}
+			time.Sleep(reconnectDelay)
+			continue
+		}
+		t.mu.Lock()
+		if t.stoppedLocked() {
+			t.mu.Unlock()
+			rc.Close()
+			return
+		}
+		t.rc = rc
+		t.mu.Unlock()
+
+		err = t.consume(rc)
+		t.mu.Lock()
+		t.rc = nil
+		t.mu.Unlock()
+		rc.Close()
+		if err != nil {
+			// Verification or apply failure: fail stop.
+			t.fail(err)
+			return
+		}
+		// Clean transport end (leader restart, connection drop):
+		// reconnect from the new applied frontier.
+		if !t.stopping() {
+			time.Sleep(reconnectDelay)
+		}
+	}
+}
+
+func (t *Tailer) stoppedLocked() bool {
+	select {
+	case <-t.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// consume verifies and applies frames until the stream ends. A non-nil
+// return is a FAIL-STOP condition; transport ends return nil.
+func (t *Tailer) consume(r io.Reader) error {
+	for {
+		body, rep, err := readFrame(r)
+		if err != nil {
+			if t.stopping() || err == io.EOF {
+				return nil
+			}
+			// A malformed length is indistinguishable from a cut stream
+			// mid-frame; both reconnect (the next frames re-ship from the
+			// durable frontier and re-verify).
+			return nil
+		}
+		// 1. The frame must be attested by the shared enclave identity.
+		if err := t.st.VerifyPeerPayload(rep, body); err != nil {
+			return fmt.Errorf("repl: shipped group rejected: %w", err)
+		}
+		frame, err := decodeFrame(body)
+		if err != nil {
+			return fmt.Errorf("repl: shipped group rejected: %w", err)
+		}
+		// 2. The records must reproduce the declared hash chain.
+		if chainOver(frame.Recs) != frame.Chain {
+			return fmt.Errorf("repl: shipped group rejected: %w", core.ErrForged)
+		}
+		// 3. The group must extend the applied frontier exactly.
+		applied := t.st.Engine().AppliedTs()
+		if frame.PrevTs != applied || frame.LastTs != applied+uint64(len(frame.Recs)) {
+			return fmt.Errorf("%w: frame covers (%d,%d], frontier %d",
+				ErrShipGap, frame.PrevTs, frame.LastTs, applied)
+		}
+		if err := t.st.ApplyReplicated(frame.Recs); err != nil {
+			return fmt.Errorf("repl: apply shipped group: %w", err)
+		}
+		t.applied.Add(1)
+		t.lagGroups.Store(frame.FrontierSeq - frame.Seq)
+		t.lagBytes.Store(uint64(frame.FrontierBytes - frame.CumBytes))
+		t.lagTs.Store(frame.FrontierTs - frame.LastTs)
+	}
+}

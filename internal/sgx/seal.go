@@ -41,6 +41,18 @@ func NewPlatform() (*Platform, error) {
 	return &p, nil
 }
 
+// NewPlatformFromSecret creates a platform whose root key is derived from a
+// deterministic secret. Two processes constructed from the same secret
+// verify each other's reports — the simulator's stand-in for a remote
+// attestation handshake having established a shared channel key, which is
+// what lets a replication follower on another "machine" check reports
+// minted inside the leader's enclave.
+func NewPlatformFromSecret(secret []byte) *Platform {
+	var p Platform
+	p.key = sha256.Sum256(secret)
+	return &p
+}
+
 // CreateReport produces an attestation report binding data to the
 // measurement under this platform's key.
 func (p *Platform) CreateReport(m Measurement, data [64]byte) Report {

@@ -157,15 +157,48 @@ func Replay(f vfs.File, fn func(record.Record) error) (ReplayInfo, error) {
 // file N+1 from file N's final digest yields the same chain as one
 // concatenated log.
 func ReplayFrom(f vfs.File, start hashutil.Hash, fn func(record.Record) error) (ReplayInfo, error) {
+	return ReplayFromOffset(f, 0, start, fn)
+}
+
+// ReplayFromOffset replays the log starting at byte offset off, which must
+// be a group boundary (0 or a prior replay's CommittedSize). Replication
+// tailing uses it to resume mid-log: a follower that already applied the
+// groups before off re-reads only the suffix, seeding the digest chain with
+// the trusted value reached at off. CommittedSize in the returned info is
+// absolute (an offset into the file, not into the suffix).
+func ReplayFromOffset(f vfs.File, off int64, start hashutil.Hash, fn func(record.Record) error) (ReplayInfo, error) {
 	var info ReplayInfo
 	info.Digest = start
+	info.CommittedSize = off
 	data := f.Bytes()
-	if data == nil {
-		data = make([]byte, f.Size())
-		if _, err := f.ReadAt(data, 0); err != nil && len(data) > 0 {
+	if data != nil {
+		if off > int64(len(data)) {
+			return info, fmt.Errorf("wal: replay offset %d beyond log size %d", off, len(data))
+		}
+		data = data[off:]
+	} else {
+		size := f.Size()
+		if off > size {
+			return info, fmt.Errorf("wal: replay offset %d beyond log size %d", off, size)
+		}
+		data = make([]byte, size-off)
+		if _, err := f.ReadAt(data, off); err != nil && len(data) > 0 {
 			return info, fmt.Errorf("wal: read: %w", err)
 		}
 	}
+	rel, err := ReplayBytes(data, start, fn)
+	rel.CommittedSize += off
+	return rel, err
+}
+
+// ReplayBytes is the byte-slice core of replay: it walks data — an
+// in-memory copy of a log (or a group-aligned suffix of one) — delivering
+// records of complete commit groups exactly as Replay does over a file.
+// Checkpoint import uses it to verify shipped WAL bytes against the
+// attested digest chain without materializing a file.
+func ReplayBytes(data []byte, start hashutil.Hash, fn func(record.Record) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	info.Digest = start
 	var pending []record.Record
 	off := 0
 	for off < len(data) {

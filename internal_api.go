@@ -1,0 +1,16 @@
+//go:build elsm_internal_api
+
+package elsm
+
+import "elsm/internal/core"
+
+// Internal returns the underlying core store — the shard router when
+// Shards > 1, the single instance otherwise.
+//
+// Deprecated: the supported surfaces are Stats/ShardStats for metrics,
+// Flush/WaitMaintenance for maintenance fencing, and the public
+// Store/Batch/Iterator/Snapshot API for data access; every former caller
+// has been migrated to them. This shim now requires the elsm_internal_api
+// build tag — the last escape hatch for out-of-tree integrations that
+// drive core.KV directly; new code must not depend on it.
+func (s *Store) Internal() core.KV { return s.kv }

@@ -1,0 +1,256 @@
+package elsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"elsm/internal/core"
+	"elsm/internal/repl"
+	"elsm/internal/sgx"
+	"elsm/internal/shard"
+	"elsm/internal/vfs"
+)
+
+// ErrReadOnlyReplica rejects writes on a follower store. Followers apply
+// only groups shipped from their leader; local writes would fork the
+// authenticated history.
+var ErrReadOnlyReplica = errors.New("elsm: store is a read-only replica")
+
+// FollowerSource feeds a follower: per-shard checkpoint streams for
+// bootstrap and authenticated group tails for catch-up. Obtain one from the
+// leader process via Store.ReplicationSource (in-process) or
+// NewFollowerSource (over the elsm-server REPL protocol).
+type FollowerSource = repl.Source
+
+// NewFollowerSource returns a FollowerSource that dials an elsm-server
+// leader's REPL endpoint at addr for every stream.
+func NewFollowerSource(addr string) FollowerSource { return repl.NewNetSource(addr) }
+
+// ReplicationSource turns this store into a replication leader: every shard
+// gets a hub that retains recently committed groups and serves verified
+// checkpoint and tail streams. The returned source can bootstrap and feed
+// any number of in-process followers (OpenFollower) or be served over the
+// network (cmd/elsm-server does this for the REPL protocol). Requires
+// ModeP2 — replication ships attested state. Idempotent; the hubs close
+// with the store.
+func (s *Store) ReplicationSource() (FollowerSource, error) {
+	if s.mode != ModeP2 {
+		return nil, fmt.Errorf("elsm: replication requires ModeP2 (attested checkpoints and shipped groups); store runs %v", s.mode)
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.leaders == nil {
+		cores, err := s.shardCores()
+		if err != nil {
+			return nil, err
+		}
+		leaders := make([]*repl.Leader, len(cores))
+		for i, cs := range cores {
+			leaders[i] = repl.NewLeader(cs, 0)
+		}
+		s.leaders = leaders
+	}
+	return repl.NewLocalSource(s.leaders), nil
+}
+
+// OpenFollower opens a read-only replica fed from src. Shards without
+// sealed local state bootstrap from a verified checkpoint (each run checked
+// against the attested digest frontier before install); shards with state
+// recover it exactly like a leader restart. Every shard then tails its
+// leader feed from its durable frontier, verifying each shipped group
+// (attestation report, WAL hash chain, timestamp contiguity) before
+// applying it. Reads serve the follower's own Merkle forest with full
+// verification; writes fail with ErrReadOnlyReplica.
+//
+// Requirements: ModeP2 (the default), and opts.Platform sharing the
+// leader's attestation root (sgx.NewPlatformFromSecret on both sides
+// stands in for remote attestation). opts.Shards must match the leader's
+// partition count. Missing counters are created fresh; pass
+// Counter/ShardCounters to keep rollback detection across follower
+// restarts.
+//
+//	platform := sgx.NewPlatformFromSecret(secret) // same secret as leader
+//	f, err := elsm.OpenFollower(elsm.Options{Platform: platform},
+//	    elsm.NewFollowerSource("leader:7070"))
+//	res, err := f.Get(key)                        // verified replica read
+func OpenFollower(opts Options, src FollowerSource) (*Store, error) {
+	if opts.Mode == 0 {
+		opts.Mode = ModeP2
+	}
+	if opts.Mode != ModeP2 {
+		return nil, fmt.Errorf("elsm: follower mode requires ModeP2, got %v", opts.Mode)
+	}
+	if opts.Platform == nil {
+		return nil, errors.New("elsm: follower needs Options.Platform sharing the leader's attestation root (sgx.NewPlatformFromSecret)")
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// Restore and open must see one filesystem and one set of counters, so
+	// resolve both here instead of letting Open conjure fresh ones.
+	if opts.FS == nil {
+		if opts.Dir != "" {
+			osfs, err := vfs.NewOS(opts.Dir)
+			if err != nil {
+				return nil, err
+			}
+			opts.FS = osfs
+			opts.Dir = ""
+		} else {
+			opts.FS = vfs.NewMem()
+		}
+	}
+	if opts.Shards == 1 {
+		if opts.Counter == nil && len(opts.ShardCounters) == 1 {
+			opts.Counter = opts.ShardCounters[0]
+			opts.ShardCounters = nil
+		}
+		if opts.Counter == nil {
+			opts.Counter = sgx.NewMonotonicCounter()
+		}
+	} else if len(opts.ShardCounters) == 0 {
+		opts.ShardCounters = make([]*sgx.MonotonicCounter, opts.Shards)
+		for i := range opts.ShardCounters {
+			opts.ShardCounters[i] = sgx.NewMonotonicCounter()
+		}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		fs := opts.FS
+		ctr := opts.Counter
+		if opts.Shards > 1 {
+			sub, err := vfs.Sub(opts.FS, shard.DirName(i))
+			if err != nil {
+				return nil, fmt.Errorf("elsm: follower shard %d filesystem: %w", i, err)
+			}
+			fs = sub
+			ctr = opts.ShardCounters[i]
+		}
+		if !core.NeedsBootstrap(fs) {
+			continue // sealed state present: a restart, recover it below
+		}
+		if err := bootstrapShard(fs, opts.Platform, ctr, src, i); err != nil {
+			return nil, err
+		}
+	}
+	s, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.readOnly = true
+	cores, err := s.shardCores()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	for i, cs := range cores {
+		s.tailers = append(s.tailers, repl.StartTailer(cs, src, i))
+	}
+	return s, nil
+}
+
+// bootstrapShard wipes any partial prior restore and imports shard i's
+// checkpoint from src into fs.
+func bootstrapShard(fs vfs.FS, platform *sgx.Platform, ctr *sgx.MonotonicCounter, src FollowerSource, i int) error {
+	if err := core.WipeFS(fs); err != nil {
+		return fmt.Errorf("elsm: follower shard %d wipe: %w", i, err)
+	}
+	rc, err := src.Checkpoint(i)
+	if err != nil {
+		return fmt.Errorf("elsm: follower shard %d checkpoint: %w", i, err)
+	}
+	err = core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr})
+	rc.Close()
+	if err != nil {
+		return fmt.Errorf("elsm: follower shard %d bootstrap: %w", i, err)
+	}
+	return nil
+}
+
+// IsFollower reports whether this store is a read-only replica.
+func (s *Store) IsFollower() bool { return s.readOnly }
+
+// ReplicationErr reports why replication failed-stop: the first
+// verification or apply failure of any shard's tailer. Nil while every
+// tailer is healthy (transport blips that reconnect do not count), and on
+// leaders. A failed follower keeps serving its last verified state;
+// recovery is operator-driven (re-bootstrap).
+func (s *Store) ReplicationErr() error {
+	for _, t := range s.tailers {
+		if err := t.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeCheckpoint streams shard's portable checkpoint to w — the leader
+// half of the REPL CKPT command.
+func (s *Store) ServeCheckpoint(shard int, w io.Writer) error {
+	src, err := s.ReplicationSource()
+	if err != nil {
+		return err
+	}
+	rc, err := src.Checkpoint(shard)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	_, err = io.Copy(w, rc)
+	return err
+}
+
+// ServeTail streams shard's committed groups from fromTs to w, blocking at
+// the head — the leader half of the REPL TAIL command. It returns when w
+// fails, stop closes, the store closes, or fromTs has fallen out of the
+// retained ring (repl.ErrBehind; the follower must re-bootstrap).
+func (s *Store) ServeTail(shard int, fromTs uint64, w io.Writer, stop <-chan struct{}) error {
+	if _, err := s.ReplicationSource(); err != nil {
+		return err
+	}
+	s.replMu.Lock()
+	leaders := s.leaders
+	s.replMu.Unlock()
+	if shard < 0 || shard >= len(leaders) {
+		return fmt.Errorf("elsm: no such shard %d", shard)
+	}
+	return leaders[shard].ServeTail(fromTs, w, stop)
+}
+
+// shardCores resolves every partition's ModeP2 core store, in shard order.
+func (s *Store) shardCores() ([]*core.Store, error) {
+	if r, ok := s.kv.(*shard.Router); ok {
+		out := make([]*core.Store, r.NumShards())
+		for i := range out {
+			cs, ok := r.Shard(i).(*core.Store)
+			if !ok {
+				return nil, fmt.Errorf("elsm: shard %d is not a ModeP2 instance", i)
+			}
+			out[i] = cs
+		}
+		return out, nil
+	}
+	cs, ok := s.kv.(*core.Store)
+	if !ok {
+		return nil, fmt.Errorf("elsm: store is not a ModeP2 instance")
+	}
+	return []*core.Store{cs}, nil
+}
+
+// replStats folds replication gauges into st: follower lag summed over the
+// given tailers, connected-follower count summed over this store's hubs.
+func (s *Store) replStats(st *Stats, tailers []*repl.Tailer) {
+	for _, t := range tailers {
+		g, b := t.Lag()
+		st.ReplLagGroups += g
+		st.ReplLagBytes += b
+	}
+	s.replMu.Lock()
+	for _, l := range s.leaders {
+		st.FollowersConnected += uint64(l.Followers())
+	}
+	s.replMu.Unlock()
+}

@@ -1,0 +1,195 @@
+package elsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"elsm/internal/sgx"
+)
+
+// replicaOpts builds small-scale leader/follower options over a shared
+// attestation secret.
+func replicaOpts(shards int, secret string) Options {
+	return Options{
+		Mode:         ModeP2,
+		Shards:       shards,
+		Platform:     sgx.NewPlatformFromSecret([]byte(secret)),
+		MemtableSize: 8 << 10,
+		BlockSize:    512,
+	}
+}
+
+// scanAll returns the store's full verified scan.
+func scanAll(t *testing.T, s *Store) []Result {
+	t.Helper()
+	res, err := s.Scan([]byte("a"), []byte("z"))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return res
+}
+
+// sameResults compares two verified scans byte for byte.
+func sameResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) ||
+			a[i].Ts != b[i].Ts || a[i].Found != b[i].Found {
+			return false
+		}
+	}
+	return true
+}
+
+// waitConverged polls until the follower's verified scan is byte-identical
+// to the leader's, returning the converged scan.
+func waitConverged(t *testing.T, leader, follower *Store) []Result {
+	t.Helper()
+	want := scanAll(t, leader)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := follower.ReplicationErr(); err != nil {
+			t.Fatalf("replication failed: %v", err)
+		}
+		got := scanAll(t, follower)
+		if sameResults(want, got) {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: leader %d results, follower %d", len(want), len(got))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// testFollowerOracle is the replication oracle: a follower bootstrapped
+// from a checkpoint and then tailed must answer every verified Get and
+// Scan byte-identically to the leader — same keys, same values, same
+// trusted timestamps.
+func testFollowerOracle(t *testing.T, shards int) {
+	secret := "oracle-secret"
+	leader, err := Open(replicaOpts(shards, secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	put := func(k, v string) {
+		t.Helper()
+		if _, err := leader.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("v1-%d", i))
+	}
+
+	src, err := leader.ReplicationSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenFollower(replicaOpts(shards, secret), src)
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer follower.Close()
+	if !follower.IsFollower() {
+		t.Fatal("follower does not report IsFollower")
+	}
+
+	// Live writes after bootstrap: overwrites, deletes, fresh keys, and a
+	// cross-shard batch.
+	for i := 0; i < 300; i += 2 {
+		put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("v2-%d", i))
+	}
+	for i := 0; i < 300; i += 7 {
+		if _, err := leader.Delete([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := leader.NewBatch()
+	for i := 0; i < 50; i++ {
+		b.Put([]byte(fmt.Sprintf("batch-%04d", i)), []byte("bv"))
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := waitConverged(t, leader, follower)
+	if len(got) == 0 {
+		t.Fatal("converged on an empty scan")
+	}
+	// Point reads spot-check the same oracle.
+	for i := 0; i < 300; i += 13 {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		lr, err := leader.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := follower.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr.Found != fr.Found || !bytes.Equal(lr.Value, fr.Value) || lr.Ts != fr.Ts {
+			t.Fatalf("get divergence at %s: leader %+v follower %+v", key, lr, fr)
+		}
+	}
+
+	// Replication gauges are visible on both sides.
+	if fc := leader.Stats().FollowersConnected; fc < uint64(shards) {
+		t.Fatalf("leader reports %d connected follower streams, want >= %d", fc, shards)
+	}
+	if lag := follower.Stats().ReplLagGroups; lag != 0 {
+		t.Fatalf("converged follower reports lag %d groups", lag)
+	}
+
+	// Writes are rejected with the typed error on every write surface.
+	if _, err := follower.Put([]byte("w"), []byte("v")); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("follower Put: %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := follower.Delete([]byte("w")); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("follower Delete: %v, want ErrReadOnlyReplica", err)
+	}
+	fb := follower.NewBatch()
+	fb.Put([]byte("w"), []byte("v"))
+	if _, err := fb.Commit(); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("follower batch Commit: %v, want ErrReadOnlyReplica", err)
+	}
+	fb2 := follower.NewBatch()
+	fb2.Put([]byte("w"), []byte("v"))
+	if _, err := fb2.CommitAsync(nil); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("follower CommitAsync: %v, want ErrReadOnlyReplica", err)
+	}
+	// The rejected writes never reached the replica.
+	if r, err := follower.Get([]byte("w")); err != nil || r.Found {
+		t.Fatalf("rejected write visible on follower: %+v err %v", r, err)
+	}
+}
+
+func TestFollowerOracle(t *testing.T)        { testFollowerOracle(t, 1) }
+func TestFollowerOracleSharded(t *testing.T) { testFollowerOracle(t, 4) }
+
+// TestFollowerWrongSecretRejected: a follower whose platform does not share
+// the leader's attestation root must fail bootstrap, not serve bad data.
+func TestFollowerWrongSecretRejected(t *testing.T) {
+	leader, err := Open(replicaOpts(1, "leader-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if _, err := leader.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	src, err := leader.ReplicationSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFollower(replicaOpts(1, "other-secret"), src); !IsAuthFailure(err) {
+		t.Fatalf("mismatched platform bootstrap: %v, want auth failure", err)
+	}
+}

@@ -77,6 +77,14 @@ type Stats struct {
 	VerifiedGets uint64
 	ProofBytes   uint64
 	RunsProbed   uint64
+
+	// Replication gauges (replica.go). On a follower, ReplLagGroups /
+	// ReplLagBytes report how far the tail is behind the leader's head at
+	// the last applied frame (summed across shards in the aggregate). On a
+	// leader, FollowersConnected counts live tail streams across shards.
+	ReplLagGroups      uint64
+	ReplLagBytes       uint64
+	FollowersConnected uint64
 }
 
 // engined is implemented by every store variant.
@@ -171,7 +179,9 @@ func (s *Stats) add(o Stats) {
 func (s *Store) Stats() Stats {
 	r, ok := s.kv.(*shard.Router)
 	if !ok {
-		return statsOf(s.kv)
+		out := statsOf(s.kv)
+		s.replStats(&out, s.tailers)
+		return out
 	}
 	var out Stats
 	for i := 0; i < r.NumShards(); i++ {
@@ -187,6 +197,7 @@ func (s *Store) Stats() Stats {
 		}
 		out.add(st)
 	}
+	s.replStats(&out, s.tailers)
 	return out
 }
 
@@ -196,11 +207,23 @@ func (s *Store) Stats() Stats {
 func (s *Store) ShardStats() []Stats {
 	r, ok := s.kv.(*shard.Router)
 	if !ok {
-		return []Stats{statsOf(s.kv)}
+		one := statsOf(s.kv)
+		s.replStats(&one, s.tailers)
+		return []Stats{one}
 	}
 	out := make([]Stats, r.NumShards())
 	for i := range out {
 		out[i] = statsOf(r.Shard(i))
+		if i < len(s.tailers) {
+			out[i].ReplLagGroups, out[i].ReplLagBytes = s.tailers[i].Lag()
+		}
 	}
+	s.replMu.Lock()
+	for i, l := range s.leaders {
+		if i < len(out) {
+			out[i].FollowersConnected = uint64(l.Followers())
+		}
+	}
+	s.replMu.Unlock()
 	return out
 }
