@@ -38,8 +38,9 @@
 //	REPL TAIL <shard> <fromTs>\n   -> OK\n + attested commit-group frames
 //	                                  from fromTs, streamed live (the
 //	                                  connection becomes the stream), or
-//	                                  ERR ...behind...\n when fromTs left
-//	                                  the leader's retained ring
+//	                                  ERR BEHIND\n when fromTs left the
+//	                                  leader's retained ring (the exact
+//	                                  token followers match to re-bootstrap)
 //	QUIT\n                         -> closes the connection
 //
 // Fields are binary-safe: a field is either a bare token (no spaces,
@@ -80,6 +81,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -88,6 +90,7 @@ import (
 	"strings"
 
 	"elsm"
+	"elsm/internal/repl"
 	"elsm/internal/sgx"
 )
 
@@ -540,13 +543,15 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 //	REPL CKPT <shard>\n          -> OK\n + the shard's checkpoint stream
 //	REPL TAIL <shard> <fromTs>\n -> OK\n + attested group frames from
 //	                                fromTs, streamed until either side goes
-//	                                away, or ERR ...behind...\n when fromTs
-//	                                has fallen out of the leader's retained
+//	                                away, or ERR BEHIND\n when fromTs has
+//	                                fallen out of the leader's retained
 //	                                ring (the follower re-bootstraps)
 //
-// The OK line is deferred until the stream produces its first byte, so
-// errors that precede any payload (bad shard, behind the ring, not a P2
-// leader) surface on the status line instead of a truncated stream.
+// TAIL answers its status line eagerly, right after the shard and ring
+// checks: a caught-up follower of an idle leader would otherwise wait for
+// the first frame with no status at all, wedging its status read (and its
+// Close) indefinitely. CKPT defers OK until the stream's first byte, so
+// export errors that precede any payload surface on the status line.
 func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string) {
 	sub := strings.ToUpper(args[0])
 	shard, err := strconv.Atoi(args[1])
@@ -564,6 +569,13 @@ func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string)
 			fmt.Fprintf(w, "ERR bad fromTs %q\n", args[2])
 			return
 		}
+		if err := store.TailReady(shard, fromTs); err != nil {
+			writeReplErr(w, err)
+			return
+		}
+		fmt.Fprintln(w, "OK")
+		w.Flush()
+		sw.started = true
 		// Followers never send after the command line: the next read
 		// completes when the peer closes, unblocking a tail idling at the
 		// head of a quiet leader.
@@ -578,8 +590,19 @@ func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string)
 		return
 	}
 	if !sw.started && err != nil {
-		fmt.Fprintf(w, "ERR %v\n", err)
+		writeReplErr(w, err)
 	}
+}
+
+// writeReplErr renders a replication error as a status line, using the
+// dedicated BEHIND token for the re-bootstrap condition so followers can
+// match it exactly instead of parsing error prose.
+func writeReplErr(w *bufio.Writer, err error) {
+	if errors.Is(err, repl.ErrBehind) {
+		fmt.Fprintln(w, repl.StatusBehind)
+		return
+	}
+	fmt.Fprintf(w, "ERR %v\n", err)
 }
 
 // statusWriter defers the REPL "OK" status line until the first payload

@@ -638,6 +638,14 @@ func TestServerReplProtocol(t *testing.T) {
 	if !strings.HasPrefix(replies[0], "ERR") {
 		t.Fatalf("REPL bad shard reply %q, want ERR", replies[0])
 	}
+
+	// A tail cursor older than the retained ring draws the exact BEHIND
+	// token (the hubs were anchored after the first 50 writes, so fromTs 0
+	// is out of the ring) — followers match it verbatim to re-bootstrap.
+	replies = dialogue(t, leader, []string{"REPL TAIL 0 0", "QUIT"})
+	if replies[0] != repl.StatusBehind {
+		t.Fatalf("REPL TAIL behind reply %q, want %q", replies[0], repl.StatusBehind)
+	}
 }
 
 // statMap parses STAT lines from a dialogue reply slice.

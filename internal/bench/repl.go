@@ -55,7 +55,7 @@ func (c Config) bootstrapReplFollower(src repl.Source, platform *sgx.Platform) (
 	if err != nil {
 		return nil, 0, err
 	}
-	err = core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr})
+	err = core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr, Shard: 0, Shards: 1})
 	rc.Close()
 	if err != nil {
 		return nil, 0, err
@@ -101,7 +101,7 @@ func (c Config) replPoint(nFollowers, totalOps int) (leaderKops, readKops float6
 		}
 	}
 
-	hub := repl.NewLeader(leader, 0)
+	hub := repl.NewLeader(leader, 0, 0, 1)
 	defer hub.Close()
 	src := repl.NewLocalSource([]*repl.Leader{hub})
 
@@ -124,7 +124,7 @@ func (c Config) replPoint(nFollowers, totalOps int) (leaderKops, readKops float6
 			bootstrap = dur
 		}
 		followers = append(followers, f)
-		tailers = append(tailers, repl.StartTailer(f, src, 0))
+		tailers = append(tailers, repl.StartTailer(f, src, 0, 1))
 	}
 
 	// Leader write throughput with the followers tailing live.

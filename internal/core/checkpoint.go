@@ -50,6 +50,12 @@ type checkpointFile struct {
 // checkpointHeader is the attested description of the stream: the trusted
 // frontier the importer verifies the raw bytes against.
 type checkpointHeader struct {
+	// Shard and Shards bind the checkpoint to one partition of one
+	// topology; the attestation report covers them, so an untrusted
+	// transport cannot serve shard 0's (individually valid) checkpoint to
+	// a follower bootstrapping shard 1.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
 	// LastTs is the applied frontier T of the captured cut; RunFrontier is
 	// F = T − len(WAL tail), the highest timestamp covered by the runs.
 	LastTs      uint64 `json:"lastTs"`
@@ -132,9 +138,14 @@ func (c *Store) SealState() {
 
 // ExportCheckpoint serializes a consistent cut of the store into w: the
 // attested header, then the pinned SSTable files, then the live WAL tail,
-// all raw. The capture window quiesces the commit pipeline; streaming
+// all raw. shard and shards name this store's partition within the
+// leader's topology (0, 1 for an unsharded store) and travel attested in
+// the header. The capture window quiesces the commit pipeline; streaming
 // happens outside all engine locks against pinned files.
-func (c *Store) ExportCheckpoint(w io.Writer) error {
+func (c *Store) ExportCheckpoint(w io.Writer, shard, shards int) error {
+	if shards <= 0 {
+		shards = 1
+	}
 	var digs map[uint64]runDigest
 	var walDigest hashutil.Hash
 	src, err := c.engine.CaptureCheckpoint(func() error {
@@ -189,6 +200,8 @@ func (c *Store) ExportCheckpoint(w io.Writer) error {
 		return fmt.Errorf("checkpoint export: %w", err)
 	}
 	hdr := checkpointHeader{
+		Shard:       shard,
+		Shards:      shards,
 		LastTs:      lastTs,
 		RunFrontier: frontier,
 		WALAppends:  tail,
@@ -286,6 +299,14 @@ type RestoreConfig struct {
 	Counter *sgx.MonotonicCounter
 	// Enclave hosts the verification work; nil uses an unlimited enclave.
 	Enclave *sgx.Enclave
+	// Shard and Shards are the partition identity this restore expects
+	// (Shards 0 means 1). The attested header must match exactly: a
+	// checkpoint exported for another shard — or by a leader with a
+	// different partition count — is rejected, so a transport cannot swap
+	// shard streams and opts mismatched to the leader's topology surface
+	// as an error instead of an incomplete replica.
+	Shard  int
+	Shards int
 }
 
 // restoreApplyChunk bounds the records one imported WAL group carries.
@@ -369,6 +390,18 @@ func RestoreCheckpoint(r io.Reader, cfg RestoreConfig) error {
 	var hdr checkpointHeader
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
 		return fmt.Errorf("%w: header decode: %v", ErrCheckpointCorrupt, err)
+	}
+	wantShards := cfg.Shards
+	if wantShards <= 0 {
+		wantShards = 1
+	}
+	hdrShards := hdr.Shards
+	if hdrShards <= 0 {
+		hdrShards = 1
+	}
+	if hdr.Shard != cfg.Shard || hdrShards != wantShards {
+		return fmt.Errorf("%w: checkpoint is for shard %d of %d, restoring shard %d of %d",
+			ErrCheckpointCorrupt, hdr.Shard, hdrShards, cfg.Shard, wantShards)
 	}
 	if hdr.RunFrontier+hdr.WALAppends != hdr.LastTs {
 		return fmt.Errorf("%w: inconsistent frontiers", ErrCheckpointCorrupt)

@@ -14,7 +14,7 @@ import (
 func exportBuf(t *testing.T, s *Store) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := s.ExportCheckpoint(&buf); err != nil {
+	if err := s.ExportCheckpoint(&buf, 0, 1); err != nil {
 		t.Fatalf("export: %v", err)
 	}
 	return buf.Bytes()
@@ -152,6 +152,52 @@ func TestCheckpointTamperDetected(t *testing.T) {
 		if !NeedsBootstrap(fs) {
 			t.Fatalf("tamper at offset %d left sealed state behind", off)
 		}
+	}
+}
+
+// TestCheckpointShardMismatchRejected: the attested shard identity in the
+// header must match what the restore expects — a transport serving shard
+// 0's checkpoint to a follower bootstrapping shard 1 (or a follower
+// configured with the wrong partition count) is rejected, not installed.
+func TestCheckpointShardMismatchRejected(t *testing.T) {
+	s := mustOpenP2(t, smallCfg(vfs.NewMem()))
+	defer s.Close()
+	if _, err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.ExportCheckpoint(&buf, 0, 2); err != nil { // shard 0 of 2
+		t.Fatalf("export: %v", err)
+	}
+	ckpt := buf.Bytes()
+
+	for _, tc := range []struct {
+		name          string
+		shard, shards int
+	}{
+		{"wrong shard", 1, 2},
+		{"wrong shard count", 0, 4},
+		{"unsharded expectation", 0, 1},
+	} {
+		fs := vfs.NewMem()
+		err := RestoreCheckpoint(bytes.NewReader(ckpt), RestoreConfig{
+			FS: fs, Platform: s.platform, Counter: sgx.NewMonotonicCounter(),
+			Shard: tc.shard, Shards: tc.shards,
+		})
+		if !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("%s: restore error %v, want auth failure", tc.name, err)
+		}
+		if !NeedsBootstrap(fs) {
+			t.Fatalf("%s: rejected restore left sealed state", tc.name)
+		}
+	}
+
+	// The matching identity still restores.
+	if err := RestoreCheckpoint(bytes.NewReader(ckpt), RestoreConfig{
+		FS: vfs.NewMem(), Platform: s.platform, Counter: sgx.NewMonotonicCounter(),
+		Shard: 0, Shards: 2,
+	}); err != nil {
+		t.Fatalf("matching shard identity rejected: %v", err)
 	}
 }
 

@@ -33,6 +33,8 @@ type hubGroup struct {
 type Leader struct {
 	st       *core.Store
 	maxBytes int64
+	shard    int // partition this hub serves
+	shards   int // total partition count of the leader store
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -48,12 +50,18 @@ type Leader struct {
 }
 
 // NewLeader attaches a replication hub to an open store. maxRingBytes
-// bounds retained group payload (0 = DefaultRingBytes).
-func NewLeader(st *core.Store, maxRingBytes int64) *Leader {
+// bounds retained group payload (0 = DefaultRingBytes). shard and shards
+// name the partition this hub serves within the leader's topology; they
+// are bound — attested — into every checkpoint header and group frame so a
+// follower can reject a stream spliced from the wrong shard.
+func NewLeader(st *core.Store, maxRingBytes int64, shard, shards int) *Leader {
 	if maxRingBytes <= 0 {
 		maxRingBytes = DefaultRingBytes
 	}
-	l := &Leader{st: st, maxBytes: maxRingBytes}
+	if shards <= 0 {
+		shards = 1
+	}
+	l := &Leader{st: st, maxBytes: maxRingBytes, shard: shard, shards: shards}
 	l.cond = sync.NewCond(&l.mu)
 	// Install the sink BEFORE reading the frontier: a group committed in
 	// between lands in the ring and merely lowers baseTs below the
@@ -102,10 +110,14 @@ func (l *Leader) onGroup(g lsm.ReplicatedGroup) {
 	})
 	l.ring += g.Bytes
 	l.headTs = g.LastTs
-	for l.ring > l.maxBytes && len(l.groups) > 1 {
-		l.ring -= l.groups[0].bytes
-		l.baseTs = l.groups[0].lastTs
-		l.groups = append(l.groups[:0:0], l.groups[1:]...)
+	evict := 0
+	for l.ring > l.maxBytes && evict < len(l.groups)-1 {
+		l.ring -= l.groups[evict].bytes
+		evict++
+	}
+	if evict > 0 {
+		l.baseTs = l.groups[evict-1].lastTs
+		l.groups = append(l.groups[:0:0], l.groups[evict:]...)
 	}
 	l.cond.Broadcast()
 }
@@ -131,7 +143,24 @@ func (l *Leader) Store() *core.Store { return l.st }
 // by the ring (or by a later checkpoint), so a follower restoring it can
 // tail without a gap.
 func (l *Leader) WriteCheckpoint(w io.Writer) error {
-	return l.st.ExportCheckpoint(w)
+	return l.st.ExportCheckpoint(w, l.shard, l.shards)
+}
+
+// TailReady reports whether a tail stream starting at fromTs can serve at
+// least its first frame: ErrLeaderClosed after Close, ErrBehind when the
+// cursor has fallen out of the retained ring (re-bootstrap), nil
+// otherwise. Used by servers to settle the status line before ServeTail
+// blocks at the head of a quiet leader.
+func (l *Leader) TailReady(fromTs uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrLeaderClosed
+	}
+	if fromTs < l.baseTs {
+		return ErrBehind
+	}
+	return nil
 }
 
 // ServeTail streams committed groups with timestamps above fromTs into w,
@@ -182,6 +211,8 @@ func (l *Leader) ServeTail(fromTs uint64, w io.Writer, stop <-chan struct{}) err
 			l.cond.Wait()
 		}
 		frame := groupFrame{
+			Shard:         uint32(l.shard),
+			Shards:        uint32(l.shards),
 			PrevTs:        g.prevTs,
 			LastTs:        g.lastTs,
 			Seq:           g.seq,

@@ -12,6 +12,18 @@ import (
 // netDialTimeout bounds one REPL connection attempt.
 const netDialTimeout = 5 * time.Second
 
+// netStatusTimeout bounds the wait for the status line. The server answers
+// TAIL before blocking at the stream head, so a healthy leader responds
+// well within this; the deadline keeps a follower's Close from hanging on
+// a connection that never produced a status.
+const netStatusTimeout = 10 * time.Second
+
+// StatusBehind is the exact status line the server answers a TAIL whose
+// cursor has fallen out of the leader's retained ring — the protocol-level
+// form of ErrBehind. A dedicated token, not formatted error text: clients
+// match it exactly.
+const StatusBehind = "ERR BEHIND"
+
 // NetSource speaks the elsm-server REPL protocol: one TCP connection per
 // stream, opened with a single text command line, answered with "OK\n"
 // followed by the raw binary stream (checkpoint bytes or group frames), or
@@ -42,18 +54,24 @@ func (ns *NetSource) open(cmd string) (io.ReadCloser, error) {
 		conn.Close()
 		return nil, err
 	}
+	// The status read is deadline-bounded so it can never wedge a caller
+	// (Tailer.Close during this window has no stream to close yet); the
+	// deadline is lifted before handing over the payload stream.
+	conn.SetReadDeadline(time.Now().Add(netStatusTimeout))
 	br := bufio.NewReader(conn)
 	status, err := br.ReadString('\n')
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("repl: %s: no status: %w", cmd, err)
 	}
+	conn.SetReadDeadline(time.Time{})
 	status = strings.TrimRight(status, "\r\n")
+	if status == StatusBehind {
+		conn.Close()
+		return nil, ErrBehind
+	}
 	if status != "OK" {
 		conn.Close()
-		if strings.Contains(status, "behind") {
-			return nil, fmt.Errorf("%w (%s)", ErrBehind, status)
-		}
 		return nil, fmt.Errorf("repl: %s: %s", cmd, status)
 	}
 	return &connStream{Reader: br, conn: conn}, nil

@@ -9,10 +9,12 @@
 // WAL hash chain the records must reproduce. The untrusted pieces (the
 // transport, both hosts' file systems, this package's own buffering) can
 // drop, reorder, replay or rewrite bytes, and the follower detects it:
-// reports bind content, the chain binds order, and timestamp contiguity
-// with the follower's own applied frontier binds position. On any
-// verification failure the follower fails stop — it never serves a read
-// past unverified state.
+// reports bind content, the chain binds order, timestamp contiguity with
+// the follower's own applied frontier binds position, and the attested
+// (shard, shards) pair in every header and frame binds the stream to one
+// partition of one topology (a transport cannot swap whole shard streams).
+// On any verification failure the follower fails stop — it never serves a
+// read past unverified state.
 package repl
 
 import (
@@ -32,6 +34,10 @@ var (
 	// ErrShipGap reports a shipped frame that does not extend the
 	// follower's applied frontier (dropped, replayed or reordered group).
 	ErrShipGap = errors.New("repl: shipped group does not extend applied frontier")
+	// ErrShardMismatch reports a shipped frame whose attested shard
+	// identity is not the one the follower is tailing — a transport
+	// splicing shard streams, or mismatched partition counts.
+	ErrShardMismatch = errors.New("repl: shipped group bound to a different shard")
 )
 
 // Source is where a follower gets its data: a checkpoint stream to

@@ -46,7 +46,7 @@ func newLeaderHarness(t *testing.T) *leaderHarness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hub := NewLeader(st, 0)
+	hub := NewLeader(st, 0, 0, 1)
 	return &leaderHarness{st: st, hub: hub, src: NewLocalSource([]*Leader{hub}), platform: platform}
 }
 
@@ -70,7 +70,7 @@ func bootstrap(t *testing.T, src Source, fs vfs.FS, platform *sgx.Platform, ctr 
 		t.Fatal(err)
 	}
 	defer rc.Close()
-	if err := core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr}); err != nil {
+	if err := core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr, Shard: 0, Shards: 1}); err != nil {
 		t.Fatalf("restore: %v", err)
 	}
 	st, err := core.Open(testCfg(fs, platform, ctr))
@@ -120,7 +120,7 @@ func TestTailCatchUp(t *testing.T) {
 	fs := vfs.NewMem()
 	f := bootstrap(t, h.src, fs, h.platform, sgx.NewMonotonicCounter())
 	defer f.Close()
-	tailer := StartTailer(f, h.src, 0)
+	tailer := StartTailer(f, h.src, 0, 1)
 	defer tailer.Close()
 
 	// Live writes after the checkpoint, including overwrites and deletes.
@@ -191,7 +191,7 @@ func TestTamperedShipRejectedFailStop(t *testing.T) {
 	defer f.Close()
 	frontier := f.Engine().AppliedTs()
 
-	tailer := StartTailer(f, &tamperSource{Source: h.src}, 0)
+	tailer := StartTailer(f, &tamperSource{Source: h.src}, 0, 1)
 	defer tailer.Close()
 
 	h.put(t, "poisoned", "value")
@@ -227,7 +227,7 @@ func TestTailTooFarBehind(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	hub := NewLeader(st, 1) // 1-byte ring: retains only the newest group
+	hub := NewLeader(st, 1, 0, 1) // 1-byte ring: retains only the newest group
 	defer hub.Close()
 	for i := 0; i < 50; i++ {
 		if _, err := st.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
@@ -237,6 +237,109 @@ func TestTailTooFarBehind(t *testing.T) {
 	err = hub.ServeTail(0, io.Discard, nil)
 	if !errors.Is(err, ErrBehind) {
 		t.Fatalf("want ErrBehind, got %v", err)
+	}
+}
+
+// TestLocalTailerBehindFailStop drives the ErrBehind path through the full
+// LocalSource + Tailer stack (not just ServeTail): the pipe delivers the
+// serve side's typed error, and the tailer must fail stop with it instead
+// of reconnecting forever with a nil Err.
+func TestLocalTailerBehindFailStop(t *testing.T) {
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Open(testCfg(vfs.NewMem(), platform, sgx.NewMonotonicCounter()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	hub := NewLeader(st, 1, 0, 1) // 1-byte ring: retains only the newest group
+	defer hub.Close()
+	src := NewLocalSource([]*Leader{hub})
+
+	// Checkpoint a follower, then push the ring past its frontier.
+	fs := vfs.NewMem()
+	f := bootstrap(t, src, fs, platform, sgx.NewMonotonicCounter())
+	defer f.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := st.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tailer := StartTailer(f, src, 0, 1)
+	defer tailer.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for tailer.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("tailer never surfaced ErrBehind through the local pipe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(tailer.Err(), ErrBehind) {
+		t.Fatalf("tailer error %v, want ErrBehind", tailer.Err())
+	}
+}
+
+// TestTailerLeaderClosedExitsClean: when the in-process leader hub shuts
+// down, the tailer must exit its run loop cleanly (no reconnect spin, no
+// spurious fail-stop) — the follower keeps serving its last verified state.
+func TestTailerLeaderClosedExitsClean(t *testing.T) {
+	h := newLeaderHarness(t)
+	defer h.close()
+	h.put(t, "k", "v")
+
+	fs := vfs.NewMem()
+	f := bootstrap(t, h.src, fs, h.platform, sgx.NewMonotonicCounter())
+	defer f.Close()
+	tailer := StartTailer(f, h.src, 0, 1)
+	defer tailer.Close()
+	waitCaughtUp(t, f, h.st.Engine().AppliedTs())
+
+	h.hub.Close()
+	select {
+	case <-tailer.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tailer still running after leader close")
+	}
+	if err := tailer.Err(); err != nil {
+		t.Fatalf("leader close marked the tailer failed: %v", err)
+	}
+}
+
+// TestShardMismatchRejected: a stream whose attested shard identity does
+// not match the tailer's (here: a leader declaring a different topology)
+// must be rejected fail-stop — the wire-level defense against a transport
+// swapping whole shard streams.
+func TestShardMismatchRejected(t *testing.T) {
+	h := newLeaderHarness(t) // hub attests (shard 0 of 1)
+	defer h.close()
+	h.put(t, "seed", "v")
+
+	fs := vfs.NewMem()
+	f := bootstrap(t, h.src, fs, h.platform, sgx.NewMonotonicCounter())
+	defer f.Close()
+
+	// The follower believes it is shard 0 of 2: every (0 of 1) frame is a
+	// swap/topology-mismatch and must fail stop before applying.
+	frontier := f.Engine().AppliedTs()
+	tailer := StartTailer(f, h.src, 0, 2)
+	defer tailer.Close()
+	h.put(t, "swapped", "value")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tailer.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("tailer did not fail stop on shard mismatch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(tailer.Err(), ErrShardMismatch) {
+		t.Fatalf("error %v, want ErrShardMismatch", tailer.Err())
+	}
+	if got := f.Engine().AppliedTs(); got != frontier {
+		t.Fatalf("follower applied a mismatched-shard frame (frontier %d -> %d)", frontier, got)
 	}
 }
 
@@ -265,7 +368,7 @@ func TestCrashMidRestore(t *testing.T) {
 	for _, frac := range []int{10, 2, 1} {
 		cut := full.Len() - full.Len()/frac
 		err := core.RestoreCheckpoint(bytes.NewReader(full.Bytes()[:cut]), core.RestoreConfig{
-			FS: fs, Platform: h.platform, Counter: ctr,
+			FS: fs, Platform: h.platform, Counter: ctr, Shard: 0, Shards: 1,
 		})
 		if err == nil {
 			t.Fatalf("truncated restore (cut %d/%d) succeeded", cut, full.Len())
@@ -300,7 +403,7 @@ func TestCrashMidTail(t *testing.T) {
 	fs := vfs.NewMem()
 	ctr := sgx.NewMonotonicCounter()
 	f := bootstrap(t, h.src, fs, h.platform, ctr)
-	tailer := StartTailer(f, h.src, 0)
+	tailer := StartTailer(f, h.src, 0, 1)
 
 	for i := 0; i < 100; i++ {
 		h.put(t, fmt.Sprintf("key-%04d", i), "v2")
@@ -332,7 +435,7 @@ func TestCrashMidTail(t *testing.T) {
 
 	// Resume tailing; new leader writes must flow, old ones must not
 	// re-apply (contiguity would reject them).
-	tailer2 := StartTailer(f2, h.src, 0)
+	tailer2 := StartTailer(f2, h.src, 0, 1)
 	defer tailer2.Close()
 	for i := 0; i < 50; i++ {
 		h.put(t, fmt.Sprintf("key-%04d", i), "v3")

@@ -15,19 +15,21 @@ import (
 const reconnectDelay = 50 * time.Millisecond
 
 // Tailer drives one shard's follower side: it tails the source from the
-// store's applied frontier, verifies every frame (attestation report, WAL
-// hash chain, timestamp contiguity) and applies it through the store's
-// replication pipeline. Transport failures reconnect and resume from the
-// durable frontier; verification failures fail stop — Err() reports the
-// reason and the tailer stays down until the operator re-bootstraps.
+// store's applied frontier, verifies every frame (attestation report,
+// shard identity, WAL hash chain, timestamp contiguity) and applies it
+// through the store's replication pipeline. Transport failures reconnect
+// and resume from the durable frontier; the leader hub closing ends the
+// tail cleanly; verification failures and ErrBehind fail stop — Err()
+// reports the reason and the tailer stays down until the operator
+// re-bootstraps.
 type Tailer struct {
-	st    *core.Store
-	src   Source
-	shard int
+	st     *core.Store
+	src    Source
+	shard  int
+	shards int // follower topology: frames from another are rejected
 
 	lagGroups atomic.Uint64
 	lagBytes  atomic.Uint64
-	lagTs     atomic.Uint64
 	applied   atomic.Uint64 // frames applied (tests, gauges)
 
 	mu     sync.Mutex
@@ -38,14 +40,21 @@ type Tailer struct {
 	done chan struct{}
 }
 
-// StartTailer begins tailing src for shard into st.
-func StartTailer(st *core.Store, src Source, shard int) *Tailer {
+// StartTailer begins tailing src for shard into st. shards is the
+// follower's total partition count; every shipped frame must attest the
+// same (shard, shards) pair or the tailer fails stop (a transport serving
+// the wrong shard's stream, or a leader with a different partition count).
+func StartTailer(st *core.Store, src Source, shard, shards int) *Tailer {
+	if shards <= 0 {
+		shards = 1
+	}
 	t := &Tailer{
-		st:    st,
-		src:   src,
-		shard: shard,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		st:     st,
+		src:    src,
+		shard:  shard,
+		shards: shards,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go t.run()
 	return t
@@ -132,6 +141,12 @@ func (t *Tailer) run() {
 		t.rc = nil
 		t.mu.Unlock()
 		rc.Close()
+		if errors.Is(err, ErrLeaderClosed) {
+			// The hub shut down for good (in-process leader Close): exit
+			// cleanly instead of reconnecting forever. Err() stays nil —
+			// the follower keeps serving its last verified state.
+			return
+		}
 		if err != nil {
 			// Verification or apply failure: fail stop.
 			t.fail(err)
@@ -155,11 +170,19 @@ func (t *Tailer) stoppedLocked() bool {
 }
 
 // consume verifies and applies frames until the stream ends. A non-nil
-// return is a FAIL-STOP condition; transport ends return nil.
+// return is a FAIL-STOP condition (run treats ErrLeaderClosed as a clean
+// exit instead); transport ends return nil.
 func (t *Tailer) consume(r io.Reader) error {
 	for {
 		body, rep, err := readFrame(r)
 		if err != nil {
+			// Typed stream terminations (LocalSource delivers the serve
+			// side's error through the pipe) must surface, not reconnect:
+			// ErrBehind is the re-bootstrap signal, ErrLeaderClosed ends
+			// the tail for good.
+			if errors.Is(err, ErrBehind) || errors.Is(err, ErrLeaderClosed) {
+				return err
+			}
 			if t.stopping() || err == io.EOF {
 				return nil
 			}
@@ -176,11 +199,18 @@ func (t *Tailer) consume(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("repl: shipped group rejected: %w", err)
 		}
-		// 2. The records must reproduce the declared hash chain.
+		// 2. The attested shard identity must match this tailer's: a
+		// transport splicing another shard's (individually valid) stream
+		// in, or a leader partitioned differently, is a swap attack.
+		if int(frame.Shard) != t.shard || int(frame.Shards) != t.shards {
+			return fmt.Errorf("%w: frame is for shard %d of %d, tailing shard %d of %d",
+				ErrShardMismatch, frame.Shard, frame.Shards, t.shard, t.shards)
+		}
+		// 3. The records must reproduce the declared hash chain.
 		if chainOver(frame.Recs) != frame.Chain {
 			return fmt.Errorf("repl: shipped group rejected: %w", core.ErrForged)
 		}
-		// 3. The group must extend the applied frontier exactly.
+		// 4. The group must extend the applied frontier exactly.
 		applied := t.st.Engine().AppliedTs()
 		if frame.PrevTs != applied || frame.LastTs != applied+uint64(len(frame.Recs)) {
 			return fmt.Errorf("%w: frame covers (%d,%d], frontier %d",
@@ -192,6 +222,5 @@ func (t *Tailer) consume(r io.Reader) error {
 		t.applied.Add(1)
 		t.lagGroups.Store(frame.FrontierSeq - frame.Seq)
 		t.lagBytes.Store(uint64(frame.FrontierBytes - frame.CumBytes))
-		t.lagTs.Store(frame.FrontierTs - frame.LastTs)
 	}
 }

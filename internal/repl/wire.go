@@ -18,8 +18,14 @@ const frameGroup = 1
 
 // groupFrame is one committed commit group on the wire, plus the leader's
 // head position at send time (the follower's lag gauges are derived from
-// the deltas).
+// the deltas). Shard and Shards bind the frame to one partition of one
+// topology: the attestation report covers them, so an untrusted transport
+// cannot splice shard streams (serve shard 0's groups to a shard-1
+// follower) without the follower detecting it.
 type groupFrame struct {
+	Shard  uint32 // partition this group belongs to
+	Shards uint32 // leader's total partition count
+
 	PrevTs uint64 // applied frontier before the group
 	LastTs uint64 // applied frontier after the group
 	Seq    uint64 // hub sequence number of this group
@@ -48,12 +54,14 @@ func chainOver(recs []record.Record) hashutil.Hash {
 // encodeFrame serializes the frame body and returns (body, report
 // payload): the report over the body is appended separately by the caller.
 func encodeFrame(f *groupFrame) []byte {
-	size := 1 + 8*8 + 4 + 32
+	size := 1 + 2*4 + 8*8 + 4 + 32
 	for i := range f.Recs {
 		size += 1 + 4 + len(f.Recs[i].Key) + 8 + 4 + len(f.Recs[i].Value)
 	}
 	body := make([]byte, 0, size)
 	body = append(body, frameGroup)
+	body = binary.BigEndian.AppendUint32(body, f.Shard)
+	body = binary.BigEndian.AppendUint32(body, f.Shards)
 	body = binary.BigEndian.AppendUint64(body, f.PrevTs)
 	body = binary.BigEndian.AppendUint64(body, f.LastTs)
 	body = binary.BigEndian.AppendUint64(body, f.Seq)
@@ -127,7 +135,7 @@ func decodeFrame(body []byte) (*groupFrame, error) {
 	bad := func(what string) (*groupFrame, error) {
 		return nil, fmt.Errorf("repl: malformed frame: %s", what)
 	}
-	if len(body) < 1+8*8+4+32 {
+	if len(body) < 1+2*4+8*8+4+32 {
 		return bad("short body")
 	}
 	if body[0] != frameGroup {
@@ -135,11 +143,18 @@ func decodeFrame(body []byte) (*groupFrame, error) {
 	}
 	f := &groupFrame{}
 	p := 1
+	u32 := func() uint32 {
+		v := binary.BigEndian.Uint32(body[p : p+4])
+		p += 4
+		return v
+	}
 	u64 := func() uint64 {
 		v := binary.BigEndian.Uint64(body[p : p+8])
 		p += 8
 		return v
 	}
+	f.Shard = u32()
+	f.Shards = u32()
 	f.PrevTs = u64()
 	f.LastTs = u64()
 	f.Seq = u64()

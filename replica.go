@@ -47,7 +47,7 @@ func (s *Store) ReplicationSource() (FollowerSource, error) {
 		}
 		leaders := make([]*repl.Leader, len(cores))
 		for i, cs := range cores {
-			leaders[i] = repl.NewLeader(cs, 0)
+			leaders[i] = repl.NewLeader(cs, 0, i, len(cores))
 		}
 		s.leaders = leaders
 	}
@@ -59,16 +59,18 @@ func (s *Store) ReplicationSource() (FollowerSource, error) {
 // against the attested digest frontier before install); shards with state
 // recover it exactly like a leader restart. Every shard then tails its
 // leader feed from its durable frontier, verifying each shipped group
-// (attestation report, WAL hash chain, timestamp contiguity) before
-// applying it. Reads serve the follower's own Merkle forest with full
-// verification; writes fail with ErrReadOnlyReplica.
+// (attestation report, shard identity, WAL hash chain, timestamp
+// contiguity) before applying it. Reads serve the follower's own Merkle
+// forest with full verification; writes fail with ErrReadOnlyReplica.
 //
 // Requirements: ModeP2 (the default), and opts.Platform sharing the
 // leader's attestation root (sgx.NewPlatformFromSecret on both sides
 // stands in for remote attestation). opts.Shards must match the leader's
-// partition count. Missing counters are created fresh; pass
-// Counter/ShardCounters to keep rollback detection across follower
-// restarts.
+// partition count — the attested shard identity in every checkpoint and
+// shipped group enforces it, so a mismatch fails bootstrap (or the first
+// tailed frame) instead of building an incomplete replica. Missing
+// counters are created fresh; pass Counter/ShardCounters to keep rollback
+// detection across follower restarts.
 //
 //	platform := sgx.NewPlatformFromSecret(secret) // same secret as leader
 //	f, err := elsm.OpenFollower(elsm.Options{Platform: platform},
@@ -132,7 +134,7 @@ func OpenFollower(opts Options, src FollowerSource) (*Store, error) {
 		if !core.NeedsBootstrap(fs) {
 			continue // sealed state present: a restart, recover it below
 		}
-		if err := bootstrapShard(fs, opts.Platform, ctr, src, i); err != nil {
+		if err := bootstrapShard(fs, opts.Platform, ctr, src, i, opts.Shards); err != nil {
 			return nil, err
 		}
 	}
@@ -147,14 +149,17 @@ func OpenFollower(opts Options, src FollowerSource) (*Store, error) {
 		return nil, err
 	}
 	for i, cs := range cores {
-		s.tailers = append(s.tailers, repl.StartTailer(cs, src, i))
+		s.tailers = append(s.tailers, repl.StartTailer(cs, src, i, len(cores)))
 	}
 	return s, nil
 }
 
 // bootstrapShard wipes any partial prior restore and imports shard i's
-// checkpoint from src into fs.
-func bootstrapShard(fs vfs.FS, platform *sgx.Platform, ctr *sgx.MonotonicCounter, src FollowerSource, i int) error {
+// checkpoint from src into fs. The restore rejects a checkpoint whose
+// attested shard identity is not (i, shards) — mismatched follower
+// opts.Shards, or a transport serving the wrong shard's stream, fail here
+// instead of silently building an incomplete replica.
+func bootstrapShard(fs vfs.FS, platform *sgx.Platform, ctr *sgx.MonotonicCounter, src FollowerSource, i, shards int) error {
 	if err := core.WipeFS(fs); err != nil {
 		return fmt.Errorf("elsm: follower shard %d wipe: %w", i, err)
 	}
@@ -162,7 +167,9 @@ func bootstrapShard(fs vfs.FS, platform *sgx.Platform, ctr *sgx.MonotonicCounter
 	if err != nil {
 		return fmt.Errorf("elsm: follower shard %d checkpoint: %w", i, err)
 	}
-	err = core.RestoreCheckpoint(rc, core.RestoreConfig{FS: fs, Platform: platform, Counter: ctr})
+	err = core.RestoreCheckpoint(rc, core.RestoreConfig{
+		FS: fs, Platform: platform, Counter: ctr, Shard: i, Shards: shards,
+	})
 	rc.Close()
 	if err != nil {
 		return fmt.Errorf("elsm: follower shard %d bootstrap: %w", i, err)
@@ -208,16 +215,38 @@ func (s *Store) ServeCheckpoint(shard int, w io.Writer) error {
 // fails, stop closes, the store closes, or fromTs has fallen out of the
 // retained ring (repl.ErrBehind; the follower must re-bootstrap).
 func (s *Store) ServeTail(shard int, fromTs uint64, w io.Writer, stop <-chan struct{}) error {
-	if _, err := s.ReplicationSource(); err != nil {
+	l, err := s.tailLeader(shard)
+	if err != nil {
 		return err
+	}
+	return l.ServeTail(fromTs, w, stop)
+}
+
+// TailReady reports whether a ServeTail for (shard, fromTs) can serve at
+// least its first frame: repl.ErrBehind when fromTs has fallen out of the
+// retained ring, nil when the stream would start (possibly blocking at the
+// head for new groups). Servers use it to settle the protocol status line
+// before the stream goes quiet.
+func (s *Store) TailReady(shard int, fromTs uint64) error {
+	l, err := s.tailLeader(shard)
+	if err != nil {
+		return err
+	}
+	return l.TailReady(fromTs)
+}
+
+// tailLeader resolves shard's replication hub, creating the hubs lazily.
+func (s *Store) tailLeader(shard int) (*repl.Leader, error) {
+	if _, err := s.ReplicationSource(); err != nil {
+		return nil, err
 	}
 	s.replMu.Lock()
 	leaders := s.leaders
 	s.replMu.Unlock()
 	if shard < 0 || shard >= len(leaders) {
-		return fmt.Errorf("elsm: no such shard %d", shard)
+		return nil, fmt.Errorf("elsm: no such shard %d", shard)
 	}
-	return leaders[shard].ServeTail(fromTs, w, stop)
+	return leaders[shard], nil
 }
 
 // shardCores resolves every partition's ModeP2 core store, in shard order.

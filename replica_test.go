@@ -174,6 +174,29 @@ func testFollowerOracle(t *testing.T, shards int) {
 func TestFollowerOracle(t *testing.T)        { testFollowerOracle(t, 1) }
 func TestFollowerOracleSharded(t *testing.T) { testFollowerOracle(t, 4) }
 
+// TestFollowerShardCountMismatchRejected: a follower configured with a
+// partition count different from the leader's must fail bootstrap with an
+// error (the checkpoint header attests the leader's topology), not come up
+// as a silently incomplete replica.
+func TestFollowerShardCountMismatchRejected(t *testing.T) {
+	secret := "topology-secret"
+	leader, err := Open(replicaOpts(4, secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if _, err := leader.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	src, err := leader.ReplicationSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFollower(replicaOpts(2, secret), src); !IsAuthFailure(err) {
+		t.Fatalf("follower with 2 shards of a 4-shard leader: %v, want auth failure", err)
+	}
+}
+
 // TestFollowerWrongSecretRejected: a follower whose platform does not share
 // the leader's attestation root must fail bootstrap, not serve bad data.
 func TestFollowerWrongSecretRejected(t *testing.T) {
