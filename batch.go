@@ -101,10 +101,10 @@ func (b *Batch) CommitCtx(ctx context.Context) (uint64, error) {
 	if len(b.ops) == 0 {
 		return 0, nil
 	}
-	if b.s.readOnly {
+	if b.s.readOnly.Load() {
 		return 0, ErrReadOnlyReplica
 	}
-	ts, err := b.s.kv.ApplyBatchCtx(ctx, b.ops)
+	ts, err := b.s.base().ApplyBatchCtx(ctx, b.ops)
 	if err != nil {
 		return 0, err
 	}
@@ -130,10 +130,10 @@ func (b *Batch) CommitAsync(ctx context.Context) (*CommitFuture, error) {
 		// timestamp, not an acknowledgment of someone else's commit.
 		return core.NewResolvedFuture(0, nil), nil
 	}
-	if b.s.readOnly {
+	if b.s.readOnly.Load() {
 		return nil, ErrReadOnlyReplica
 	}
-	fut, err := b.s.kv.CommitAsync(ctx, b.ops)
+	fut, err := b.s.base().CommitAsync(ctx, b.ops)
 	if err != nil {
 		return nil, err
 	}

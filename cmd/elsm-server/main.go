@@ -41,6 +41,11 @@
 //	                                  ERR BEHIND\n when fromTs left the
 //	                                  leader's retained ring (the exact
 //	                                  token followers match to re-bootstrap)
+//	REPL PROMOTE\n                 -> OK <epoch>\n — failover: promotes this
+//	                                  follower to a writable leader under a
+//	                                  new replication epoch (all shards
+//	                                  together); frames the old leader keeps
+//	                                  shipping are fenced
 //	QUIT\n                         -> closes the connection
 //
 // Fields are binary-safe: a field is either a bare token (no spaces,
@@ -88,6 +93,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"elsm"
 	"elsm/internal/repl"
@@ -373,6 +379,9 @@ func serve(conn net.Conn, store *elsm.Store) {
 			fmt.Fprintf(w, "OK %d\n", settled)
 		case cmd == "STATS" && len(args) == 0:
 			serveStats(w, store)
+		case cmd == "REPL" && len(args) == 1 && strings.ToUpper(args[0]) == "PROMOTE":
+			epoch, err := store.Promote(nil)
+			reply(w, err, "OK %d", epoch)
 		case cmd == "REPL" && len(args) >= 2:
 			// The connection becomes a one-way binary stream (checkpoint
 			// bytes or group frames) and ends with it.
@@ -525,6 +534,9 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		{"repl_lag_groups", st.ReplLagGroups},
 		{"repl_lag_bytes", st.ReplLagBytes},
 		{"followers_connected", st.FollowersConnected},
+		{"repl_reconnects", st.ReplReconnects},
+		{"repl_rebootstraps", st.ReplRebootstraps},
+		{"repl_epoch", st.ReplEpoch},
 	} {
 		fmt.Fprintf(w, "STAT %s %d\n", kv.name, kv.v)
 	}
@@ -559,7 +571,7 @@ func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string)
 		fmt.Fprintf(w, "ERR bad shard %q\n", args[1])
 		return
 	}
-	sw := &statusWriter{w: w}
+	sw := &statusWriter{w: w, conn: conn}
 	switch {
 	case sub == "CKPT" && len(args) == 2:
 		err = store.ServeCheckpoint(shard, sw)
@@ -605,10 +617,18 @@ func writeReplErr(w *bufio.Writer, err error) {
 	fmt.Fprintf(w, "ERR %v\n", err)
 }
 
+// replWriteTimeout bounds each REPL stream write: a follower that stopped
+// draining its socket fails its stream instead of wedging the leader's
+// serve goroutine (and, through the hub's frame fan-out, other followers)
+// forever.
+const replWriteTimeout = 30 * time.Second
+
 // statusWriter defers the REPL "OK" status line until the first payload
-// byte, letting pre-stream failures use the status line instead.
+// byte, letting pre-stream failures use the status line instead. Every
+// write is deadline-bounded on the underlying connection.
 type statusWriter struct {
 	w       *bufio.Writer
+	conn    net.Conn
 	started bool
 }
 
@@ -617,6 +637,8 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 		sw.started = true
 		fmt.Fprintln(sw.w, "OK")
 	}
+	sw.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+	defer sw.conn.SetWriteDeadline(time.Time{})
 	n, err := sw.w.Write(p)
 	if err == nil {
 		// Flush per write: tail frames must reach the follower promptly.

@@ -100,6 +100,21 @@
 // elsm-server serves the same roles with -repl-secret (leader) and
 // -follow (replica).
 //
+// Replication degrades gracefully and fails over: the tailer reconnects
+// transient transport failures with backoff (Stats.ReplReconnects), a
+// follower that falls behind the leader's retained ring re-bootstraps
+// from a fresh checkpoint automatically (Stats.ReplRebootstraps), and
+// when the leader dies, Promote fences it out — every checkpoint and
+// shipped frame carries a sealed replication epoch, and frames from a
+// deposed epoch are rejected with repl.ErrFenced:
+//
+//	// leader died; on the replica:
+//	epoch, err := follower.Promote(ctx) // drain, seal new epoch, go writable
+//	src, _ := follower.ReplicationSource() // the promoted store leads now
+//
+// (elsm-server: REPL PROMOTE.) Verification failures never self-heal:
+// a follower that detected tampering stays down with ReplicationErr.
+//
 // Three modes reproduce the paper's configurations: ModeP2 (the
 // contribution: buffers outside the enclave, record-granularity Merkle
 // authentication), ModeP1 (the strawman: everything in-enclave,
@@ -111,6 +126,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elsm/internal/core"
@@ -233,6 +249,13 @@ type Options struct {
 	// part of the on-disk layout: reopen with the value the store was
 	// created with.
 	Shards int
+	// ReplRingBytes bounds how many recently committed group bytes each
+	// shard's replication hub retains for tail streams (0 = the built-in
+	// default, currently 8 MB). A follower whose cursor falls out of the
+	// ring gets repl.ErrBehind and must re-bootstrap from a checkpoint, so
+	// smaller rings trade memory for re-bootstrap frequency under follower
+	// downtime. Leaders only.
+	ReplRingBytes int
 	// ShardCounters persists each shard's root of trust across restarts
 	// when Shards > 1: one trusted monotonic counter per shard, in shard
 	// order (the sharded counterpart of Counter, which is single-instance
@@ -273,6 +296,9 @@ func (o Options) validate() error {
 	if o.MaxAsyncCommitBacklog < 0 {
 		return fmt.Errorf("elsm: MaxAsyncCommitBacklog must be ≥ 0, got %d", o.MaxAsyncCommitBacklog)
 	}
+	if o.ReplRingBytes < 0 {
+		return fmt.Errorf("elsm: ReplRingBytes must be ≥ 0, got %d", o.ReplRingBytes)
+	}
 	if o.Shards < 1 {
 		return fmt.Errorf("elsm: Shards must be ≥ 1, got %d", o.Shards)
 	}
@@ -294,15 +320,43 @@ func (o Options) validate() error {
 // Store is an authenticated key-value store.
 type Store struct {
 	mode Mode
-	kv   core.KV
 	enc  *encLayer
 
+	// kv is the engine (the shard router when Shards > 1). A follower
+	// re-bootstrap swaps it wholesale, so every access goes through base().
+	kvMu sync.RWMutex
+	kv   core.KV
+
 	// Replication roles (replica.go). A follower applies shipped groups
-	// and rejects local writes; a leader lazily hosts per-shard hubs.
-	readOnly bool
-	tailers  []*repl.Tailer
-	replMu   sync.Mutex
-	leaders  []*repl.Leader
+	// and rejects local writes until promoted; a leader lazily hosts
+	// per-shard hubs. readOnly is atomic because Promote flips it while
+	// reads and (rejected) writes are in flight.
+	readOnly  atomic.Bool
+	replMu    sync.Mutex // guards tailers, leaders, bootErr
+	tailers   []*repl.Tailer
+	leaders   []*repl.Leader
+	bootErr   error // last failed automatic re-bootstrap (ReplicationErr)
+	ringBytes int   // Options.ReplRingBytes, for the lazy leader hubs
+
+	// Follower failover state: the resolved options and source OpenFollower
+	// ran with, kept so the supervisor can wipe, re-bootstrap and reopen
+	// behind shards without operator help. failoverMu serializes the
+	// role transitions (re-bootstrap, Promote, Close).
+	failoverMu   sync.Mutex
+	closed       bool
+	fsrc         FollowerSource
+	fopts        *Options
+	rebootstraps atomic.Uint64
+}
+
+// base returns the current engine. It is a loan, not a handle: after a
+// follower re-bootstrap swaps the engine, operations against the old one
+// fail with the engine's closed error.
+func (s *Store) base() core.KV {
+	s.kvMu.RLock()
+	kv := s.kv
+	s.kvMu.RUnlock()
+	return kv
 }
 
 // cost resolves the simulated-enclave cost model.
@@ -388,7 +442,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{mode: opts.Mode, kv: kv}
+	s := &Store{mode: opts.Mode, kv: kv, ringBytes: opts.ReplRingBytes}
 	if opts.Encryption != nil {
 		s.enc, err = newEncLayer(*opts.Encryption)
 		if err != nil {
@@ -411,7 +465,7 @@ func (s *Store) Put(key, value []byte) (uint64, error) { return s.PutCtx(nil, ke
 // once the committer has claimed it, the write completes regardless and
 // its outcome is returned.
 func (s *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
-	if s.readOnly {
+	if s.readOnly.Load() {
 		return 0, ErrReadOnlyReplica
 	}
 	if s.enc != nil {
@@ -419,9 +473,9 @@ func (s *Store) PutCtx(ctx context.Context, key, value []byte) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return s.kv.PutCtx(ctx, ek, ev)
+		return s.base().PutCtx(ctx, ek, ev)
 	}
-	return s.kv.PutCtx(ctx, key, value)
+	return s.base().PutCtx(ctx, key, value)
 }
 
 // Delete removes a key (a verified tombstone write).
@@ -429,7 +483,7 @@ func (s *Store) Delete(key []byte) (uint64, error) { return s.DeleteCtx(nil, key
 
 // DeleteCtx is Delete with commit-queue cancellation (see PutCtx).
 func (s *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
-	if s.readOnly {
+	if s.readOnly.Load() {
 		return 0, ErrReadOnlyReplica
 	}
 	if s.enc != nil {
@@ -437,15 +491,15 @@ func (s *Store) DeleteCtx(ctx context.Context, key []byte) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return s.kv.DeleteCtx(ctx, ek)
+		return s.base().DeleteCtx(ctx, ek)
 	}
-	return s.kv.DeleteCtx(ctx, key)
+	return s.base().DeleteCtx(ctx, key)
 }
 
 // Sync is the durability barrier: it returns once every commit accepted
 // before the call — synchronous Commits and acknowledged CommitAsyncs
 // alike — is fsynced to stable storage.
-func (s *Store) Sync(ctx context.Context) error { return s.kv.Sync(ctx) }
+func (s *Store) Sync(ctx context.Context) error { return s.base().Sync(ctx) }
 
 // Get returns the latest value of key, verified for integrity and
 // freshness (and completeness of the "not found" answer).
@@ -469,13 +523,13 @@ func (s *Store) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, e
 		if !ok {
 			return Result{}, nil
 		}
-		res, err := s.kv.GetAtCtx(ctx, ek, tsq)
+		res, err := s.base().GetAtCtx(ctx, ek, tsq)
 		if err != nil || !res.Found {
 			return Result{}, err
 		}
 		return s.enc.openResult(res)
 	}
-	return s.kv.GetAtCtx(ctx, key, tsq)
+	return s.base().GetAtCtx(ctx, key, tsq)
 }
 
 // Scan returns the latest value of every key in [start, end], verified for
@@ -507,10 +561,14 @@ var ErrAuthFailed = core.ErrAuthFailed
 func IsAuthFailure(err error) bool { return errors.Is(err, core.ErrAuthFailed) }
 
 // Close seals the final trusted state and releases resources. On a
-// follower it stops the tailers first; on a leader it detaches the
-// replication hubs (ending every follower's stream).
+// follower it stops the tailers first (waiting out an in-flight automatic
+// re-bootstrap); on a leader it detaches the replication hubs (ending
+// every follower's stream).
 func (s *Store) Close() error {
-	for _, t := range s.tailers {
+	s.failoverMu.Lock()
+	s.closed = true
+	s.failoverMu.Unlock()
+	for _, t := range s.currentTailers() {
 		t.Close()
 	}
 	s.replMu.Lock()
@@ -519,5 +577,5 @@ func (s *Store) Close() error {
 	}
 	s.leaders = nil
 	s.replMu.Unlock()
-	return s.kv.Close()
+	return s.base().Close()
 }

@@ -86,12 +86,13 @@ func TestBatchSingleCounterBump(t *testing.T) {
 	cfg.MemtableSize = 1 << 20 // no flush mid-test
 	s := mustOpenP2(t, cfg)
 	defer s.Close()
+	base, _ := counter.Read() // a fresh store seals once at open
 
 	if _, err := s.ApplyBatch(batchOf(0, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := counter.Read(); v != 1 {
-		t.Fatalf("counter after one batch = %d, want 1 (one deferred bump)", v)
+	if v, _ := counter.Read(); v != base+1 {
+		t.Fatalf("counter after one batch = %d, want %d (one deferred bump)", v, base+1)
 	}
 
 	// The single-put path still bumps per interval.
@@ -100,8 +101,8 @@ func TestBatchSingleCounterBump(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if v, _ := counter.Read(); v != 3 {
-		t.Fatalf("counter after 8 singles at interval 4 = %d, want 3", v)
+	if v, _ := counter.Read(); v != base+3 {
+		t.Fatalf("counter after 8 singles at interval 4 = %d, want %d", v, base+3)
 	}
 }
 

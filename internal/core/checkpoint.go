@@ -56,6 +56,11 @@ type checkpointHeader struct {
 	// a follower bootstrapping shard 1.
 	Shard  int `json:"shard"`
 	Shards int `json:"shards"`
+	// Epoch is the leader's replication epoch at capture time. The
+	// follower adopts it as its own sealed epoch, so frames shipped by a
+	// leader demoted before this checkpoint was taken (an older epoch) are
+	// fenced out at the first tailed frame.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// LastTs is the applied frontier T of the captured cut; RunFrontier is
 	// F = T − len(WAL tail), the highest timestamp covered by the runs.
 	LastTs      uint64 `json:"lastTs"`
@@ -148,11 +153,13 @@ func (c *Store) ExportCheckpoint(w io.Writer, shard, shards int) error {
 	}
 	var digs map[uint64]runDigest
 	var walDigest hashutil.Hash
+	var epoch uint64
 	src, err := c.engine.CaptureCheckpoint(func() error {
 		c.mu.Lock()
 		// The pipeline is drained: the durable frontier IS the tip.
 		digs = c.snap.Load().digests
 		walDigest = c.durableDigest
+		epoch = c.epoch.Load()
 		c.mu.Unlock()
 		return nil
 	})
@@ -202,6 +209,7 @@ func (c *Store) ExportCheckpoint(w io.Writer, shard, shards int) error {
 	hdr := checkpointHeader{
 		Shard:       shard,
 		Shards:      shards,
+		Epoch:       epoch,
 		LastTs:      lastTs,
 		RunFrontier: frontier,
 		WALAppends:  tail,
@@ -529,14 +537,18 @@ func RestoreCheckpoint(r io.Reader, cfg RestoreConfig) error {
 	}
 
 	// Seal the imported frontier as the follower's own trusted state,
-	// bound to ITS counter — written last, after every verification.
-	fp := stateFingerprint(hdr.Digests, hdr.WALDigest)
+	// bound to ITS counter — written last, after every verification. The
+	// leader's attested epoch is adopted verbatim: it is the fencing token
+	// every subsequently tailed frame must match.
+	fp := stateFingerprint(hdr.Digests, hdr.WALDigest, hdr.Epoch)
+	ctr, _ := cfg.Counter.Read()
 	st := trustedState{
 		Digests:    hdr.Digests,
 		WALDigest:  hdr.WALDigest,
 		WALAppends: hdr.WALAppends,
 		LastTs:     hdr.LastTs,
-		Counter:    cfg.Counter.Increment(fp),
+		Counter:    ctr + 1,
+		Epoch:      hdr.Epoch,
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
@@ -546,7 +558,15 @@ func RestoreCheckpoint(r io.Reader, cfg RestoreConfig) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint import: seal: %w", err)
 	}
-	return writeFile(cfg.FS, trustedStateName, sealed)
+	// Blob first, bump second: a crash between the two leaves the blob one
+	// ahead of the counter (accepted) instead of the counter ahead of the
+	// blob (a false rollback). Atomic rename so a torn write cannot leave
+	// a half-blob that reads as tampering.
+	if err := writeSealedState(cfg.FS, sealed); err != nil {
+		return fmt.Errorf("checkpoint import: seal write: %w", err)
+	}
+	cfg.Counter.Increment(fp)
+	return nil
 }
 
 // safeCheckpointName admits only flat table-file names: no path

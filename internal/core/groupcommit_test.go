@@ -311,13 +311,12 @@ func TestGroupCommitCrashRecoveryMidGroup(t *testing.T) {
 }
 
 // TestFsyncFailureKeepsSealableState injects a single WAL fsync failure
-// mid-stream and checks the authentication layer's durable-frontier
-// bookkeeping survives it: later commits seal correctly, a flush rotates
-// the WAL cleanly, and the store reopens without a false rollback. This is
-// the regression test for the group-mark queue: a failed group must consume
-// its OnGroupAppended mark (OnGroupAbandoned), or the next successful
-// commit promotes a stale mark and — after a rotation — seals a digest
-// from a deleted log's chain, bricking recovery.
+// mid-stream and checks the failure is fail-stop AND recoverable: the
+// store refuses every further commit with the sticky typed
+// lsm.ErrWALSyncFailed until reopened (a lying disk must not be written
+// past), and after reopen the authentication layer's durable-frontier
+// bookkeeping is coherent — later commits seal correctly, a flush rotates
+// the WAL cleanly, and a second reopen sees no false rollback.
 func TestFsyncFailureKeepsSealableState(t *testing.T) {
 	fs := vfs.NewFault(vfs.NewMem())
 	platform, err := sgx.NewPlatform()
@@ -337,13 +336,24 @@ func TestFsyncFailureKeepsSealableState(t *testing.T) {
 	if _, err := s.Put([]byte("a"), []byte("1")); err != nil {
 		t.Fatal(err)
 	}
-	// Budget 1: the group's WAL append succeeds, its fsync fails — the
-	// group was appended (mark queued) but never became durable.
-	fs.Arm(1)
-	if _, err := s.Put([]byte("b"), []byte("2")); err == nil {
-		t.Fatal("put with failing fsync succeeded")
+	// Target only the WAL's fsync: the group's append succeeds, its fsync
+	// fails — the group was appended (mark queued) but never became
+	// durable.
+	fs.ArmFilter(vfs.OpSync, "wal*")
+	fs.Arm(0)
+	if _, err := s.Put([]byte("b"), []byte("2")); !errors.Is(err, lsm.ErrWALSyncFailed) {
+		t.Fatalf("put with failing fsync = %v, want ErrWALSyncFailed", err)
 	}
 	fs.Disarm()
+	// A WAL sync failure is fail-stop and sticky: commits keep refusing
+	// with the typed error until the store is reopened, even though the
+	// disk recovered — the in-memory frontier can no longer be trusted to
+	// match the log.
+	if _, err := s.Put([]byte("never"), []byte("x")); !errors.Is(err, lsm.ErrWALSyncFailed) {
+		t.Fatalf("put after sync failure = %v, want sticky ErrWALSyncFailed", err)
+	}
+	s.Close()
+	s = mustOpenP2(t, base())
 	// Subsequent commits must seal coherent durable state.
 	for i := 0; i < 4; i++ {
 		if _, err := s.Put([]byte(fmt.Sprintf("c%d", i)), []byte("3")); err != nil {

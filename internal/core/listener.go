@@ -147,6 +147,14 @@ func (l *authListener) OnWALRotated() {
 // OnCompactionBegin initializes the per-run input reconstruction trees and
 // the output tree.
 func (l *authListener) OnCompactionBegin(info lsm.CompactionInfo) {
+	c := l.c
+	c.mu.Lock()
+	// A pending install staged by a previous compaction whose install was
+	// abandoned (manifest write failure) can never match a recovered
+	// directory — its output files were removed — but drop it anyway so
+	// seals stay minimal.
+	c.pendingSeal = nil
+	c.mu.Unlock()
 	l.info = info
 	l.active = true
 	l.streamErr = nil
@@ -237,6 +245,39 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 		// Compaction produced no output (everything dropped).
 		l.finalized = finishOutput(l.output)
 	}
+
+	// Stage the post-install state and write a TRANSITION seal before the
+	// engine makes the install durable (manifest rename). From here until
+	// OnVersionInstalled clears the staging, every sealed blob names both
+	// the current state and this pending one, so a crash on either side of
+	// the rename recovers cleanly: before it the directory matches
+	// Current, after it the directory matches Pending. Without this the
+	// window between the manifest rename and the post-install seal bricks
+	// the store as a false rollback.
+	next := make(map[uint64]runDigest, len(digs)+1)
+	for id, d := range digs {
+		next[id] = d
+	}
+	for _, id := range info.InputRuns {
+		delete(next, id)
+	}
+	next[info.OutputRun] = l.finalized.digest
+	c.mu.Lock()
+	wd, wa := c.durableDigest, c.durableAppends
+	if info.MemtableInput {
+		// A flush install deletes the frozen logs and rebases the chain
+		// onto the active log alone: the post-install basis is the fresh
+		// chain's durable frontier.
+		wd = c.durableFresh
+	}
+	c.pendingSeal = &pendingState{
+		Digests:    next,
+		WALDigest:  wd,
+		WALAppends: wa,
+		LastTs:     c.engine.AppliedTs(),
+	}
+	c.mu.Unlock()
+	c.commitState()
 	return nil
 }
 
@@ -274,6 +315,9 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 		next[info.OutputRun] = l.finalized.digest
 		c.snap.Store(&trustedView{digests: next})
 	}
+	// The install is durable: the staged transition is no longer needed —
+	// OnVersionCommitted reseals with the new state as Current.
+	c.pendingSeal = nil
 	c.mu.Unlock()
 	l.active = false
 	l.inputs = nil

@@ -178,6 +178,15 @@ type Store struct {
 	sealKey     [32]byte
 	counter     *sgx.MonotonicCounter
 
+	// epoch is the replication epoch: it increments exactly once per
+	// follower→leader promotion and is attested into every checkpoint
+	// header and shipped group frame. A follower rejects frames from an
+	// older epoch (repl.ErrFenced), so a zombie leader that survived its
+	// own demotion can never extend the verified history. Sealed with the
+	// trusted state and folded into the counter-bound fingerprint, so it
+	// can no more be rolled back than the digest frontier itself.
+	epoch atomic.Uint64
+
 	counterInterval int
 	iterChunkKeys   int
 
@@ -221,6 +230,14 @@ type Store struct {
 	// OnGroupCommit bumps again once counterInterval more records have
 	// committed, so a whole group shares at most one bump.
 	appendsAtBump uint64
+
+	// pendingSeal, when non-nil, is a staged version install awaiting its
+	// manifest rename: every seal written while it is set carries it as
+	// trustedState.Pending, so recovery from a crash inside the install
+	// window can adopt the post-install state. Staged by the maintenance
+	// worker (OnCompactionEnd), cleared at OnVersionInstalled or at the
+	// next compaction's begin if the install was abandoned. Guarded by mu.
+	pendingSeal *pendingState
 
 	// scanTamper, when non-nil, mutates each per-run scan response before
 	// verification — a test-only stand-in for a malicious untrusted host.
@@ -342,6 +359,13 @@ func Open(cfg Config) (*Store, error) {
 		engine.Close()
 		return nil, err
 	}
+	if !fs.Exists(trustedStateName) {
+		// A fresh store seals its empty state before accepting writes:
+		// recovery refuses data files without sealed state, so deferring
+		// the first seal to the interval/flush/close path would leave a
+		// window where a crash after the first commit is unrecoverable.
+		c.SealState()
+	}
 	return c, nil
 }
 
@@ -368,8 +392,11 @@ func (c *Store) snapshotDigests() map[uint64]runDigest {
 }
 
 // stateFingerprint deterministically digests the trusted state for counter
-// binding: sorted (runID, root, leaves) triples plus the WAL digest.
-func stateFingerprint(digests map[uint64]runDigest, walDigest hashutil.Hash) [32]byte {
+// binding: sorted (runID, root, leaves) triples, the WAL digest and the
+// replication epoch. Binding the epoch means a rollback of the sealed blob
+// to a pre-promotion value trips the counter check exactly like a rolled
+// back digest frontier would.
+func stateFingerprint(digests map[uint64]runDigest, walDigest hashutil.Hash, epoch uint64) [32]byte {
 	ids := make([]uint64, 0, len(digests))
 	for id := range digests {
 		ids = append(ids, id)
@@ -385,6 +412,8 @@ func stateFingerprint(digests map[uint64]runDigest, walDigest hashutil.Hash) [32
 		h.Write(d.Root[:])
 	}
 	h.Write(walDigest[:])
+	binary.BigEndian.PutUint64(buf[:8], epoch)
+	h.Write(buf[:8])
 	var out [32]byte
 	h.Sum(out[:0])
 	return out
@@ -397,14 +426,41 @@ type trustedState struct {
 	WALAppends uint64               `json:"walAppends"`
 	LastTs     uint64               `json:"lastTs"`
 	Counter    uint64               `json:"counter"`
+	Epoch      uint64               `json:"epoch,omitempty"`
+	// Pending, when set, describes the post-install state of a version
+	// install (flush/compaction) that was staged but not yet confirmed
+	// durable when this blob was sealed. A crash inside the install window
+	// — after the manifest rename made the new version durable, before the
+	// post-install seal — recovers to a directory matching Pending rather
+	// than the current triple; recovery accepts either. Without it that
+	// window is unrecoverable: the engine's run set no longer matches the
+	// sealed forest and a real crash would read as rollback.
+	Pending *pendingState `json:"pending,omitempty"`
 }
 
-// commitState bumps the monotonic counter over the current state
-// fingerprint and persists the sealed state blob (§5.6.1). sealMu covers
-// the whole bump+write: a concurrent seal (commit leader vs maintenance
-// worker) must not let an older blob land after a newer counter value, or
-// recovery would see a counter/fingerprint mismatch and refuse a healthy
-// store.
+// pendingState is the forward half of a transition seal: the digest forest
+// and WAL chain frontier the store will hold once the staged version
+// install lands. WALDigest is in the post-install chain basis (a flush
+// install deletes the frozen logs and rebases the chain onto the active
+// log alone).
+type pendingState struct {
+	Digests    map[uint64]runDigest `json:"digests"`
+	WALDigest  hashutil.Hash        `json:"walDigest"`
+	WALAppends uint64               `json:"walAppends"`
+	LastTs     uint64               `json:"lastTs"`
+}
+
+// commitState persists the sealed state blob claiming the NEXT counter
+// value, then bumps the monotonic counter over the state fingerprint
+// (§5.6.1). The order is load-bearing for crash consistency: the blob
+// lands first, so a crash (or write failure) anywhere in the window leaves
+// either the old blob with the still-unbumped counter or the new blob one
+// ahead of it — both of which counter.Verify accepts ("claimed value must
+// not lag the trusted counter") — and never a bumped counter pointing at a
+// stale blob, which recovery would refuse as a false rollback. sealMu
+// covers the whole write+bump: a concurrent seal (commit leader vs
+// maintenance worker) must not let an older blob land after a newer
+// counter value.
 func (c *Store) commitState() {
 	c.sealMu.Lock()
 	defer c.sealMu.Unlock()
@@ -414,14 +470,17 @@ func (c *Store) commitState() {
 	// pipelined committer the tip may include records whose fsync is still
 	// in flight, and a counter bound to them would refuse recovery from a
 	// crash that (legitimately) tore them away.
-	fp := stateFingerprint(digs, c.durableDigest)
-	ctr := c.counter.Increment(fp)
+	epoch := c.epoch.Load()
+	fp := stateFingerprint(digs, c.durableDigest, epoch)
+	ctr, _ := c.counter.Read()
 	st := trustedState{
 		Digests:    digs, // immutable; marshalled below without mutation
 		WALDigest:  c.durableDigest,
 		WALAppends: c.durableAppends,
 		LastTs:     c.engine.AppliedTs(),
-		Counter:    ctr,
+		Counter:    ctr + 1,
+		Epoch:      epoch,
+		Pending:    c.pendingSeal, // staged install (if any) rides in every seal
 	}
 	c.mu.Unlock()
 
@@ -433,17 +492,38 @@ func (c *Store) commitState() {
 	if err != nil {
 		panic(fmt.Sprintf("core: trusted state seal: %v", err))
 	}
+	written := false
 	c.enclave.OCall(func() {
-		f, err := c.fs.Create(trustedStateName)
-		if err != nil {
-			return
-		}
-		defer f.Close()
-		if _, err := f.Append(sealed); err != nil {
-			return
-		}
-		_ = f.Sync()
+		written = writeSealedState(c.fs, sealed) == nil
 	})
+	if written {
+		c.counter.Increment(fp)
+	}
+}
+
+// writeSealedState installs a new TRUSTED.bin via tmp-write + atomic
+// rename. The live blob is never truncated in place: a crash mid-seal
+// (even one that tears the write) leaves either the old complete blob or
+// the new one on disk, never a half-written blob that recovery would
+// refuse as tampering.
+func writeSealedState(fs vfs.FS, sealed []byte) error {
+	const tmp = trustedStateName + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Append(sealed); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, trustedStateName)
 }
 
 // recoverTrustedState validates a recovered store against the sealed state
@@ -483,24 +563,49 @@ func (c *Store) recoverTrustedState(requireClean bool) error {
 	}
 	// Rollback check: the sealed counter value must not lag the trusted
 	// hardware counter, and the bound fingerprint must match.
-	fp := stateFingerprint(st.Digests, st.WALDigest)
+	fp := stateFingerprint(st.Digests, st.WALDigest, st.Epoch)
 	if err := c.counter.Verify(st.Counter, fp); err != nil {
 		return fmt.Errorf("%w: %v", ErrRollback, err)
 	}
-	// The engine's recovered runs must match the trusted digest set.
+	// The engine's recovered runs must match a trusted digest set, and the
+	// matching trusted WAL digest must be a prefix of the recovered chain.
+	// The seal carries up to two acceptable states: the Current triple,
+	// and — if a version install was staged when the seal was written —
+	// the Pending post-install state. A crash inside the install window
+	// (manifest renamed, post-install seal not yet durable) recovers to a
+	// directory matching Pending; anything matching neither is rollback or
+	// tampering.
 	engineRuns := c.engine.Runs()
-	if len(engineRuns) != len(st.Digests) {
-		return fmt.Errorf("%w: %d runs recovered, %d digested", ErrRollback, len(engineRuns), len(st.Digests))
+	try := func(digests map[uint64]runDigest, walDigest hashutil.Hash) (int, error) {
+		if len(engineRuns) != len(digests) {
+			return 0, fmt.Errorf("%w: %d runs recovered, %d digested", ErrRollback, len(engineRuns), len(digests))
+		}
+		for _, r := range engineRuns {
+			if _, ok := digests[r.ID]; !ok {
+				return 0, fmt.Errorf("%w: run %d not in sealed state", ErrRollback, r.ID)
+			}
+		}
+		extra, err := c.engine.VerifyWALPrefix(walDigest)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrRollback, err)
+		}
+		return extra, nil
 	}
-	for _, r := range engineRuns {
-		if _, ok := st.Digests[r.ID]; !ok {
-			return fmt.Errorf("%w: run %d not in sealed state", ErrRollback, r.ID)
+	extra, err := try(st.Digests, st.WALDigest)
+	if err != nil && st.Pending != nil {
+		if pExtra, pErr := try(st.Pending.Digests, st.Pending.WALDigest); pErr == nil {
+			// The staged install landed before the crash: adopt it.
+			st.Digests = st.Pending.Digests
+			st.WALDigest = st.Pending.WALDigest
+			st.WALAppends = st.Pending.WALAppends
+			if st.Pending.LastTs > st.LastTs {
+				st.LastTs = st.Pending.LastTs
+			}
+			extra, err = pExtra, nil
 		}
 	}
-	// WAL: the sealed digest must be a prefix of the recovered chain.
-	extra, err := c.engine.VerifyWALPrefix(st.WALDigest)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrRollback, err)
+		return err
 	}
 	if requireClean {
 		if extra > 0 {
@@ -526,8 +631,30 @@ func (c *Store) recoverTrustedState(requireClean bool) error {
 	c.appendsAtBump = c.walAppends
 	c.unverifiedReplay = extra
 	c.mu.Unlock()
+	c.epoch.Store(st.Epoch)
 	c.engine.EnsureTs(st.LastTs)
 	return nil
+}
+
+// ReplEpoch returns the store's sealed replication epoch — the fencing
+// token attested into every checkpoint header and shipped group frame.
+func (c *Store) ReplEpoch() uint64 { return c.epoch.Load() }
+
+// Promote fences this store's replication history: it drains the commit
+// pipeline (so the durable frontier covers every applied group), bumps the
+// replication epoch, and seals the new epoch bound to the monotonic
+// counter. Frames from the previous epoch are rejected by any follower of
+// this store from here on, and a zombie leader of the OLD epoch can no
+// longer feed a follower that adopted the new one. Returns the new epoch.
+func (c *Store) Promote() (uint64, error) {
+	var err error
+	c.enclave.ECall(func() { err = c.engine.Sync(nil) })
+	if err != nil {
+		return c.epoch.Load(), fmt.Errorf("core: promote drain: %w", err)
+	}
+	e := c.epoch.Add(1)
+	c.SealState()
+	return e, nil
 }
 
 // UnverifiedReplay reports how many WAL records were recovered beyond the

@@ -569,6 +569,15 @@ func (s *Store) processGroup(batch []*commitReq) {
 		finish(fmt.Errorf("lsm: background maintenance failed: %w", err))
 		return
 	}
+	if err := s.walErrLocked(); err != nil {
+		// An earlier WAL fsync failed: refuse new commits (sticky
+		// fail-stop) instead of acknowledging writes whose durability
+		// the failed log can no longer promise.
+		s.mu.Unlock()
+		s.commitMu.Unlock()
+		finish(err)
+		return
+	}
 	total := 0
 	for _, req := range batch {
 		total += len(req.ops)
@@ -714,7 +723,12 @@ func (s *Store) completeGroups(groups []*commitGroup) {
 			// group must still consume its OnGroupAppended mark
 			// (OnGroupAbandoned) or the listener's durable-frontier queue
 			// would desynchronize from later, successful groups.
-			err := fmt.Errorf("lsm: wal sync: %w", serr)
+			// The failure is STICKY: fsync error semantics mean the kernel
+			// may have dropped dirty pages anywhere in the log, so later
+			// fsyncs succeeding would prove nothing. Every subsequent
+			// commit fails until the store is reopened.
+			s.setWALErr(serr)
+			err := fmt.Errorf("%w: %w", ErrWALSyncFailed, serr)
 			for _, g := range groups {
 				if g.total > 0 {
 					s.listener.OnGroupAbandoned()
@@ -779,8 +793,9 @@ func (s *Store) completeGroupInline(group *commitGroup) {
 		syncStart := time.Now()
 		s.ocall(func() { serr = s.walW.Sync() })
 		if serr != nil {
+			s.setWALErr(serr)             // sticky: later commits fail until reopen
 			s.listener.OnGroupAbandoned() // consume the group's appended mark
-			finish(fmt.Errorf("lsm: wal sync: %w", serr))
+			finish(fmt.Errorf("%w: %w", ErrWALSyncFailed, serr))
 			return
 		}
 		s.observeFsync(time.Since(syncStart))

@@ -84,8 +84,19 @@ func (s *Store) flushFrozen() error {
 	} else {
 		s.levels[1] = []*run{newRun}
 	}
+	// The manifest being installed accounts for every record in the frozen
+	// logs about to be deleted: advance the WAL watermark in the SAME
+	// manifest write, so a crash before the deletions finish cannot make
+	// recovery replay (double-apply) records the new run already holds.
+	oldFlushedSeq := s.flushedWALSeq
+	for _, name := range frozenWALs {
+		if seq, ok := frozenWALSeq(name); ok && seq >= s.flushedWALSeq {
+			s.flushedWALSeq = seq + 1
+		}
+	}
 	if err := s.persistManifestLocked(); err != nil {
 		s.levels[1] = oldL1
+		s.flushedWALSeq = oldFlushedSeq
 		s.mu.Unlock()
 		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		s.removeFiles(newRun.fileNums())

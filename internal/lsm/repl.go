@@ -99,6 +99,12 @@ func (s *Store) ApplyReplicated(recs []record.Record) error {
 		s.mu.Unlock()
 		return fmt.Errorf("lsm: background maintenance failed: %w", err)
 	}
+	if err := s.walErrLocked(); err != nil {
+		// Sticky WAL failure: the follower's log can no longer promise
+		// durability, so stop applying shipped groups until reopen.
+		s.mu.Unlock()
+		return err
+	}
 	last := s.lastTs.Load()
 	for i := range recs {
 		if recs[i].Ts != last+uint64(i)+1 {
@@ -129,8 +135,9 @@ func (s *Store) ApplyReplicated(recs []record.Record) error {
 	var serr error
 	s.ocall(func() { serr = s.walW.Sync() })
 	if serr != nil {
+		s.setWALErr(serr)             // sticky: later applies fail until reopen
 		s.listener.OnGroupAbandoned() // consume the group's appended mark
-		return fmt.Errorf("lsm: wal sync: %w", serr)
+		return fmt.Errorf("%w: %w", ErrWALSyncFailed, serr)
 	}
 	s.walSyncs.Add(1)
 	s.groupCommits.Add(1)

@@ -53,6 +53,12 @@ var (
 	ErrBadBulkLoad   = errors.New("lsm: bulk load records not sorted")
 	ErrUnknownRun    = errors.New("lsm: unknown run")
 	ErrManifestParse = errors.New("lsm: manifest parse failure")
+	// ErrWALSyncFailed is the sticky fail-stop after a WAL fsync error:
+	// the group that hit the failure AND every commit attempted afterwards
+	// fail with it, because the kernel may have dropped any dirty log page
+	// once fsync reported an error. Reopening the store recovers — replay
+	// truncates the log back to a verified prefix.
+	ErrWALSyncFailed = errors.New("lsm: wal sync failed")
 )
 
 // tableHandle pairs an open SSTable with its file.
@@ -193,9 +199,24 @@ type Store struct {
 	frozenWALs []string
 	nextWALSeq uint64
 
+	// flushedWALSeq is the manifest's WAL watermark: every frozen log with
+	// a sequence below it has been flushed into an installed run. Recovery
+	// must IGNORE (and delete) such logs — a crash between the manifest
+	// install and the frozen-log deletion leaves them on disk, and
+	// replaying them would double-apply records the manifest already
+	// accounts for.
+	flushedWALSeq uint64
+
 	// bgErr is the first background maintenance failure; the store fails
 	// stop — subsequent commits and maintenance return it.
 	bgErr error
+
+	// walErr is the first WAL fsync failure and is STICKY: once one fsync
+	// fails, the durability of everything past the durable frontier is
+	// unknown (the kernel may have dropped dirty pages), so every later
+	// commit attempt fails with ErrWALSyncFailed until the store is
+	// reopened and recovery re-establishes a verified log prefix.
+	walErr error
 
 	gc    committer   // two-stage group-commit pipeline (commit.go)
 	maint maintenance // flush/compaction scheduler (scheduler.go)
@@ -315,6 +336,10 @@ type manifestRoot struct {
 	NextRunID   uint64          `json:"nextRun"`
 	LastTs      uint64          `json:"lastTs"`
 	Levels      [][]manifestRun `json:"levels"`
+	// FlushedWALSeq marks frozen logs below this sequence as flushed into
+	// the runs this manifest lists; recovery discards them instead of
+	// replaying (crash window between manifest install and log deletion).
+	FlushedWALSeq uint64 `json:"flushedWALSeq,omitempty"`
 }
 
 // persistManifestLocked writes the current version to MANIFEST atomically.
@@ -322,10 +347,11 @@ type manifestRoot struct {
 // manifest writes never reorder.
 func (s *Store) persistManifestLocked() error {
 	root := manifestRoot{
-		NextFileNum: s.nextFileNum.Load(),
-		NextRunID:   s.nextRunID,
-		LastTs:      s.lastTs.Load(),
-		Levels:      make([][]manifestRun, len(s.levels)),
+		NextFileNum:   s.nextFileNum.Load(),
+		NextRunID:     s.nextRunID,
+		LastTs:        s.lastTs.Load(),
+		Levels:        make([][]manifestRun, len(s.levels)),
+		FlushedWALSeq: s.flushedWALSeq,
 	}
 	for i, runs := range s.levels {
 		for _, r := range runs {
@@ -406,10 +432,18 @@ func (s *Store) recover() error {
 	var ordered []seqName
 	for _, name := range frozenNames {
 		if seq, ok := frozenWALSeq(name); ok {
-			ordered = append(ordered, seqName{seq, name})
 			if seq >= s.nextWALSeq {
 				s.nextWALSeq = seq + 1
 			}
+			if seq < s.flushedWALSeq {
+				// Flushed into a run the manifest already lists: a crash
+				// hit between the manifest install and this log's
+				// deletion. Replaying it would double-apply its records;
+				// finish the interrupted deletion instead.
+				s.ocall(func() { _ = s.fs.Remove(name) })
+				continue
+			}
+			ordered = append(ordered, seqName{seq, name})
 		}
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
@@ -493,6 +527,7 @@ func (s *Store) recoverManifest() error {
 	s.nextFileNum.Store(root.NextFileNum)
 	s.nextRunID = root.NextRunID
 	s.lastTs.Store(root.LastTs)
+	s.flushedWALSeq = root.FlushedWALSeq
 	if len(root.Levels) > len(s.levels) {
 		s.levels = make([][]*run, len(root.Levels))
 	}
@@ -599,6 +634,33 @@ func (s *Store) setBgErrLocked(err error) {
 		s.bgErr = err
 	}
 	s.flushDone.Broadcast()
+}
+
+// setWALErr records the first WAL fsync failure (sticky fail-stop; see
+// walErr). Safe from the sync worker and inline commit paths.
+func (s *Store) setWALErr(err error) {
+	s.mu.Lock()
+	if s.walErr == nil && err != nil {
+		s.walErr = err
+	}
+	s.flushDone.Broadcast()
+	s.mu.Unlock()
+}
+
+// walErrLocked composes the sticky typed failure for a new commit attempt.
+// Caller holds s.mu (read or write).
+func (s *Store) walErrLocked() error {
+	if s.walErr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (reopen to recover): %w", ErrWALSyncFailed, s.walErr)
+}
+
+// WALErr reports the sticky WAL fsync failure, if any.
+func (s *Store) WALErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walErrLocked()
 }
 
 // WALReplayDigest returns the digest chain recomputed during recovery and
@@ -1159,7 +1221,20 @@ func (s *Store) DiskBytes() int64 {
 // WaitMaintenance blocks until every maintenance job enqueued before the
 // call (background flushes, compactions) has finished — a barrier for tests
 // and tooling that assert on post-flush state.
+//
+// A commit that fills the memtable acknowledges its caller before the
+// append worker has consumed the wantFreeze nudge and queued the flush, so
+// a bare barrier could fence an empty queue and miss work the store has
+// already committed to. Consume that pending decision here first:
+// ensureMemtableRoom is exactly the worker's freeze step and a no-op when
+// the memtable isn't full.
 func (s *Store) WaitMaintenance() error {
+	s.commitMu.Lock()
+	err := s.ensureMemtableRoom()
+	s.commitMu.Unlock()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
 	return s.runSync(jobBarrier, 0, nil)
 }
 

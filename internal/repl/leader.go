@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elsm/internal/core"
 	"elsm/internal/lsm"
@@ -14,6 +15,12 @@ import (
 // in-memory group ring. A follower further behind than this must
 // re-bootstrap from a checkpoint.
 const DefaultRingBytes = 8 << 20
+
+// HeartbeatInterval paces attested heartbeat frames on tail streams idling
+// at the head: they prove the leader is alive (resetting follower-side
+// read deadlines) and refresh lag gauges. Package-level so tests can
+// tighten it; production followers size their idle timeouts as a multiple.
+var HeartbeatInterval = 1 * time.Second
 
 // hubGroup is one retained committed group.
 type hubGroup struct {
@@ -164,14 +171,17 @@ func (l *Leader) TailReady(fromTs uint64) error {
 }
 
 // ServeTail streams committed groups with timestamps above fromTs into w,
-// blocking at the head for more. It returns when w fails (follower went
-// away), stop closes, the hub closes (ErrLeaderClosed), or the cursor
-// falls out of the retained ring (ErrBehind).
+// blocking at the head for more. While the stream idles at the head it
+// emits an attested heartbeat frame every HeartbeatInterval, so a live but
+// quiet leader is distinguishable from a dead one. It returns when w fails
+// (follower went away), stop closes, the hub closes (ErrLeaderClosed), or
+// the cursor falls out of the retained ring (ErrBehind).
 func (l *Leader) ServeTail(fromTs uint64, w io.Writer, stop <-chan struct{}) error {
 	l.followers.Add(1)
 	defer l.followers.Add(-1)
 
-	// Wake the cond loop when the caller abandons the stream.
+	// Wake the cond loop when the caller abandons the stream, and
+	// periodically for heartbeats (sync.Cond has no timed wait).
 	done := make(chan struct{})
 	defer close(done)
 	stopped := false
@@ -187,8 +197,21 @@ func (l *Leader) ServeTail(fromTs uint64, w io.Writer, stop <-chan struct{}) err
 			}
 		}()
 	}
+	ticker := time.NewTicker(HeartbeatInterval)
+	defer ticker.Stop()
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				l.cond.Broadcast()
+			case <-done:
+				return
+			}
+		}
+	}()
 
 	cursor := fromTs
+	lastSent := time.Now()
 	for {
 		l.mu.Lock()
 		var g *hubGroup
@@ -208,20 +231,29 @@ func (l *Leader) ServeTail(fromTs uint64, w io.Writer, stop <-chan struct{}) err
 			if g = l.findLocked(cursor); g != nil {
 				break
 			}
+			if time.Since(lastSent) >= HeartbeatInterval {
+				break // idle at the head: heartbeat
+			}
 			l.cond.Wait()
 		}
 		frame := groupFrame{
 			Shard:         uint32(l.shard),
 			Shards:        uint32(l.shards),
-			PrevTs:        g.prevTs,
-			LastTs:        g.lastTs,
-			Seq:           g.seq,
-			Bytes:         g.bytes,
-			CumBytes:      g.cum,
+			Epoch:         l.st.ReplEpoch(),
 			FrontierSeq:   l.seq,
 			FrontierTs:    l.headTs,
 			FrontierBytes: l.cum,
-			Recs:          g.recs,
+		}
+		if g != nil {
+			frame.PrevTs = g.prevTs
+			frame.LastTs = g.lastTs
+			frame.Seq = g.seq
+			frame.Bytes = g.bytes
+			frame.CumBytes = g.cum
+			frame.Recs = g.recs
+		} else {
+			frame.Heartbeat = true
+			frame.CumBytes = l.cum
 		}
 		l.mu.Unlock()
 
@@ -231,7 +263,10 @@ func (l *Leader) ServeTail(fromTs uint64, w io.Writer, stop <-chan struct{}) err
 		if err := writeFrame(w, body, rep); err != nil {
 			return err
 		}
-		cursor = frame.LastTs
+		lastSent = time.Now()
+		if g != nil {
+			cursor = frame.LastTs
+		}
 	}
 }
 

@@ -18,6 +18,18 @@ const netDialTimeout = 5 * time.Second
 // a connection that never produced a status.
 const netStatusTimeout = 10 * time.Second
 
+// netWriteTimeout bounds each write on a REPL connection (the command
+// line): a peer that stopped draining its socket cannot wedge the caller.
+const netWriteTimeout = 10 * time.Second
+
+// netIdleTimeout is the per-read deadline on established streams. The
+// leader heartbeats idle tail streams every HeartbeatInterval, so a
+// healthy connection never comes near it; crossing it means the leader (or
+// the network) hung mid-stream, and the read fails so the tailer can
+// reconnect instead of wedging forever. Package-level so tests can
+// tighten it.
+var netIdleTimeout = 30 * time.Second
+
 // StatusBehind is the exact status line the server answers a TAIL whose
 // cursor has fallen out of the leader's retained ring — the protocol-level
 // form of ErrBehind. A dedicated token, not formatted error text: clients
@@ -50,10 +62,12 @@ func (ns *NetSource) open(cmd string) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
+	conn.SetWriteDeadline(time.Now().Add(netWriteTimeout))
 	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetWriteDeadline(time.Time{})
 	// The status read is deadline-bounded so it can never wedge a caller
 	// (Tailer.Close during this window has no stream to close yet); the
 	// deadline is lifted before handing over the payload stream.
@@ -74,7 +88,7 @@ func (ns *NetSource) open(cmd string) (io.ReadCloser, error) {
 		conn.Close()
 		return nil, fmt.Errorf("repl: %s: %s", cmd, status)
 	}
-	return &connStream{Reader: br, conn: conn}, nil
+	return &connStream{r: br, conn: conn}, nil
 }
 
 // Checkpoint requests shard's checkpoint stream.
@@ -87,10 +101,18 @@ func (ns *NetSource) Tail(shard int, fromTs uint64) (io.ReadCloser, error) {
 	return ns.open(fmt.Sprintf("REPL TAIL %d %d", shard, fromTs))
 }
 
-// connStream couples the buffered reader with its connection's lifetime.
+// connStream couples the buffered reader with its connection's lifetime
+// and arms an idle deadline before every read: the leader's heartbeats
+// keep a healthy stream far inside it, so a read that trips the deadline
+// means a hung peer, and the stream fails instead of wedging its tailer.
 type connStream struct {
-	io.Reader
+	r    io.Reader
 	conn net.Conn
+}
+
+func (cs *connStream) Read(p []byte) (int, error) {
+	cs.conn.SetReadDeadline(time.Now().Add(netIdleTimeout))
+	return cs.r.Read(p)
 }
 
 func (cs *connStream) Close() error { return cs.conn.Close() }

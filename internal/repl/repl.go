@@ -38,6 +38,11 @@ var (
 	// identity is not the one the follower is tailing — a transport
 	// splicing shard streams, or mismatched partition counts.
 	ErrShardMismatch = errors.New("repl: shipped group bound to a different shard")
+	// ErrFenced reports a shipped frame attested under an OLDER replication
+	// epoch than the follower's sealed one: the sender is a zombie leader
+	// demoted by a promotion this follower already adopted. The tailer
+	// fails stop — applying the frame would split the verified history.
+	ErrFenced = errors.New("repl: frame from a fenced (stale) replication epoch")
 )
 
 // Source is where a follower gets its data: a checkpoint stream to

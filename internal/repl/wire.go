@@ -13,18 +13,29 @@ import (
 // maxFrameBody bounds what a follower will buffer for one frame.
 const maxFrameBody = 64 << 20
 
-// frameGroup is the one frame type shipped today.
-const frameGroup = 1
+// Frame types. Group frames carry one committed commit group; heartbeat
+// frames carry only the leader's identity and frontier, proving liveness
+// (and refreshing lag gauges) while the stream idles at the head.
+const (
+	frameGroup     = 1
+	frameHeartbeat = 2
+)
 
 // groupFrame is one committed commit group on the wire, plus the leader's
 // head position at send time (the follower's lag gauges are derived from
 // the deltas). Shard and Shards bind the frame to one partition of one
 // topology: the attestation report covers them, so an untrusted transport
 // cannot splice shard streams (serve shard 0's groups to a shard-1
-// follower) without the follower detecting it.
+// follower) without the follower detecting it. Epoch binds the frame to
+// one replication epoch: a frame from an older epoch is a zombie leader
+// (ErrFenced), one from a newer epoch means this follower missed a
+// promotion and must re-bootstrap.
 type groupFrame struct {
+	Heartbeat bool // frameHeartbeat: no records, frontier info only
+
 	Shard  uint32 // partition this group belongs to
 	Shards uint32 // leader's total partition count
+	Epoch  uint64 // leader's replication epoch at send time
 
 	PrevTs uint64 // applied frontier before the group
 	LastTs uint64 // applied frontier after the group
@@ -51,17 +62,28 @@ func chainOver(recs []record.Record) hashutil.Hash {
 	return dig
 }
 
+// frameFixedLen is the size of a frame body with zero records: type byte,
+// shard pair, epoch, eight u64 position fields, record count, chain.
+const frameFixedLen = 1 + 2*4 + 8 + 8*8 + 4 + 32
+
 // encodeFrame serializes the frame body and returns (body, report
 // payload): the report over the body is appended separately by the caller.
+// Heartbeat and group frames share one layout; heartbeats carry no records
+// and a zero chain.
 func encodeFrame(f *groupFrame) []byte {
-	size := 1 + 2*4 + 8*8 + 4 + 32
+	size := frameFixedLen
 	for i := range f.Recs {
 		size += 1 + 4 + len(f.Recs[i].Key) + 8 + 4 + len(f.Recs[i].Value)
 	}
 	body := make([]byte, 0, size)
-	body = append(body, frameGroup)
+	if f.Heartbeat {
+		body = append(body, frameHeartbeat)
+	} else {
+		body = append(body, frameGroup)
+	}
 	body = binary.BigEndian.AppendUint32(body, f.Shard)
 	body = binary.BigEndian.AppendUint32(body, f.Shards)
+	body = binary.BigEndian.AppendUint64(body, f.Epoch)
 	body = binary.BigEndian.AppendUint64(body, f.PrevTs)
 	body = binary.BigEndian.AppendUint64(body, f.LastTs)
 	body = binary.BigEndian.AppendUint64(body, f.Seq)
@@ -135,13 +157,13 @@ func decodeFrame(body []byte) (*groupFrame, error) {
 	bad := func(what string) (*groupFrame, error) {
 		return nil, fmt.Errorf("repl: malformed frame: %s", what)
 	}
-	if len(body) < 1+2*4+8*8+4+32 {
+	if len(body) < frameFixedLen {
 		return bad("short body")
 	}
-	if body[0] != frameGroup {
+	if body[0] != frameGroup && body[0] != frameHeartbeat {
 		return bad("unknown frame type")
 	}
-	f := &groupFrame{}
+	f := &groupFrame{Heartbeat: body[0] == frameHeartbeat}
 	p := 1
 	u32 := func() uint32 {
 		v := binary.BigEndian.Uint32(body[p : p+4])
@@ -155,6 +177,7 @@ func decodeFrame(body []byte) (*groupFrame, error) {
 	}
 	f.Shard = u32()
 	f.Shards = u32()
+	f.Epoch = u64()
 	f.PrevTs = u64()
 	f.LastTs = u64()
 	f.Seq = u64()
@@ -167,6 +190,9 @@ func decodeFrame(body []byte) (*groupFrame, error) {
 	p += 4
 	if nrecs < 0 || nrecs > maxFrameBody/13 {
 		return bad("implausible record count")
+	}
+	if f.Heartbeat && nrecs != 0 {
+		return bad("heartbeat with records")
 	}
 	f.Recs = make([]record.Record, 0, nrecs)
 	for i := 0; i < nrecs; i++ {

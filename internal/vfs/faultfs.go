@@ -2,46 +2,136 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
+	"path"
 	"sync"
 )
 
-// ErrInjected is returned by FaultFS when an injected fault fires.
+// ErrInjected is returned by FaultFS when an injected fault fires. The
+// returned error wraps it together with the failing operation and path, so
+// callers can both match it (errors.Is) and tell WHICH operation tripped.
 var ErrInjected = errors.New("vfs: injected fault")
+
+// Op is a bitmask of file-system operation types, used to scope injected
+// faults ("fail only Sync", "fail only WAL appends").
+type Op uint32
+
+const (
+	OpCreate Op = 1 << iota
+	OpOpen
+	OpRemove
+	OpRename
+	OpList
+	OpWriteAt
+	OpReadAt
+	OpAppend
+	OpTruncate
+	OpSync
+
+	// OpAll matches every gated operation.
+	OpAll = OpCreate | OpOpen | OpRemove | OpRename | OpList |
+		OpWriteAt | OpReadAt | OpAppend | OpTruncate | OpSync
+	// OpMutating matches every operation that changes durable state — the
+	// crash-point set: failing op k and everything after it models a
+	// machine that died at op k.
+	OpMutating = OpCreate | OpRemove | OpRename | OpWriteAt | OpAppend |
+		OpTruncate | OpSync
+)
+
+// opNames maps single Op bits to human-readable names for injected errors.
+var opNames = map[Op]string{
+	OpCreate: "create", OpOpen: "open", OpRemove: "remove",
+	OpRename: "rename", OpList: "list", OpWriteAt: "writeat",
+	OpReadAt: "readat", OpAppend: "append", OpTruncate: "truncate",
+	OpSync: "sync",
+}
+
+func opName(op Op) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%#x)", uint32(op))
+}
 
 // FaultFS wraps an FS and fails operations once a configurable operation
 // budget is exhausted — a deterministic way to test crash/IO-error paths
-// ("the disk dies mid-compaction") without flaky timing. Safe for
-// concurrent use.
+// ("the disk dies mid-compaction") without flaky timing. The armed fault
+// can be scoped to an operation mask and a path glob (ArmFilter), writes
+// can tear (persist a prefix before erroring, SetTornWrites), and matching
+// operations are counted (MatchingOps) so a harness can enumerate every
+// crash point of a workload. Safe for concurrent use.
 type FaultFS struct {
 	inner FS
 
-	mu     sync.Mutex
-	budget int  // operations remaining before faults start; -1 = unlimited
-	failed bool // sticky: once tripped, everything fails (like a dead disk)
+	mu       sync.Mutex
+	budget   int    // matching operations remaining before faults; -1 = unlimited
+	failed   bool   // sticky: once tripped, everything fails (like a dead disk)
+	failedOn string // "op path" of the operation that tripped the fault
+	mask     Op     // operations the fault targets (budget counts only these)
+	glob     string // path pattern scoping the fault ("" = any path)
+	torn     bool   // tear the tripping write: persist a prefix, then fail
+	matched  uint64 // matching operations observed since the last ArmFilter
 }
 
 var _ FS = (*FaultFS)(nil)
 
-// NewFault wraps inner with an unlimited budget (no faults until armed).
+// NewFault wraps inner with an unlimited budget (no faults until armed)
+// targeting every operation on every path.
 func NewFault(inner FS) *FaultFS {
-	return &FaultFS{inner: inner, budget: -1}
+	return &FaultFS{inner: inner, budget: -1, mask: OpAll}
 }
 
-// Arm sets the number of write-side operations that will still succeed;
-// after that every operation fails with ErrInjected.
+// Arm sets the number of matching operations that will still succeed;
+// after that every operation fails with ErrInjected. The match scope is
+// whatever ArmFilter configured (default: all operations, any path).
 func (f *FaultFS) Arm(ops int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.budget = ops
 	f.failed = false
+	f.failedOn = ""
 }
 
-// Disarm restores normal operation.
+// ArmFilter scopes subsequent faults (and the MatchingOps counter) to
+// operations in mask whose path matches the glob pattern ("" matches any
+// path; patterns follow path.Match, e.g. "wal-*.log"). It resets the
+// matched-operation counter but not the budget — call Arm to (re)start the
+// countdown.
+func (f *FaultFS) ArmFilter(mask Op, glob string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if mask == 0 {
+		mask = OpAll
+	}
+	f.mask = mask
+	f.glob = glob
+	f.matched = 0
+}
+
+// FailNthSync arms the n-th (1-based) Sync on any path to fail — the
+// classic "power loss at the k-th fsync" fault.
+func (f *FaultFS) FailNthSync(n int) {
+	f.ArmFilter(OpSync, "")
+	f.Arm(n - 1)
+}
+
+// SetTornWrites makes the TRIPPING write operation (Append/WriteAt) tear:
+// a prefix of the payload reaches the inner FS before the error returns,
+// modeling a power loss mid-write rather than a clean device error.
+// Subsequent operations on the dead disk write nothing.
+func (f *FaultFS) SetTornWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.torn = on
+}
+
+// Disarm restores normal operation. The ArmFilter scope is retained.
 func (f *FaultFS) Disarm() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.budget = -1
 	f.failed = false
+	f.failedOn = ""
 }
 
 // Tripped reports whether a fault has fired.
@@ -51,52 +141,109 @@ func (f *FaultFS) Tripped() bool {
 	return f.failed
 }
 
-// spend consumes one operation from the budget, returning ErrInjected when
-// exhausted.
-func (f *FaultFS) spend() error {
+// TrippedOn reports the "op path" description of the operation that
+// tripped the fault, "" if none has.
+func (f *FaultFS) TrippedOn() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failedOn
+}
+
+// MatchingOps reports how many filter-matching operations the FS has
+// served since the last ArmFilter — with an unlimited budget this counts a
+// workload's crash-point candidates for later enumeration.
+func (f *FaultFS) MatchingOps() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.matched
+}
+
+// injected wraps ErrInjected with the failing operation and path.
+func injected(op Op, name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: %s", ErrInjected, opName(op))
+	}
+	return fmt.Errorf("%w: %s %s", ErrInjected, opName(op), name)
+}
+
+// matchLocked reports whether the armed filter covers (op, name).
+func (f *FaultFS) matchLocked(op Op, name string) bool {
+	if f.mask&op == 0 {
+		return false
+	}
+	if f.glob == "" {
+		return true
+	}
+	ok, err := path.Match(f.glob, name)
+	return err == nil && ok
+}
+
+// spend consumes one matching operation from the budget. It returns
+// (tripping, err): err is non-nil when the operation must fail, tripping
+// is true only for the single operation that transitioned the disk from
+// healthy to dead (the one a torn write applies to).
+func (f *FaultFS) spend(op Op, name string) (bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failed {
-		return ErrInjected
+		return false, injected(op, name)
 	}
+	if !f.matchLocked(op, name) {
+		return false, nil
+	}
+	f.matched++
 	if f.budget < 0 {
-		return nil
+		return false, nil
 	}
 	if f.budget == 0 {
 		f.failed = true
-		return ErrInjected
+		f.failedOn = opName(op) + " " + name
+		return true, injected(op, name)
 	}
 	f.budget--
-	return nil
+	return false, nil
+}
+
+// gate is spend for callers that don't care about the tear transition.
+func (f *FaultFS) gate(op Op, name string) error {
+	_, err := f.spend(op, name)
+	return err
+}
+
+// tornLocked reports whether torn-write mode is on.
+func (f *FaultFS) tornEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.torn
 }
 
 // Create implements FS.
 func (f *FaultFS) Create(name string) (File, error) {
-	if err := f.spend(); err != nil {
+	if err := f.gate(OpCreate, name); err != nil {
 		return nil, err
 	}
 	inner, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: inner}, nil
+	return &faultFile{fs: f, inner: inner, name: name}, nil
 }
 
 // Open implements FS (reads are also gated: a dead disk serves nothing).
 func (f *FaultFS) Open(name string) (File, error) {
-	if err := f.spend(); err != nil {
+	if err := f.gate(OpOpen, name); err != nil {
 		return nil, err
 	}
 	inner, err := f.inner.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{fs: f, inner: inner}, nil
+	return &faultFile{fs: f, inner: inner, name: name}, nil
 }
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if err := f.spend(); err != nil {
+	if err := f.gate(OpRemove, name); err != nil {
 		return err
 	}
 	return f.inner.Remove(name)
@@ -104,7 +251,7 @@ func (f *FaultFS) Remove(name string) error {
 
 // Rename implements FS.
 func (f *FaultFS) Rename(oldName, newName string) error {
-	if err := f.spend(); err != nil {
+	if err := f.gate(OpRename, oldName); err != nil {
 		return err
 	}
 	return f.inner.Rename(oldName, newName)
@@ -112,7 +259,7 @@ func (f *FaultFS) Rename(oldName, newName string) error {
 
 // List implements FS.
 func (f *FaultFS) List(prefix string) ([]string, error) {
-	if err := f.spend(); err != nil {
+	if err := f.gate(OpList, prefix); err != nil {
 		return nil, err
 	}
 	return f.inner.List(prefix)
@@ -125,26 +272,37 @@ func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
 type faultFile struct {
 	fs    *FaultFS
 	inner File
+	name  string
 }
 
 var _ File = (*faultFile)(nil)
 
 func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	if err := ff.fs.spend(); err != nil {
+	tripping, err := ff.fs.spend(OpWriteAt, ff.name)
+	if err != nil {
+		if tripping && ff.fs.tornEnabled() && len(p) > 1 {
+			n, _ := ff.inner.WriteAt(p[:len(p)/2], off)
+			return n, err
+		}
 		return 0, err
 	}
 	return ff.inner.WriteAt(p, off)
 }
 
 func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := ff.fs.spend(); err != nil {
+	if err := ff.fs.gate(OpReadAt, ff.name); err != nil {
 		return 0, err
 	}
 	return ff.inner.ReadAt(p, off)
 }
 
 func (ff *faultFile) Append(p []byte) (int, error) {
-	if err := ff.fs.spend(); err != nil {
+	tripping, err := ff.fs.spend(OpAppend, ff.name)
+	if err != nil {
+		if tripping && ff.fs.tornEnabled() && len(p) > 1 {
+			n, _ := ff.inner.Append(p[:len(p)/2])
+			return n, err
+		}
 		return 0, err
 	}
 	return ff.inner.Append(p)
@@ -154,14 +312,14 @@ func (ff *faultFile) Size() int64   { return ff.inner.Size() }
 func (ff *faultFile) Bytes() []byte { return ff.inner.Bytes() }
 
 func (ff *faultFile) Truncate(size int64) error {
-	if err := ff.fs.spend(); err != nil {
+	if err := ff.fs.gate(OpTruncate, ff.name); err != nil {
 		return err
 	}
 	return ff.inner.Truncate(size)
 }
 
 func (ff *faultFile) Sync() error {
-	if err := ff.fs.spend(); err != nil {
+	if err := ff.fs.gate(OpSync, ff.name); err != nil {
 		return err
 	}
 	return ff.inner.Sync()

@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -90,5 +91,104 @@ func TestFaultFSRenameRemoveList(t *testing.T) {
 	// Exists stays available (metadata probe).
 	if !ffs.Exists("y") {
 		t.Fatal("exists gated by faults")
+	}
+}
+
+func TestFaultFSFilterScopesFault(t *testing.T) {
+	ffs := NewFault(NewMem())
+	wal, _ := ffs.Create("wal-000001.log")
+	sst, _ := ffs.Create("L0-000002.sst")
+	// Only Sync on wal-*.log counts against the budget; everything else
+	// keeps working until the fault actually trips.
+	ffs.ArmFilter(OpSync, "wal-*.log")
+	ffs.Arm(1)
+	if err := sst.Sync(); err != nil {
+		t.Fatalf("sst sync (outside filter) failed: %v", err)
+	}
+	if _, err := wal.Append([]byte("rec")); err != nil {
+		t.Fatalf("wal append (op outside mask) failed: %v", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("wal sync 1 within budget failed: %v", err)
+	}
+	err := wal.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal sync 2 = %v, want ErrInjected", err)
+	}
+	// The injected error names the failing op and path.
+	if got := err.Error(); !strings.Contains(got, "sync") || !strings.Contains(got, "wal-000001.log") {
+		t.Fatalf("injected error %q does not name op+path", got)
+	}
+	if on := ffs.TrippedOn(); on != "sync wal-000001.log" {
+		t.Fatalf("TrippedOn = %q", on)
+	}
+	// Dead disk: even operations outside the filter fail now.
+	if err := sst.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sst sync after trip = %v", err)
+	}
+	if ffs.MatchingOps() != 2 {
+		t.Fatalf("MatchingOps = %d, want 2", ffs.MatchingOps())
+	}
+}
+
+func TestFaultFSFailNthSync(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("a")
+	ffs.FailNthSync(3)
+	for i := 1; i <= 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d failed early: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd sync = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	mem := NewMem()
+	ffs := NewFault(mem)
+	f, _ := ffs.Create("wal.log")
+	if _, err := f.Append([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetTornWrites(true)
+	ffs.ArmFilter(OpAppend, "")
+	ffs.Arm(0)
+	if _, err := f.Append([]byte("0123456789")); !errors.Is(err, ErrInjected) {
+		t.Fatal("torn append did not fail")
+	}
+	// Half of the payload reached the inner FS before the crash.
+	inner, err := mem.Open("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(inner.Bytes()); got != "head01234" {
+		t.Fatalf("torn file contents = %q, want %q", got, "head01234")
+	}
+	// Subsequent writes on the dead disk persist nothing.
+	if _, err := f.Append([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatal("append on dead disk succeeded")
+	}
+	if got := string(inner.Bytes()); got != "head01234" {
+		t.Fatalf("dead disk grew the file: %q", got)
+	}
+}
+
+func TestFaultFSMatchingOpsCountsForEnumeration(t *testing.T) {
+	ffs := NewFault(NewMem())
+	ffs.ArmFilter(OpMutating, "")
+	f, _ := ffs.Create("a") // 1: create
+	f.Append([]byte("x"))   // 2: append
+	f.Sync()                // 3: sync
+	ffs.Open("a")           // open is not mutating
+	ffs.Exists("a")         // exists is never counted
+	if n := ffs.MatchingOps(); n != 3 {
+		t.Fatalf("MatchingOps = %d, want 3", n)
+	}
+	// Re-filtering resets the counter for the next enumeration run.
+	ffs.ArmFilter(OpMutating, "")
+	if n := ffs.MatchingOps(); n != 0 {
+		t.Fatalf("MatchingOps after reset = %d", n)
 	}
 }

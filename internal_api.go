@@ -13,4 +13,4 @@ import "elsm/internal/core"
 // has been migrated to them. This shim now requires the elsm_internal_api
 // build tag — the last escape hatch for out-of-tree integrations that
 // drive core.KV directly; new code must not depend on it.
-func (s *Store) Internal() core.KV { return s.kv }
+func (s *Store) Internal() core.KV { return s.base() }

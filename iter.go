@@ -61,13 +61,13 @@ func (s *Store) IterAtCtx(ctx context.Context, start, end []byte, tsq uint64) *I
 			return &Iterator{err: err}
 		}
 		return &Iterator{
-			inner: s.kv.IterAtCtx(ctx, estart, eend, tsq),
+			inner: s.base().IterAtCtx(ctx, estart, eend, tsq),
 			enc:   s.enc,
 			start: append([]byte(nil), start...),
 			end:   append([]byte(nil), end...),
 		}
 	}
-	return &Iterator{inner: s.kv.IterAtCtx(ctx, start, end, tsq)}
+	return &Iterator{inner: s.base().IterAtCtx(ctx, start, end, tsq)}
 }
 
 // Next advances to the next verified result, returning false at the end of

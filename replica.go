@@ -1,6 +1,7 @@
 package elsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -47,7 +48,7 @@ func (s *Store) ReplicationSource() (FollowerSource, error) {
 		}
 		leaders := make([]*repl.Leader, len(cores))
 		for i, cs := range cores {
-			leaders[i] = repl.NewLeader(cs, 0, i, len(cores))
+			leaders[i] = repl.NewLeader(cs, int64(s.ringBytes), i, len(cores))
 		}
 		s.leaders = leaders
 	}
@@ -121,15 +122,9 @@ func OpenFollower(opts Options, src FollowerSource) (*Store, error) {
 		}
 	}
 	for i := 0; i < opts.Shards; i++ {
-		fs := opts.FS
-		ctr := opts.Counter
-		if opts.Shards > 1 {
-			sub, err := vfs.Sub(opts.FS, shard.DirName(i))
-			if err != nil {
-				return nil, fmt.Errorf("elsm: follower shard %d filesystem: %w", i, err)
-			}
-			fs = sub
-			ctr = opts.ShardCounters[i]
+		fs, ctr, err := followerShardEnv(&opts, i)
+		if err != nil {
+			return nil, err
 		}
 		if !core.NeedsBootstrap(fs) {
 			continue // sealed state present: a restart, recover it below
@@ -142,16 +137,142 @@ func OpenFollower(opts Options, src FollowerSource) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.readOnly = true
-	cores, err := s.shardCores()
-	if err != nil {
+	s.readOnly.Store(true)
+	s.fsrc = src
+	s.fopts = &opts
+	if err := s.startTailers(); err != nil {
 		s.Close()
 		return nil, err
 	}
-	for i, cs := range cores {
-		s.tailers = append(s.tailers, repl.StartTailer(cs, src, i, len(cores)))
-	}
 	return s, nil
+}
+
+// followerShardEnv resolves shard i's filesystem and trust root from the
+// follower's (already resolved) options.
+func followerShardEnv(opts *Options, i int) (vfs.FS, *sgx.MonotonicCounter, error) {
+	if opts.Shards <= 1 {
+		return opts.FS, opts.Counter, nil
+	}
+	sub, err := vfs.Sub(opts.FS, shard.DirName(i))
+	if err != nil {
+		return nil, nil, fmt.Errorf("elsm: follower shard %d filesystem: %w", i, err)
+	}
+	return sub, opts.ShardCounters[i], nil
+}
+
+// startTailers starts one tailer per shard from the durable frontier and a
+// supervisor goroutine per tailer that reacts to repl.ErrBehind with an
+// automatic checkpoint re-bootstrap.
+func (s *Store) startTailers() error {
+	cores, err := s.shardCores()
+	if err != nil {
+		return err
+	}
+	tailers := make([]*repl.Tailer, len(cores))
+	for i, cs := range cores {
+		tailers[i] = repl.StartTailer(cs, s.fsrc, i, len(cores))
+	}
+	s.replMu.Lock()
+	s.tailers = tailers
+	s.replMu.Unlock()
+	for _, t := range tailers {
+		go s.superviseTailer(t)
+	}
+	return nil
+}
+
+// currentTailers snapshots the live tailer set (it changes across
+// re-bootstraps and empties at promotion).
+func (s *Store) currentTailers() []*repl.Tailer {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.tailers
+}
+
+// superviseTailer watches one tailer generation. repl.ErrBehind is the one
+// fail-stop a follower can recover from on its own — the leader's ring no
+// longer reaches our frontier (or a promotion moved the epoch past ours),
+// but a fresh verified checkpoint re-joins the stream. Everything else
+// (verification failures, fencing) stays down for the operator.
+func (s *Store) superviseTailer(t *repl.Tailer) {
+	<-t.Done()
+	if !errors.Is(t.Err(), repl.ErrBehind) {
+		return
+	}
+	s.maybeRebootstrap(t)
+}
+
+// maybeRebootstrap re-bootstraps the follower unless the trigger's tailer
+// generation was already replaced (N shards falling behind together race N
+// supervisors here; the first one re-bootstraps the whole store, the rest
+// find their tailer gone and stand down).
+func (s *Store) maybeRebootstrap(trigger *repl.Tailer) {
+	s.failoverMu.Lock()
+	defer s.failoverMu.Unlock()
+	if s.closed || !s.readOnly.Load() {
+		return
+	}
+	member := false
+	for _, t := range s.currentTailers() {
+		if t == trigger {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return
+	}
+	if err := s.rebootstrapLocked(); err != nil {
+		s.replMu.Lock()
+		s.bootErr = fmt.Errorf("elsm: automatic re-bootstrap failed: %w", err)
+		s.replMu.Unlock()
+		return
+	}
+	s.rebootstraps.Add(1)
+}
+
+// rebootstrapLocked (failoverMu held) tears the follower down and rebuilds
+// it from the source: stop every tailer, close the engine, wipe and
+// re-checkpoint the shards that fell behind (recovering the rest from
+// their sealed state), reopen, swap the engine in and restart the tailers.
+// Reads racing the swap may see the old engine's closed error for a
+// moment; the store is serving verified state again when this returns.
+func (s *Store) rebootstrapLocked() error {
+	old := s.currentTailers()
+	for _, t := range old {
+		t.Close()
+	}
+	behind := make(map[int]bool, len(old))
+	for i, t := range old {
+		behind[i] = errors.Is(t.Err(), repl.ErrBehind)
+	}
+	if err := s.base().Close(); err != nil {
+		return fmt.Errorf("close stale engine: %w", err)
+	}
+	opts := *s.fopts
+	for i := 0; i < opts.Shards; i++ {
+		fs, ctr, err := followerShardEnv(&opts, i)
+		if err != nil {
+			return err
+		}
+		if !behind[i] && !core.NeedsBootstrap(fs) {
+			continue
+		}
+		if err := bootstrapShard(fs, opts.Platform, ctr, s.fsrc, i, opts.Shards); err != nil {
+			return err
+		}
+	}
+	fresh, err := Open(opts)
+	if err != nil {
+		return fmt.Errorf("reopen after re-bootstrap: %w", err)
+	}
+	s.kvMu.Lock()
+	s.kv = fresh.kv // steal the engine; the wrapper is discarded un-closed
+	s.kvMu.Unlock()
+	s.replMu.Lock()
+	s.bootErr = nil
+	s.replMu.Unlock()
+	return s.startTailers()
 }
 
 // bootstrapShard wipes any partial prior restore and imports shard i's
@@ -178,16 +299,97 @@ func bootstrapShard(fs vfs.FS, platform *sgx.Platform, ctr *sgx.MonotonicCounter
 }
 
 // IsFollower reports whether this store is a read-only replica.
-func (s *Store) IsFollower() bool { return s.readOnly }
+func (s *Store) IsFollower() bool { return s.readOnly.Load() }
+
+// ReplEpoch reports the store's sealed replication epoch (shard 0's on a
+// sharded store, where epochs advance in lockstep at promotion). Frames
+// attesting an older epoch are fenced with repl.ErrFenced.
+func (s *Store) ReplEpoch() uint64 {
+	cores, err := s.shardCores()
+	if err != nil || len(cores) == 0 {
+		return 0
+	}
+	return cores[0].ReplEpoch()
+}
+
+// Promote turns this follower into a writable leader — the failover path
+// when the old leader is gone. It stops the tailers (draining whatever the
+// feed already delivered), verifies no tailer failed verification (a
+// follower that detected tampering must not be promoted over it), seals
+// every shard at its durable frontier under a NEW replication epoch, and
+// flips the store writable. Frames a zombie leader keeps shipping from the
+// old epoch are rejected with repl.ErrFenced by anyone tailing the
+// promoted store's lineage. All shards promote together; the returned
+// epoch is the store's new sealed epoch.
+//
+//	// leader died; on the replica:
+//	epoch, err := follower.Promote(ctx)
+//	// follower now accepts writes and can serve ReplicationSource()
+//
+// A tailer down with repl.ErrBehind does not block promotion: its state is
+// consistent, merely stale, and accepting that data loss is exactly the
+// operator's call when they invoke failover.
+func (s *Store) Promote(ctx context.Context) (uint64, error) {
+	s.failoverMu.Lock()
+	defer s.failoverMu.Unlock()
+	if s.closed {
+		return 0, errors.New("elsm: store is closed")
+	}
+	if !s.readOnly.Load() {
+		return 0, errors.New("elsm: Promote requires a follower store")
+	}
+	tailers := s.currentTailers()
+	for _, t := range tailers {
+		t.Close()
+	}
+	for i, t := range tailers {
+		if err := t.Err(); err != nil && !errors.Is(err, repl.ErrBehind) {
+			return 0, fmt.Errorf("elsm: refusing to promote shard %d over a failed-stop tailer: %w", i, err)
+		}
+	}
+	cores, err := s.shardCores()
+	if err != nil {
+		return 0, err
+	}
+	// Pre-drain every shard's apply pipeline so the per-shard epoch bumps
+	// below cannot fail halfway through (all shards promote, or none).
+	if err := s.base().Sync(ctx); err != nil {
+		return 0, fmt.Errorf("elsm: promote drain: %w", err)
+	}
+	var epoch uint64
+	for i, cs := range cores {
+		e, err := cs.Promote()
+		if err != nil {
+			return 0, fmt.Errorf("elsm: promote shard %d: %w", i, err)
+		}
+		if i == 0 {
+			epoch = e
+		}
+	}
+	s.replMu.Lock()
+	s.tailers = nil
+	s.bootErr = nil
+	s.replMu.Unlock()
+	s.readOnly.Store(false)
+	return epoch, nil
+}
 
 // ReplicationErr reports why replication failed-stop: the first
-// verification or apply failure of any shard's tailer. Nil while every
-// tailer is healthy (transport blips that reconnect do not count), and on
-// leaders. A failed follower keeps serving its last verified state;
-// recovery is operator-driven (re-bootstrap).
+// verification or apply failure of any shard's tailer, or the error of the
+// last automatic re-bootstrap attempt. Nil while every tailer is healthy
+// (transport blips that reconnect, and re-bootstraps that succeeded, do
+// not count), and on leaders. A failed follower keeps serving its last
+// verified state; unrecoverable failures (tampering, fencing) stay down
+// for the operator.
 func (s *Store) ReplicationErr() error {
-	for _, t := range s.tailers {
-		if err := t.Err(); err != nil {
+	s.replMu.Lock()
+	bootErr := s.bootErr
+	s.replMu.Unlock()
+	if bootErr != nil {
+		return bootErr
+	}
+	for _, t := range s.currentTailers() {
+		if err := t.Err(); err != nil && !errors.Is(err, repl.ErrBehind) {
 			return err
 		}
 	}
@@ -251,7 +453,8 @@ func (s *Store) tailLeader(shard int) (*repl.Leader, error) {
 
 // shardCores resolves every partition's ModeP2 core store, in shard order.
 func (s *Store) shardCores() ([]*core.Store, error) {
-	if r, ok := s.kv.(*shard.Router); ok {
+	kv := s.base()
+	if r, ok := kv.(*shard.Router); ok {
 		out := make([]*core.Store, r.NumShards())
 		for i := range out {
 			cs, ok := r.Shard(i).(*core.Store)
@@ -262,20 +465,27 @@ func (s *Store) shardCores() ([]*core.Store, error) {
 		}
 		return out, nil
 	}
-	cs, ok := s.kv.(*core.Store)
+	cs, ok := kv.(*core.Store)
 	if !ok {
 		return nil, fmt.Errorf("elsm: store is not a ModeP2 instance")
 	}
 	return []*core.Store{cs}, nil
 }
 
-// replStats folds replication gauges into st: follower lag summed over the
-// given tailers, connected-follower count summed over this store's hubs.
+// replStats folds replication gauges into st: follower lag and transport
+// reconnects summed over the given tailers, re-bootstrap count and sealed
+// epoch from the store, connected-follower count summed over this store's
+// hubs.
 func (s *Store) replStats(st *Stats, tailers []*repl.Tailer) {
 	for _, t := range tailers {
 		g, b := t.Lag()
 		st.ReplLagGroups += g
 		st.ReplLagBytes += b
+		st.ReplReconnects += t.Reconnects()
+	}
+	st.ReplRebootstraps = s.rebootstraps.Load()
+	if cores, err := s.shardCores(); err == nil && len(cores) > 0 {
+		st.ReplEpoch = cores[0].ReplEpoch()
 	}
 	s.replMu.Lock()
 	for _, l := range s.leaders {

@@ -75,7 +75,7 @@ func openSharded(opts Options) (*Store, error) {
 		closeAll()
 		return nil, err
 	}
-	s := &Store{mode: opts.Mode, kv: router}
+	s := &Store{mode: opts.Mode, kv: router, ringBytes: opts.ReplRingBytes}
 	if opts.Encryption != nil {
 		s.enc, err = newEncLayer(*opts.Encryption)
 		if err != nil {
@@ -89,7 +89,7 @@ func openSharded(opts Options) (*Store, error) {
 // Shards reports the store's partition count (1 for a single-instance
 // store).
 func (s *Store) Shards() int {
-	if r, ok := s.kv.(*shard.Router); ok {
+	if r, ok := s.base().(*shard.Router); ok {
 		return r.NumShards()
 	}
 	return 1
@@ -99,7 +99,7 @@ func (s *Store) Shards() int {
 // through the authenticated flush path — a testing and operations hook; the
 // background maintenance worker flushes automatically in normal use.
 func (s *Store) Flush() error {
-	if f, ok := s.kv.(interface{ Flush() error }); ok {
+	if f, ok := s.base().(interface{ Flush() error }); ok {
 		return f.Flush()
 	}
 	return nil
@@ -109,7 +109,7 @@ func (s *Store) Flush() error {
 // enqueued before the call has completed, on every shard — the fence tests
 // and tooling use to observe a quiescent on-disk state.
 func (s *Store) WaitMaintenance() error {
-	switch kv := s.kv.(type) {
+	switch kv := s.base().(type) {
 	case *shard.Router:
 		return kv.WaitMaintenance()
 	case engined:

@@ -33,7 +33,7 @@ type Snapshot struct {
 // returned snapshot observes every commit acknowledged as durable before
 // the call.
 func (s *Store) Snapshot() (*Snapshot, error) {
-	inner, err := s.kv.Snapshot()
+	inner, err := s.base().Snapshot()
 	if err != nil {
 		return nil, err
 	}

@@ -85,6 +85,16 @@ type Stats struct {
 	ReplLagGroups      uint64
 	ReplLagBytes       uint64
 	FollowersConnected uint64
+	// ReplReconnects counts tailer transport re-dials (summed across
+	// shards); steady growth means a flaky link or a flapping leader.
+	// ReplRebootstraps counts automatic checkpoint re-bootstraps after the
+	// follower fell out of the leader's retained ring (repl.ErrBehind) —
+	// whole-store events, repeated in every per-shard entry. ReplEpoch is
+	// the store's sealed replication epoch (shard 0's on a sharded store);
+	// it advances by one at each promotion and fences zombie leaders.
+	ReplReconnects   uint64
+	ReplRebootstraps uint64
+	ReplEpoch        uint64
 }
 
 // engined is implemented by every store variant.
@@ -177,10 +187,11 @@ func (s *Stats) add(o Stats) {
 // Stats returns current counters — aggregated across every shard on a
 // sharded store. Fields not applicable to the store's mode are zero.
 func (s *Store) Stats() Stats {
-	r, ok := s.kv.(*shard.Router)
+	kv := s.base()
+	r, ok := kv.(*shard.Router)
 	if !ok {
-		out := statsOf(s.kv)
-		s.replStats(&out, s.tailers)
+		out := statsOf(kv)
+		s.replStats(&out, s.currentTailers())
 		return out
 	}
 	var out Stats
@@ -197,7 +208,7 @@ func (s *Store) Stats() Stats {
 		}
 		out.add(st)
 	}
-	s.replStats(&out, s.tailers)
+	s.replStats(&out, s.currentTailers())
 	return out
 }
 
@@ -205,17 +216,25 @@ func (s *Store) Stats() Stats {
 // single-instance store returns one entry (identical to Stats). Enclave
 // fields repeat the shared enclave's totals in every entry.
 func (s *Store) ShardStats() []Stats {
-	r, ok := s.kv.(*shard.Router)
+	kv := s.base()
+	r, ok := kv.(*shard.Router)
 	if !ok {
-		one := statsOf(s.kv)
-		s.replStats(&one, s.tailers)
+		one := statsOf(kv)
+		s.replStats(&one, s.currentTailers())
 		return []Stats{one}
 	}
+	tailers := s.currentTailers()
+	rebootstraps := s.rebootstraps.Load()
 	out := make([]Stats, r.NumShards())
 	for i := range out {
 		out[i] = statsOf(r.Shard(i))
-		if i < len(s.tailers) {
-			out[i].ReplLagGroups, out[i].ReplLagBytes = s.tailers[i].Lag()
+		if cs, ok := r.Shard(i).(*core.Store); ok {
+			out[i].ReplEpoch = cs.ReplEpoch()
+		}
+		out[i].ReplRebootstraps = rebootstraps
+		if i < len(tailers) {
+			out[i].ReplLagGroups, out[i].ReplLagBytes = tailers[i].Lag()
+			out[i].ReplReconnects = tailers[i].Reconnects()
 		}
 	}
 	s.replMu.Lock()

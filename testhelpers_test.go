@@ -15,7 +15,7 @@ func bulkLoad(t testing.TB, s *Store, recs []record.Record) {
 	type bulk interface {
 		BulkLoad([]record.Record) error
 	}
-	if err := s.kv.(bulk).BulkLoad(recs); err != nil {
+	if err := s.base().(bulk).BulkLoad(recs); err != nil {
 		t.Fatal(err)
 	}
 }
