@@ -113,6 +113,7 @@ func main() {
 		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
 		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
 		inlineComp   = flag.Bool("inline-compaction", false, "run flush/compaction inline on the commit path (ablation baseline; stalls writers)")
+		compWorkers  = flag.Int("compaction-workers", 0, "maintenance worker pool size shared across shards (0: max(2, GOMAXPROCS/2))")
 		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this address (requires -repl-secret and mode p2)")
 		replSecret   = flag.String("repl-secret", "", "shared attestation secret binding leader and followers (stands in for remote attestation; required with -follow, enables the leader's REPL endpoint)")
 	)
@@ -125,6 +126,7 @@ func main() {
 		GroupCommitMaxOps: *commitMaxOps,
 		IterChunkKeys:     *chunkKeys,
 		InlineCompaction:  *inlineComp,
+		CompactionWorkers: *compWorkers,
 	}
 	switch *mode {
 	case "p2":
@@ -518,6 +520,9 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		{"wal_torn_records", st.WALTornRecords},
 		{"flush_stall_nanos", st.FlushStallNanos},
 		{"compaction_stall_nanos", st.CompactionStallNanos},
+		{"compaction_debt_bytes", st.CompactionDebtBytes},
+		{"parallel_compactions", st.ParallelCompactions},
+		{"compaction_workers_busy", st.CompactionWorkersBusy},
 		{"pinned_runs", st.PinnedRuns},
 		{"snapshots_open", st.SnapshotsOpen},
 		{"async_commits_in_flight", st.AsyncCommitsInFlight},
@@ -546,6 +551,7 @@ func serveStats(w *bufio.Writer, store *elsm.Store) {
 		fmt.Fprintf(w, "STAT shard%d_snapshots_open %d\n", i, ss.SnapshotsOpen)
 		fmt.Fprintf(w, "STAT shard%d_async_commits_in_flight %d\n", i, ss.AsyncCommitsInFlight)
 		fmt.Fprintf(w, "STAT shard%d_disk_bytes %d\n", i, uint64(ss.DiskBytes))
+		fmt.Fprintf(w, "STAT shard%d_compaction_debt_bytes %d\n", i, ss.CompactionDebtBytes)
 	}
 	fmt.Fprintln(w, "END")
 }

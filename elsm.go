@@ -263,6 +263,14 @@ type Options struct {
 	// shard's state never binds another's). Empty means fresh counters
 	// (no rollback detection across reopen).
 	ShardCounters []*sgx.MonotonicCounter
+	// CompactionWorkers bounds how many background maintenance jobs —
+	// memtable flushes plus compactions of disjoint level pairs — run
+	// concurrently. The pool is shared across all shards, so ingest-heavy
+	// shards borrow idle workers from quiet ones; flushes are always
+	// dispatched first (they unblock stalled writers) and the remaining
+	// jobs run in compaction-debt order (bytes over each level's size
+	// target). 0 = auto (max(2, GOMAXPROCS/2)); negative is rejected.
+	CompactionWorkers int
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -295,6 +303,9 @@ func (o Options) validate() error {
 	}
 	if o.MaxAsyncCommitBacklog < 0 {
 		return fmt.Errorf("elsm: MaxAsyncCommitBacklog must be ≥ 0, got %d", o.MaxAsyncCommitBacklog)
+	}
+	if o.CompactionWorkers < 0 {
+		return fmt.Errorf("elsm: CompactionWorkers must be ≥ 0 (0 = auto), got %d", o.CompactionWorkers)
 	}
 	if o.ReplRingBytes < 0 {
 		return fmt.Errorf("elsm: ReplRingBytes must be ≥ 0, got %d", o.ReplRingBytes)
@@ -383,6 +394,7 @@ func (o Options) coreConfig(fs vfs.FS) core.Config {
 		GroupCommitWindow:     o.GroupCommitWindow,
 		MaxAsyncCommitBacklog: o.MaxAsyncCommitBacklog,
 		InlineCompaction:      o.InlineCompaction,
+		CompactionWorkers:     o.CompactionWorkers,
 		MemtableSize:          o.MemtableSize,
 		TableFileSize:         o.TableFileSize,
 		LevelBase:             o.LevelBase,

@@ -263,6 +263,7 @@ func TestOpenValidatesTuningOptions(t *testing.T) {
 		{Options{GroupCommitWindow: -time.Millisecond}, "GroupCommitWindow must be ≥ 0"},
 		{Options{GroupCommitWindow: 2 * time.Second}, "exceeds the 1s cap"}, // over the 1s cap
 		{Options{MaxAsyncCommitBacklog: -1}, "MaxAsyncCommitBacklog must be ≥ 0"},
+		{Options{CompactionWorkers: -1}, "CompactionWorkers must be ≥ 0"},
 	}
 	for i, tc := range bad {
 		_, err := Open(tc.opts)

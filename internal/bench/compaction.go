@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elsm/internal/core"
@@ -18,79 +19,136 @@ import (
 // stall background maintenance removes.
 const compactionSyncDelay = 200 * time.Microsecond
 
-// compactionWriters is the concurrency of the put workload.
-const compactionWriters = 4
+// compactionSyncDepth is the simulated device's queue depth: up to this
+// many syncs overlap their latency, as on an NVMe device with internal
+// parallelism. Depth 1 would serialize every sync through one spindle and
+// make maintenance IO-serial no matter how many workers the pool has —
+// the regime this ablation measures is a device with headroom the serial
+// scheduler cannot use.
+const compactionSyncDepth = 8
 
-// compactionResult is one mode's measurements.
+// compactionWriters is the concurrency of the put workload.
+const compactionWriters = 8
+
+// compactionResult is one scheduler configuration's measurements.
 type compactionResult struct {
-	p50, p99, mean float64 // put latency µs, with a compaction in flight
+	p50, p99, mean float64 // put latency µs, under sustained ingest
 	opsPerSec      float64
-	steadyMean     float64 // single writer, no forced compaction
+	scansPerSec    float64 // concurrent verified range reads
+	steadyMedian   float64 // single writer, light load
 	flushStallMs   float64
 	compactStallMs float64
 	bgCompactions  float64
 }
 
+// compactionMode is one column of the ablation: the inline baseline (the
+// rewrite runs on the commit path) or the background scheduler with a given
+// worker-pool size.
+type compactionMode struct {
+	label   string
+	inline  bool
+	workers int
+}
+
+var compactionModes = []compactionMode{
+	{label: "inline", inline: true},
+	{label: "1-worker", workers: 1},
+	{label: "2-workers", workers: 2},
+	{label: "4-workers", workers: 4},
+}
+
 // openCompactionStore builds the eLSM-P2 store under test: small write
 // buffer and level targets so flushes and level merges happen within the
-// measured window, on sync-delayed storage.
-func (c Config) openCompactionStore(inline bool) (*core.Store, error) {
-	fs := vfs.NewSlowSync(vfs.NewMem(), compactionSyncDelay)
+// measured window, on sync-delayed storage with NVMe-like queue depth.
+func (c Config) openCompactionStore(m compactionMode) (*core.Store, error) {
+	fs := vfs.NewSlowSyncQD(vfs.NewMem(), compactionSyncDelay, compactionSyncDepth)
 	return core.Open(core.Config{
-		FS:               fs,
-		SGX:              sgx.Params{EPCSize: c.epcBytes(), Cost: *c.Cost},
-		MemtableSize:     c.paperMB(1),
-		TableFileSize:    c.paperMB(2),
-		LevelBase:        int64(c.paperMB(4)),
-		MaxLevels:        7,
-		KeepVersions:     1,
-		CounterInterval:  256,
-		MmapReads:        true,
-		InlineCompaction: inline,
+		FS:                fs,
+		SGX:               sgx.Params{EPCSize: c.epcBytes(), Cost: *c.Cost},
+		MemtableSize:      c.paperMB(1),
+		TableFileSize:     c.paperMB(1),
+		LevelBase:         int64(c.paperMB(2)),
+		MaxLevels:         7,
+		KeepVersions:      1,
+		CounterInterval:   256,
+		MmapReads:         true,
+		InlineCompaction:  m.inline,
+		CompactionWorkers: m.workers,
 	})
 }
 
-// compactionPoint measures one mode. The put workload runs while a
-// dedicated goroutine keeps a level compaction permanently in flight
-// (Compact(1) in a loop): with inline compaction the rewrite runs on the
-// commit path under the commit lock, so puts queue behind it; with
-// background compaction the rewrite runs on the maintenance worker and
-// puts only pay the freeze.
-func (c Config) compactionPoint(inline bool) (compactionResult, error) {
+// compactionPoint measures one scheduler configuration under the sustained
+// bulk-ingest + concurrent-scan workload while a deep compaction runs:
+// parallel writers keep the flush cascade busy, a scanner keeps verified
+// range reads in flight, and a multi-megabyte deep-level rewrite — whose
+// level claims are disjoint from every flush — is walked down in the
+// background. With inline compaction the rewrite runs on the commit path
+// under the commit lock, so puts queue behind it; with one background
+// worker the rewrite holds the pool's only token and every flush (and
+// every writer behind a full memtable) stalls for its duration; with more
+// workers the flush dispatches alongside it and the stall vanishes.
+func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 	var res compactionResult
 
-	s, err := c.openCompactionStore(inline)
+	s, err := c.openCompactionStore(m)
 	if err != nil {
 		return res, err
 	}
 	defer s.Close()
 
-	// Preload a few levels of data so every forced compaction has real
-	// work to do, then settle.
-	preload := ycsb.GenRecords(ycsb.RecordsForBytes(int64(c.paperMB(8))), ycsb.DefaultValueSize)
+	// Preload a deep level so the workload has a genuinely deep rewrite to
+	// run against: size-based placement lands this in L3, far below the
+	// levels the ingest cascade touches.
+	preload := ycsb.GenRecords(ycsb.RecordsForBytes(int64(c.paperMB(256))), ycsb.DefaultValueSize)
 	if err := s.BulkLoad(preload); err != nil {
 		return res, err
 	}
 
 	perWriter := c.Ops / compactionWriters
-	val := make([]byte, 200)
+	val := make([]byte, 512)
 
-	// Keep a compaction in flight for the duration of the workload.
+	// The deep compaction the puts are measured against: walk the preload
+	// down one level at a time. Each rewrite claims {Ln, Ln+1} for n ≥ 3 —
+	// disjoint from a flush's {memtable, L1} — so the only thing standing
+	// between a frozen memtable and its flush is a worker token. With one
+	// worker the deep rewrite holds it for the whole multi-megabyte merge
+	// and every flush (and every writer behind a full memtable) queues;
+	// with more workers the flush dispatches immediately.
 	stop := make(chan struct{})
-	var compactorWG sync.WaitGroup
-	compactorWG.Add(1)
+	var deepWG sync.WaitGroup
+	deepWG.Add(1)
 	go func() {
-		defer compactorWG.Done()
+		defer deepWG.Done()
+		for lvl := 3; lvl <= 5; lvl++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Errors are tolerated (an empty level is a no-op); the walk
+			// exists to keep a deep rewrite in flight, not to converge.
+			_ = s.Compact(lvl)
+		}
+	}()
+
+	// Concurrent scans race the ingest for the duration of the workload.
+	var scans atomic.Int64
+	var scanWG sync.WaitGroup
+	scanWG.Add(1)
+	go func() {
+		defer scanWG.Done()
 		for {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			// Errors are tolerated (an empty level is a no-op); the loop
-			// exists to guarantee overlap, not to converge.
-			_ = s.Compact(1)
-			_ = s.Compact(2)
+			// Errors are tolerated (the store may be closing); the loop
+			// exists to keep reads in flight, not to converge.
+			if _, err := s.Scan([]byte("cw00-"), []byte("cw00-~")); err != nil {
+				return
+			}
+			scans.Add(1)
 		}
 	}()
 
@@ -117,7 +175,8 @@ func (c Config) compactionPoint(inline bool) (compactionResult, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(stop)
-	compactorWG.Wait()
+	deepWG.Wait()
+	scanWG.Wait()
 	close(errCh)
 	if werr := <-errCh; werr != nil {
 		return res, werr
@@ -145,84 +204,88 @@ func (c Config) compactionPoint(inline bool) (compactionResult, error) {
 		res.mean = float64(sum.Nanoseconds()) / 1e3 / float64(len(all))
 	}
 	res.opsPerSec = float64(len(all)) / elapsed.Seconds()
+	res.scansPerSec = float64(scans.Load()) / elapsed.Seconds()
 
 	st := s.Engine().Stats()
 	res.flushStallMs = float64(st.FlushStallNanos) / 1e6
 	res.compactStallMs = float64(st.CompactionStallNanos) / 1e6
 	res.bgCompactions = float64(st.BackgroundCompactions)
 	if st.Compactions == 0 {
-		return res, fmt.Errorf("bench: no compaction ran during the %s workload", modeLabel(inline))
+		return res, fmt.Errorf("bench: no compaction ran during the %s workload", m.label)
 	}
 
-	// Steady state: a lone writer with no forced compaction, on a fresh
-	// store — the throughput that must NOT regress under the background
-	// scheduler.
-	s2, err := c.openCompactionStore(inline)
+	// Steady state: a lone writer on a fresh store with no ingest pressure —
+	// the per-op latency that must NOT regress as the worker pool grows.
+	// The median keeps the measurement insensitive to the occasional
+	// maintenance burst the steady ingest itself triggers.
+	s2, err := c.openCompactionStore(m)
 	if err != nil {
 		return res, err
 	}
 	defer s2.Close()
 	n := c.Ops
-	if n > 400 {
-		n = 400
+	if n > 1200 {
+		n = 1200
 	}
-	t0 := time.Now()
+	steady := make([]time.Duration, 0, n)
 	for i := 0; i < n; i++ {
+		t0 := time.Now()
 		if _, err := s2.Put([]byte(fmt.Sprintf("st-%08d", i)), val); err != nil {
 			return res, err
 		}
+		steady = append(steady, time.Since(t0))
 	}
-	res.steadyMean = float64(time.Since(t0).Nanoseconds()) / 1e3 / float64(n)
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	res.steadyMedian = float64(steady[len(steady)/2].Nanoseconds()) / 1e3
 	return res, nil
 }
 
-func modeLabel(inline bool) string {
-	if inline {
-		return "inline"
-	}
-	return "background"
-}
-
-// AblationCompaction quantifies what taking flush/compaction off the
-// commit path buys: put latency percentiles and throughput measured WHILE
-// a level compaction is in flight, inline (the rewrite runs on the commit
-// path, pre-PR behaviour) vs background (the maintenance worker runs it;
-// writers only freeze the memtable). Expected shape: inline p99 collapses
-// to roughly the full rewrite duration, background p99 stays near the
-// fsync cost — with single-writer steady-state throughput unchanged.
+// AblationCompaction quantifies the maintenance scheduler: sustained bulk
+// ingest with concurrent scans while a deep compaction runs, measured with
+// rewrites inline on the commit path (pre-background behaviour) and on the
+// debt-aware background pool at 1, 2 and 4 workers. Expected shape: inline
+// p99 collapses to roughly the full rewrite duration; with one background
+// worker the deep rewrite monopolizes the pool and flush stalls surface as
+// multi-millisecond put tails; growing the pool lets the flush run beside
+// the rewrite, collapsing both the stall time and the tail — with
+// single-writer steady-state throughput unchanged across all columns.
 func AblationCompaction(cfg Config) (Table, error) {
 	cfg = cfg.withDefaults()
+	labels := make([]string, len(compactionModes))
+	for i, m := range compactionModes {
+		labels[i] = m.label
+	}
 	t := Table{
 		Name: "Ablation: compaction",
-		Caption: fmt.Sprintf("%d writers + forced level compactions, %v fsync; inline vs background maintenance",
-			compactionWriters, compactionSyncDelay),
+		Caption: fmt.Sprintf("%d writers sustained ingest + concurrent scans during a deep compaction, %v fsync at queue depth %d; inline vs background pool of 1/2/4 workers",
+			compactionWriters, compactionSyncDelay, compactionSyncDepth),
 		XLabel: "metric",
-		Series: seriesOrder("inline", "background"),
+		Series: seriesOrder(labels...),
 	}
 	rows := []struct {
 		label string
 		get   func(compactionResult) float64
 	}{
-		{"put p50 µs (compacting)", func(r compactionResult) float64 { return r.p50 }},
-		{"put p99 µs (compacting)", func(r compactionResult) float64 { return r.p99 }},
-		{"put mean µs (compacting)", func(r compactionResult) float64 { return r.mean }},
-		{"put kops/sec (compacting)", func(r compactionResult) float64 { return r.opsPerSec / 1e3 }},
-		{"steady µs/op (1 writer)", func(r compactionResult) float64 { return r.steadyMean }},
+		{"put p50 µs (ingesting)", func(r compactionResult) float64 { return r.p50 }},
+		{"put p99 µs (ingesting)", func(r compactionResult) float64 { return r.p99 }},
+		{"put mean µs (ingesting)", func(r compactionResult) float64 { return r.mean }},
+		{"ingest kops/sec", func(r compactionResult) float64 { return r.opsPerSec / 1e3 }},
+		{"scans/sec (concurrent)", func(r compactionResult) float64 { return r.scansPerSec }},
+		{"steady µs/op (1 writer)", func(r compactionResult) float64 { return r.steadyMedian }},
 		{"flush stall ms", func(r compactionResult) float64 { return r.flushStallMs }},
 		{"compaction stall ms", func(r compactionResult) float64 { return r.compactStallMs }},
 		{"background compactions", func(r compactionResult) float64 { return r.bgCompactions }},
 	}
 	results := map[string]compactionResult{}
-	for _, inline := range []bool{true, false} {
-		label := modeLabel(inline)
-		cfg.logf("AblationCompaction mode=%s", label)
-		r, err := cfg.compactionPoint(inline)
+	for _, m := range compactionModes {
+		cfg.logf("AblationCompaction mode=%s", m.label)
+		r, err := cfg.compactionPoint(m)
 		if err != nil {
-			return t, fmt.Errorf("compaction ablation (%s): %w", label, err)
+			return t, fmt.Errorf("compaction ablation (%s): %w", m.label, err)
 		}
-		cfg.logf("    %s: p50 %.1fµs p99 %.1fµs mean %.1fµs, %.1f kops/s, steady %.1fµs",
-			label, r.p50, r.p99, r.mean, r.opsPerSec/1e3, r.steadyMean)
-		results[label] = r
+		cfg.logf("    %s: p50 %.1fµs p99 %.1fµs mean %.1fµs, %.1f kops/s ingest, %.1f scans/s, steady %.1fµs, stalls %.1f/%.1f ms",
+			m.label, r.p50, r.p99, r.mean, r.opsPerSec/1e3, r.scansPerSec, r.steadyMedian, r.flushStallMs, r.compactStallMs)
+		results[m.label] = r
 	}
 	for _, row := range rows {
 		r := Row{X: row.label, Series: map[string]float64{}}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -41,10 +42,16 @@ const maxCheckpointHeader = 64 << 20
 // indistinguishable from a forged one.
 var ErrCheckpointCorrupt = fmt.Errorf("%w: checkpoint rejected", ErrAuthFailed)
 
-// checkpointFile is one raw file section of the stream, in order.
+// checkpointFile is one raw file section of the stream, in order. SHA256
+// binds the section's raw bytes to the attested header: the semantic
+// checks (Merkle rebuild, WAL chain replay) cover record content but not
+// every container byte — embedded proofs and framing are derived data the
+// digests cannot cover — so without it a flip there would only surface at
+// the follower's first read of the damaged region.
 type checkpointFile struct {
-	Name string `json:"name"`
-	Size int64  `json:"size"`
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 []byte `json:"sha256"`
 }
 
 // checkpointHeader is the attested description of the stream: the trusted
@@ -219,12 +226,20 @@ func (c *Store) ExportCheckpoint(w io.Writer, shard, shards int) error {
 	}
 	for _, run := range src.Snap.CheckpointRuns() {
 		for _, tbl := range run.Tables {
-			hdr.Tables = append(hdr.Tables, checkpointFile{Name: tbl.Name, Size: tbl.Size})
+			// Hash the pinned (immutable) file now; the write loop below
+			// re-reads it, so large stores never hold every table in memory.
+			data, rerr := c.engine.ReadFileBytes(tbl.Name)
+			if rerr != nil {
+				return fmt.Errorf("checkpoint export: table %s: %w", tbl.Name, rerr)
+			}
+			sum := sha256.Sum256(data)
+			hdr.Tables = append(hdr.Tables, checkpointFile{Name: tbl.Name, Size: tbl.Size, SHA256: sum[:]})
 		}
 	}
 	for i := range src.WALNames {
+		sum := sha256.Sum256(src.WALData[i])
 		hdr.WALFiles = append(hdr.WALFiles, checkpointFile{
-			Name: src.WALNames[i], Size: int64(len(src.WALData[i])),
+			Name: src.WALNames[i], Size: int64(len(src.WALData[i])), SHA256: sum[:],
 		})
 	}
 	hdrBytes, err := json.Marshal(hdr)
@@ -421,7 +436,7 @@ func RestoreCheckpoint(r io.Reader, cfg RestoreConfig) error {
 		if !safeCheckpointName(tbl.Name) {
 			return fmt.Errorf("%w: unsafe file name %q", ErrCheckpointCorrupt, tbl.Name)
 		}
-		if err := copySection(r, cfg.FS, tbl.Name, tbl.Size); err != nil {
+		if err := copySection(r, cfg.FS, tbl.Name, tbl.Size, tbl.SHA256); err != nil {
 			return err
 		}
 	}
@@ -442,6 +457,9 @@ func RestoreCheckpoint(r io.Reader, cfg RestoreConfig) error {
 		data := make([]byte, wf.Size)
 		if _, err := io.ReadFull(r, data); err != nil {
 			return fmt.Errorf("%w: short wal section: %v", ErrCheckpointCorrupt, err)
+		}
+		if err := checkSectionSHA(wf.Name, data, wf.SHA256); err != nil {
+			return err
 		}
 		info, rerr := wal.ReplayBytes(data, chain, func(rec record.Record) error {
 			if rec.Ts != wantTs {
@@ -584,8 +602,9 @@ func safeCheckpointName(name string) bool {
 	return strings.HasSuffix(name, ".sst")
 }
 
-// copySection streams size bytes from r into a new file.
-func copySection(r io.Reader, fs vfs.FS, name string, size int64) error {
+// copySection streams size bytes from r into a new file, rejecting any
+// section whose raw bytes do not match the attested content hash.
+func copySection(r io.Reader, fs vfs.FS, name string, size int64, wantSHA []byte) error {
 	if size < 0 {
 		return fmt.Errorf("%w: negative section size", ErrCheckpointCorrupt)
 	}
@@ -593,7 +612,24 @@ func copySection(r io.Reader, fs vfs.FS, name string, size int64) error {
 	if _, err := io.ReadFull(r, data); err != nil {
 		return fmt.Errorf("%w: short section %s: %v", ErrCheckpointCorrupt, name, err)
 	}
+	if err := checkSectionSHA(name, data, wantSHA); err != nil {
+		return err
+	}
 	return writeFile(fs, name, data)
+}
+
+// checkSectionSHA compares a section's raw bytes against the attested hash
+// from the header. A missing hash is rejected too: a transport must not be
+// able to strip the binding.
+func checkSectionSHA(name string, data, wantSHA []byte) error {
+	if len(wantSHA) != sha256.Size {
+		return fmt.Errorf("%w: section %s lacks an attested content hash", ErrCheckpointCorrupt, name)
+	}
+	sum := sha256.Sum256(data)
+	if !bytes.Equal(sum[:], wantSHA) {
+		return fmt.Errorf("%w: section %s content hash mismatch", ErrCheckpointCorrupt, name)
+	}
+	return nil
 }
 
 // writeFile creates name with data, synced.

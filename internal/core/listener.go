@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"elsm/internal/hashutil"
 	"elsm/internal/lsm"
@@ -15,27 +16,69 @@ import (
 // into output files, and commits the new digests only after the engine has
 // installed the new version.
 //
-// The engine executes flush/compaction on a single maintenance worker, so
-// at most one compaction's staging state is live at a time; the staging
-// fields below are touched only by that worker. State shared with the
-// commit path (the WAL digest chains, bump bookkeeping) lives in the Store
-// under c.mu.
+// The engine runs flush/compaction jobs on a worker POOL, so several jobs'
+// Merkle rebuilds are live at once. Each job's staging state lives in its
+// own compactionJob context, keyed by the job's unique output-run ID — two
+// concurrent rebuilds can never interleave their trees. The engine
+// serializes the verify→install→commit window (OnCompactionEnd through
+// OnVersionCommitted / OnCompactionAbort) on its install lock, so at most
+// one staged transition seal exists at a time; Store.sealStagedBy records
+// which job staged it so only that job's abort can retract it. State shared
+// with the commit path (the WAL digest chains, bump bookkeeping) lives in
+// the Store under c.mu.
 type authListener struct {
 	c *Store
 
-	// Active compaction staging state (maintenance worker only).
-	info      lsm.CompactionInfo
-	active    bool
-	inputs    map[uint64]*treeBuilder
-	output    *treeBuilder
-	finalized *outputTree
-	streamErr error
+	// In-flight compaction rebuild contexts, keyed by
+	// CompactionInfo.OutputRun (engine-unique; MemtableRunID 0 is never an
+	// output).
+	jobsMu sync.Mutex
+	jobs   map[uint64]*compactionJob
+
 	// walSwapPending marks that the engine rotated the WAL (frozen logs
 	// deleted); the walDigest swap is deferred so OnVersionInstalled can
 	// apply it ATOMICALLY with the digest-forest swap — a concurrent
 	// commit leader's periodic seal must never observe the new WAL chain
-	// paired with the old forest.
+	// paired with the old forest. OnWALRotated and OnVersionInstalled both
+	// run inside the engine's serialized install window, so a single slot
+	// (set and consumed within one window) needs no extra lock.
 	walSwapPending bool
+}
+
+// compactionJob is one maintenance job's Merkle staging state. Begin,
+// Filter and OnCompactionEnd run on the job's own worker goroutine;
+// OnTableFileCreated may fire CONCURRENTLY for distinct files of the same
+// job (the engine's parallel flushers), all after the merge stream is
+// complete — finalizeOnce builds the whole-stream output tree exactly once
+// and proofFor is read-only thereafter.
+type compactionJob struct {
+	info      lsm.CompactionInfo
+	inputs    map[uint64]*treeBuilder
+	output    *treeBuilder
+	streamErr error
+
+	finalizeOnce sync.Once
+	finalized    *outputTree
+}
+
+// finalize builds (once) and returns the finalized output tree.
+func (j *compactionJob) finalize() *outputTree {
+	j.finalizeOnce.Do(func() { j.finalized = finishOutput(j.output) })
+	return j.finalized
+}
+
+// job returns the staging context for the given output run, or nil.
+func (l *authListener) job(runID uint64) *compactionJob {
+	l.jobsMu.Lock()
+	defer l.jobsMu.Unlock()
+	return l.jobs[runID]
+}
+
+// dropJob discards a job's staging context.
+func (l *authListener) dropJob(runID uint64) {
+	l.jobsMu.Lock()
+	delete(l.jobs, runID)
+	l.jobsMu.Unlock()
 }
 
 var _ lsm.EventListener = (*authListener)(nil)
@@ -144,26 +187,25 @@ func (l *authListener) OnWALRotated() {
 	l.walSwapPending = true
 }
 
-// OnCompactionBegin initializes the per-run input reconstruction trees and
-// the output tree.
+// OnCompactionBegin allocates the job's staging context: per-run input
+// reconstruction trees and the output tree. It must NOT touch any staged
+// transition seal — a concurrent job may be mid-install with a live one;
+// abandoned stagings are retracted by OnCompactionAbort instead.
 func (l *authListener) OnCompactionBegin(info lsm.CompactionInfo) {
-	c := l.c
-	c.mu.Lock()
-	// A pending install staged by a previous compaction whose install was
-	// abandoned (manifest write failure) can never match a recovered
-	// directory — its output files were removed — but drop it anyway so
-	// seals stay minimal.
-	c.pendingSeal = nil
-	c.mu.Unlock()
-	l.info = info
-	l.active = true
-	l.streamErr = nil
-	l.finalized = nil
-	l.inputs = make(map[uint64]*treeBuilder, len(info.InputRuns))
-	for _, id := range info.InputRuns {
-		l.inputs[id] = newTreeBuilder(false)
+	j := &compactionJob{
+		info:   info,
+		inputs: make(map[uint64]*treeBuilder, len(info.InputRuns)),
+		output: newTreeBuilder(true),
 	}
-	l.output = newTreeBuilder(true)
+	for _, id := range info.InputRuns {
+		j.inputs[id] = newTreeBuilder(false)
+	}
+	l.jobsMu.Lock()
+	if l.jobs == nil {
+		l.jobs = make(map[uint64]*compactionJob)
+	}
+	l.jobs[info.OutputRun] = j
+	l.jobsMu.Unlock()
 }
 
 // Filter ingests every record of the merge stream: records from untrusted
@@ -171,43 +213,44 @@ func (l *authListener) OnCompactionBegin(info lsm.CompactionInfo) {
 // records feed the output tree (step b). Memtable records are trusted (L0
 // lives in the enclave) and only feed the output side.
 func (l *authListener) Filter(info lsm.CompactionInfo, srcRun uint64, rec record.Record, dropped bool) {
-	if !l.active || l.streamErr != nil {
+	j := l.job(info.OutputRun)
+	if j == nil || j.streamErr != nil {
 		return
 	}
 	if srcRun != lsm.MemtableRunID {
-		if b, ok := l.inputs[srcRun]; ok {
+		if b, ok := j.inputs[srcRun]; ok {
 			if err := b.Add(rec); err != nil {
-				l.streamErr = err
+				j.streamErr = err
 				return
 			}
 		} else {
-			l.streamErr = fmt.Errorf("core: record from undeclared input run %d", srcRun)
+			j.streamErr = fmt.Errorf("core: record from undeclared input run %d", srcRun)
 			return
 		}
 	}
 	if !dropped {
-		if err := l.output.Add(rec); err != nil {
-			l.streamErr = err
+		if err := j.output.Add(rec); err != nil {
+			j.streamErr = err
 		}
 	}
 }
 
 // OnTableFileCreated embeds each output record's Merkle proof (step c of
-// §5.5.2). The output tree is finalized on the first call — the engine
-// only creates files after the merge stream is complete.
+// §5.5.2). The output tree is finalized exactly once — the engine only
+// creates files after the merge stream is complete, but may create several
+// files of one job concurrently; proofFor is read-only after finalize.
 func (l *authListener) OnTableFileCreated(info lsm.TableFileInfo, recs []record.Record) ([]record.Record, error) {
-	if !l.active {
+	j := l.job(info.RunID)
+	if j == nil {
 		return nil, fmt.Errorf("core: OnTableFileCreated outside a compaction")
 	}
-	if l.streamErr != nil {
-		return nil, l.streamErr
+	if j.streamErr != nil {
+		return nil, j.streamErr
 	}
-	if l.finalized == nil {
-		l.finalized = finishOutput(l.output)
-	}
+	ft := j.finalize()
 	out := make([]record.Record, len(recs))
 	for i, rec := range recs {
-		p, err := l.finalized.proofFor(rec)
+		p, err := ft.proofFor(rec)
 		if err != nil {
 			return nil, err
 		}
@@ -220,13 +263,15 @@ func (l *authListener) OnTableFileCreated(info lsm.TableFileInfo, recs []record.
 // OnCompactionEnd performs the authenticated-compaction input check
 // (Figure 4 lines 31-33): every input run's reconstructed root must equal
 // the trusted root stored in the enclave, otherwise the compaction aborts
-// and the engine discards its output.
+// and the engine discards its output. The engine calls it under its
+// install lock, so exactly one job stages a transition seal at a time.
 func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
-	if !l.active {
+	j := l.job(info.OutputRun)
+	if j == nil {
 		return fmt.Errorf("core: OnCompactionEnd outside a compaction")
 	}
-	if l.streamErr != nil {
-		return l.streamErr
+	if j.streamErr != nil {
+		return j.streamErr
 	}
 	c := l.c
 	digs := c.snapshotDigests()
@@ -235,16 +280,15 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 		if !ok {
 			return fmt.Errorf("core: no trusted digest for input run %d", id)
 		}
-		_, got := l.inputs[id].Finish()
+		_, got := j.inputs[id].Finish()
 		if got.Root != trusted.Root || got.NumLeaves != trusted.NumLeaves {
 			return fmt.Errorf("%w: input run %d root mismatch (got %s want %s)",
 				ErrCompactionInput, id, got.Root, trusted.Root)
 		}
 	}
-	if l.finalized == nil {
-		// Compaction produced no output (everything dropped).
-		l.finalized = finishOutput(l.output)
-	}
+	// finalize is a no-op if parallel flushers already built the tree; for a
+	// compaction that produced no output (everything dropped) it runs here.
+	ft := j.finalize()
 
 	// Stage the post-install state and write a TRANSITION seal before the
 	// engine makes the install durable (manifest rename). From here until
@@ -261,7 +305,7 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 	for _, id := range info.InputRuns {
 		delete(next, id)
 	}
-	next[info.OutputRun] = l.finalized.digest
+	next[info.OutputRun] = ft.digest
 	c.mu.Lock()
 	wd, wa := c.durableDigest, c.durableAppends
 	if info.MemtableInput {
@@ -276,6 +320,7 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 		WALAppends: wa,
 		LastTs:     c.engine.AppliedTs(),
 	}
+	c.sealStagedBy = info.OutputRun
 	c.mu.Unlock()
 	c.commitState()
 	return nil
@@ -289,6 +334,7 @@ func (l *authListener) OnCompactionEnd(info lsm.CompactionInfo) error {
 // concurrent seal always fingerprints a coherent (forest, WAL chain) pair.
 func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 	c := l.c
+	j := l.job(info.OutputRun)
 	c.mu.Lock()
 	if l.walSwapPending {
 		// The frozen logs are gone: the trusted chain rebases onto the
@@ -303,7 +349,7 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 		}
 		l.walSwapPending = false
 	}
-	if l.active {
+	if j != nil {
 		old := c.snap.Load().digests
 		next := make(map[uint64]runDigest, len(old)+1)
 		for id, d := range old {
@@ -312,17 +358,17 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 		for _, id := range info.InputRuns {
 			delete(next, id)
 		}
-		next[info.OutputRun] = l.finalized.digest
+		next[info.OutputRun] = j.finalized.digest
 		c.snap.Store(&trustedView{digests: next})
 	}
 	// The install is durable: the staged transition is no longer needed —
-	// OnVersionCommitted reseals with the new state as Current.
+	// OnVersionCommitted reseals with the new state as Current. The install
+	// window is serialized by the engine, so the staged seal (if any) is
+	// this job's own.
 	c.pendingSeal = nil
+	c.sealStagedBy = 0
 	c.mu.Unlock()
-	l.active = false
-	l.inputs = nil
-	l.output = nil
-	l.finalized = nil
+	l.dropJob(info.OutputRun)
 }
 
 // OnVersionCommitted pins the new dataset state to the monotonic counter
@@ -331,4 +377,22 @@ func (l *authListener) OnVersionInstalled(info lsm.CompactionInfo) {
 // the seal write.
 func (l *authListener) OnVersionCommitted(info lsm.CompactionInfo) {
 	l.c.commitState()
+}
+
+// OnCompactionAbort discards a failed job's staging context. If THIS job
+// had already staged a transition seal (OnCompactionEnd succeeded but the
+// install failed), the staged state can never match a recovered directory
+// — the job's output files were removed — so retract it; a transition
+// staged by a different, concurrently-installing job is left untouched
+// (sealStagedBy keys the staging to its owner). The next seal write drops
+// the retracted pending state from the sealed blob.
+func (l *authListener) OnCompactionAbort(info lsm.CompactionInfo) {
+	c := l.c
+	c.mu.Lock()
+	if c.sealStagedBy == info.OutputRun {
+		c.pendingSeal = nil
+		c.sealStagedBy = 0
+	}
+	c.mu.Unlock()
+	l.dropJob(info.OutputRun)
 }

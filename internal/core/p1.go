@@ -89,6 +89,8 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 		GroupCommitWindow:     cfg.GroupCommitWindow,
 		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
 		InlineCompaction:      cfg.InlineCompaction,
+		CompactionWorkers:     cfg.CompactionWorkers,
+		Workers:               cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

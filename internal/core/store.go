@@ -75,6 +75,13 @@ type Config struct {
 	// InlineCompaction restores synchronous flush/compaction on the commit
 	// path (pre-background behaviour) — ablation benchmarks only.
 	InlineCompaction bool
+	// CompactionWorkers bounds how many maintenance jobs (flushes +
+	// compactions of disjoint level pairs) run concurrently (0 = engine
+	// default, max(2, GOMAXPROCS/2)).
+	CompactionWorkers int
+	// Workers shares one maintenance worker pool across several stores
+	// (shard sets); nil gives this store its own pool of CompactionWorkers.
+	Workers *lsm.WorkerPool
 	// KeepVersions, MemtableSize, TableFileSize, LevelBase,
 	// LevelMultiplier, MaxLevels, BlockSize, DisableCompaction and
 	// DisableWAL pass through to the engine (zero = engine default).
@@ -234,10 +241,14 @@ type Store struct {
 	// pendingSeal, when non-nil, is a staged version install awaiting its
 	// manifest rename: every seal written while it is set carries it as
 	// trustedState.Pending, so recovery from a crash inside the install
-	// window can adopt the post-install state. Staged by the maintenance
-	// worker (OnCompactionEnd), cleared at OnVersionInstalled or at the
-	// next compaction's begin if the install was abandoned. Guarded by mu.
-	pendingSeal *pendingState
+	// window can adopt the post-install state. Staged by the installing
+	// maintenance job (OnCompactionEnd, inside the engine's serialized
+	// install window), cleared at OnVersionInstalled or retracted by
+	// OnCompactionAbort if the install was abandoned. sealStagedBy records
+	// the output-run ID of the job that staged it, so only the owning job's
+	// abort retracts it (a concurrent failed job must not). Guarded by mu.
+	pendingSeal  *pendingState
+	sealStagedBy uint64
 
 	// scanTamper, when non-nil, mutates each per-run scan response before
 	// verification — a test-only stand-in for a malicious untrusted host.
@@ -350,6 +361,8 @@ func Open(cfg Config) (*Store, error) {
 		GroupCommitWindow:     cfg.GroupCommitWindow,
 		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
 		InlineCompaction:      cfg.InlineCompaction,
+		CompactionWorkers:     cfg.CompactionWorkers,
+		Workers:               cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -49,6 +49,8 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 		GroupCommitWindow:     cfg.GroupCommitWindow,
 		MaxAsyncCommitBacklog: cfg.MaxAsyncCommitBacklog,
 		InlineCompaction:      cfg.InlineCompaction,
+		CompactionWorkers:     cfg.CompactionWorkers,
+		Workers:               cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

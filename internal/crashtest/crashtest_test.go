@@ -178,6 +178,48 @@ func TestCrashMatrixFlushInstall(t *testing.T) {
 	})
 }
 
+// TestCrashMatrixParallelMaintenance enumerates crashes — torn writes
+// included — while TWO maintenance workers run concurrent phase-2 jobs: a
+// tiny memtable and level budget keep a flush and a disjoint compaction in
+// flight together for most of the workload. The invariants are the usual
+// ones, which here mean each level recovers as its old run set or its new
+// one, never a mix, no matter which of the two jobs the crash interrupts —
+// and tamper detection survives the parallel install traffic.
+func TestCrashMatrixParallelMaintenance(t *testing.T) {
+	parallelOpts := func(env *Env) elsm.Options {
+		opts := storeOpts(env)
+		opts.MemtableSize = 4 << 10
+		opts.TableFileSize = 4 << 10
+		opts.LevelBase = 16 << 10
+		opts.MaxLevels = 5
+		opts.CompactionWorkers = 2
+		return opts
+	}
+	Enumerate(t, Scenario{
+		Name: "parallel-maintenance",
+		Torn: true,
+		Run: func(env *Env) {
+			st, err := elsm.Open(parallelOpts(env))
+			if err != nil {
+				return
+			}
+			defer st.Close()
+			val := bytes.Repeat([]byte("y"), 256)
+			for i := 0; i < 90; i++ {
+				key := fmt.Sprintf("par-%03d", i)
+				if _, err := st.Put([]byte(key), val); err != nil {
+					return
+				}
+				env.Ack(key, string(val))
+			}
+			_ = st.Flush() // settle the tail so the final installs crash too
+		},
+		Verify: func(t *testing.T, env *Env) {
+			verifyRecovered(t, env, parallelOpts(env))
+		},
+	})
+}
+
 // TestCrashMatrixCheckpointRestore enumerates crashes during a follower's
 // checkpoint import. A crashed import must never produce a directory that
 // opens as a valid store with partial data: either the import completed

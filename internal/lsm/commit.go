@@ -840,9 +840,9 @@ func (s *Store) observeFsync(d time.Duration) {
 // target, drain the sync pipeline (every appended record must be applied
 // before its log is frozen, and no fsync may be in flight across the WAL
 // rotation), wait out any still-flushing predecessor — charged to
-// FlushStallNanos, or to CompactionStallNanos when a level compaction was
-// occupying the worker at the time — then freeze the memtable and schedule
-// its flush.
+// FlushStallNanos, or to CompactionStallNanos when compaction debt, not
+// flush progress, is what held the workers when the wait began — then
+// freeze the memtable and schedule its flush.
 func (s *Store) ensureMemtableRoom() error {
 	s.mu.RLock()
 	full := s.mem.ApproxBytes() >= s.opts.MemtableSize
@@ -857,15 +857,20 @@ func (s *Store) ensureMemtableRoom() error {
 	// Close drains the maintenance worker first, so waiting for a flush
 	// here would wait forever.
 	for s.frozen != nil && s.bgErr == nil && !s.closed && !s.maintenanceClosed() {
-		blocking := s.maint.current.Load()
+		// With multiple jobs in flight the old "whatever job the worker
+		// held" attribution misfires: a running flush plus a background
+		// compaction is a FLUSH wait, not compaction debt. Charge the
+		// compaction bucket only when compactions hold workers and no
+		// flush is actually running.
+		blockedByCompaction := s.maint.flushInFlight.Load() == 0 &&
+			s.maint.compactInFlight.Load() > 0
 		start := time.Now()
 		s.flushDone.Wait()
 		d := time.Since(start).Nanoseconds()
 		// FlushStallNanos is the TOTAL stall; CompactionStallNanos is the
-		// subset where a compaction occupied the worker when the wait
-		// began (compaction debt delaying the flush).
+		// subset attributable to compaction debt delaying the flush.
 		s.flushStallNanos.Add(d)
-		if blocking == jobCompact {
+		if blockedByCompaction {
 			s.compactionStallNanos.Add(d)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 
 	"elsm/internal/costmodel"
 	"elsm/internal/record"
@@ -12,7 +13,7 @@ import (
 )
 
 // This file implements flush and level compaction as three-phase jobs
-// executed by the maintenance worker (scheduler.go):
+// executed by the maintenance worker pool (scheduler.go):
 //
 //  1. snapshot — a brief s.mu critical section collects the immutable
 //     inputs: the frozen memtable and the input runs, pinned by reference
@@ -20,10 +21,19 @@ import (
 //  2. merge/build/hash — the entire level rewrite (merge iteration,
 //     retention filtering, SSTable builds, the listener's Merkle
 //     reconstruction and output-tree hashing) runs WITHOUT the engine
-//     lock: readers and the commit pipeline proceed at full speed;
-//  3. install — s.mu is re-taken only to swap the level vector, persist
-//     the manifest, retire the input runs and let the listener publish the
-//     new digest snapshot (an atomic pointer swap on the core side).
+//     lock: readers, the commit pipeline, and OTHER maintenance jobs on
+//     disjoint level pairs proceed at full speed. Within one job the
+//     output files are built by a bounded flusher pool (bubt-style),
+//     overlapping enclave hashing with file writes;
+//  3. install — installMu serializes the authenticated verify
+//     (OnCompactionEnd) → level-vector swap → manifest persist →
+//     OnVersionCommitted window across concurrent jobs, so exactly one
+//     version transition (and one staged transition seal) is in flight at
+//     a time; s.mu is re-taken only for the swap itself.
+//
+// Every job fires exactly one of OnVersionCommitted (success) or
+// OnCompactionAbort (any failure after OnCompactionBegin), so the
+// listener's per-job rebuild context is always reclaimed.
 //
 // With Options.InlineCompaction the same phases run synchronously on the
 // commit path under commitMu — the pre-background behaviour, kept for the
@@ -76,7 +86,16 @@ func (s *Store) flushFrozen() error {
 		return err
 	}
 
-	// Phase 3: install the new version.
+	// Phase 3: verify and install the new version. installMu serializes the
+	// End→install→Committed window across concurrent jobs.
+	s.installMu.Lock()
+	if err := s.listener.OnCompactionEnd(info); err != nil {
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
+		s.removeFiles(newRun.fileNums())
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
 	s.mu.Lock()
 	oldL1 := s.levels[1]
 	if s.opts.DisableCompaction {
@@ -98,6 +117,8 @@ func (s *Store) flushFrozen() error {
 		s.levels[1] = oldL1
 		s.flushedWALSeq = oldFlushedSeq
 		s.mu.Unlock()
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
 		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		s.removeFiles(newRun.fileNums())
 		return err
@@ -120,12 +141,14 @@ func (s *Store) flushFrozen() error {
 	s.frozen = nil
 	s.flushes.Add(1)
 	s.bytesFlushed.Add(uint64(newRun.bytes))
+	s.refreshLevelBytesLocked()
 	s.listener.OnVersionInstalled(info)
 	s.flushDone.Broadcast()
 	s.mu.Unlock()
 
 	frozen.Release()
 	s.listener.OnVersionCommitted(info)
+	s.installMu.Unlock()
 	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
 	if !s.opts.InlineCompaction {
 		s.scheduleOverflowCompactions()
@@ -231,7 +254,16 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 		return err
 	}
 
-	// Phase 3: install.
+	// Phase 3: verify and install. installMu serializes the
+	// End→install→Committed window across concurrent jobs.
+	s.installMu.Lock()
+	if err := s.listener.OnCompactionEnd(info); err != nil {
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
+		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
+		s.removeFiles(newRun.fileNums())
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
 	s.mu.Lock()
 	oldUpper, oldLower := s.levels[lvl], s.levels[lvl+1]
 	s.levels[lvl] = nil
@@ -239,6 +271,8 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 	if err := s.persistManifestLocked(); err != nil {
 		s.levels[lvl], s.levels[lvl+1] = oldUpper, oldLower
 		s.mu.Unlock()
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
 		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		s.removeFiles(newRun.fileNums())
 		return err
@@ -249,10 +283,12 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 	if background {
 		s.backgroundCompactions.Add(1)
 	}
+	s.refreshLevelBytesLocked()
 	s.listener.OnVersionInstalled(info)
 	s.mu.Unlock()
 
 	s.listener.OnVersionCommitted(info)
+	s.installMu.Unlock()
 	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
 	if !s.opts.InlineCompaction {
 		s.scheduleOverflowCompactions()
@@ -262,10 +298,12 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 
 // runCompaction executes the merge: streams inputs through the listener's
 // Filter hook, applies the version/tombstone retention policy, splits the
-// output into table files (routing each through OnTableFileCreated so the
-// authentication layer can embed proofs), and verifies via OnCompactionEnd
-// before returning the new run. Runs entirely without the engine lock: its
-// inputs are immutable (a frozen memtable and pinned runs).
+// output into table files, and builds them with a bounded flusher pool
+// (each file routed through OnTableFileCreated so the authentication layer
+// can embed proofs). Runs entirely without the engine lock: its inputs are
+// immutable (a frozen memtable and pinned runs). The caller verifies via
+// OnCompactionEnd under installMu before installing; on any error returned
+// here, OnCompactionAbort has already been fired.
 func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs []*run) (*run, error) {
 	// Step m1: bulk-load input files into untrusted memory for streaming.
 	var pinnedFiles []uint64
@@ -341,39 +379,76 @@ func (s *Store) runCompaction(info CompactionInfo, sources []mergeSource, inputs
 		fileRecs = append(fileRecs, cur)
 	}
 
-	// Write output files (each routed through OnTableFileCreated).
+	// Write output files, bubt-style: each output SSTable is independent
+	// once the merge has partitioned the stream, so build/hash/write them
+	// with a bounded flusher pool, overlapping enclave hashing with file
+	// I/O. File numbers are pre-assigned so the on-disk order matches the
+	// key order regardless of completion order. Per-record proofs are
+	// embedded against the finalized whole-stream output tree, which the
+	// listener builds once (OnTableFileCreated may fire concurrently for
+	// files of the same job — the listener's per-job context handles that).
+	handles := make([]*tableHandle, len(fileRecs))
+	errs := make([]error, len(fileRecs))
+	fileNums := make([]uint64, len(fileRecs))
+	for i := range fileRecs {
+		fileNums[i] = s.nextFileNum.Add(1) - 1
+	}
+	if len(fileRecs) <= 1 {
+		for fi, recs := range fileRecs {
+			handles[fi], errs[fi] = s.writeRunFile(info, fi, fileNums[fi], recs)
+		}
+	} else {
+		flushers := s.opts.CompactionWorkers
+		if flushers > len(fileRecs) {
+			flushers = len(fileRecs)
+		}
+		sem := make(chan struct{}, flushers)
+		var wg sync.WaitGroup
+		for fi := range fileRecs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(fi int) {
+				defer func() { <-sem; wg.Done() }()
+				handles[fi], errs[fi] = s.writeRunFile(info, fi, fileNums[fi], fileRecs[fi])
+			}(fi)
+		}
+		wg.Wait()
+	}
 	newRun := &run{id: info.OutputRun}
 	newRun.refs.Store(1) // the version reference, effective at install
-	var newFiles []uint64
-	abort := func(err error) (*run, error) {
-		s.removeFiles(newFiles)
-		return nil, err
-	}
-	for fi, recs := range fileRecs {
-		th, err := s.writeRunFile(info, fi, recs)
+	for _, err := range errs {
 		if err != nil {
-			return abort(err)
+			var written []uint64
+			for _, th := range handles {
+				if th != nil {
+					written = append(written, th.meta.FileNum)
+				}
+			}
+			s.removeFiles(written)
+			s.listener.OnCompactionAbort(info)
+			return nil, err
 		}
-		newFiles = append(newFiles, th.meta.FileNum)
+	}
+	for _, th := range handles {
 		newRun.tables = append(newRun.tables, th)
 		newRun.bytes += th.meta.Size
 		newRun.entries += th.meta.NumEntries
 	}
-
-	// Authenticated-compaction check (§5.5.2 step on Line 31-33 of Fig 4):
-	// the listener verifies input digests and stages the output digest.
-	if err := s.listener.OnCompactionEnd(info); err != nil {
-		return abort(fmt.Errorf("%w: %v", ErrAborted, err))
-	}
 	return newRun, nil
 }
+
+// memBufPool recycles the in-enclave staging buffers used by parallel
+// flushers; the buffer contents are fully copied out during the flush
+// OCall, so a buffer can be reused as soon as writeRunFile returns.
+var memBufPool = sync.Pool{New: func() any { return &memBuf{} }}
 
 // writeRunFile builds one output SSTable. The records are first offered to
 // the listener, which may rewrite them (embedding proofs); the table is
 // built inside the enclave and flushed to the untrusted FS in one OCall
-// (step m3), charging the boundary copy for the file bytes.
-func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, recs []record.Record) (*tableHandle, error) {
-	fileNum := s.nextFileNum.Add(1) - 1
+// (step m3), charging the boundary copy for the file bytes. Safe to call
+// concurrently for distinct files of the same job (fileNum is pre-assigned
+// by the caller so output order is deterministic).
+func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, fileNum uint64, recs []record.Record) (*tableHandle, error) {
 	tfi := TableFileInfo{
 		FileNum:   fileNum,
 		RunID:     info.OutputRun,
@@ -386,8 +461,13 @@ func (s *Store) writeRunFile(info CompactionInfo, fileIdx int, recs []record.Rec
 		return nil, err
 	}
 
-	// Build in enclave memory first.
-	buf := &memBuf{}
+	// Build in enclave memory first (pooled buffer: parallel flushers churn
+	// one table-sized allocation per file otherwise).
+	buf := memBufPool.Get().(*memBuf)
+	defer func() {
+		buf.data = buf.data[:0]
+		memBufPool.Put(buf)
+	}()
 	b := sstable.NewBuilder(buf, sstable.BuilderOptions{
 		BlockSize: s.opts.BlockSize,
 		Transform: s.opts.Transform,
@@ -524,6 +604,15 @@ func (s *Store) bulkLoadJob(recs []record.Record, total int64, maxTs uint64) err
 		return err
 	}
 
+	// Verify and install under installMu: bulk load is a version transition
+	// like any other, so it serializes with concurrent background installs.
+	s.installMu.Lock()
+	if err := s.listener.OnCompactionEnd(info); err != nil {
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
+		s.removeFiles(newRun.fileNums())
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
 	s.mu.Lock()
 	// Place the run by its ACTUAL size: the listener may have inflated
 	// records (embedded proofs are several times the record size), and a
@@ -542,12 +631,16 @@ func (s *Store) bulkLoadJob(recs []record.Record, total int64, maxTs uint64) err
 	if err := s.persistManifestLocked(); err != nil {
 		s.levels[lvl] = nil
 		s.mu.Unlock()
+		s.listener.OnCompactionAbort(info)
+		s.installMu.Unlock()
 		s.removeFiles(newRun.fileNums())
 		return err
 	}
+	s.refreshLevelBytesLocked()
 	s.listener.OnVersionInstalled(info)
 	s.mu.Unlock()
 	s.listener.OnVersionCommitted(info)
+	s.installMu.Unlock()
 	return nil
 }
 

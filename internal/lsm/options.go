@@ -14,6 +14,7 @@
 package lsm
 
 import (
+	"runtime"
 	"time"
 
 	"elsm/internal/blockcache"
@@ -80,6 +81,16 @@ type Options struct {
 	// pays the whole level rewrite under commitMu). Exists for the
 	// ablation benchmark; never enable in production.
 	InlineCompaction bool
+	// CompactionWorkers bounds how many maintenance jobs (flushes and
+	// compactions of disjoint level pairs) may execute concurrently.
+	// 0 selects DefaultCompactionWorkers() = max(2, GOMAXPROCS/2).
+	CompactionWorkers int
+	// Workers, when non-nil, is a worker-token pool SHARED with other
+	// stores (the sharded open path passes one pool to every shard so the
+	// machine-wide concurrency stays bounded by CompactionWorkers, not
+	// Shards × CompactionWorkers). Nil creates a private pool of
+	// CompactionWorkers tokens.
+	Workers *WorkerPool
 	// DisableWAL skips write-ahead logging (bulk experiments).
 	DisableWAL bool
 	// GroupCommitMaxOps caps how many operations one commit group may
@@ -148,7 +159,24 @@ func (o Options) withDefaults() Options {
 	if o.MaxAsyncCommitBacklog <= 0 {
 		o.MaxAsyncCommitBacklog = DefaultMaxAsyncCommitBacklog
 	}
+	if o.CompactionWorkers <= 0 {
+		o.CompactionWorkers = DefaultCompactionWorkers()
+	}
+	if o.Workers == nil {
+		o.Workers = NewWorkerPool(o.CompactionWorkers)
+	}
 	return o
+}
+
+// DefaultCompactionWorkers is the auto-resolved maintenance concurrency:
+// half the machine's scheduler parallelism, never below two — one slot can
+// always run a flush while another rewrites a deep level.
+func DefaultCompactionWorkers() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 2 {
+		n = 2
+	}
+	return n
 }
 
 // levelTarget returns the size budget of 1-based level i.
@@ -196,12 +224,28 @@ type TableFileInfo struct {
 // authentication layer attaches to the engine, mirroring RocksDB's
 // EventListener + CompactionFilter APIs (§5.5.3). Commit-path hooks
 // (OnWALAppend, OnGroupCommit, OnMemtableFrozen) fire on committing
-// goroutines; compaction hooks (OnCompactionBegin through
-// OnVersionCommitted) fire on the maintenance worker, which runs at most
-// one flush/compaction at a time — so one compaction's staging state is
-// live at any moment, but implementations must make any state SHARED
-// between the two groups (e.g. a WAL digest chain) internally
-// thread-safe. Implementations must not call back into the Store.
+// goroutines. Compaction hooks fire on maintenance-job goroutines, of
+// which SEVERAL may run concurrently (Options.CompactionWorkers): each job
+// gets its own OnCompactionBegin..OnVersionCommitted/OnCompactionAbort
+// lifecycle, distinguished by CompactionInfo.OutputRun (unique per job), so
+// implementations must key any per-compaction staging state by it.
+// Concurrency guarantees the engine provides:
+//
+//   - OnCompactionBegin and Filter fire on the job's own goroutine, with
+//     Filter single-threaded per job (merge order);
+//   - OnTableFileCreated may fire CONCURRENTLY for different files of the
+//     SAME job (the pipelined output build) — per-job read-mostly state
+//     must tolerate that;
+//   - OnCompactionEnd → OnVersionInstalled → OnVersionCommitted run under
+//     the engine's install lock, so across ALL jobs at most one install
+//     sequence is in flight at a time ("one version install in flight");
+//   - every job that fired OnCompactionBegin fires exactly one of
+//     OnVersionCommitted (success) or OnCompactionAbort (failure at any
+//     later point, including a failed install).
+//
+// State shared between the commit-path and compaction groups (e.g. a WAL
+// digest chain) must be internally thread-safe. Implementations must not
+// call back into the Store.
 type EventListener interface {
 	// OnWALAppend fires before a record is appended to the untrusted WAL,
 	// letting the enclave extend its WAL digest chain (§5.3 step w1).
@@ -265,6 +309,13 @@ type EventListener interface {
 	// engine lock: the listener performs its slow durability work here
 	// (counter bump, state seal and write) off the read/write paths.
 	OnVersionCommitted(info CompactionInfo)
+	// OnCompactionAbort fires when a job that fired OnCompactionBegin
+	// fails before OnVersionInstalled (merge error, OnCompactionEnd
+	// rejection, manifest write failure): the listener must discard the
+	// job's staging state, including any transition seal it staged — the
+	// output files are being removed, so a recovered directory can never
+	// match the staged state.
+	OnCompactionAbort(info CompactionInfo)
 }
 
 // NopListener ignores all events.
@@ -309,3 +360,6 @@ func (NopListener) OnVersionInstalled(CompactionInfo) {}
 
 // OnVersionCommitted implements EventListener.
 func (NopListener) OnVersionCommitted(CompactionInfo) {}
+
+// OnCompactionAbort implements EventListener.
+func (NopListener) OnCompactionAbort(CompactionInfo) {}

@@ -1,0 +1,362 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"elsm/internal/record"
+	"elsm/internal/vfs"
+)
+
+// trackListener checks the scheduler's two concurrency invariants from the
+// listener's vantage point: jobs whose level claims overlap never run
+// concurrently, and the OnCompactionEnd → OnVersionCommitted install window
+// is single-slot across all jobs.
+type trackListener struct {
+	NopListener
+	mu           sync.Mutex
+	active       map[uint64][2]int // OutputRun → claimed [lo, hi] level pair
+	staged       map[uint64]bool   // OutputRun → inside the install window
+	installDepth int
+	maxInstall   int
+	maxActive    int
+	overlaps     []string
+	aborts       int
+}
+
+func newTrackListener() *trackListener {
+	return &trackListener{
+		active: make(map[uint64][2]int),
+		staged: make(map[uint64]bool),
+	}
+}
+
+// claimPair mirrors jobClaims: a flush owns {memtable, L1}, a compaction of
+// Ln owns {Ln, Ln+1}.
+func claimPair(info CompactionInfo) [2]int {
+	if info.MemtableInput {
+		return [2]int{0, 1}
+	}
+	return [2]int{info.OutputLevel - 1, info.OutputLevel}
+}
+
+func (l *trackListener) OnCompactionBegin(info CompactionInfo) {
+	if info.BulkLoad {
+		return // exclusive job, runs with the queue fenced
+	}
+	p := claimPair(info)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for run, q := range l.active {
+		if p[0] <= q[1] && q[0] <= p[1] {
+			l.overlaps = append(l.overlaps,
+				fmt.Sprintf("job %d (levels %v) ran concurrently with job %d (levels %v)",
+					info.OutputRun, p, run, q))
+		}
+	}
+	l.active[info.OutputRun] = p
+	if n := len(l.active); n > l.maxActive {
+		l.maxActive = n
+	}
+}
+
+func (l *trackListener) OnCompactionEnd(info CompactionInfo) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.installDepth++
+	if l.installDepth > l.maxInstall {
+		l.maxInstall = l.installDepth
+	}
+	l.staged[info.OutputRun] = true
+	return nil
+}
+
+func (l *trackListener) finishLocked(run uint64) {
+	if l.staged[run] {
+		l.installDepth--
+		delete(l.staged, run)
+	}
+	delete(l.active, run)
+}
+
+func (l *trackListener) OnVersionCommitted(info CompactionInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.finishLocked(info.OutputRun)
+}
+
+func (l *trackListener) OnCompactionAbort(info CompactionInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.aborts++
+	l.finishLocked(info.OutputRun)
+}
+
+// TestParallelJobsDisjointAndInstallsSerialized hammers a 4-worker store
+// with concurrent writers, explicit compactions and pinned snapshots, and
+// asserts from the listener that (a) no two concurrent jobs ever claimed
+// overlapping level pairs, (b) at most one install window was ever open,
+// and (c) a snapshot pinned mid-churn reads repeatably.
+func TestParallelJobsDisjointAndInstallsSerialized(t *testing.T) {
+	tl := newTrackListener()
+	opts := bgOpts(nil)
+	opts.MaxLevels = 6
+	opts.CompactionWorkers = 4
+	opts.Listener = tl
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers, perWriter = 4, 800
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-key%05d", w, i)
+				if _, err := s.Put([]byte(key), []byte(fmt.Sprintf("val%05d", i))); err != nil {
+					t.Errorf("writer %d put %d: %v", w, i, err)
+					return
+				}
+				if i%97 == 0 {
+					if _, err := s.Delete([]byte(key)); err != nil {
+						t.Errorf("writer %d delete %d: %v", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Explicit deep compactions racing the flush-driven cascades.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			for lvl := 1; lvl < opts.MaxLevels-1; lvl++ {
+				if err := s.Compact(lvl); err != nil {
+					t.Errorf("compact L%d: %v", lvl, err)
+					return
+				}
+			}
+		}
+	}()
+	// A snapshot pinned mid-churn must read the same bytes at the end.
+	time.Sleep(10 * time.Millisecond)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+	firstRead, _, _, err := snap.ScanChunk([]byte("w0-"), []byte("w0-z"), record.MaxTs, 0)
+	if err != nil {
+		t.Fatalf("snapshot scan during churn: %v", err)
+	}
+	wg.Wait()
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+
+	tl.mu.Lock()
+	overlaps, maxInstall, maxActive, aborts := tl.overlaps, tl.maxInstall, tl.maxActive, tl.aborts
+	tl.mu.Unlock()
+	for _, o := range overlaps {
+		t.Errorf("level-claim overlap: %s", o)
+	}
+	if maxInstall > 1 {
+		t.Fatalf("install window not serialized: %d concurrent installs", maxInstall)
+	}
+	if aborts != 0 {
+		t.Fatalf("%d jobs aborted under a healthy store", aborts)
+	}
+	t.Logf("max concurrent jobs observed: %d", maxActive)
+
+	// The pinned snapshot re-reads bit for bit despite all the churn.
+	secondRead, _, _, err := snap.ScanChunk([]byte("w0-"), []byte("w0-z"), record.MaxTs, 0)
+	if err != nil {
+		t.Fatalf("snapshot scan after churn: %v", err)
+	}
+	if len(firstRead) != len(secondRead) {
+		t.Fatalf("snapshot drifted: %d records then, %d now", len(firstRead), len(secondRead))
+	}
+	for i := range firstRead {
+		if !recordsEqual(firstRead[i], secondRead[i]) {
+			t.Fatalf("snapshot record %d drifted: %+v -> %+v", i, firstRead[i], secondRead[i])
+		}
+	}
+
+	// Every surviving key is readable with its final value.
+	for w := 0; w < writers; w++ {
+		for _, i := range []int{1, perWriter / 2, perWriter - 1} {
+			key := fmt.Sprintf("w%d-key%05d", w, i)
+			rec, ok, err := s.Get([]byte(key), record.MaxTs)
+			if err != nil || !ok || string(rec.Value) != fmt.Sprintf("val%05d", i) {
+				t.Fatalf("key %s: ok=%v err=%v val=%q", key, ok, err, rec.Value)
+			}
+		}
+	}
+}
+
+func recordsEqual(a, b record.Record) bool {
+	return a.Ts == b.Ts && a.Kind == b.Kind &&
+		string(a.Key) == string(b.Key) && string(a.Value) == string(b.Value)
+}
+
+// TestParallelMatchesSerialScans runs one deterministic workload into a
+// 4-worker store and an inline (fully serial) store and requires the final
+// contents to match record for record — parallel maintenance must be
+// invisible to readers.
+func TestParallelMatchesSerialScans(t *testing.T) {
+	run := func(opts Options) []record.Record {
+		t.Helper()
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("key%05d", i%700) // overwrites exercise dedup
+			if i%13 == 0 {
+				if _, err := s.Delete([]byte(key)); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if _, err := s.Put([]byte(key), []byte(fmt.Sprintf("val%06d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.WaitMaintenance(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s.Scan([]byte("key"), []byte("kez"), record.MaxTs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	parOpts := bgOpts(nil)
+	parOpts.MaxLevels = 6
+	parOpts.CompactionWorkers = 4
+	parallel := run(parOpts)
+
+	serOpts := bgOpts(nil)
+	serOpts.MaxLevels = 6
+	serOpts.InlineCompaction = true
+	serial := run(serOpts)
+
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel scan %d records, serial %d", len(parallel), len(serial))
+	}
+	for i := range parallel {
+		if !recordsEqual(parallel[i], serial[i]) {
+			t.Fatalf("record %d diverged: parallel %+v, serial %+v", i, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestStallAttributionFlushOnly pins the writer-stall bookkeeping: with
+// compaction disabled, a stalled writer can only be waiting on flush
+// progress, so no stall time may be charged to compaction debt.
+func TestStallAttributionFlushOnly(t *testing.T) {
+	opts := bgOpts(vfs.NewSlowSync(vfs.NewMem(), 2*time.Millisecond))
+	opts.DisableCompaction = true
+	opts.DisableWAL = true // puts are memory-fast; only the flush pays syncs
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("key%05d", i)), []byte("vvvvvvvv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FlushStallNanos == 0 {
+		t.Fatal("burst over slow storage produced no flush stall")
+	}
+	if st.CompactionStallNanos != 0 {
+		t.Fatalf("stall misattributed: %dns charged to compaction with compaction disabled",
+			st.CompactionStallNanos)
+	}
+}
+
+// gateListener parks the first non-flush compaction in phase 2 until
+// released, holding its worker token.
+type gateListener struct {
+	NopListener
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateListener) OnCompactionBegin(info CompactionInfo) {
+	if info.MemtableInput {
+		return
+	}
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+}
+
+// TestStallAttributionCompactionBlocked is the regression test for the
+// attribution fix: a writer stalled because compaction debt holds the only
+// worker (no flush is running) must charge its wait to CompactionStallNanos.
+func TestStallAttributionCompactionBlocked(t *testing.T) {
+	gate := &gateListener{entered: make(chan struct{}), release: make(chan struct{})}
+	opts := bgOpts(nil)
+	opts.DisableWAL = true
+	opts.CompactionWorkers = 1 // the gated compaction starves the flush
+	opts.Listener = gate
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 300; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("seed%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	compactDone := make(chan error, 1)
+	go func() { compactDone <- s.Compact(1) }()
+	<-gate.entered // the compaction now owns the only worker token
+
+	writerDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 600; i++ { // several memtables' worth: must stall
+			if _, err := s.Put([]byte(fmt.Sprintf("key%05d", i)), []byte("vvvvvvvv")); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+
+	// Let the writer hit the full-memtable wall while the flush it needs
+	// sits queued behind the parked compaction.
+	time.Sleep(100 * time.Millisecond)
+	close(gate.release)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := <-compactDone; err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CompactionStallNanos == 0 {
+		t.Fatal("writer wait behind a parked compaction charged no CompactionStallNanos")
+	}
+}

@@ -135,6 +135,18 @@ type Stats struct {
 	// BackgroundCompactions counts level compactions executed by the
 	// maintenance worker (scheduled, not requested synchronously).
 	BackgroundCompactions uint64
+	// CompactionDebtBytes is the current total bytes by which levels
+	// exceed their size targets — the backlog the scheduler orders
+	// background compactions by. CompactionDebtByLevel is the per-level
+	// breakdown (index 0 unused, like the level vector).
+	CompactionDebtBytes   uint64
+	CompactionDebtByLevel []uint64
+	// ParallelCompactions is the number of maintenance jobs (flushes,
+	// compactions, bulk loads) executing right now on this store.
+	ParallelCompactions uint64
+	// CompactionWorkersBusy is the number of busy tokens in the worker
+	// pool — pool-wide when the pool is shared across shards.
+	CompactionWorkersBusy uint64
 	// PinnedRuns is the current number of run pins held beyond version
 	// membership (compaction inputs being merged, iterator snapshots).
 	PinnedRuns uint64
@@ -157,19 +169,22 @@ type Stats struct {
 // the two-stage group-commit pipeline (commit.go): an append worker coalesces
 // concurrent commits into groups and appends them to the WAL, a sync worker
 // fsyncs and applies them — so the append of group N+1 overlaps the fsync of
-// group N. Flush and compaction run on a dedicated maintenance worker
-// (scheduler.go): the commit path only freezes the full memtable (an O(1)
-// pointer swap plus a WAL rotation) and schedules the level rewrite, so
-// writers never wait on a multi-megabyte merge unless flushes fall behind
-// the write rate (Stats.FlushStallNanos counts exactly that).
+// group N. Flush and compaction run on a pool of maintenance workers
+// (scheduler.go) scheduled by compaction debt over disjoint level pairs:
+// the commit path only freezes the full memtable (an O(1) pointer swap plus
+// a WAL rotation) and schedules the level rewrite, so writers never wait on
+// a multi-megabyte merge unless flushes fall behind the write rate
+// (Stats.FlushStallNanos counts exactly that).
 //
-// Lock order: commitMu > mu > gc.syncMu / maint.mu > the listener's own
-// locks. commitMu serializes append epochs — a commit group's WAL append, a
-// freeze's WAL rotation (which first drains the sync stage, so no fsync is
-// in flight across the rename), close — without covering fsyncs and without
-// blocking readers, which only take mu.RLock and therefore never wait on
-// storage. The maintenance worker takes mu only for the snapshot and
-// install phases of a rewrite, never commitMu.
+// Lock order: commitMu > installMu > mu > gc.syncMu / maint.mu > the
+// listener's own locks. commitMu serializes append epochs — a commit
+// group's WAL append, a freeze's WAL rotation (which first drains the sync
+// stage, so no fsync is in flight across the rename), close — without
+// covering fsyncs and without blocking readers, which only take mu.RLock
+// and therefore never wait on storage. installMu serializes the install
+// phase (manifest write + digest swap + post-install seal) across
+// concurrent maintenance jobs. Maintenance jobs take mu only for the
+// snapshot and install phases of a rewrite, never commitMu.
 type Store struct {
 	opts     Options
 	fs       vfs.FS
@@ -177,6 +192,15 @@ type Store struct {
 	listener EventListener
 
 	commitMu sync.Mutex // guards walW append/sync/rotate epochs
+
+	// installMu serializes phase 3 of maintenance jobs end to end — from
+	// the listener's OnCompactionEnd (which stages the transition seal)
+	// through the manifest write, OnVersionInstalled and
+	// OnVersionCommitted. With parallel phase-2 workers this is what keeps
+	// "one version install in flight": manifest writes never reorder, and
+	// the listener's single-slot staged seal is never clobbered by a
+	// concurrent job's install. Acquired BEFORE s.mu.
+	installMu sync.Mutex
 
 	mu     sync.RWMutex    // guards mem, frozen, levels, retired, bgErr
 	mem    *memtable.Table // active write buffer
@@ -220,6 +244,16 @@ type Store struct {
 
 	gc    committer   // two-stage group-commit pipeline (commit.go)
 	maint maintenance // flush/compaction scheduler (scheduler.go)
+
+	// workers is the maintenance worker-token pool (possibly shared with
+	// other stores — see Options.Workers).
+	workers *WorkerPool
+
+	// levelBytesGauge mirrors the per-level byte totals of s.levels,
+	// updated under s.mu at every install/recovery but READ lock-free by
+	// the scheduler's debt ordering (maint.mu must never wait on s.mu —
+	// ensureMemtableRoom holds s.mu while taking maint.mu).
+	levelBytesGauge []atomic.Int64
 
 	// asyncSlots is the MaxAsyncCommitBacklog admission semaphore;
 	// asyncInFlight mirrors its occupancy for Stats.
@@ -290,9 +324,12 @@ func Open(opts Options) (*Store, error) {
 	s.nextFileNum.Store(1)
 	s.flushDone = sync.NewCond(&s.mu)
 	s.nextWALSeq = 1
+	s.workers = opts.Workers
+	s.levelBytesGauge = make([]atomic.Int64, len(s.levels))
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	s.refreshLevelBytesLocked()
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
@@ -342,8 +379,22 @@ type manifestRoot struct {
 	FlushedWALSeq uint64 `json:"flushedWALSeq,omitempty"`
 }
 
+// refreshLevelBytesLocked recomputes the lock-free per-level byte gauges
+// from the level vector. Called under s.mu after every level mutation
+// (install, rollback, recovery) so the scheduler's debt ordering reads a
+// value at most one install stale.
+func (s *Store) refreshLevelBytesLocked() {
+	for lvl := range s.levels {
+		var total int64
+		for _, r := range s.levels[lvl] {
+			total += r.bytes
+		}
+		s.levelBytesGauge[lvl].Store(total)
+	}
+}
+
 // persistManifestLocked writes the current version to MANIFEST atomically.
-// Caller holds s.mu; maintenance jobs are serialized on the worker, so
+// Caller holds s.mu; install phases are serialized on installMu, so
 // manifest writes never reorder.
 func (s *Store) persistManifestLocked() error {
 	root := manifestRoot{
@@ -530,6 +581,7 @@ func (s *Store) recoverManifest() error {
 	s.flushedWALSeq = root.FlushedWALSeq
 	if len(root.Levels) > len(s.levels) {
 		s.levels = make([][]*run, len(root.Levels))
+		s.levelBytesGauge = make([]atomic.Int64, len(root.Levels))
 	}
 	for lvl, runs := range root.Levels {
 		for _, mr := range runs {
@@ -1035,6 +1087,24 @@ func (s *Store) overflowingLevel() int {
 	return 0
 }
 
+// overflowingLevels returns every level over its size target, shallowest
+// first — the background scheduler queues all of them at once so disjoint
+// overflow rewrites can proceed in parallel.
+func (s *Store) overflowingLevels() []int {
+	if s.opts.DisableCompaction {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []int
+	for lvl := 1; lvl < s.opts.MaxLevels; lvl++ {
+		if s.levelBytesLocked(lvl) > s.opts.levelTarget(lvl) {
+			out = append(out, lvl)
+		}
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Reads (raw, unverified — the unsecured baseline path; the eLSM layer
 // drives the per-run lookup API in lookup.go instead)
@@ -1177,6 +1247,17 @@ func (s *Store) Stats() Stats {
 	if async < 0 {
 		async = 0
 	}
+	debtByLevel := make([]uint64, len(s.levelBytesGauge))
+	var debtTotal uint64
+	for lvl := 1; lvl < len(debtByLevel); lvl++ {
+		d := s.compactionDebt(lvl)
+		debtByLevel[lvl] = uint64(d)
+		debtTotal += uint64(d)
+	}
+	running := s.maint.running.Load()
+	if running < 0 {
+		running = 0
+	}
 	return Stats{
 		Flushes:                s.flushes.Load(),
 		Compactions:            s.compactions.Load(),
@@ -1191,6 +1272,10 @@ func (s *Store) Stats() Stats {
 		FlushStallNanos:        uint64(s.flushStallNanos.Load()),
 		CompactionStallNanos:   uint64(s.compactionStallNanos.Load()),
 		BackgroundCompactions:  s.backgroundCompactions.Load(),
+		CompactionDebtBytes:    debtTotal,
+		CompactionDebtByLevel:  debtByLevel,
+		ParallelCompactions:    uint64(running),
+		CompactionWorkersBusy:  uint64(s.workers.Busy()),
 		PinnedRuns:             uint64(pinned),
 		SnapshotsOpen:          uint64(snaps),
 		AsyncCommitsInFlight:   uint64(async),
@@ -1235,7 +1320,23 @@ func (s *Store) WaitMaintenance() error {
 	if err != nil && !errors.Is(err, ErrClosed) {
 		return err
 	}
-	return s.runSync(jobBarrier, 0, nil)
+	// One barrier fences the work queued before the call, but finishing
+	// jobs queue MORE work (a flush schedules overflow compactions, which
+	// cascade): loop until a barrier passes with nothing queued or running
+	// behind it — the quiescent state callers assert on. Terminates absent
+	// concurrent writers because every pass retires debt.
+	for {
+		if err := s.runSync(jobBarrier, 0, nil); err != nil {
+			return err
+		}
+		m := &s.maint
+		m.mu.Lock()
+		idle := len(m.queue) == 0 && m.inflight == 0
+		m.mu.Unlock()
+		if idle {
+			return nil
+		}
+	}
 }
 
 // BackgroundErr reports the sticky background maintenance failure, if any.

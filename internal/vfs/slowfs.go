@@ -1,7 +1,6 @@
 package vfs
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -17,16 +16,28 @@ type SlowSyncFS struct {
 	delay time.Duration
 	syncs atomic.Uint64
 
-	// serial serializes the simulated device: concurrent syncs queue behind
-	// one another, as they would on a single WAL file on one disk.
-	serial sync.Mutex
+	// slots models the device's queue depth: at most cap(slots) syncs are
+	// in flight at once; the rest queue behind them. Depth 1 is a single
+	// spindle — every sync serializes, as on one WAL file on one disk.
+	slots chan struct{}
 }
 
 var _ FS = (*SlowSyncFS)(nil)
 
-// NewSlowSync wraps inner, making every Sync take delay.
+// NewSlowSync wraps inner, making every Sync take delay. The simulated
+// device has queue depth 1: concurrent syncs serialize.
 func NewSlowSync(inner FS, delay time.Duration) *SlowSyncFS {
-	return &SlowSyncFS{inner: inner, delay: delay}
+	return NewSlowSyncQD(inner, delay, 1)
+}
+
+// NewSlowSyncQD wraps inner with a device of the given queue depth: up to
+// depth syncs overlap their latency, as on an NVMe device with internal
+// parallelism. Depth < 1 is clamped to 1 (a serial device).
+func NewSlowSyncQD(inner FS, delay time.Duration, depth int) *SlowSyncFS {
+	if depth < 1 {
+		depth = 1
+	}
+	return &SlowSyncFS{inner: inner, delay: delay, slots: make(chan struct{}, depth)}
 }
 
 // Syncs returns how many File.Sync calls have completed.
@@ -80,11 +91,11 @@ func (sf *slowFile) Truncate(size int64) error                { return sf.inner.
 func (sf *slowFile) Close() error                             { return sf.inner.Close() }
 
 func (sf *slowFile) Sync() error {
-	sf.fs.serial.Lock()
+	sf.fs.slots <- struct{}{}
 	if sf.fs.delay > 0 {
 		time.Sleep(sf.fs.delay)
 	}
-	sf.fs.serial.Unlock()
+	<-sf.fs.slots
 	sf.fs.syncs.Add(1)
 	return sf.inner.Sync()
 }

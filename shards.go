@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elsm/internal/core"
+	"elsm/internal/lsm"
 	"elsm/internal/sgx"
 	"elsm/internal/shard"
 	"elsm/internal/vfs"
@@ -29,6 +30,16 @@ func openSharded(opts Options) (*Store, error) {
 		}
 	}
 	enclave := sgx.New(sgx.Params{EPCSize: opts.EPCSize, Cost: opts.cost()})
+
+	// One maintenance worker pool serves every shard: the machine has one
+	// set of cores, so N shards sharing max(2, GOMAXPROCS/2) workers lets
+	// ingest-heavy shards borrow capacity from quiet ones instead of N
+	// pools oversubscribing the CPU.
+	workers := opts.CompactionWorkers
+	if workers <= 0 {
+		workers = lsm.DefaultCompactionWorkers()
+	}
+	pool := lsm.NewWorkerPool(workers)
 
 	// The parent location splits into per-shard sub-filesystems; a fully
 	// in-memory store gives each shard its own private MemFS.
@@ -60,6 +71,7 @@ func openSharded(opts Options) (*Store, error) {
 		cfg := opts.coreConfig(fs)
 		cfg.Enclave = enclave
 		cfg.Platform = platform
+		cfg.Workers = pool
 		if len(opts.ShardCounters) == n {
 			cfg.Counter = opts.ShardCounters[i]
 		}

@@ -148,7 +148,11 @@ func TestSnapshotPinnedUnderChurn(t *testing.T) {
 
 			// Close must release the pins: the replaced runs' files — kept
 			// alive only for the snapshot — are deleted, and the gauges
-			// return to zero.
+			// return to zero. Quiesce first so no in-flight background
+			// compaction skews the pin gauge or the file counts.
+			if err := s.WaitMaintenance(); err != nil {
+				t.Fatal(err)
+			}
 			pinnedFiles := sstFiles(t, fs)
 			if err := snap.Close(); err != nil {
 				t.Fatal(err)
@@ -201,6 +205,10 @@ func TestSnapshotIteratorOutlivesClose(t *testing.T) {
 	}
 	if n != 40 {
 		t.Fatalf("stream after snapshot close = %d results, want 40", n)
+	}
+	// Quiesce: an in-flight background job legitimately pins its inputs.
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
 	}
 	if st := s.Stats(); st.SnapshotsOpen != 0 || st.PinnedRuns != 0 {
 		t.Fatalf("pins leaked: SnapshotsOpen=%d PinnedRuns=%d", st.SnapshotsOpen, st.PinnedRuns)
@@ -397,7 +405,11 @@ func TestCtxCancelMidIterator(t *testing.T) {
 			if err := it.Close(); !errors.Is(err, context.Canceled) {
 				t.Fatalf("cancelled iterator Close = %v, want context.Canceled", err)
 			}
-			// Pins released despite the abort.
+			// Pins released despite the abort. Quiesce first: an in-flight
+			// background compaction legitimately pins its input runs.
+			if err := s.WaitMaintenance(); err != nil {
+				t.Fatal(err)
+			}
 			if st := s.Stats(); st.PinnedRuns != 0 {
 				t.Fatalf("aborted iterator leaked %d run pins", st.PinnedRuns)
 			}
@@ -470,6 +482,12 @@ func TestCtxCancellationRaceStress(t *testing.T) {
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Quiesce background maintenance first: with the parallel scheduler an
+	// in-flight compaction legitimately pins its input runs, and this
+	// assertion is about pins LEAKED by the cancellation paths.
+	if err := s.WaitMaintenance(); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.PinnedRuns != 0 || st.SnapshotsOpen != 0 {

@@ -48,6 +48,17 @@ type Stats struct {
 	CompactionStallNanos  uint64
 	BackgroundCompactions uint64
 	PinnedRuns            uint64
+	// Compaction-scheduler gauges. CompactionDebtBytes is the total bytes
+	// above the per-level size targets (the scheduler's job-ordering
+	// signal, summed across shards); CompactionDebtByLevel is the same per
+	// level (index 0 unused, element-wise sum across shards);
+	// ParallelCompactions counts maintenance jobs in flight now (summed);
+	// CompactionWorkersBusy counts busy workers in the shared pool (the
+	// pool spans shards, so the aggregate takes the maximum, not the sum).
+	CompactionDebtBytes   uint64
+	CompactionDebtByLevel []uint64
+	ParallelCompactions   uint64
+	CompactionWorkersBusy uint64
 	// Sessions v2 gauges. SnapshotsOpen counts open Snapshot sessions
 	// (plus live iterators, which pin the same machinery); a router
 	// snapshot pins every shard, so a sharded aggregate counts N per
@@ -127,6 +138,10 @@ func statsOf(kv core.KV) Stats {
 		out.CompactionStallNanos = es.CompactionStallNanos
 		out.BackgroundCompactions = es.BackgroundCompactions
 		out.PinnedRuns = es.PinnedRuns
+		out.CompactionDebtBytes = es.CompactionDebtBytes
+		out.CompactionDebtByLevel = append([]uint64(nil), es.CompactionDebtByLevel...)
+		out.ParallelCompactions = es.ParallelCompactions
+		out.CompactionWorkersBusy = es.CompactionWorkersBusy
 		out.SnapshotsOpen = es.SnapshotsOpen
 		out.AsyncCommitsInFlight = es.AsyncCommitsInFlight
 		out.GroupCommitWindowNanos = es.GroupCommitWindowNanos
@@ -171,6 +186,17 @@ func (s *Stats) add(o Stats) {
 	s.CompactionStallNanos += o.CompactionStallNanos
 	s.BackgroundCompactions += o.BackgroundCompactions
 	s.PinnedRuns += o.PinnedRuns
+	s.CompactionDebtBytes += o.CompactionDebtBytes
+	for len(s.CompactionDebtByLevel) < len(o.CompactionDebtByLevel) {
+		s.CompactionDebtByLevel = append(s.CompactionDebtByLevel, 0)
+	}
+	for i, d := range o.CompactionDebtByLevel {
+		s.CompactionDebtByLevel[i] += d
+	}
+	s.ParallelCompactions += o.ParallelCompactions
+	if o.CompactionWorkersBusy > s.CompactionWorkersBusy {
+		s.CompactionWorkersBusy = o.CompactionWorkersBusy
+	}
 	s.SnapshotsOpen += o.SnapshotsOpen
 	s.AsyncCommitsInFlight += o.AsyncCommitsInFlight
 	if o.GroupCommitWindowNanos > s.GroupCommitWindowNanos {
