@@ -1,58 +1,18 @@
-// Top-level benchmarks: one testing.B benchmark per paper table/figure
-// (BenchmarkFigNN drives a reduced-scale sweep of the same code paths the
-// full harness in cmd/elsm-bench runs), plus per-operation microbenchmarks
-// of the three store designs.
-//
-// The figure benchmarks run at 1/256 scale with the calibrated SGX cost
-// model so `go test -bench=.` finishes in minutes; run
-// `go run ./cmd/elsm-bench -exp all` for the paper-scale (1/32) sweeps
-// recorded in EXPERIMENTS.md.
+// Per-operation microbenchmarks of the three store designs (functional
+// cost, zero hardware model unless stated): these isolate the software
+// overhead of verification itself — proof decode, Merkle path recompute,
+// chain checks — on top of the raw engine. The paper-figure benchmarks
+// live in figures_bench_test.go.
 package elsm
 
 import (
-	"fmt"
 	"testing"
 
-	"elsm/internal/bench"
 	"elsm/internal/core"
-	"elsm/internal/costmodel"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/ycsb"
 )
-
-// benchCfg is the reduced-scale configuration for figure benchmarks.
-func benchCfg() bench.Config {
-	m := costmodel.Calibrated()
-	return bench.Config{Scale: 256, Ops: 300, Cost: &m}
-}
-
-// runFigure executes one figure reproduction per benchmark iteration and
-// reports its wall time; the series values are logged so `-bench` output
-// doubles as a mini results table.
-func runFigure(b *testing.B, run func(bench.Config) (bench.Table, error)) {
-	b.Helper()
-	for i := 0; i < b.N; i++ {
-		tbl, err := run(benchCfg())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Log("\n" + tbl.Format())
-		}
-	}
-}
-
-func BenchmarkFig2BufferPlacement(b *testing.B)      { runFigure(b, bench.Fig2) }
-func BenchmarkFig5aReadWriteMix(b *testing.B)        { runFigure(b, bench.Fig5a) }
-func BenchmarkFig5bDataSize(b *testing.B)            { runFigure(b, bench.Fig5b) }
-func BenchmarkFig5cDistributions(b *testing.B)       { runFigure(b, bench.Fig5c) }
-func BenchmarkFig6aReadScaling(b *testing.B)         { runFigure(b, bench.Fig6a) }
-func BenchmarkFig6bMmapVsBuffer(b *testing.B)        { runFigure(b, bench.Fig6b) }
-func BenchmarkFig6cBufferSize(b *testing.B)          { runFigure(b, bench.Fig6c) }
-func BenchmarkFig7aWriteScaling(b *testing.B)        { runFigure(b, bench.Fig7a) }
-func BenchmarkFig7bCompactionToggle(b *testing.B)    { runFigure(b, bench.Fig7b) }
-func BenchmarkFig8WriteBufferPlacement(b *testing.B) { runFigure(b, bench.Fig8) }
 
 // ---------------------------------------------------------------------------
 // Per-operation microbenchmarks (functional cost, zero hardware model):
@@ -265,17 +225,4 @@ func BenchmarkVerificationOverhead(b *testing.B) {
 			}
 		}
 	})
-}
-
-// BenchmarkTable1 exists so every paper table has a bench target; Table 1
-// is qualitative, so this just validates its rendering.
-func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if bench.Table1() == "" {
-			b.Fatal("empty table")
-		}
-	}
-	if testing.Verbose() {
-		fmt.Print(bench.Table1())
-	}
 }

@@ -1,119 +1,121 @@
-// Command elsm-server exposes an authenticated eLSM store over a minimal
-// line-oriented TCP protocol (stdlib net only), modelling the paper's
-// trusted cloud application serving verified reads to clients:
+// Command elsm-server exposes an authenticated eLSM store over TCP
+// (stdlib net only), modelling the paper's trusted cloud application
+// serving verified reads and durable writes to remote clients.
 //
-//	PUT <key> <value>\n            -> OK <ts>\n
-//	GET <key>\n                    -> VALUE <ts> <value>\n | NOTFOUND\n
-//	DEL <key>\n                    -> OK <ts>\n
-//	MPUT <k> <v> [<k> <v> ...]\n   -> OK <ts>\n            (atomic batch)
-//	BATCH <n>\n                    followed by n op lines, each
-//	  PUT <key> <value>\n | DEL <key>\n,
-//	                               -> OK <ts>\n            (atomic batch)
-//	  A bad op aborts the batch with ERR, applies NOTHING, and consumes
-//	  the remaining declared op lines (pipelined clients stay in sync).
-//	  A bad <n> is a protocol error: ERR, then the connection closes.
-//	SCAN <start> <end>\n           -> ROW <key> <value>\n rows streamed as
-//	                                  they verify, then END <count>\n
-//	SNAPSHOT\n                     -> OK <id> <ts>\n — pins a verified
-//	                                  point-in-time session (per connection)
-//	SGET <id> <key>\n              -> VALUE/NOTFOUND as GET, but against
-//	                                  the snapshot's pinned state
-//	SSCAN <id> <start> <end>\n     -> ROW.../END as SCAN, against the
-//	                                  snapshot (repeatable bit for bit)
-//	RELEASE <id>\n                 -> OK\n — releases the snapshot's pins
-//	PUTASYNC <key> <value>\n       -> ACK <ts>\n once the write's trusted
-//	                                  timestamp is assigned and its group
-//	                                  appended (NOT yet fsynced); durability
-//	                                  outcomes surface on SYNC
-//	SYNC\n                         -> OK <n>\n after every commit this
-//	                                  connection acknowledged is durable
-//	                                  (n = async writes settled), or ERR if
-//	                                  any of them failed
-//	STATS\n                        -> STAT <name> <value>\n per counter,
-//	                                  then END\n (engine, enclave,
-//	                                  background-maintenance and replication
-//	                                  counters)
-//	REPL CKPT <shard>\n            -> OK\n + the shard's portable verified
-//	                                  checkpoint as a binary stream
-//	REPL TAIL <shard> <fromTs>\n   -> OK\n + attested commit-group frames
-//	                                  from fromTs, streamed live (the
-//	                                  connection becomes the stream), or
-//	                                  ERR BEHIND\n when fromTs left the
-//	                                  leader's retained ring (the exact
-//	                                  token followers match to re-bootstrap)
-//	REPL PROMOTE\n                 -> OK <epoch>\n — failover: promotes this
-//	                                  follower to a writable leader under a
-//	                                  new replication epoch (all shards
-//	                                  together); frames the old leader keeps
-//	                                  shipping are fenced
-//	QUIT\n                         -> closes the connection
+// Two wire protocols share the listen port, distinguished per connection
+// by the first byte (binary frames start 0x00; line commands start with a
+// printable letter), so legacy clients and replication followers keep
+// working against a binary-default server:
 //
-// Fields are binary-safe: a field is either a bare token (no spaces,
-// quotes or control bytes) or a Go-syntax double-quoted string ("a b\n\x00"
-// works as a key or value). Responses quote any field that needs it.
-// Malformed input never corrupts framing — it draws an ERR line.
+//   - binary (default): the length-prefixed framed protocol of
+//     internal/netproto, with per-connection request pipelining, admission
+//     control and out-of-order responses — see internal/netsrv for the
+//     serving model and internal/netclient for the client. This is the
+//     production front end: many concurrent requests per connection, writes
+//     from all connections coalescing into shared group-commit fsyncs.
 //
-// Every response reflects verified state. Batches apply atomically in one
-// enclave round trip; SCAN streams through the verified iterator (with one
-// chunk of background prefetch), so rows arrive incrementally and a
-// tampering host surfaces as an ERR line terminating the stream (clients
-// must treat ERR as a stream terminator) rather than wrong data.
+//   - line: the original newline-delimited protocol (one request, one
+//     response, in order), kept for debugging by hand and as the
+//     ablation baseline. Commands:
 //
-// Writes from SEPARATE connections ride the store's shared group-commit
-// pipeline: each connection is served by its own goroutine, so concurrent
-// PUT/DEL/MPUT/BATCH commits coalesce into shared WAL fsyncs and counter
-// bumps instead of serializing one fsync per request. -commit-window adds a
-// deliberate batching delay for fsync-bound deployments; -commit-max-ops
-// caps group size (1 disables coalescing).
+//     PUT <key> <value>\n            -> OK <ts>\n
+//     GET <key>\n                    -> VALUE <ts> <value>\n | NOTFOUND\n
+//     DEL <key>\n                    -> OK <ts>\n
+//     MPUT <k> <v> [<k> <v> ...]\n   -> OK <ts>\n            (atomic batch)
+//     BATCH <n>\n                    followed by n op lines, each
+//     PUT <key> <value>\n | DEL <key>\n,
+//     -> OK <ts>\n            (atomic batch)
+//     A bad op aborts the batch with ERR, applies NOTHING, and consumes
+//     the remaining declared op lines (pipelined clients stay in sync).
+//     A bad <n> is a protocol error: ERR, then the connection closes.
+//     SCAN <start> <end>\n           -> ROW <key> <value>\n rows streamed as
+//     they verify, then END <count>\n
+//     SNAPSHOT\n                     -> OK <id> <ts>\n — pins a verified
+//     point-in-time session (per connection)
+//     SGET <id> <key>\n              -> VALUE/NOTFOUND as GET, against
+//     the snapshot's pinned state
+//     SSCAN <id> <start> <end>\n     -> ROW.../END as SCAN, against the
+//     snapshot (repeatable bit for bit)
+//     RELEASE <id>\n                 -> OK\n — releases the snapshot's pins
+//     PUTASYNC <key> <value>\n       -> ACK <ts>\n once the write's trusted
+//     timestamp is assigned (NOT yet fsynced)
+//     SYNC\n                         -> OK <n>\n after every commit this
+//     connection acknowledged is durable
+//     STATS\n                        -> STAT <name> <value>\n per counter,
+//     then END\n
+//     REPL CKPT <shard>\n            -> OK\n + portable verified checkpoint
+//     REPL TAIL <shard> <fromTs>\n   -> OK\n + attested commit-group frames,
+//     or ERR BEHIND\n (re-bootstrap token)
+//     REPL PROMOTE\n                 -> OK <epoch>\n — failover promotion
+//     QUIT\n                         -> closes the connection
+//
+// Line-protocol fields are binary-safe: bare tokens or Go-syntax quoted
+// strings; responses quote any field that needs it. Malformed input never
+// corrupts framing — it draws an ERR line.
+//
+// Every response on either protocol reflects verified state: reads and
+// scans flow through the enclave's authenticated structures, and a
+// tampering host surfaces as a typed error (binary) or ERR line
+// terminating the stream (line) rather than wrong data.
+//
+// Writes from separate connections ride the store's shared group-commit
+// pipeline; the binary protocol additionally pipelines within one
+// connection, so a single client's concurrent requests coalesce too.
+// -commit-window adds a deliberate batching delay for fsync-bound
+// deployments; -commit-max-ops caps group size (1 disables coalescing).
 //
 // -shards N partitions the store into N hash-partitioned authenticated
 // instances behind the router: concurrent connections spread across N
 // commit pipelines, SCAN merges the per-shard verified streams, and STATS
 // reports both aggregate and per-shard (shardN_*) gauges.
 //
+// Admission control (binary protocol): -max-connections bounds concurrent
+// connections, -pipeline-depth bounds requests in flight per connection,
+// -max-inflight bounds them globally. Excess load is shed with a typed
+// BUSY response instead of queueing without bound; STATS exposes the
+// net_* gauges behind each limit.
+//
 // With -repl-secret the server becomes a replication leader: followers
 // bootstrap over REPL CKPT and stay current over REPL TAIL, every stream
 // attested against the shared secret (the stand-in for remote attestation).
 // With -follow the server opens as a read-only replica of that leader:
-// reads verify against the follower's own Merkle forest, writes draw ERR,
-// and STATS exposes repl_lag_groups / repl_lag_bytes.
+// reads verify against the follower's own Merkle forest, writes draw
+// typed read-only errors, and STATS exposes repl_lag_groups /
+// repl_lag_bytes.
 //
 // Usage: elsm-server [-addr :7878] [-dir /path/to/data] [-mode p2|p1|unsecured]
 //
-//	[-shards 1] [-commit-window 0] [-commit-max-ops 0] [-iter-chunk-keys 0]
-//	[-repl-secret s] [-follow leader:7878]
+//	[-proto binary|line] [-shards 1] [-commit-window 0] [-commit-max-ops 0]
+//	[-max-connections 1024] [-pipeline-depth 64] [-max-inflight 4096]
+//	[-iter-chunk-keys 0] [-repl-secret s] [-follow leader:7878]
 package main
 
 import (
-	"bufio"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
-	"strconv"
-	"strings"
-	"time"
 
 	"elsm"
-	"elsm/internal/repl"
+	"elsm/internal/netsrv"
 	"elsm/internal/sgx"
 )
-
-// maxBatchOps bounds one BATCH group (protocol abuse guard).
-const maxBatchOps = 10000
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7878", "listen address")
 		dir          = flag.String("dir", "", "data directory (empty: in-memory)")
 		mode         = flag.String("mode", "p2", "store mode: p2 | p1 | unsecured")
+		proto        = flag.String("proto", "binary", "wire protocol: binary (pipelined frames; line connections still sniffed and served) | line (legacy line protocol only)")
 		shards       = flag.Int("shards", 1, "hash-partitioned shard count (power of two; each shard runs its own WAL, committer and maintenance worker)")
 		commitWindow = flag.Duration("commit-window", 0, "group-commit batching window (0: natural batching only, -1ns: adaptive from fsync latency)")
 		commitMaxOps = flag.Int("commit-max-ops", 0, "max operations per commit group (0: unbounded, 1: no coalescing)")
 		chunkKeys    = flag.Int("iter-chunk-keys", 0, "keys per streamed SCAN chunk (0: default)")
 		inlineComp   = flag.Bool("inline-compaction", false, "run flush/compaction inline on the commit path (ablation baseline; stalls writers)")
 		compWorkers  = flag.Int("compaction-workers", 0, "maintenance worker pool size shared across shards (0: max(2, GOMAXPROCS/2))")
+		maxConns     = flag.Int("max-connections", netsrv.DefaultMaxConnections, "max concurrent client connections; further connects are shed with BUSY")
+		pipeDepth    = flag.Int("pipeline-depth", netsrv.DefaultPipelineDepth, "max pipelined requests in flight per connection")
+		maxInflight  = flag.Int("max-inflight", netsrv.DefaultMaxInflight, "max requests in flight across all connections; excess is shed with BUSY")
 		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this address (requires -repl-secret and mode p2)")
 		replSecret   = flag.String("repl-secret", "", "shared attestation secret binding leader and followers (stands in for remote attestation; required with -follow, enables the leader's REPL endpoint)")
 	)
@@ -165,498 +167,61 @@ func main() {
 	if store.IsFollower() {
 		role = fmt.Sprintf("follower of %s", *follow)
 	}
-	log.Printf("elsm-server (%s, %d shard(s), %s) listening on %s", store.Mode(), store.Shards(), role, ln.Addr())
-	for {
-		conn, err := ln.Accept()
+	log.Printf("elsm-server (%s, %d shard(s), %s, %s protocol) listening on %s",
+		store.Mode(), store.Shards(), role, *proto, ln.Addr())
+
+	switch *proto {
+	case "binary":
+		cfg, err := netConfig(*maxConns, *pipeDepth, *maxInflight)
 		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
+			log.Fatal(err)
 		}
-		go serve(conn, store)
-	}
-}
-
-// splitFields tokenizes one protocol line: fields are bare tokens or
-// Go-syntax quoted strings, separated by spaces.
-func splitFields(line string) ([]string, error) {
-	var out []string
-	i := 0
-	for i < len(line) {
-		for i < len(line) && line[i] == ' ' {
-			i++
-		}
-		if i >= len(line) {
-			break
-		}
-		if line[i] == '"' {
-			prefix, err := strconv.QuotedPrefix(line[i:])
-			if err != nil {
-				return nil, fmt.Errorf("bad quoted field at column %d", i+1)
-			}
-			field, err := strconv.Unquote(prefix)
-			if err != nil {
-				return nil, fmt.Errorf("bad quoted field at column %d", i+1)
-			}
-			i += len(prefix)
-			if i < len(line) && line[i] != ' ' {
-				return nil, fmt.Errorf("garbage after quoted field at column %d", i+1)
-			}
-			out = append(out, field)
-			continue
-		}
-		j := i
-		for j < len(line) && line[j] != ' ' {
-			if line[j] == '"' {
-				return nil, fmt.Errorf("unexpected quote inside bare field at column %d", j+1)
-			}
-			j++
-		}
-		out = append(out, line[i:j])
-		i = j
-	}
-	return out, nil
-}
-
-// field renders a byte string for the wire: bare when it is a printable
-// token, Go-quoted otherwise (binary safety in responses).
-func field(b []byte) string {
-	if len(b) == 0 {
-		return `""`
-	}
-	for _, c := range b {
-		if c <= ' ' || c == '"' || c == '\\' || c >= 0x7f {
-			return strconv.Quote(string(b))
-		}
-	}
-	return string(b)
-}
-
-// session is per-connection protocol state: open snapshots and the
-// unsettled async-commit futures awaiting a SYNC.
-type session struct {
-	snaps    map[uint64]*elsm.Snapshot
-	nextSnap uint64
-	futures  []*elsm.CommitFuture
-}
-
-// maxSessionFutures bounds unsettled PUTASYNC futures per connection
-// (protocol abuse guard — the store's MaxAsyncCommitBacklog bounds the
-// global pipeline; this bounds one client's bookkeeping).
-const maxSessionFutures = 100000
-
-func serve(conn net.Conn, store *elsm.Store) {
-	defer conn.Close()
-	sess := &session{snaps: make(map[uint64]*elsm.Snapshot)}
-	defer func() {
-		for _, snap := range sess.snaps {
-			snap.Close()
-		}
-	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-	for sc.Scan() {
-		line := sc.Text()
-		fields, err := splitFields(line)
+		srv, err := netsrv.New(store, cfg)
 		if err != nil {
-			fmt.Fprintf(w, "ERR malformed line: %v\n", err)
-			w.Flush()
-			continue
+			log.Fatalf("server config: %v", err)
 		}
-		if len(fields) == 0 {
-			continue
+		if err := srv.Serve(ln); err != nil {
+			log.Fatalf("serve: %v", err)
 		}
-		cmd := strings.ToUpper(fields[0])
-		args := fields[1:]
-		switch {
-		case cmd == "QUIT":
-			return
-		case cmd == "PUT" && len(args) == 2:
-			ts, err := store.Put([]byte(args[0]), []byte(args[1]))
-			reply(w, err, "OK %d", ts)
-		case cmd == "GET" && len(args) == 1:
-			res, err := store.Get([]byte(args[0]))
-			switch {
-			case err != nil:
-				fmt.Fprintf(w, "ERR %v\n", err)
-			case !res.Found:
-				fmt.Fprintln(w, "NOTFOUND")
-			default:
-				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, field(res.Value))
-			}
-		case cmd == "DEL" && len(args) == 1:
-			ts, err := store.Delete([]byte(args[0]))
-			reply(w, err, "OK %d", ts)
-		case cmd == "MPUT" && len(args) >= 2 && len(args)%2 == 0:
-			b := store.NewBatch()
-			for i := 0; i < len(args); i += 2 {
-				b.Put([]byte(args[i]), []byte(args[i+1]))
-			}
-			ts, err := b.Commit()
-			reply(w, err, "OK %d", ts)
-		case cmd == "BATCH" && len(args) == 1:
-			if !serveBatch(w, sc, store, args[0]) {
-				return
-			}
-		case cmd == "SCAN" && len(args) == 2:
-			serveScan(w, store, []byte(args[0]), []byte(args[1]))
-		case cmd == "SNAPSHOT" && len(args) == 0:
-			snap, err := store.Snapshot()
+	case "line":
+		for {
+			conn, err := ln.Accept()
 			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
+				log.Printf("accept: %v", err)
+				continue
 			}
-			sess.nextSnap++
-			sess.snaps[sess.nextSnap] = snap
-			fmt.Fprintf(w, "OK %d %d\n", sess.nextSnap, snap.Ts())
-		case cmd == "SGET" && len(args) == 2:
-			snap, ok := sess.lookup(args[0])
-			if !ok {
-				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
-				break
-			}
-			res, err := snap.Get([]byte(args[1]))
-			switch {
-			case err != nil:
-				fmt.Fprintf(w, "ERR %v\n", err)
-			case !res.Found:
-				fmt.Fprintln(w, "NOTFOUND")
-			default:
-				fmt.Fprintf(w, "VALUE %d %s\n", res.Ts, field(res.Value))
-			}
-		case cmd == "SSCAN" && len(args) == 3:
-			snap, ok := sess.lookup(args[0])
-			if !ok {
-				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
-				break
-			}
-			serveIter(w, snap.Iter([]byte(args[1]), []byte(args[2])))
-		case cmd == "RELEASE" && len(args) == 1:
-			snap, ok := sess.lookup(args[0])
-			if !ok {
-				fmt.Fprintf(w, "ERR unknown snapshot %q\n", args[0])
-				break
-			}
-			snap.Close()
-			id, _ := strconv.ParseUint(args[0], 10, 64)
-			delete(sess.snaps, id)
-			fmt.Fprintln(w, "OK")
-		case cmd == "PUTASYNC" && len(args) == 2:
-			if len(sess.futures) >= maxSessionFutures {
-				fmt.Fprintf(w, "ERR async backlog full (%d unsettled): SYNC first\n", len(sess.futures))
-				break
-			}
-			b := store.NewBatch()
-			b.Put([]byte(args[0]), []byte(args[1]))
-			fut, err := b.CommitAsync(nil)
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			ts, err := fut.Ts(nil)
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			sess.futures = append(sess.futures, fut)
-			fmt.Fprintf(w, "ACK %d\n", ts)
-		case cmd == "SYNC" && len(args) == 0:
-			if err := store.Sync(nil); err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			settled := len(sess.futures)
-			var failed error
-			for _, fut := range sess.futures {
-				if _, err := fut.Wait(nil); err != nil && failed == nil {
-					failed = err
-				}
-			}
-			sess.futures = sess.futures[:0]
-			if failed != nil {
-				fmt.Fprintf(w, "ERR async commit failed: %v\n", failed)
-				break
-			}
-			fmt.Fprintf(w, "OK %d\n", settled)
-		case cmd == "STATS" && len(args) == 0:
-			serveStats(w, store)
-		case cmd == "REPL" && len(args) == 1 && strings.ToUpper(args[0]) == "PROMOTE":
-			epoch, err := store.Promote(nil)
-			reply(w, err, "OK %d", epoch)
-		case cmd == "REPL" && len(args) >= 2:
-			// The connection becomes a one-way binary stream (checkpoint
-			// bytes or group frames) and ends with it.
-			serveRepl(w, conn, store, args)
-			return
-		default:
-			fmt.Fprintf(w, "ERR unknown command or wrong arity %q\n", cmd)
+			go serve(conn, store)
 		}
-		w.Flush()
-	}
-}
-
-// serveBatch reads n op lines off the connection and commits them as one
-// atomic group. Any malformed op line aborts the whole batch with ERR and
-// nothing is applied; the remaining declared op lines are still consumed,
-// so a pipelining client's leftover ops are never executed as top-level
-// commands and the reply stream stays in sync.
-// A bad size declaration is a framing-level protocol error: the server
-// cannot know how many op lines will follow, so it replies ERR and reports
-// the session unrecoverable (the caller closes the connection).
-func serveBatch(w *bufio.Writer, sc *bufio.Scanner, store *elsm.Store, nArg string) (ok bool) {
-	n, err := strconv.Atoi(nArg)
-	if err != nil || n < 0 || n > maxBatchOps {
-		fmt.Fprintf(w, "ERR bad batch size %q (max %d), closing connection\n", nArg, maxBatchOps)
-		return false
-	}
-	drain := func(read int) {
-		for i := read; i < n; i++ {
-			if !sc.Scan() {
-				return
-			}
-		}
-	}
-	b := store.NewBatch()
-	// The ERR is buffered, not flushed: a correct client sends all n op
-	// lines before reading the single batch reply, so the drain below must
-	// keep consuming input first (flushing here would deadlock a client
-	// that is still mid-send on an unbuffered transport). The serve loop
-	// flushes after serveBatch returns.
-	abort := func(format string, args ...interface{}) {
-		fmt.Fprintf(w, format+"\n", args...)
-	}
-	for i := 0; i < n; i++ {
-		if !sc.Scan() {
-			abort("ERR batch truncated at op %d of %d", i, n)
-			return true
-		}
-		fields, err := splitFields(sc.Text())
-		if err != nil {
-			abort("ERR malformed batch op %d: %v", i, err)
-			drain(i + 1)
-			return true
-		}
-		if len(fields) == 0 {
-			abort("ERR empty batch op %d", i)
-			drain(i + 1)
-			return true
-		}
-		switch cmd := strings.ToUpper(fields[0]); {
-		case cmd == "PUT" && len(fields) == 3:
-			b.Put([]byte(fields[1]), []byte(fields[2]))
-		case cmd == "DEL" && len(fields) == 2:
-			b.Delete([]byte(fields[1]))
-		default:
-			abort("ERR bad batch op %d: %q", i, fields[0])
-			drain(i + 1)
-			return true
-		}
-	}
-	ts, err := b.Commit()
-	reply(w, err, "OK %d", ts)
-	return true
-}
-
-// lookup resolves a snapshot id argument against the session table.
-func (sess *session) lookup(arg string) (*elsm.Snapshot, bool) {
-	id, err := strconv.ParseUint(arg, 10, 64)
-	if err != nil {
-		return nil, false
-	}
-	snap, ok := sess.snaps[id]
-	return snap, ok
-}
-
-// serveScan streams verified rows as the iterator produces them. A
-// mid-stream verification failure terminates the stream with ERR instead
-// of END — the client discards the partial rows.
-func serveScan(w *bufio.Writer, store *elsm.Store, start, end []byte) {
-	serveIter(w, store.Iter(start, end))
-}
-
-// serveIter renders one verified stream (live or snapshot) to the wire.
-func serveIter(w *bufio.Writer, it *elsm.Iterator) {
-	count := 0
-	for it.Next() {
-		fmt.Fprintf(w, "ROW %s %s\n", field(it.Key()), field(it.Value()))
-		count++
-		if count%64 == 0 {
-			w.Flush() // stream incrementally, don't buffer the whole range
-		}
-	}
-	if err := it.Close(); err != nil {
-		fmt.Fprintf(w, "ERR %v\n", err)
-		return
-	}
-	fmt.Fprintf(w, "END %d\n", count)
-}
-
-// serveStats dumps the store's counters, one STAT line each — the wire
-// form of elsm.Stats, including the background-maintenance counters
-// (flush/compaction stalls, background compactions, pinned runs) and the
-// resolved group-commit window. The aggregate lines sum every shard; the
-// trailing shardN_* gauges (WAL syncs, open snapshots, async commits in
-// flight, per-shard pipeline activity) expose the sharded topology, so an
-// operator can see whether load spreads or one partition runs hot.
-func serveStats(w *bufio.Writer, store *elsm.Store) {
-	st := store.Stats()
-	for _, kv := range []struct {
-		name string
-		v    uint64
-	}{
-		{"shards", uint64(st.Shards)},
-		{"flushes", st.Flushes},
-		{"compactions", st.Compactions},
-		{"background_compactions", st.BackgroundCompactions},
-		{"bytes_flushed", st.BytesFlushed},
-		{"bytes_compacted", st.BytesCompacted},
-		{"records_dropped", st.RecordsDropped},
-		{"manifest_updates", st.ManifestUpdates},
-		{"disk_bytes", uint64(st.DiskBytes)},
-		{"wal_syncs", st.WALSyncs},
-		{"group_commits", st.GroupCommits},
-		{"grouped_records", st.GroupedRecords},
-		{"wal_torn_records", st.WALTornRecords},
-		{"flush_stall_nanos", st.FlushStallNanos},
-		{"compaction_stall_nanos", st.CompactionStallNanos},
-		{"compaction_debt_bytes", st.CompactionDebtBytes},
-		{"parallel_compactions", st.ParallelCompactions},
-		{"compaction_workers_busy", st.CompactionWorkersBusy},
-		{"pinned_runs", st.PinnedRuns},
-		{"snapshots_open", st.SnapshotsOpen},
-		{"async_commits_in_flight", st.AsyncCommitsInFlight},
-		{"group_commit_window_nanos", st.GroupCommitWindowNanos},
-		{"fsync_ewma_nanos", st.FsyncEWMANanos},
-		{"page_faults", st.PageFaults},
-		{"ecalls", st.ECalls},
-		{"ocalls", st.OCalls},
-		{"copied_bytes", st.CopiedBytes},
-		{"enclave_bytes", uint64(st.EnclaveBytes)},
-		{"verified_gets", st.VerifiedGets},
-		{"proof_bytes", st.ProofBytes},
-		{"runs_probed", st.RunsProbed},
-		{"repl_lag_groups", st.ReplLagGroups},
-		{"repl_lag_bytes", st.ReplLagBytes},
-		{"followers_connected", st.FollowersConnected},
-		{"repl_reconnects", st.ReplReconnects},
-		{"repl_rebootstraps", st.ReplRebootstraps},
-		{"repl_epoch", st.ReplEpoch},
-	} {
-		fmt.Fprintf(w, "STAT %s %d\n", kv.name, kv.v)
-	}
-	for i, ss := range store.ShardStats() {
-		fmt.Fprintf(w, "STAT shard%d_wal_syncs %d\n", i, ss.WALSyncs)
-		fmt.Fprintf(w, "STAT shard%d_group_commits %d\n", i, ss.GroupCommits)
-		fmt.Fprintf(w, "STAT shard%d_snapshots_open %d\n", i, ss.SnapshotsOpen)
-		fmt.Fprintf(w, "STAT shard%d_async_commits_in_flight %d\n", i, ss.AsyncCommitsInFlight)
-		fmt.Fprintf(w, "STAT shard%d_disk_bytes %d\n", i, uint64(ss.DiskBytes))
-		fmt.Fprintf(w, "STAT shard%d_compaction_debt_bytes %d\n", i, ss.CompactionDebtBytes)
-	}
-	fmt.Fprintln(w, "END")
-}
-
-// serveRepl handles the replication endpoint:
-//
-//	REPL CKPT <shard>\n          -> OK\n + the shard's checkpoint stream
-//	REPL TAIL <shard> <fromTs>\n -> OK\n + attested group frames from
-//	                                fromTs, streamed until either side goes
-//	                                away, or ERR BEHIND\n when fromTs has
-//	                                fallen out of the leader's retained
-//	                                ring (the follower re-bootstraps)
-//
-// TAIL answers its status line eagerly, right after the shard and ring
-// checks: a caught-up follower of an idle leader would otherwise wait for
-// the first frame with no status at all, wedging its status read (and its
-// Close) indefinitely. CKPT defers OK until the stream's first byte, so
-// export errors that precede any payload surface on the status line.
-func serveRepl(w *bufio.Writer, conn net.Conn, store *elsm.Store, args []string) {
-	sub := strings.ToUpper(args[0])
-	shard, err := strconv.Atoi(args[1])
-	if err != nil || shard < 0 || shard >= store.Shards() {
-		fmt.Fprintf(w, "ERR bad shard %q\n", args[1])
-		return
-	}
-	sw := &statusWriter{w: w, conn: conn}
-	switch {
-	case sub == "CKPT" && len(args) == 2:
-		err = store.ServeCheckpoint(shard, sw)
-	case sub == "TAIL" && len(args) == 3:
-		fromTs, perr := strconv.ParseUint(args[2], 10, 64)
-		if perr != nil {
-			fmt.Fprintf(w, "ERR bad fromTs %q\n", args[2])
-			return
-		}
-		if err := store.TailReady(shard, fromTs); err != nil {
-			writeReplErr(w, err)
-			return
-		}
-		fmt.Fprintln(w, "OK")
-		w.Flush()
-		sw.started = true
-		// Followers never send after the command line: the next read
-		// completes when the peer closes, unblocking a tail idling at the
-		// head of a quiet leader.
-		stop := make(chan struct{})
-		go func() {
-			conn.Read(make([]byte, 1))
-			close(stop)
-		}()
-		err = store.ServeTail(shard, fromTs, sw, stop)
 	default:
-		fmt.Fprintf(w, "ERR unknown REPL form %q\n", sub)
-		return
-	}
-	if !sw.started && err != nil {
-		writeReplErr(w, err)
+		log.Fatalf("unknown protocol %q (want binary or line)", *proto)
 	}
 }
 
-// writeReplErr renders a replication error as a status line, using the
-// dedicated BEHIND token for the re-bootstrap condition so followers can
-// match it exactly instead of parsing error prose.
-func writeReplErr(w *bufio.Writer, err error) {
-	if errors.Is(err, repl.ErrBehind) {
-		fmt.Fprintln(w, repl.StatusBehind)
-		return
+// netConfig validates the admission-control flags into a netsrv.Config.
+// Unlike netsrv.Config (where zero means "use the default"), the flags
+// default to the concrete values, so a zero or negative here is always an
+// operator mistake and is rejected before the listener starts.
+func netConfig(maxConns, pipeDepth, maxInflight int) (netsrv.Config, error) {
+	if maxConns <= 0 {
+		return netsrv.Config{}, fmt.Errorf("-max-connections must be > 0, got %d", maxConns)
 	}
-	fmt.Fprintf(w, "ERR %v\n", err)
+	if pipeDepth <= 0 {
+		return netsrv.Config{}, fmt.Errorf("-pipeline-depth must be > 0, got %d", pipeDepth)
+	}
+	if maxInflight <= 0 {
+		return netsrv.Config{}, fmt.Errorf("-max-inflight must be > 0, got %d", maxInflight)
+	}
+	return netsrv.Config{
+		MaxConnections: maxConns,
+		PipelineDepth:  pipeDepth,
+		MaxInflight:    maxInflight,
+	}, nil
 }
 
-// replWriteTimeout bounds each REPL stream write: a follower that stopped
-// draining its socket fails its stream instead of wedging the leader's
-// serve goroutine (and, through the hub's frame fan-out, other followers)
-// forever.
-const replWriteTimeout = 30 * time.Second
-
-// statusWriter defers the REPL "OK" status line until the first payload
-// byte, letting pre-stream failures use the status line instead. Every
-// write is deadline-bounded on the underlying connection.
-type statusWriter struct {
-	w       *bufio.Writer
-	conn    net.Conn
-	started bool
-}
-
-func (sw *statusWriter) Write(p []byte) (int, error) {
-	if !sw.started {
-		sw.started = true
-		fmt.Fprintln(sw.w, "OK")
-	}
-	sw.conn.SetWriteDeadline(time.Now().Add(replWriteTimeout))
-	defer sw.conn.SetWriteDeadline(time.Time{})
-	n, err := sw.w.Write(p)
-	if err == nil {
-		// Flush per write: tail frames must reach the follower promptly.
-		err = sw.w.Flush()
-	}
-	return n, err
-}
-
-func reply(w *bufio.Writer, err error, format string, args ...interface{}) {
-	if err != nil {
-		fmt.Fprintf(w, "ERR %v\n", err)
-		return
-	}
-	fmt.Fprintf(w, format+"\n", args...)
+// serve handles one legacy line-protocol connection. The protocol lives in
+// internal/netsrv (shared with the binary server's sniffing path); this
+// wrapper keeps the command's historical entry point, which the tests
+// drive directly over in-memory pipes.
+func serve(conn net.Conn, store *elsm.Store) {
+	netsrv.ServeLine(conn, store)
 }

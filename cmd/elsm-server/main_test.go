@@ -664,3 +664,35 @@ func statMap(t *testing.T, replies []string) map[string]uint64 {
 	}
 	return out
 }
+
+// TestNetConfigFlagValidation covers the admission-control flag parsing:
+// the flags default to the concrete netsrv values, so zero and negative
+// settings are operator mistakes and draw descriptive errors before the
+// listener starts.
+func TestNetConfigFlagValidation(t *testing.T) {
+	cfg, err := netConfig(1024, 64, 4096)
+	if err != nil {
+		t.Fatalf("default flag values rejected: %v", err)
+	}
+	if cfg.MaxConnections != 1024 || cfg.PipelineDepth != 64 || cfg.MaxInflight != 4096 {
+		t.Fatalf("config mangled: %+v", cfg)
+	}
+	cases := []struct {
+		maxConns, depth, inflight int
+		want                      string
+	}{
+		{0, 64, 4096, "-max-connections must be > 0, got 0"},
+		{-5, 64, 4096, "-max-connections must be > 0, got -5"},
+		{1024, 0, 4096, "-pipeline-depth must be > 0, got 0"},
+		{1024, -1, 4096, "-pipeline-depth must be > 0, got -1"},
+		{1024, 64, 0, "-max-inflight must be > 0, got 0"},
+		{1024, 64, -9, "-max-inflight must be > 0, got -9"},
+	}
+	for _, c := range cases {
+		_, err := netConfig(c.maxConns, c.depth, c.inflight)
+		if err == nil || err.Error() != c.want {
+			t.Fatalf("netConfig(%d, %d, %d) err = %v, want %q",
+				c.maxConns, c.depth, c.inflight, err, c.want)
+		}
+	}
+}

@@ -340,5 +340,6 @@ func All() []Experiment {
 		{"ablation-async", AblationAsync},
 		{"ablation-shards", AblationShards},
 		{"ablation-repl", AblationRepl},
+		{"ablation-net", AblationNet},
 	}
 }

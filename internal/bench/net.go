@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"elsm"
+	"elsm/internal/netclient"
+	"elsm/internal/netsrv"
+	"elsm/internal/vfs"
+)
+
+// The net ablation measures the network front end end to end: many client
+// connections pushing durable writes through the full stack — client
+// codec, TCP, the server's reader/workers/writer pipeline, the store's
+// group-commit fsyncs — on storage with a real fsync cost. Two protocols
+// run the same workload:
+//
+//   - binary: the pipelined frame protocol, each connection keeping a
+//     window of writes in flight (netPipelineWindow deep, shrunk at the
+//     high end of the sweep so the fleet stays inside netInflightBudget),
+//     so one client contributes a window of commits to the shared fsync
+//     groups;
+//   - line: the legacy one-request-one-reply protocol, each connection
+//     contributing at most one commit at a time.
+//
+// Cross-connection group commit helps both; per-connection pipelining is
+// what the binary protocol adds, and the sweep shows where it pays: a
+// pipelined connection contributes a whole window to the shared fsync
+// groups, so few binary clients match the throughput line protocol needs
+// an order of magnitude more connections to reach. The final overload row
+// reruns the binary point against a deliberately tiny async-commit
+// backlog, demonstrating that saturation sheds load as typed BUSY
+// (counted per 1k attempts) instead of queueing without bound.
+const (
+	netSyncDelay      = 200 * time.Microsecond
+	netPipelineWindow = 8
+	netValueSize      = 100
+	// netDialParallel staggers connection setup so a large sweep point
+	// does not overflow the accept backlog.
+	netDialParallel = 64
+	// netInflightBudget bounds the fleet's total offered in-flight writes:
+	// each client's window is netInflightBudget/clients (clamped to
+	// [1, netPipelineWindow]), the way a production fleet sizes its global
+	// in-flight to the server's admission budget (DefaultMaxInflight).
+	// In-flight work beyond where the durability pipeline saturates adds
+	// only queueing delay and memory, so without the cap the high end of
+	// the sweep measures self-inflicted queueing, not protocol scaling.
+	netInflightBudget = 4096
+	// Overload point: a backlog far below the offered in-flight load and a
+	// short admission wait force the BUSY path.
+	netOverloadClients = 200
+	netOverloadBacklog = 8
+)
+
+// netClientSweep is the ablation's X axis: concurrent client connections.
+// The low end is where per-connection pipelining pays (a line-protocol
+// client is depth-starved: one commit in flight per connection); by the
+// high end a single-core CI box is saturated by connection handling alone
+// and the protocols converge. 2000 is the CI-sized ceiling — the harness
+// itself is sized for 10k (goroutine-per-connection clients, ~24 KB of
+// buffers per connection) on a machine with the cores and fds to spare.
+var netClientSweep = []int{4, 16, 64, 2000}
+
+// netWindow sizes one connection's pipeline window for a sweep point:
+// netPipelineWindow deep until the fleet's total offered in-flight would
+// exceed netInflightBudget, then shrunk so clients×window stays inside it
+// (never below one — that is the line protocol's depth).
+func netWindow(clients int) int {
+	w := netInflightBudget / clients
+	if w < 1 {
+		w = 1
+	}
+	if w > netPipelineWindow {
+		w = netPipelineWindow
+	}
+	return w
+}
+
+// netBench is one running store + front end on a loopback listener.
+type netBench struct {
+	store *elsm.Store
+	srv   *netsrv.Server
+	addr  string
+}
+
+func (b *netBench) Close() {
+	b.srv.Close()
+	b.store.Close()
+}
+
+// openNetBench serves a fresh store on sync-delayed storage. backlog and
+// wait tune the admission control (0 = defaults); maxInflight is sized to
+// the offered load so the sweep measures scaling, not the budget.
+func openNetBench(clients, backlog int, wait time.Duration) (*netBench, error) {
+	store, err := elsm.Open(elsm.Options{
+		FS:                    vfs.NewSlowSync(vfs.NewMem(), netSyncDelay),
+		MaxAsyncCommitBacklog: backlog,
+		// Bound commit groups: unbounded groups swallow the whole fleet's
+		// window into one commit, synchronizing every connection's
+		// completions and leaving the pipeline idle during the fleet-wide
+		// turnaround. Capped groups stagger completions and keep commits
+		// flowing continuously.
+		GroupCommitMaxOps: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := netsrv.New(store, netsrv.Config{
+		MaxConnections: clients + 8,
+		PipelineDepth:  netPipelineWindow * 2,
+		MaxInflight:    clients*netPipelineWindow + 64,
+		AdmissionWait:  wait,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		store.Close()
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return &netBench{store: store, srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// netResult aggregates one point's measurements across clients.
+type netResult struct {
+	completed int
+	busy      int
+	lat       []time.Duration
+	elapsed   time.Duration
+}
+
+func (r netResult) kops() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.completed) / r.elapsed.Seconds() / 1e3
+}
+
+func (r netResult) p99ms() float64 {
+	if len(r.lat) == 0 {
+		return 0
+	}
+	sort.Slice(r.lat, func(i, j int) bool { return r.lat[i] < r.lat[j] })
+	return float64(r.lat[int(0.99*float64(len(r.lat)-1))].Nanoseconds()) / 1e6
+}
+
+// runNetClients runs one point in two phases so the measured window is
+// pure request traffic: every client connects (dials staggered, so a large
+// point does not overflow the accept backlog) and parks on a barrier; the
+// clock starts when the last one is ready, all are released together, and
+// it stops when the last finishes. connect(id) establishes one client and
+// returns its runner; the runner reports completed ops, BUSY sheds and
+// per-op latencies.
+func runNetClients(clients int, connect func(id int) (func() (int, int, []time.Duration, error), error)) (netResult, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		res   netResult
+		first error
+		ready sync.WaitGroup
+	)
+	gate := make(chan struct{}, netDialParallel)
+	barrier := make(chan struct{})
+	ready.Add(clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gate <- struct{}{}
+			run, err := connect(id)
+			<-gate
+			ready.Done()
+			if err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				return
+			}
+			<-barrier
+			done, busy, lat, rerr := run()
+			mu.Lock()
+			defer mu.Unlock()
+			if rerr != nil && first == nil {
+				first = rerr
+			}
+			res.completed += done
+			res.busy += busy
+			res.lat = append(res.lat, lat...)
+		}(id)
+	}
+	ready.Wait()
+	start := time.Now()
+	close(barrier)
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res, first
+}
+
+// netBinaryClient connects one binary client; its runner pushes perClient
+// pipelined durable writes, keeping window in flight. ErrBusy settles the
+// op as shed (counted, not retried); any other error aborts the client.
+func netBinaryClient(addr string, id, perClient, window int) (func() (int, int, []time.Duration, error), error) {
+	c, err := netclient.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Ping(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return func() (int, int, []time.Duration, error) {
+		defer c.Close()
+		return netBinaryOps(c, id, perClient, window)
+	}, nil
+}
+
+func netBinaryOps(c *netclient.Client, id, perClient, window int) (int, int, []time.Duration, error) {
+	val := make([]byte, netValueSize)
+	type inflight struct {
+		fut   *netclient.Future
+		start time.Time
+	}
+	var (
+		pending   []inflight
+		completed int
+		busy      int
+		lat       = make([]time.Duration, 0, perClient)
+	)
+	settle := func(w inflight) error {
+		_, err := w.fut.Wait()
+		switch {
+		case err == nil:
+			completed++
+			lat = append(lat, time.Since(w.start))
+		case err == netclient.ErrBusy:
+			busy++
+		default:
+			return err
+		}
+		return nil
+	}
+	// Settle one per send once the window fills: the window stays full, so
+	// the server's commit pipeline sees this connection's writes as a
+	// continuous stream rather than synchronized bursts (settling in
+	// batches lockstepped the whole fleet into admit-then-starve cycles
+	// that left the group-commit pipeline idle between rounds).
+	for i := 0; i < perClient; i++ {
+		key := fmt.Appendf(nil, "c%05d-%07d", id, i)
+		start := time.Now()
+		fut, err := c.PutAsync(key, val)
+		if err != nil {
+			return completed, busy, lat, err
+		}
+		pending = append(pending, inflight{fut, start})
+		if len(pending) >= window {
+			if err := settle(pending[0]); err != nil {
+				return completed, busy, lat, err
+			}
+			pending = pending[1:]
+		}
+	}
+	for _, w := range pending {
+		if err := settle(w); err != nil {
+			return completed, busy, lat, err
+		}
+	}
+	return completed, busy, lat, nil
+}
+
+// netLineClient connects one legacy line-protocol client; its runner
+// pushes perClient durable writes, strict request-reply, one outstanding.
+func netLineClient(addr string, id, perClient int) (func() (int, int, []time.Duration, error), error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return func() (int, int, []time.Duration, error) {
+		defer conn.Close()
+		return netLineOps(conn, id, perClient)
+	}, nil
+}
+
+func netLineOps(conn net.Conn, id, perClient int) (int, int, []time.Duration, error) {
+	br := bufio.NewReader(conn)
+	val := make([]byte, netValueSize)
+	completed := 0
+	lat := make([]time.Duration, 0, perClient)
+	for i := 0; i < perClient; i++ {
+		start := time.Now()
+		if _, err := fmt.Fprintf(conn, "PUT c%05d-%07d %s\n", id, i, val); err != nil {
+			return completed, 0, lat, err
+		}
+		reply, err := br.ReadString('\n')
+		if err != nil {
+			return completed, 0, lat, err
+		}
+		if len(reply) < 2 || reply[0] != 'O' || reply[1] != 'K' {
+			return completed, 0, lat, fmt.Errorf("line PUT reply %q", reply)
+		}
+		completed++
+		lat = append(lat, time.Since(start))
+	}
+	return completed, 0, lat, nil
+}
+
+// netPerClient sizes each connection's op count: small CI budgets still
+// exercise every sweep point, and the floor of two full pipeline windows
+// guarantees the binary protocol's pipelining is actually in play.
+func netPerClient(totalOps, window int, clients int) int {
+	per := totalOps / clients
+	if per < 2*window {
+		per = 2 * window
+	}
+	return per
+}
+
+// netPoint measures one (clients, protocol) cell.
+func (c Config) netPoint(clients, backlog int, wait time.Duration, binary bool) (netResult, error) {
+	b, err := openNetBench(clients, backlog, wait)
+	if err != nil {
+		return netResult{}, err
+	}
+	defer b.Close()
+	window := netWindow(clients)
+	per := netPerClient(c.Ops, window, clients)
+	connect := func(id int) (func() (int, int, []time.Duration, error), error) {
+		if binary {
+			return netBinaryClient(b.addr, id, per, window)
+		}
+		return netLineClient(b.addr, id, per)
+	}
+	return runNetClients(clients, connect)
+}
+
+// AblationNet sweeps concurrent client connections over both wire
+// protocols, reporting durable-write throughput and p99 latency end to
+// end, plus an overload row demonstrating BUSY load shedding when the
+// async-commit backlog saturates. Expected shape: binary throughput scales
+// with clients and clearly beats line from the mid-sweep on (the pipelined
+// window multiplies each connection's contribution to shared fsync
+// groups); the overload row sheds a nonzero busy/1k while still completing
+// work — and the server neither deadlocks nor buffers without bound.
+func AblationNet(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		Name: "Ablation: net",
+		Caption: fmt.Sprintf("networked durable puts vs client connections, up to %d-deep binary pipeline vs line request-reply, %v fsync (throughput: kops/s; latency: p99 ms)",
+			netPipelineWindow, netSyncDelay),
+		XLabel: "clients",
+		Series: seriesOrder("binary kops/s", "line kops/s", "binary p99 ms", "line p99 ms", "busy/1k"),
+	}
+	// Warm-up: the first cell in a process pays one-off costs (heap
+	// growth, page faults, the crypto stack's first blocks) that skew a
+	// cross-cell comparison on a small box; burn them on a throwaway
+	// point.
+	warm := cfg
+	warm.Ops = 2000
+	if _, err := warm.netPoint(32, 0, 0, true); err != nil {
+		return t, fmt.Errorf("net ablation (warm-up): %w", err)
+	}
+
+	for _, clients := range netClientSweep {
+		cfg.logf("AblationNet clients=%d", clients)
+		bin, err := cfg.netPoint(clients, 0, 0, true)
+		if err != nil {
+			return t, fmt.Errorf("net ablation (binary, %d clients): %w", clients, err)
+		}
+		line, err := cfg.netPoint(clients, 0, 0, false)
+		if err != nil {
+			return t, fmt.Errorf("net ablation (line, %d clients): %w", clients, err)
+		}
+		cfg.logf("    %d clients: binary %.1f kops/s p99 %.2f ms | line %.1f kops/s p99 %.2f ms",
+			clients, bin.kops(), bin.p99ms(), line.kops(), line.p99ms())
+		t.Rows = append(t.Rows, Row{
+			X: fmt.Sprintf("%d", clients),
+			Series: map[string]float64{
+				"binary kops/s": bin.kops(),
+				"line kops/s":   line.kops(),
+				"binary p99 ms": bin.p99ms(),
+				"line p99 ms":   line.p99ms(),
+				"busy/1k":       0,
+			},
+		})
+	}
+
+	// Overload: a backlog of netOverloadBacklog against an offered load of
+	// netOverloadClients×netPipelineWindow in-flight writes. The server
+	// must shed (busy/1k > 0) while the admitted share completes.
+	cfg.logf("AblationNet overload (backlog %d)", netOverloadBacklog)
+	over, err := cfg.netPoint(netOverloadClients, netOverloadBacklog, 2*time.Millisecond, true)
+	if err != nil {
+		return t, fmt.Errorf("net ablation (overload): %w", err)
+	}
+	attempts := over.completed + over.busy
+	busyPerK := 0.0
+	if attempts > 0 {
+		busyPerK = float64(over.busy) / float64(attempts) * 1000
+	}
+	cfg.logf("    overload: %.1f kops/s admitted, %.0f busy/1k", over.kops(), busyPerK)
+	t.Rows = append(t.Rows, Row{
+		X: fmt.Sprintf("%d overload", netOverloadClients),
+		Series: map[string]float64{
+			"binary kops/s": over.kops(),
+			"binary p99 ms": over.p99ms(),
+			"busy/1k":       busyPerK,
+		},
+	})
+	return t, nil
+}

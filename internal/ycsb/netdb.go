@@ -1,0 +1,92 @@
+package ycsb
+
+import (
+	"elsm/internal/core"
+	"elsm/internal/netclient"
+	"elsm/internal/netproto"
+)
+
+// NetDB adapts a netclient.Client to the DB surface, so every YCSB
+// workload and the bench harness can run end to end over the network
+// front end — client, wire protocol, admission control and server
+// pipeline included — instead of calling the store in-process.
+type NetDB struct {
+	c *netclient.Client
+}
+
+// NewNetDB wraps an established client. The caller keeps ownership (and
+// Close responsibility) of the client.
+func NewNetDB(c *netclient.Client) *NetDB { return &NetDB{c: c} }
+
+// Put writes one record durably over the wire.
+func (db *NetDB) Put(key, value []byte) (uint64, error) {
+	return db.c.Put(key, value)
+}
+
+// ApplyBatch applies one atomic durable commit over the wire.
+func (db *NetDB) ApplyBatch(ops []core.BatchOp) (uint64, error) {
+	wire := make([]netproto.BatchOp, len(ops))
+	for i, op := range ops {
+		wire[i] = netproto.BatchOp{Key: op.Key, Value: op.Value, Delete: op.Delete}
+	}
+	return db.c.Batch(wire)
+}
+
+// Get reads one verified record over the wire.
+func (db *NetDB) Get(key []byte) (core.Result, error) {
+	res, err := db.c.Get(key)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if !res.Found {
+		return core.Result{}, nil
+	}
+	return core.Result{Key: key, Value: res.Value, Ts: res.Ts, Found: true}, nil
+}
+
+// IterAt streams the verified range [start, end] at tsq as a
+// core.Iterator over the protocol's chunked SCAN stream.
+func (db *NetDB) IterAt(start, end []byte, tsq uint64) core.Iterator {
+	sc, err := db.c.ScanAt(start, end, tsq)
+	if err != nil {
+		return &netIter{err: err}
+	}
+	return &netIter{sc: sc}
+}
+
+// netIter adapts a netclient.Scanner to core.Iterator.
+type netIter struct {
+	sc  *netclient.Scanner
+	res core.Result
+	err error
+}
+
+func (it *netIter) Next() bool {
+	if it.err != nil || it.sc == nil {
+		return false
+	}
+	if !it.sc.Next() {
+		return false
+	}
+	it.res = core.Result{Key: it.sc.Key(), Value: it.sc.Value(), Ts: it.sc.Ts(), Found: true}
+	return true
+}
+
+func (it *netIter) Result() core.Result { return it.res }
+
+func (it *netIter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.sc.Err()
+}
+
+func (it *netIter) Close() error {
+	if it.sc == nil {
+		return it.err
+	}
+	if err := it.sc.Close(); err != nil && it.err == nil {
+		it.err = err
+	}
+	return it.err
+}
