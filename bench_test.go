@@ -6,11 +6,15 @@
 package elsm
 
 import (
+	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"elsm/internal/core"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
+	"elsm/internal/vfs"
 	"elsm/internal/ycsb"
 )
 
@@ -187,6 +191,98 @@ func BenchmarkScanMaterialized10kP2(b *testing.B) {
 			b.Fatalf("scanned %d of %d records", len(out), n)
 		}
 	}
+}
+
+// TestObsOverheadGuard is the instrumentation-cost budget: steady-state
+// single-writer put throughput with the default instrumentation on versus
+// Options.DisableInstrumentation (nil recorders — the hot paths never
+// even read the clock), measured in interleaved rounds on the same
+// process. The budget is < 3% median regression on storage whose fsync
+// costs real time (vfs.NewSlowSync — the regime the budget is a claim
+// about: the histograms are meant to be left on in production, where the
+// commit pipeline is fsync-bound and a handful of clock reads per group
+// is noise; on a raw in-memory device the same clock reads are a
+// double-digit fraction of a ~2µs put and no instrumentation could meet
+// the bar). Timing on shared CI is noisy, so the comparison retries a few
+// times and fails only if every attempt exceeds the budget.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	const (
+		rounds        = 9
+		opsPerRound   = 300
+		syncDelay     = 100 * time.Microsecond
+		maxRegression = 0.03
+		attempts      = 4
+	)
+	openStore := func(disable bool) *Store {
+		t.Helper()
+		s, err := Open(Options{
+			Mode:                   ModeP2,
+			FS:                     vfs.NewSlowSync(vfs.NewMem(), syncDelay),
+			MemtableSize:           64 << 20, // keep flushes off the measured path
+			DisableInstrumentation: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	val := ycsb.Value(1, ycsb.DefaultValueSize)
+	round := func(s *Store, tag string, r int) float64 {
+		t.Helper()
+		start := time.Now()
+		for i := 0; i < opsPerRound; i++ {
+			if _, err := s.Put([]byte(fmt.Sprintf("%s-%02d-%06d", tag, r, i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(opsPerRound) / time.Since(start).Seconds()
+	}
+	median := func(v []float64) float64 {
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	attempt := func() float64 {
+		t.Helper()
+		instr, plain := openStore(false), openStore(true)
+		defer instr.Close()
+		defer plain.Close()
+		round(instr, "warm", -1) // burn one-off costs outside the measurement
+		round(plain, "warm", -1)
+		// Each round measures both stores back to back and keeps the
+		// ratio: the pair runs adjacent in time, so machine-load drift
+		// hits both sides and cancels in the ratio, and the median over
+		// rounds discards the outlier pairs a GC or scheduler burst skews.
+		// Order alternates so neither store systematically goes first.
+		var ratios []float64
+		for r := 0; r < rounds; r++ {
+			var it, pt float64
+			if r%2 == 0 {
+				it = round(instr, "i", r)
+				pt = round(plain, "p", r)
+			} else {
+				pt = round(plain, "p", r)
+				it = round(instr, "i", r)
+			}
+			ratios = append(ratios, it/pt)
+		}
+		return 1 - median(ratios)
+	}
+	var worst float64
+	for i := 0; i < attempts; i++ {
+		reg := attempt()
+		t.Logf("attempt %d: median put throughput regression %.2f%%", i+1, reg*100)
+		if reg < maxRegression {
+			return
+		}
+		if reg > worst {
+			worst = reg
+		}
+	}
+	t.Fatalf("instrumentation costs %.2f%% median put throughput across %d attempts (budget %.0f%%)",
+		worst*100, attempts, maxRegression*100)
 }
 
 // BenchmarkVerificationOverhead measures the pure software cost of the

@@ -12,6 +12,12 @@
 // identically, so every crossover of the paper's figures is preserved.
 // -scale 1 reproduces paper-absolute sizes (needs tens of GB of RAM and
 // hours of runtime).
+//
+// Latency quantiles in every table come from the store's shared
+// log-bucket histograms (internal/obs) — the same estimator the server's
+// /metrics endpoint exposes — so bench rows compare directly against
+// production scrapes, including the instrumentation-overhead A/B guard
+// in the repo's bench tests.
 package main
 
 import (

@@ -75,6 +75,19 @@
 // BUSY response instead of queueing without bound; STATS exposes the
 // net_* gauges behind each limit.
 //
+// Observability: -admin starts an HTTP admin endpoint serving /metrics
+// (Prometheus text format: every STATS gauge plus latency-histogram
+// summaries with per-shard labels), /debug/pprof/* (the standard Go
+// profiles), and the trace/slow-op/event rings as JSON at /traces and
+// /events. A scrape is one GET:
+//
+//	curl http://127.0.0.1:7879/metrics
+//
+// The endpoint is plaintext and unauthenticated; bind it to localhost
+// (as in the example) and put a reverse proxy in front if it must be
+// reachable remotely. -slow-op-threshold and -trace-sample-every tune
+// what the rings capture; instrumentation is cheap enough to stay on.
+//
 // With -repl-secret the server becomes a replication leader: followers
 // bootstrap over REPL CKPT and stay current over REPL TAIL, every stream
 // attested against the shared secret (the stand-in for remote attestation).
@@ -88,6 +101,7 @@
 //	[-proto binary|line] [-shards 1] [-commit-window 0] [-commit-max-ops 0]
 //	[-max-connections 1024] [-pipeline-depth 64] [-max-inflight 4096]
 //	[-iter-chunk-keys 0] [-repl-secret s] [-follow leader:7878]
+//	[-admin 127.0.0.1:7879] [-slow-op-threshold 0] [-trace-sample-every 0]
 package main
 
 import (
@@ -95,6 +109,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 
 	"elsm"
 	"elsm/internal/netsrv"
@@ -118,6 +133,9 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", netsrv.DefaultMaxInflight, "max requests in flight across all connections; excess is shed with BUSY")
 		follow       = flag.String("follow", "", "run as a read-only replica of the leader at this address (requires -repl-secret and mode p2)")
 		replSecret   = flag.String("repl-secret", "", "shared attestation secret binding leader and followers (stands in for remote attestation; required with -follow, enables the leader's REPL endpoint)")
+		adminAddr    = flag.String("admin", "", "observability HTTP listen address (e.g. 127.0.0.1:7879) serving /metrics, /debug/pprof/*, /traces and /events; empty disables. Plaintext and unauthenticated — keep it on localhost or behind a proxy")
+		slowOp       = flag.Duration("slow-op-threshold", 0, "end-to-end latency above which a commit group's stage breakdown lands in the slow-op log (0: the 50ms default)")
+		traceEvery   = flag.Int("trace-sample-every", 0, "trace every Nth commit group through the pipeline (0: the default 64; 1: every group)")
 	)
 	flag.Parse()
 
@@ -129,6 +147,8 @@ func main() {
 		IterChunkKeys:     *chunkKeys,
 		InlineCompaction:  *inlineComp,
 		CompactionWorkers: *compWorkers,
+		SlowOpThreshold:   *slowOp,
+		TraceSampleEvery:  *traceEvery,
 	}
 	switch *mode {
 	case "p2":
@@ -180,10 +200,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("server config: %v", err)
 		}
+		startAdmin(*adminAddr, srv)
 		if err := srv.Serve(ln); err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 	case "line":
+		if *adminAddr != "" {
+			// The admin handler hangs off a netsrv.Server for its net_*
+			// gauges; in line mode no binary front end serves traffic, so
+			// build one solely to host the handler (its gauges read zero).
+			srv, err := netsrv.New(store, netsrv.Config{})
+			if err != nil {
+				log.Fatalf("server config: %v", err)
+			}
+			startAdmin(*adminAddr, srv)
+		}
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -195,6 +226,30 @@ func main() {
 	default:
 		log.Fatalf("unknown protocol %q (want binary or line)", *proto)
 	}
+}
+
+// startAdmin starts the opt-in observability HTTP listener. The handler
+// is plaintext and unauthenticated by design (diagnostics, not data), so
+// the operator guidance is a localhost bind; a non-loopback bind is the
+// operator's explicit choice and gets a log warning rather than a
+// refusal.
+func startAdmin(addr string, srv *netsrv.Server) {
+	if addr == "" {
+		return
+	}
+	aln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("admin listen: %v", err)
+	}
+	if ta, ok := aln.Addr().(*net.TCPAddr); ok && !ta.IP.IsLoopback() {
+		log.Printf("WARNING: admin endpoint on non-loopback %s is plaintext and unauthenticated; front it with a proxy", aln.Addr())
+	}
+	log.Printf("admin endpoint on http://%s (/metrics /debug/pprof/ /traces /events)", aln.Addr())
+	go func() {
+		if err := http.Serve(aln, srv.AdminHandler()); err != nil {
+			log.Printf("admin serve: %v", err)
+		}
+	}()
 }
 
 // netConfig validates the admission-control flags into a netsrv.Config.

@@ -132,6 +132,7 @@ import (
 	"elsm/internal/core"
 	"elsm/internal/costmodel"
 	"elsm/internal/lsm"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 	"elsm/internal/repl"
 	"elsm/internal/sgx"
@@ -271,6 +272,20 @@ type Options struct {
 	// jobs run in compaction-debt order (bytes over each level's size
 	// target). 0 = auto (max(2, GOMAXPROCS/2)); negative is rejected.
 	CompactionWorkers int
+	// DisableInstrumentation turns the observability layer off entirely:
+	// no latency histograms, no traces, no event log. The instrumented
+	// store pays only atomic increments on its hot paths (and a pointer
+	// test when off), so leaving it on is the intended default; the switch
+	// exists for overhead measurement and ultra-lean embedded uses.
+	DisableInstrumentation bool
+	// SlowOpThreshold routes any commit group slower end-to-end than this
+	// into the slow-op log with its full stage breakdown, regardless of
+	// trace sampling (0 = the built-in default, currently 50ms).
+	SlowOpThreshold time.Duration
+	// TraceSampleEvery records every Nth commit group as a completed trace
+	// in the trace ring (0 = the built-in default, currently 64; 1 traces
+	// every group — debugging only, the ring churns fast).
+	TraceSampleEvery int
 	// Advanced engine tuning (zero = defaults).
 	MemtableSize      int
 	TableFileSize     int
@@ -279,6 +294,12 @@ type Options struct {
 	BlockSize         int
 	DisableCompaction bool
 	DisableWAL        bool
+
+	// obsHub, when set, reuses an existing observability hub instead of
+	// creating one — the follower re-bootstrap path passes the old hub
+	// through so the event history and network-level histograms survive the
+	// engine swap.
+	obsHub *obs.Observer
 }
 
 // AutoGroupCommitWindow selects the adaptive group-commit window: the
@@ -309,6 +330,12 @@ func (o Options) validate() error {
 	}
 	if o.ReplRingBytes < 0 {
 		return fmt.Errorf("elsm: ReplRingBytes must be ≥ 0, got %d", o.ReplRingBytes)
+	}
+	if o.SlowOpThreshold < 0 {
+		return fmt.Errorf("elsm: SlowOpThreshold must be ≥ 0, got %v", o.SlowOpThreshold)
+	}
+	if o.TraceSampleEvery < 0 {
+		return fmt.Errorf("elsm: TraceSampleEvery must be ≥ 0 (0 = default), got %d", o.TraceSampleEvery)
 	}
 	if o.Shards < 1 {
 		return fmt.Errorf("elsm: Shards must be ≥ 1, got %d", o.Shards)
@@ -358,6 +385,13 @@ type Store struct {
 	fsrc         FollowerSource
 	fopts        *Options
 	rebootstraps atomic.Uint64
+
+	// Observability: the shared hub (traces, events, store-wide histograms)
+	// and the per-shard recorders the engines observe into. Both nil with
+	// DisableInstrumentation. recs is swapped together with kv at a
+	// follower re-bootstrap (kvMu); the hub survives the swap.
+	obsv *obs.Observer
+	recs []*obs.Recorder
 }
 
 // base returns the current engine. It is a loan, not a handle: after a
@@ -405,6 +439,28 @@ func (o Options) coreConfig(fs vfs.FS) core.Config {
 	}
 }
 
+// buildObs resolves the store's observability hub and per-shard recorders
+// from the options: nil/nil when instrumentation is off, otherwise a fresh
+// hub (or the one threaded through obsHub by a follower re-bootstrap) with
+// one recorder per shard.
+func (o Options) buildObs(shards int) (*obs.Observer, []*obs.Recorder) {
+	if o.DisableInstrumentation {
+		return nil, nil
+	}
+	hub := o.obsHub
+	if hub == nil {
+		hub = obs.NewObserver(obs.Config{
+			SampleEvery:     o.TraceSampleEvery,
+			SlowOpThreshold: o.SlowOpThreshold,
+		})
+	}
+	recs := make([]*obs.Recorder, shards)
+	for i := range recs {
+		recs[i] = obs.NewRecorder(i, hub)
+	}
+	return hub, recs
+}
+
 // openMode opens one store instance of the given design.
 func openMode(mode Mode, cfg core.Config) (core.KV, error) {
 	switch mode {
@@ -450,11 +506,15 @@ func Open(opts Options) (*Store, error) {
 	cfg.SGX = sgx.Params{EPCSize: opts.EPCSize, Cost: opts.cost()}
 	cfg.Platform = opts.Platform
 	cfg.Counter = opts.Counter
+	hub, recs := opts.buildObs(1)
+	if recs != nil {
+		cfg.Obs = recs[0]
+	}
 	kv, err := openMode(opts.Mode, cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{mode: opts.Mode, kv: kv, ringBytes: opts.ReplRingBytes}
+	s := &Store{mode: opts.Mode, kv: kv, ringBytes: opts.ReplRingBytes, obsv: hub, recs: recs}
 	if opts.Encryption != nil {
 		s.enc, err = newEncLayer(*opts.Encryption)
 		if err != nil {
@@ -467,6 +527,30 @@ func Open(opts Options) (*Store, error) {
 
 // Mode reports which design this store runs.
 func (s *Store) Mode() Mode { return s.mode }
+
+// Observer returns the store's observability hub — sampled traces, the
+// slow-op log, the structured event log and the store-wide histograms.
+// Nil when Options.DisableInstrumentation was set. Safe on a nil store
+// (config-validation paths construct servers before a store exists).
+func (s *Store) Observer() *obs.Observer {
+	if s == nil {
+		return nil
+	}
+	return s.obsv
+}
+
+// Recorders returns the per-shard latency recorders in shard order (one
+// entry for an unsharded store; nil when instrumentation is off). The
+// admin endpoint and the STATS protocols render these — callers must
+// treat the histograms as read-only.
+func (s *Store) Recorders() []*obs.Recorder {
+	if s == nil {
+		return nil
+	}
+	s.kvMu.RLock()
+	defer s.kvMu.RUnlock()
+	return s.recs
+}
 
 // Put writes a key-value pair, returning the trusted timestamp assigned
 // inside the enclave. The write is durable when Put returns.

@@ -2,12 +2,12 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"elsm/internal/core"
+	"elsm/internal/obs"
 	"elsm/internal/sgx"
 	"elsm/internal/vfs"
 	"elsm/internal/ycsb"
@@ -152,7 +152,11 @@ func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 		}
 	}()
 
-	lats := make([][]time.Duration, compactionWriters)
+	// Per-op latencies go straight into one shared log-bucket histogram
+	// (internal/obs — lock-free, so the writers need no per-writer slices
+	// or a merge step) and quantiles come from the same estimator the
+	// server's /metrics endpoint uses.
+	var lat obs.Histogram
 	errCh := make(chan error, compactionWriters)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -160,7 +164,6 @@ func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lats[w] = make([]time.Duration, 0, perWriter)
 			for i := 0; i < perWriter; i++ {
 				key := []byte(fmt.Sprintf("cw%02d-%08d", w, i))
 				t0 := time.Now()
@@ -168,7 +171,7 @@ func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 					errCh <- perr
 					return
 				}
-				lats[w] = append(lats[w], time.Since(t0))
+				lat.ObserveSince(t0)
 			}
 		}(w)
 	}
@@ -182,28 +185,11 @@ func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 		return res, werr
 	}
 
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(all)-1))
-		return float64(all[idx].Nanoseconds()) / 1e3
-	}
-	var sum time.Duration
-	for _, d := range all {
-		sum += d
-	}
-	res.p50 = pct(0.50)
-	res.p99 = pct(0.99)
-	if len(all) > 0 {
-		res.mean = float64(sum.Nanoseconds()) / 1e3 / float64(len(all))
-	}
-	res.opsPerSec = float64(len(all)) / elapsed.Seconds()
+	snap := lat.Snapshot()
+	res.p50 = float64(snap.Quantile(0.50)) / 1e3
+	res.p99 = float64(snap.Quantile(0.99)) / 1e3
+	res.mean = snap.Mean() / 1e3
+	res.opsPerSec = float64(snap.Count) / elapsed.Seconds()
 	res.scansPerSec = float64(scans.Load()) / elapsed.Seconds()
 
 	st := s.Engine().Stats()
@@ -227,16 +213,16 @@ func (c Config) compactionPoint(m compactionMode) (compactionResult, error) {
 	if n > 1200 {
 		n = 1200
 	}
-	steady := make([]time.Duration, 0, n)
+	var steady obs.Histogram
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
 		if _, err := s2.Put([]byte(fmt.Sprintf("st-%08d", i)), val); err != nil {
 			return res, err
 		}
-		steady = append(steady, time.Since(t0))
+		steady.ObserveSince(t0)
 	}
-	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
-	res.steadyMedian = float64(steady[len(steady)/2].Nanoseconds()) / 1e3
+	ssnap := steady.Snapshot()
+	res.steadyMedian = float64(ssnap.Quantile(0.5)) / 1e3
 	return res, nil
 }
 

@@ -4,13 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
 	"elsm"
 	"elsm/internal/netclient"
 	"elsm/internal/netsrv"
+	"elsm/internal/obs"
 	"elsm/internal/vfs"
 )
 
@@ -130,11 +130,14 @@ func openNetBench(clients, backlog int, wait time.Duration) (*netBench, error) {
 	return &netBench{store: store, srv: srv, addr: ln.Addr().String()}, nil
 }
 
-// netResult aggregates one point's measurements across clients.
+// netResult aggregates one point's measurements across clients. Latencies
+// live in a merged log-bucket histogram snapshot (internal/obs) instead of
+// a per-op slice: constant memory across the sweep, and the same quantile
+// estimator the server's /metrics endpoint uses.
 type netResult struct {
 	completed int
 	busy      int
-	lat       []time.Duration
+	lat       obs.HistSnapshot
 	elapsed   time.Duration
 }
 
@@ -146,11 +149,7 @@ func (r netResult) kops() float64 {
 }
 
 func (r netResult) p99ms() float64 {
-	if len(r.lat) == 0 {
-		return 0
-	}
-	sort.Slice(r.lat, func(i, j int) bool { return r.lat[i] < r.lat[j] })
-	return float64(r.lat[int(0.99*float64(len(r.lat)-1))].Nanoseconds()) / 1e6
+	return float64(r.lat.Quantile(0.99)) / 1e6
 }
 
 // runNetClients runs one point in two phases so the measured window is
@@ -160,7 +159,7 @@ func (r netResult) p99ms() float64 {
 // it stops when the last finishes. connect(id) establishes one client and
 // returns its runner; the runner reports completed ops, BUSY sheds and
 // per-op latencies.
-func runNetClients(clients int, connect func(id int) (func() (int, int, []time.Duration, error), error)) (netResult, error) {
+func runNetClients(clients int, connect func(id int) (func() (int, int, obs.HistSnapshot, error), error)) (netResult, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
@@ -196,7 +195,7 @@ func runNetClients(clients int, connect func(id int) (func() (int, int, []time.D
 			}
 			res.completed += done
 			res.busy += busy
-			res.lat = append(res.lat, lat...)
+			res.lat.Merge(lat)
 		}(id)
 	}
 	ready.Wait()
@@ -210,7 +209,7 @@ func runNetClients(clients int, connect func(id int) (func() (int, int, []time.D
 // netBinaryClient connects one binary client; its runner pushes perClient
 // pipelined durable writes, keeping window in flight. ErrBusy settles the
 // op as shed (counted, not retried); any other error aborts the client.
-func netBinaryClient(addr string, id, perClient, window int) (func() (int, int, []time.Duration, error), error) {
+func netBinaryClient(addr string, id, perClient, window int) (func() (int, int, obs.HistSnapshot, error), error) {
 	c, err := netclient.Dial(addr)
 	if err != nil {
 		return nil, err
@@ -219,13 +218,13 @@ func netBinaryClient(addr string, id, perClient, window int) (func() (int, int, 
 		c.Close()
 		return nil, err
 	}
-	return func() (int, int, []time.Duration, error) {
+	return func() (int, int, obs.HistSnapshot, error) {
 		defer c.Close()
 		return netBinaryOps(c, id, perClient, window)
 	}, nil
 }
 
-func netBinaryOps(c *netclient.Client, id, perClient, window int) (int, int, []time.Duration, error) {
+func netBinaryOps(c *netclient.Client, id, perClient, window int) (int, int, obs.HistSnapshot, error) {
 	val := make([]byte, netValueSize)
 	type inflight struct {
 		fut   *netclient.Future
@@ -235,14 +234,14 @@ func netBinaryOps(c *netclient.Client, id, perClient, window int) (int, int, []t
 		pending   []inflight
 		completed int
 		busy      int
-		lat       = make([]time.Duration, 0, perClient)
+		lat       obs.Histogram
 	)
 	settle := func(w inflight) error {
 		_, err := w.fut.Wait()
 		switch {
 		case err == nil:
 			completed++
-			lat = append(lat, time.Since(w.start))
+			lat.ObserveSince(w.start)
 		case err == netclient.ErrBusy:
 			busy++
 		default:
@@ -260,58 +259,58 @@ func netBinaryOps(c *netclient.Client, id, perClient, window int) (int, int, []t
 		start := time.Now()
 		fut, err := c.PutAsync(key, val)
 		if err != nil {
-			return completed, busy, lat, err
+			return completed, busy, lat.Snapshot(), err
 		}
 		pending = append(pending, inflight{fut, start})
 		if len(pending) >= window {
 			if err := settle(pending[0]); err != nil {
-				return completed, busy, lat, err
+				return completed, busy, lat.Snapshot(), err
 			}
 			pending = pending[1:]
 		}
 	}
 	for _, w := range pending {
 		if err := settle(w); err != nil {
-			return completed, busy, lat, err
+			return completed, busy, lat.Snapshot(), err
 		}
 	}
-	return completed, busy, lat, nil
+	return completed, busy, lat.Snapshot(), nil
 }
 
 // netLineClient connects one legacy line-protocol client; its runner
 // pushes perClient durable writes, strict request-reply, one outstanding.
-func netLineClient(addr string, id, perClient int) (func() (int, int, []time.Duration, error), error) {
+func netLineClient(addr string, id, perClient int) (func() (int, int, obs.HistSnapshot, error), error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return func() (int, int, []time.Duration, error) {
+	return func() (int, int, obs.HistSnapshot, error) {
 		defer conn.Close()
 		return netLineOps(conn, id, perClient)
 	}, nil
 }
 
-func netLineOps(conn net.Conn, id, perClient int) (int, int, []time.Duration, error) {
+func netLineOps(conn net.Conn, id, perClient int) (int, int, obs.HistSnapshot, error) {
 	br := bufio.NewReader(conn)
 	val := make([]byte, netValueSize)
 	completed := 0
-	lat := make([]time.Duration, 0, perClient)
+	var lat obs.Histogram
 	for i := 0; i < perClient; i++ {
 		start := time.Now()
 		if _, err := fmt.Fprintf(conn, "PUT c%05d-%07d %s\n", id, i, val); err != nil {
-			return completed, 0, lat, err
+			return completed, 0, lat.Snapshot(), err
 		}
 		reply, err := br.ReadString('\n')
 		if err != nil {
-			return completed, 0, lat, err
+			return completed, 0, lat.Snapshot(), err
 		}
 		if len(reply) < 2 || reply[0] != 'O' || reply[1] != 'K' {
-			return completed, 0, lat, fmt.Errorf("line PUT reply %q", reply)
+			return completed, 0, lat.Snapshot(), fmt.Errorf("line PUT reply %q", reply)
 		}
 		completed++
-		lat = append(lat, time.Since(start))
+		lat.ObserveSince(start)
 	}
-	return completed, 0, lat, nil
+	return completed, 0, lat.Snapshot(), nil
 }
 
 // netPerClient sizes each connection's op count: small CI budgets still
@@ -334,7 +333,7 @@ func (c Config) netPoint(clients, backlog int, wait time.Duration, binary bool) 
 	defer b.Close()
 	window := netWindow(clients)
 	per := netPerClient(c.Ops, window, clients)
-	connect := func(id int) (func() (int, int, []time.Duration, error), error) {
+	connect := func(id int) (func() (int, int, obs.HistSnapshot, error), error) {
 		if binary {
 			return netBinaryClient(b.addr, id, per, window)
 		}

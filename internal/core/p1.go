@@ -91,6 +91,7 @@ func OpenP1(cfg Config) (*StoreP1, error) {
 		InlineCompaction:      cfg.InlineCompaction,
 		CompactionWorkers:     cfg.CompactionWorkers,
 		Workers:               cfg.Workers,
+		Obs:                   cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

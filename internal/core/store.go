@@ -14,6 +14,7 @@ import (
 	"elsm/internal/blockcache"
 	"elsm/internal/hashutil"
 	"elsm/internal/lsm"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/vfs"
@@ -82,6 +83,9 @@ type Config struct {
 	// Workers shares one maintenance worker pool across several stores
 	// (shard sets); nil gives this store its own pool of CompactionWorkers.
 	Workers *lsm.WorkerPool
+	// Obs is this shard's observability recorder, threaded through to the
+	// engine and the verified read paths. Nil disables instrumentation.
+	Obs *obs.Recorder
 	// KeepVersions, MemtableSize, TableFileSize, LevelBase,
 	// LevelMultiplier, MaxLevels, BlockSize, DisableCompaction and
 	// DisableWAL pass through to the engine (zero = engine default).
@@ -264,6 +268,9 @@ type Store struct {
 	statProofBytes atomic.Uint64
 	statRunsProbed atomic.Uint64
 
+	// rec is the shard's observability recorder (nil = instrumentation off).
+	rec *obs.Recorder
+
 	listener *authListener
 }
 
@@ -335,6 +342,7 @@ func Open(cfg Config) (*Store, error) {
 	c.snap.Store(&trustedView{digests: make(map[uint64]runDigest)})
 	c.sealKey = platform.SealingKey(c.measurement)
 	c.disableEarlyStop = cfg.DisableEarlyStop
+	c.rec = cfg.Obs
 	c.listener = &authListener{c: c}
 
 	var cache *blockcache.Cache
@@ -363,6 +371,7 @@ func Open(cfg Config) (*Store, error) {
 		InlineCompaction:      cfg.InlineCompaction,
 		CompactionWorkers:     cfg.CompactionWorkers,
 		Workers:               cfg.Workers,
+		Obs:                   cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -734,6 +743,10 @@ func (c *Store) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, e
 			return Result{}, err
 		}
 	}
+	var start time.Time
+	if c.rec != nil {
+		start = time.Now()
+	}
 	var res Result
 	var err error
 	c.enclave.ECall(func() {
@@ -745,6 +758,9 @@ func (c *Store) GetAtCtx(ctx context.Context, key []byte, tsq uint64) (Result, e
 		defer v.release()
 		res, err = v.getAt(key, tsq)
 	})
+	if c.rec != nil && err == nil {
+		c.rec.GetE2E.ObserveSince(start)
+	}
 	return res, err
 }
 
@@ -802,6 +818,11 @@ func (c *Store) BulkLoad(recs []record.Record) error {
 
 // Engine exposes the underlying engine (benchmarks and tests).
 func (c *Store) Engine() *lsm.Store { return c.engine }
+
+// Recorder returns the shard's observability recorder (nil when
+// instrumentation is off); replication tailers and servers file their
+// events through it.
+func (c *Store) Recorder() *obs.Recorder { return c.rec }
 
 // Enclave exposes the simulated enclave (stats inspection).
 func (c *Store) Enclave() *sgx.Enclave { return c.enclave }

@@ -51,6 +51,7 @@ func OpenUnsecured(cfg Config) (*Unsecured, error) {
 		InlineCompaction:      cfg.InlineCompaction,
 		CompactionWorkers:     cfg.CompactionWorkers,
 		Workers:               cfg.Workers,
+		Obs:                   cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

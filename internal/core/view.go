@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"elsm/internal/lsm"
 	"elsm/internal/record"
@@ -103,6 +104,18 @@ func (v *readView) getAt(key []byte, tsq uint64) (Result, error) {
 	if rec, ok := v.esnap.MemGet(key, tsq); ok {
 		return resultFrom(rec), nil
 	}
+	// Memtable miss: the run walk below pays verification. With
+	// instrumentation on, accumulate the verify time and proof bytes this
+	// GET spends and observe them once on the way out (error exits
+	// included — a failed verification is still verification work).
+	instr := c.rec != nil
+	var verifyNanos, proofBytes uint64
+	if instr {
+		defer func() {
+			c.rec.Verify.Observe(verifyNanos)
+			c.rec.ProofBytes.Observe(proofBytes)
+		}()
+	}
 	var first *Result
 	for i, run := range v.esnap.Runs() {
 		d := v.digs[run.ID]
@@ -114,8 +127,17 @@ func (v *readView) getAt(key []byte, tsq uint64) (Result, error) {
 		if lerr != nil {
 			return Result{}, lerr
 		}
+		var vstart time.Time
+		if instr {
+			vstart = time.Now()
+		}
 		if lk.Found {
-			if _, verr := verifyMembership(key, tsq, lk.Rec, d); verr != nil {
+			_, verr := verifyMembership(key, tsq, lk.Rec, d)
+			if instr {
+				verifyNanos += uint64(time.Since(vstart))
+				proofBytes += uint64(len(lk.Rec.Proof))
+			}
+			if verr != nil {
 				return Result{}, verr
 			}
 			c.statProofBytes.Add(uint64(len(lk.Rec.Proof)))
@@ -128,7 +150,17 @@ func (v *readView) getAt(key []byte, tsq uint64) (Result, error) {
 			}
 			continue
 		}
-		if verr := verifyNonMembership(key, tsq, lk, d); verr != nil {
+		verr := verifyNonMembership(key, tsq, lk, d)
+		if instr {
+			verifyNanos += uint64(time.Since(vstart))
+			if lk.Pred != nil {
+				proofBytes += uint64(len(lk.Pred.Proof))
+			}
+			if lk.Succ != nil {
+				proofBytes += uint64(len(lk.Succ.Proof))
+			}
+		}
+		if verr != nil {
 			return Result{}, verr
 		}
 		if lk.Pred != nil {
@@ -156,6 +188,9 @@ func (v *readView) getAt(key []byte, tsq uint64) (Result, error) {
 // immutable. Caller is inside an ECall.
 func (v *readView) scanChunk(start, end []byte, tsq uint64, maxKeys int) (out []Result, next []byte, done bool, err error) {
 	c := v.c
+	if rec := c.rec; rec != nil {
+		defer func(t time.Time) { rec.ScanChunk.ObserveSince(t) }(time.Now())
+	}
 	var scans []lsm.RunScan
 	chunkEnd := end
 	for i, run := range v.esnap.Runs() {

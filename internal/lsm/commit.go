@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"elsm/internal/obs"
 	"elsm/internal/record"
 )
 
@@ -233,6 +234,9 @@ type commitReq struct {
 	// owns the request.
 	claimed atomic.Bool
 	done    chan struct{}
+	// enqueued stamps queue admission for the queue-wait histogram and the
+	// commit-group trace. Zero when instrumentation is off.
+	enqueued time.Time
 }
 
 // finish completes the request, resolving its future if any.
@@ -251,6 +255,14 @@ type commitGroup struct {
 	recs  []record.Record
 	total int
 	ts    uint64 // the group's last record timestamp (0 for barrier-only groups)
+
+	// Stage-timing span (zero / unused when Options.Obs is nil). The span
+	// is per GROUP, so even always-on timing is amortized over the group's
+	// records; start is the earliest member's queue admission.
+	start          time.Time
+	queueWaitNanos uint64
+	appendNanos    uint64
+	traced         bool // sampled into the trace ring at completion
 }
 
 // committer is the shared two-stage commit pipeline state.
@@ -313,6 +325,9 @@ func (s *Store) stopCommitter() {
 // close.
 func (s *Store) enqueueCommit(req *commitReq) error {
 	gc := &s.gc
+	if s.opts.Obs != nil {
+		req.enqueued = time.Now()
+	}
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
 	if gc.closed {
@@ -336,7 +351,20 @@ func (s *Store) commit(ctx context.Context, ops []BatchOp) (uint64, error) {
 		return s.lastTs.Load(), nil
 	}
 	req := &commitReq{ops: ops, done: make(chan struct{})}
-	return s.awaitReq(ctx, req)
+	rec := s.opts.Obs
+	if rec == nil {
+		return s.awaitReq(ctx, req)
+	}
+	start := time.Now()
+	ts, err := s.awaitReq(ctx, req)
+	if err == nil {
+		if len(ops) == 1 {
+			rec.PutE2E.ObserveSince(start)
+		} else {
+			rec.CommitE2E.ObserveSince(start)
+		}
+	}
+	return ts, err
 }
 
 // Sync is the durability barrier: it blocks until every commit accepted
@@ -541,6 +569,20 @@ func (s *Store) processGroup(batch []*commitReq) {
 		}
 	}
 
+	// Stage timing (per group, not per record: the clock reads amortize
+	// over the group). Queue wait is each member's time from enqueue to
+	// the append stage picking the group up.
+	rec := s.opts.Obs
+	var appendStart time.Time
+	if rec != nil {
+		appendStart = time.Now()
+		for _, req := range batch {
+			if !req.enqueued.IsZero() {
+				rec.CommitQueueWait.ObserveDuration(appendStart.Sub(req.enqueued))
+			}
+		}
+	}
+
 	s.commitMu.Lock()
 
 	if !s.opts.InlineCompaction {
@@ -634,6 +676,18 @@ func (s *Store) processGroup(batch []*commitReq) {
 	}
 
 	group := &commitGroup{reqs: batch, recs: recs, total: total, ts: groupTs}
+	if rec != nil {
+		group.start = appendStart
+		for _, req := range batch {
+			if !req.enqueued.IsZero() && (group.start.IsZero() || req.enqueued.Before(group.start)) {
+				group.start = req.enqueued
+			}
+		}
+		group.queueWaitNanos = uint64(appendStart.Sub(group.start))
+		group.appendNanos = uint64(time.Since(appendStart))
+		rec.CommitAppend.Observe(group.appendNanos)
+		group.traced = total > 0 && rec.ShouldTrace()
+	}
 	if s.opts.InlineCompaction {
 		// Sequential completion under commitMu: the inline rewrite must
 		// serialize with Flush/Compact exactly as the pre-pipeline commit
@@ -705,6 +759,8 @@ func (s *Store) drainSync() {
 
 // completeGroups fsyncs and completes a run of appended groups in order.
 func (s *Store) completeGroups(groups []*commitGroup) {
+	rec := s.opts.Obs
+	var fsyncNanos uint64
 	anyRecs := false
 	for _, g := range groups {
 		if g.total > 0 {
@@ -739,16 +795,29 @@ func (s *Store) completeGroups(groups []*commitGroup) {
 			}
 			return
 		}
-		s.observeFsync(time.Since(syncStart))
+		d := time.Since(syncStart)
+		s.observeFsync(d)
 		s.walSyncs.Add(1)
+		if rec != nil {
+			// One fsync covers every absorbed group; the histogram counts
+			// it once, each group's trace reports the fsync it rode.
+			fsyncNanos = uint64(d)
+			rec.CommitFsync.Observe(fsyncNanos)
+		}
 	}
 
 	memFull := false
 	for _, g := range groups {
+		var applyNanos uint64
+		var resolveStart time.Time
 		if g.total > 0 {
 			s.groupCommits.Add(1)
 			s.groupedRecords.Add(uint64(g.total))
 			s.listener.OnGroupCommit(g.total)
+			var applyStart time.Time
+			if rec != nil {
+				applyStart = time.Now()
+			}
 			s.mu.Lock()
 			for i := range g.recs {
 				s.mem.Put(g.recs[i])
@@ -759,9 +828,38 @@ func (s *Store) completeGroups(groups []*commitGroup) {
 			}
 			s.mu.Unlock()
 			s.notifyGroupSink(g.recs, g.ts)
+			if rec != nil {
+				applyNanos = uint64(time.Since(applyStart))
+				rec.CommitApply.Observe(applyNanos)
+			}
+		}
+		if rec != nil {
+			resolveStart = time.Now()
 		}
 		for _, req := range g.reqs {
 			req.finish(nil)
+		}
+		if rec != nil && g.total > 0 {
+			resolveNanos := uint64(time.Since(resolveStart))
+			rec.CommitResolve.Observe(resolveNanos)
+			total := uint64(time.Since(g.start))
+			slow := total >= rec.SlowThresholdNanos()
+			if g.traced || slow {
+				rec.Record(obs.Trace{
+					Kind:       "commit-group",
+					Seq:        g.ts,
+					Start:      g.start,
+					TotalNanos: total,
+					Records:    g.total,
+					Stages: []obs.Stage{
+						{Name: "queue-wait", Nanos: g.queueWaitNanos},
+						{Name: "append", Nanos: g.appendNanos},
+						{Name: "fsync", Nanos: fsyncNanos},
+						{Name: "apply", Nanos: applyNanos},
+						{Name: "resolve", Nanos: resolveNanos},
+					},
+				}, g.traced)
+			}
 		}
 	}
 	if memFull {
@@ -798,8 +896,12 @@ func (s *Store) completeGroupInline(group *commitGroup) {
 			finish(fmt.Errorf("%w: %w", ErrWALSyncFailed, serr))
 			return
 		}
-		s.observeFsync(time.Since(syncStart))
+		d := time.Since(syncStart)
+		s.observeFsync(d)
 		s.walSyncs.Add(1)
+		if rec := s.opts.Obs; rec != nil {
+			rec.CommitFsync.ObserveDuration(d)
+		}
 	}
 	var groupErr error
 	if group.total > 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"elsm/internal/costmodel"
 	"elsm/internal/record"
@@ -44,6 +45,11 @@ import (
 // each flush prepends a fresh immutable run to level 1 instead.
 func (s *Store) flushFrozen() error {
 	// Phase 1: snapshot the immutable inputs.
+	rec := s.opts.Obs
+	var phaseStart time.Time
+	if rec != nil {
+		phaseStart = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -74,6 +80,10 @@ func (s *Store) flushFrozen() error {
 	}
 	frozenWALs := append([]string(nil), s.frozenWALs...)
 	s.mu.Unlock()
+	if rec != nil {
+		rec.CompactSnapshot.ObserveSince(phaseStart)
+		phaseStart = time.Now()
+	}
 
 	// Phase 2: merge, build and hash — lock-free.
 	sources := []mergeSource{{runID: MemtableRunID, iter: frozen.Iter()}}
@@ -84,6 +94,10 @@ func (s *Store) flushFrozen() error {
 	if err != nil {
 		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		return err
+	}
+	if rec != nil {
+		rec.CompactMerge.ObserveSince(phaseStart)
+		phaseStart = time.Now()
 	}
 
 	// Phase 3: verify and install the new version. installMu serializes the
@@ -149,6 +163,9 @@ func (s *Store) flushFrozen() error {
 	frozen.Release()
 	s.listener.OnVersionCommitted(info)
 	s.installMu.Unlock()
+	if rec != nil {
+		rec.CompactInstall.ObserveSince(phaseStart)
+	}
 	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
 	if !s.opts.InlineCompaction {
 		s.scheduleOverflowCompactions()
@@ -208,6 +225,11 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 		return fmt.Errorf("lsm: compact: level %d out of range [1,%d)", lvl, s.opts.MaxLevels)
 	}
 	// Phase 1: snapshot and pin the input runs.
+	rec := s.opts.Obs
+	var phaseStart time.Time
+	if rec != nil {
+		phaseStart = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -242,6 +264,10 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 		s.retainRunLocked(r)
 	}
 	s.mu.Unlock()
+	if rec != nil {
+		rec.CompactSnapshot.ObserveSince(phaseStart)
+		phaseStart = time.Now()
+	}
 
 	// Phase 2: merge, build and hash — lock-free.
 	var sources []mergeSource
@@ -252,6 +278,10 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 	if err != nil {
 		s.releaseRunRefs(inputs, 1) // job pins only: the version still owns them
 		return err
+	}
+	if rec != nil {
+		rec.CompactMerge.ObserveSince(phaseStart)
+		phaseStart = time.Now()
 	}
 
 	// Phase 3: verify and install. installMu serializes the
@@ -289,6 +319,9 @@ func (s *Store) compactLevel(lvl int, background bool) error {
 
 	s.listener.OnVersionCommitted(info)
 	s.installMu.Unlock()
+	if rec != nil {
+		rec.CompactInstall.ObserveSince(phaseStart)
+	}
 	s.releaseRunRefs(inputs, 2) // retired version reference + job pin
 	if !s.opts.InlineCompaction {
 		s.scheduleOverflowCompactions()

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"elsm/internal/blockcache"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/sstable"
@@ -111,6 +112,13 @@ type Options struct {
 	// context cancellation) until the pipeline drains. 0 selects
 	// DefaultMaxAsyncCommitBacklog.
 	MaxAsyncCommitBacklog int
+	// Obs is this store's observability recorder: the engine observes
+	// per-op and per-stage latencies into its histograms, emits sampled
+	// commit-group traces, and files structured events (fail-stops, torn
+	// WAL recoveries) through it. Nil disables instrumentation entirely —
+	// the hot paths guard on the nil before reading the clock, so the
+	// uninstrumented store pays only pointer tests.
+	Obs *obs.Recorder
 }
 
 // DefaultMaxAsyncCommitBacklog bounds the number of acknowledged-but-not-

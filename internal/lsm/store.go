@@ -12,6 +12,7 @@ import (
 
 	"elsm/internal/hashutil"
 	"elsm/internal/memtable"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 	"elsm/internal/sgx"
 	"elsm/internal/sstable"
@@ -328,6 +329,10 @@ func Open(opts Options) (*Store, error) {
 	s.levelBytesGauge = make([]atomic.Int64, len(s.levels))
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	if s.walTornRecords > 0 {
+		s.opts.Obs.Event(obs.EventTornTail,
+			"recovery truncated %d torn record(s) off the active WAL tail", s.walTornRecords)
 	}
 	s.refreshLevelBytesLocked()
 	if err := s.openWAL(); err != nil {
@@ -684,6 +689,7 @@ func (s *Store) freezeLocked() error {
 func (s *Store) setBgErrLocked(err error) {
 	if s.bgErr == nil && err != nil {
 		s.bgErr = err
+		s.opts.Obs.Event(obs.EventFailStop, "background failure (fail-stop): %v", err)
 	}
 	s.flushDone.Broadcast()
 }
@@ -694,6 +700,7 @@ func (s *Store) setWALErr(err error) {
 	s.mu.Lock()
 	if s.walErr == nil && err != nil {
 		s.walErr = err
+		s.opts.Obs.Event(obs.EventWALError, "wal fsync failed (sticky fail-stop): %v", err)
 	}
 	s.flushDone.Broadcast()
 	s.mu.Unlock()

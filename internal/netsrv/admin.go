@@ -1,0 +1,140 @@
+// Admin/observability HTTP endpoint. The binary protocol's STATS frame is
+// the machine interface for clients already speaking netproto; this file
+// is the operator interface: a plain HTTP handler serving Prometheus
+// text-format metrics, pprof profiles, and the observability rings as
+// JSON. cmd/elsm-server mounts it behind the opt-in -admin flag.
+//
+// Security: the handler is plaintext and unauthenticated — everything it
+// serves is diagnostic, but profiles and event messages can leak workload
+// shape, so the server binds it to localhost by default and operators who
+// expose it wider must front it themselves (see cmd/elsm-server).
+package netsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"elsm/internal/obs"
+)
+
+// AdminHandler returns the observability HTTP handler for this server:
+//
+//	/metrics               Prometheus text format: every STATS gauge
+//	                       (elsm_* with per-shard labels) plus the latency
+//	                       histograms as summaries
+//	/debug/pprof/*         the standard Go profiles
+//	/traces                sampled commit-pipeline traces + slow-op log, JSON
+//	/events                the structured event ring, JSON
+//
+// The handler is independent of the TCP listeners: mount it on any
+// http.Server (cmd/elsm-server's -admin flag does).
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// splitShardStat recognizes the per-shard stat naming convention
+// ("shard3_disk_bytes") and splits it into the label value and base name,
+// so /metrics can expose one metric with a shard label instead of N
+// metric names.
+func splitShardStat(name string) (shard, base string, ok bool) {
+	rest, found := strings.CutPrefix(name, "shard")
+	if !found {
+		return "", "", false
+	}
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '_' {
+		return "", "", false
+	}
+	return rest[:i], rest[i+1:], true
+}
+
+// handleMetrics renders every stat the STATS commands expose, in
+// Prometheus text format under the elsm_ prefix: store and net_* gauges
+// (per-shard ones as shard-labeled series), then the per-shard latency
+// histograms as summaries with a merged shard="all" series, then the
+// hub-level histograms and event counter. The hist_* quantile pairs of
+// the wire STATS list are skipped — here the histograms render natively.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	type shardSample struct {
+		shard string
+		v     uint64
+	}
+	var order []string
+	grouped := map[string][]shardSample{}
+	for _, st := range s.statsPairs() {
+		if strings.HasPrefix(st.Name, "hist_") {
+			continue
+		}
+		if shard, base, ok := splitShardStat(st.Name); ok {
+			if _, seen := grouped[base]; !seen {
+				order = append(order, base)
+			}
+			grouped[base] = append(grouped[base], shardSample{shard, st.Value})
+			continue
+		}
+		obs.WriteGauge(&buf, "elsm_"+st.Name, st.Value)
+	}
+	for _, base := range order {
+		name := obs.PromName("elsm_" + base)
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n", name)
+		for _, smp := range grouped[base] {
+			fmt.Fprintf(&buf, "%s{shard=%q} %d\n", name, smp.shard, smp.v)
+		}
+	}
+	obs.WriteRecorderMetrics(&buf, "elsm_", s.store.Recorders())
+	if o := s.obs; o != nil {
+		obs.WriteSummary(&buf, "elsm_net_service_nanos",
+			[]obs.SummarySeries{{Snap: o.NetService.Snapshot()}})
+		obs.WriteSummary(&buf, "elsm_router_batch_nanos",
+			[]obs.SummarySeries{{Snap: o.RouterBatch.Snapshot()}})
+		obs.WriteGauge(&buf, "elsm_events_total", o.EventsTotal())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// handleTraces serves the sampled trace ring and the slow-op log, oldest
+// first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	o := s.obs
+	writeJSON(w, struct {
+		SampleEvery uint64      `json:"sample_every"`
+		SlowNanos   uint64      `json:"slow_threshold_nanos"`
+		Traces      []obs.Trace `json:"traces"`
+		SlowOps     []obs.Trace `json:"slow_ops"`
+	}{o.SampleEvery(), uint64(o.SlowThreshold()), o.Traces(), o.SlowOps()})
+}
+
+// handleEvents serves the structured event ring, oldest first, with the
+// all-time count so a consumer can detect eviction between polls.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	o := s.obs
+	writeJSON(w, struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}{o.EventsTotal(), o.Events()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

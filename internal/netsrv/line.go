@@ -397,6 +397,10 @@ func storeStatsPairs(store *elsm.Store) []netproto.Stat {
 		{Name: "repl_rebootstraps", Value: st.ReplRebootstraps},
 		{Name: "repl_epoch", Value: st.ReplEpoch},
 	}
+	for lvl, debt := range st.CompactionDebtByLevel {
+		pairs = append(pairs, netproto.Stat{Name: fmt.Sprintf("compaction_debt_level%d", lvl), Value: debt})
+	}
+	pairs = append(pairs, histStatsPairs(store)...)
 	for i, ss := range store.ShardStats() {
 		pairs = append(pairs,
 			netproto.Stat{Name: fmt.Sprintf("shard%d_wal_syncs", i), Value: ss.WALSyncs},
@@ -405,6 +409,37 @@ func storeStatsPairs(store *elsm.Store) []netproto.Stat {
 			netproto.Stat{Name: fmt.Sprintf("shard%d_async_commits_in_flight", i), Value: ss.AsyncCommitsInFlight},
 			netproto.Stat{Name: fmt.Sprintf("shard%d_disk_bytes", i), Value: uint64(ss.DiskBytes)},
 			netproto.Stat{Name: fmt.Sprintf("shard%d_compaction_debt_bytes", i), Value: ss.CompactionDebtBytes},
+		)
+	}
+	return pairs
+}
+
+// histStatsPairs folds the store's per-shard latency histograms (the
+// canonical obs.Recorder.Hists list — the same one /metrics renders) into
+// store-wide count/p50/p99 pairs for both protocols' STATS commands.
+// Shards merge bucket-wise before the quantile is taken, so the percentile
+// is computed over the union of observations, never averaged across
+// shards. Histograms with no observations are omitted: an uninstrumented
+// or idle store keeps its STATS output unchanged.
+func histStatsPairs(store *elsm.Store) []netproto.Stat {
+	recs := store.Recorders()
+	if len(recs) == 0 {
+		return nil
+	}
+	var pairs []netproto.Stat
+	names := recs[0].Hists()
+	for idx, nh := range names {
+		snap := nh.Hist.Snapshot()
+		for _, r := range recs[1:] {
+			snap.Merge(r.Hists()[idx].Hist.Snapshot())
+		}
+		if snap.Count == 0 {
+			continue
+		}
+		pairs = append(pairs,
+			netproto.Stat{Name: "hist_" + nh.Name + "_count", Value: snap.Count},
+			netproto.Stat{Name: "hist_" + nh.Name + "_p50", Value: snap.Quantile(0.5)},
+			netproto.Stat{Name: "hist_" + nh.Name + "_p99", Value: snap.Quantile(0.99)},
 		)
 	}
 	return pairs

@@ -47,6 +47,7 @@ import (
 
 	"elsm"
 	"elsm/internal/netproto"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 )
 
@@ -172,6 +173,10 @@ type Stats struct {
 type Server struct {
 	store *elsm.Store
 	cfg   Config
+	// obs is the store's observability hub, cached at construction: the
+	// NetService histogram and rate-limited BUSY-shed events. Nil when the
+	// store runs uninstrumented — every use guards on the pointer.
+	obs *obs.Observer
 
 	connSem     chan struct{}
 	inflightSem chan struct{}
@@ -200,6 +205,7 @@ func New(store *elsm.Store, cfg Config) (*Server, error) {
 	return &Server{
 		store:       store,
 		cfg:         cfg,
+		obs:         store.Observer(),
 		connSem:     make(chan struct{}, cfg.MaxConnections),
 		inflightSem: make(chan struct{}, cfg.MaxInflight),
 		lns:         make(map[net.Listener]struct{}),
@@ -318,6 +324,7 @@ func (s *Server) handle(nc net.Conn) {
 	case s.connSem <- struct{}{}:
 	default:
 		s.busyRejects.Add(1)
+		s.obs.BusyShed("conn-cap")
 		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		netproto.WriteFrame(nc, uint8(netproto.CodeBusy), 0, nil)
 		return
@@ -520,6 +527,7 @@ func (s *Server) serveBinary(br *bufio.Reader, nc net.Conn) {
 		case s.inflightSem <- struct{}{}:
 		default:
 			s.busyRejects.Add(1)
+			s.obs.BusyShed("inflight-budget")
 			if !c.respond(respFrame{typ: uint8(netproto.CodeBusy), id: id}) {
 				break
 			}
@@ -562,7 +570,13 @@ func (s *Server) serveBinary(br *bufio.Reader, nc net.Conn) {
 }
 
 // execute runs one request against the store and queues its response(s).
+// Service time — dispatch to last response queued — lands in the
+// NetService histogram (SCAN included: the span covers the whole chunk
+// stream).
 func (s *Server) execute(c *conn, req *netproto.Request) {
+	if o := s.obs; o != nil {
+		defer func(start time.Time) { o.NetService.ObserveSince(start) }(time.Now())
+	}
 	id := req.ID
 	switch req.Op {
 	case netproto.OpPing:
@@ -602,6 +616,12 @@ func (s *Server) execute(c *conn, req *netproto.Request) {
 // emits exactly one frame with release set, returning the pipeline slot
 // and in-flight token at the writer.
 func (s *Server) admitWrite(c *conn, req *netproto.Request) {
+	// Service time for writes is the admission span (decode to handoff);
+	// the durability wait is the commit pipeline's to account, not the
+	// front end's.
+	if o := s.obs; o != nil {
+		defer func(start time.Time) { o.NetService.ObserveSince(start) }(time.Now())
+	}
 	b := s.store.NewBatch()
 	switch req.Op {
 	case netproto.OpPut:
@@ -628,6 +648,7 @@ func (s *Server) admitWrite(c *conn, req *netproto.Request) {
 		// The admission gate (MaxAsyncCommitBacklog) stayed full for
 		// the whole wait: the durability pipeline is saturated.
 		s.busyRejects.Add(1)
+		s.obs.BusyShed("admission-wait")
 		f = respFrame{typ: uint8(netproto.CodeBusy), id: req.ID, release: true}
 	default:
 		f = errFrame(req.ID, errnoOf(err), err.Error())

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingEviction(t *testing.T) {
+	r := newRing[int](4)
+	for i := 0; i < 10; i++ {
+		r.append(i)
+	}
+	got := r.snapshot()
+	want := []int{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v (oldest first)", got, want)
+		}
+	}
+	if r.total() != 10 {
+		t.Fatalf("total = %d, want 10", r.total())
+	}
+}
+
+// TestRingRaceStress is the dedicated race-safety test the slow-op and
+// event rings must pass: concurrent writers appending while readers
+// snapshot (the STATS / /events access pattern), meaningful under
+// -race. Snapshots must always be internally consistent copies.
+func TestRingRaceStress(t *testing.T) {
+	o := NewObserver(Config{SampleEvery: 1, SlowOpThreshold: time.Nanosecond,
+		TraceRing: 32, SlowOpRing: 32, EventRing: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: events, traces (all slow, so both rings churn), histograms.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := NewRecorder(w, o)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec.Event(EventFailStop, "writer %d iter %d", w, i)
+				rec.Record(Trace{Kind: "commit-group", Seq: uint64(i),
+					TotalNanos: 100, Stages: []Stage{{"fsync", 90}}}, rec.ShouldTrace())
+				rec.CommitFsync.Observe(uint64(i))
+				o.BusyShed("stress")
+			}
+		}(w)
+	}
+	// Readers: snapshot all three rings and the histograms concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := NewRecorder(0, o)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range o.Events() {
+					if ev.Kind == "" {
+						t.Error("torn event read")
+						return
+					}
+				}
+				for _, tr := range append(o.Traces(), o.SlowOps()...) {
+					if tr.Kind == "" || len(tr.Stages) != 1 {
+						t.Error("torn trace read")
+						return
+					}
+				}
+				rec.CommitFsync.Snapshot()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if o.EventsTotal() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(o.SlowOps()) == 0 {
+		t.Fatal("no slow ops recorded despite 1ns threshold")
+	}
+}
+
+func TestSamplingAndSlowRouting(t *testing.T) {
+	o := NewObserver(Config{SampleEvery: 4, SlowOpThreshold: time.Millisecond})
+	rec := NewRecorder(0, o)
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		s := rec.ShouldTrace()
+		if s {
+			sampled++
+		}
+		// Fast span: recorded only when sampled.
+		rec.Record(Trace{Kind: "commit-group", TotalNanos: 1000}, s)
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 with period 4", sampled)
+	}
+	if got := len(o.Traces()); got != 4 {
+		t.Fatalf("trace ring holds %d, want 4", got)
+	}
+	if got := len(o.SlowOps()); got != 0 {
+		t.Fatalf("slow-op ring holds %d fast spans", got)
+	}
+	// A slow span lands in the slow-op log even when not sampled.
+	rec.Record(Trace{Kind: "commit-group", TotalNanos: uint64(2 * time.Millisecond)}, false)
+	slow := o.SlowOps()
+	if len(slow) != 1 || !slow[0].Slow {
+		t.Fatalf("slow span not captured: %+v", slow)
+	}
+	if slow[0].Shard != 0 {
+		t.Fatalf("recorder did not stamp shard: %+v", slow[0])
+	}
+}
+
+func TestBusyShedRateLimit(t *testing.T) {
+	o := NewObserver(Config{})
+	for i := 0; i < 1000; i++ {
+		o.BusyShed("conn-cap")
+	}
+	if got := len(o.Events()); got != 1 {
+		t.Fatalf("shed storm produced %d events, want 1 per 100ms", got)
+	}
+}
+
+func TestPromRendering(t *testing.T) {
+	o := NewObserver(Config{})
+	recs := []*Recorder{NewRecorder(0, o), NewRecorder(1, o)}
+	recs[0].PutE2E.Observe(1000)
+	recs[1].PutE2E.Observe(3000)
+	var b strings.Builder
+	WriteRecorderMetrics(&b, "elsm_", recs)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE elsm_put_e2e_nanos summary",
+		`elsm_put_e2e_nanos{shard="0",quantile="0.5"}`,
+		`elsm_put_e2e_nanos{shard="1",quantile="0.99"}`,
+		`elsm_put_e2e_nanos_count{shard="all"} 2`,
+		"# TYPE elsm_commit_fsync_nanos summary",
+		"# TYPE elsm_verify_nanos summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	var g strings.Builder
+	WriteGauge(&g, "elsm_wal_syncs", 42)
+	if got := g.String(); got != "# TYPE elsm_wal_syncs gauge\nelsm_wal_syncs 42\n" {
+		t.Errorf("gauge rendering: %q", got)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-format rendering (version 0.0.4, the format every
+// scraper accepts). Histograms render as summaries — precomputed
+// quantile series plus _sum/_count — because the log-bucket layout's
+// quantiles are computed server-side from the atomic buckets; gauges
+// render as plain samples. No client library: the format is a few lines
+// of text and the store must not grow dependencies.
+
+// SummaryQuantiles are the quantile series every histogram exposes.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labelString renders labels (plus an optional extra pair) as the
+// {k="v",...} block, empty when there are no labels.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// PromName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteGauge writes one gauge metric with a TYPE header.
+func WriteGauge(w io.Writer, name string, v uint64, labels ...Label) {
+	name = PromName(name)
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, labelString(labels), v)
+}
+
+// SummarySeries is one labeled snapshot of a summary metric (one shard's
+// histogram, typically).
+type SummarySeries struct {
+	Labels []Label
+	Snap   HistSnapshot
+}
+
+// WriteSummary writes one summary metric — every labeled series'
+// quantile samples plus _sum and _count — under a single TYPE header.
+func WriteSummary(w io.Writer, name string, series []SummarySeries) {
+	name = PromName(name)
+	fmt.Fprintf(w, "# TYPE %s summary\n", name)
+	for _, s := range series {
+		for _, q := range SummaryQuantiles {
+			fmt.Fprintf(w, "%s%s %d\n", name,
+				labelString(s.Labels, Label{"quantile", fmt.Sprintf("%g", q)}), s.Snap.Quantile(q))
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", name, labelString(s.Labels), s.Snap.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.Labels), s.Snap.Count)
+	}
+}
+
+// WriteRecorderMetrics renders every histogram of the given per-shard
+// recorders under the prefix ("elsm_"), one summary per canonical name
+// with a shard label per series plus a merged shard="all" series (exact:
+// buckets add across shards).
+func WriteRecorderMetrics(w io.Writer, prefix string, recs []*Recorder) {
+	if len(recs) == 0 {
+		return
+	}
+	names := recs[0].Hists()
+	for hi, nh := range names {
+		series := make([]SummarySeries, 0, len(recs)+1)
+		var all HistSnapshot
+		for _, r := range recs {
+			snap := r.Hists()[hi].Hist.Snapshot()
+			all.Merge(snap)
+			series = append(series, SummarySeries{
+				Labels: []Label{{"shard", fmt.Sprintf("%d", r.Shard)}},
+				Snap:   snap,
+			})
+		}
+		if len(recs) > 1 {
+			series = append(series, SummarySeries{Labels: []Label{{"shard", "all"}}, Snap: all})
+		}
+		WriteSummary(w, prefix+nh.Name, series)
+	}
+}

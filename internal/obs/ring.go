@@ -1,0 +1,56 @@
+package obs
+
+import "sync"
+
+// ring is a bounded FIFO: appends overwrite the oldest entry once full.
+// It is mutex-guarded rather than lock-free because it sits off the
+// per-op hot path (traces land per sampled/slow commit group, events per
+// fault) and the mutex makes concurrent readers trivially race-free:
+// snapshot copies the entries out under the lock, so a reader never
+// aliases a slot a writer may overwrite.
+type ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next uint64 // total appends; next%cap is the next write slot
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring[T]{buf: make([]T, 0, capacity)}
+}
+
+// append records v, evicting the oldest entry when full.
+func (r *ring[T]) append(v T) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next%uint64(cap(r.buf))] = v
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained entries, oldest first. The returned
+// slice is a fresh copy the caller owns.
+func (r *ring[T]) snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.next % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// total reports how many entries were ever appended (retained or
+// evicted).
+func (r *ring[T]) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"elsm/internal/core"
+	"elsm/internal/obs"
 )
 
 // Reconnect pacing: jittered exponential backoff between transport
@@ -121,13 +122,27 @@ func (t *Tailer) stopping() bool {
 	}
 }
 
-// fail records the fail-stop reason.
+// fail records the fail-stop reason and files it in the event log,
+// classified so /events consumers can tell a fenced zombie stream from a
+// fell-behind follower without parsing messages.
 func (t *Tailer) fail(err error) {
 	t.mu.Lock()
-	if t.failed == nil {
+	fresh := t.failed == nil
+	if fresh {
 		t.failed = err
 	}
 	t.mu.Unlock()
+	if !fresh {
+		return
+	}
+	kind := obs.EventFailStop
+	switch {
+	case errors.Is(err, ErrFenced):
+		kind = obs.EventFenced
+	case errors.Is(err, ErrBehind):
+		kind = obs.EventBehind
+	}
+	t.st.Recorder().Event(kind, "tailer shard %d failed stop: %v", t.shard, err)
 }
 
 // sleepBackoff waits the attempt-th backoff delay (exponential from
@@ -158,6 +173,8 @@ func (t *Tailer) run() {
 	for !t.stopping() {
 		if !first {
 			t.reconnects.Add(1)
+			t.st.Recorder().Event(obs.EventReconnect,
+				"tailer shard %d re-dialing source (attempt %d)", t.shard, attempt)
 			if !t.sleepBackoff(attempt) {
 				return
 			}

@@ -41,9 +41,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elsm/internal/core"
 	"elsm/internal/lsm"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 )
 
@@ -83,6 +85,10 @@ type Router struct {
 	// batch. Single-shard operations skip the gate — per-shard atomicity
 	// already covers them.
 	gate sync.RWMutex
+	// obs, when non-nil, receives cross-shard batch end-to-end latencies
+	// (the RouterBatch histogram): the router is the only vantage point
+	// that sees a multi-shard commit whole.
+	obs *obs.Observer
 }
 
 var _ core.KV = (*Router)(nil)
@@ -98,6 +104,10 @@ func New(shards []core.KV) (*Router, error) {
 	}
 	return &Router{shards: shards}, nil
 }
+
+// SetObserver routes cross-shard batch latencies to o (nil disables).
+// Call before serving traffic; the field is not synchronized.
+func (r *Router) SetObserver(o *obs.Observer) { r.obs = o }
 
 // NumShards reports the partition count.
 func (r *Router) NumShards() int { return len(r.shards) }
@@ -201,6 +211,10 @@ func (r *Router) ApplyBatchCtx(ctx context.Context, ops []core.BatchOp) (uint64,
 	}
 	// Cross-shard: hold the snapshot gate until the batch is visible
 	// everywhere, so no snapshot pins a state with half of it.
+	var start time.Time
+	if r.obs != nil {
+		start = time.Now()
+	}
 	r.gate.RLock()
 	defer r.gate.RUnlock()
 	futs := make([]*lsm.CommitFuture, 0, len(involved))
@@ -232,6 +246,9 @@ func (r *Router) ApplyBatchCtx(ctx context.Context, ops []core.BatchOp) (uint64,
 		return 0, firstErr
 	}
 	r.seq.Add(1)
+	if r.obs != nil {
+		r.obs.RouterBatch.ObserveSince(start)
+	}
 	return maxTs, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"elsm/internal/core"
+	"elsm/internal/obs"
 	"elsm/internal/record"
 )
 
@@ -333,9 +334,13 @@ func NewRunner(kv DB, wl Workload, n int, seed int64) *Runner {
 	}
 }
 
-// RunOps executes n operations, measuring per-op latency.
+// RunOps executes n operations, measuring per-op latency. Latencies feed
+// the store's shared log-bucket histogram (internal/obs) rather than a
+// private sorted slice: constant memory for any op count, and the same
+// quantile estimator the server's /metrics endpoint reports, so bench
+// numbers and production scrapes are directly comparable.
 func (r *Runner) RunOps(n int) (Stats, error) {
-	lat := make([]time.Duration, 0, n)
+	var hist obs.Histogram
 	errs := 0
 	valueSize := r.Workload.ValueSize
 	if valueSize <= 0 {
@@ -374,7 +379,7 @@ func (r *Runner) RunOps(n int) (Stats, error) {
 				_, err = r.KV.Put(Key(idx), v)
 			}
 		}
-		lat = append(lat, time.Since(opStart))
+		hist.ObserveDuration(time.Since(opStart))
 		if err != nil {
 			errs++
 			if errs > n/10 {
@@ -383,29 +388,24 @@ func (r *Runner) RunOps(n int) (Stats, error) {
 		}
 	}
 	total := time.Since(start)
-	return summarize(lat, errs, total), nil
+	return summarize(&hist, errs, total), nil
 }
 
-func summarize(lat []time.Duration, errs int, total time.Duration) Stats {
-	if len(lat) == 0 {
+// summarize folds the latency histogram into the figure-style Stats row.
+// Quantiles are bucket-midpoint estimates (≤ ~12% relative error), the
+// trade for never sorting or retaining per-op samples.
+func summarize(h *obs.Histogram, errs int, total time.Duration) Stats {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
 		return Stats{Errors: errs, Total: total}
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	var sum time.Duration
-	for _, d := range lat {
-		sum += d
-	}
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(lat)-1))
-		return lat[i]
-	}
 	return Stats{
-		Ops:    len(lat),
+		Ops:    int(snap.Count),
 		Errors: errs,
-		Mean:   sum / time.Duration(len(lat)),
-		P50:    pct(0.50),
-		P95:    pct(0.95),
-		P99:    pct(0.99),
+		Mean:   time.Duration(snap.Mean()),
+		P50:    time.Duration(snap.Quantile(0.50)),
+		P95:    time.Duration(snap.Quantile(0.95)),
+		P99:    time.Duration(snap.Quantile(0.99)),
 		Total:  total,
 	}
 }

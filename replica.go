@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"elsm/internal/core"
+	"elsm/internal/obs"
 	"elsm/internal/repl"
 	"elsm/internal/sgx"
 	"elsm/internal/shard"
@@ -226,9 +227,12 @@ func (s *Store) maybeRebootstrap(trigger *repl.Tailer) {
 		s.replMu.Lock()
 		s.bootErr = fmt.Errorf("elsm: automatic re-bootstrap failed: %w", err)
 		s.replMu.Unlock()
+		s.obsv.Event(obs.EventRebootstrap, -1, "automatic re-bootstrap failed: %v", err)
 		return
 	}
 	s.rebootstraps.Add(1)
+	s.obsv.Event(obs.EventRebootstrap, -1,
+		"follower re-bootstrapped from checkpoint (total %d)", s.rebootstraps.Load())
 }
 
 // rebootstrapLocked (failoverMu held) tears the follower down and rebuilds
@@ -250,6 +254,10 @@ func (s *Store) rebootstrapLocked() error {
 		return fmt.Errorf("close stale engine: %w", err)
 	}
 	opts := *s.fopts
+	// Thread the existing hub through so the event history and store-wide
+	// histograms survive the engine swap (per-shard recorders restart with
+	// the fresh engine).
+	opts.obsHub = s.obsv
 	for i := 0; i < opts.Shards; i++ {
 		fs, ctr, err := followerShardEnv(&opts, i)
 		if err != nil {
@@ -268,6 +276,7 @@ func (s *Store) rebootstrapLocked() error {
 	}
 	s.kvMu.Lock()
 	s.kv = fresh.kv // steal the engine; the wrapper is discarded un-closed
+	s.recs = fresh.recs
 	s.kvMu.Unlock()
 	s.replMu.Lock()
 	s.bootErr = nil
@@ -371,6 +380,7 @@ func (s *Store) Promote(ctx context.Context) (uint64, error) {
 	s.bootErr = nil
 	s.replMu.Unlock()
 	s.readOnly.Store(false)
+	s.obsv.Event(obs.EventPromote, -1, "follower promoted to leader at epoch %d", epoch)
 	return epoch, nil
 }
 

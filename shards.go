@@ -52,6 +52,8 @@ func openSharded(opts Options) (*Store, error) {
 		baseFS = osfs
 	}
 
+	hub, recs := opts.buildObs(n)
+
 	shards := make([]core.KV, 0, n)
 	closeAll := func() {
 		for _, sh := range shards {
@@ -72,6 +74,9 @@ func openSharded(opts Options) (*Store, error) {
 		cfg.Enclave = enclave
 		cfg.Platform = platform
 		cfg.Workers = pool
+		if recs != nil {
+			cfg.Obs = recs[i]
+		}
 		if len(opts.ShardCounters) == n {
 			cfg.Counter = opts.ShardCounters[i]
 		}
@@ -87,7 +92,8 @@ func openSharded(opts Options) (*Store, error) {
 		closeAll()
 		return nil, err
 	}
-	s := &Store{mode: opts.Mode, kv: router, ringBytes: opts.ReplRingBytes}
+	router.SetObserver(hub)
+	s := &Store{mode: opts.Mode, kv: router, ringBytes: opts.ReplRingBytes, obsv: hub, recs: recs}
 	if opts.Encryption != nil {
 		s.enc, err = newEncLayer(*opts.Encryption)
 		if err != nil {

@@ -2,6 +2,7 @@ package elsm
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -67,6 +68,140 @@ func TestStatsAdaptiveCommitWindow(t *testing.T) {
 	}
 	if st.GroupCommitWindowNanos == 0 {
 		t.Fatal("resolved adaptive window not plumbed through Stats")
+	}
+}
+
+// statsFoldRules classifies EVERY Stats field by its documented
+// shard-aggregation rule. TestStatsShardFold walks the struct by
+// reflection against this table, so adding a Stats field without deciding
+// its fold semantics fails the test rather than silently mis-aggregating.
+var statsFoldRules = map[string]string{
+	// Counters and current-level gauges: sum across shards.
+	"Shards": "sum", "Flushes": "sum", "Compactions": "sum",
+	"BytesFlushed": "sum", "BytesCompacted": "sum", "RecordsDropped": "sum",
+	"ManifestUpdates": "sum", "DiskBytes": "sum", "WALSyncs": "sum",
+	"GroupCommits": "sum", "GroupedRecords": "sum", "WALTornRecords": "sum",
+	"FlushStallNanos": "sum", "CompactionStallNanos": "sum",
+	"BackgroundCompactions": "sum", "PinnedRuns": "sum",
+	"CompactionDebtBytes": "sum", "ParallelCompactions": "sum",
+	"SnapshotsOpen": "sum", "AsyncCommitsInFlight": "sum",
+	"VerifiedGets": "sum", "ProofBytes": "sum", "RunsProbed": "sum",
+	"ReplLagGroups": "sum", "ReplLagBytes": "sum",
+	"FollowersConnected": "sum", "ReplReconnects": "sum",
+	// Per-pipeline tuning gauges: the maximum across shards.
+	"CompactionWorkersBusy": "max", "GroupCommitWindowNanos": "max",
+	"FsyncEWMANanos": "max",
+	// The enclave is shared by every shard (per-shard entries repeat its
+	// totals); whole-store replication state likewise: counted once.
+	"PageFaults": "once", "ECalls": "once", "OCalls": "once",
+	"CopiedBytes": "once", "ResidentPages": "once", "EnclaveBytes": "once",
+	"ReplEpoch": "once", "ReplRebootstraps": "once",
+	// Element-wise sum.
+	"CompactionDebtByLevel": "sum-by-level",
+}
+
+// TestStatsShardFold is the aggregation property test: on a quiescent
+// sharded store, Stats() must equal the documented fold of ShardStats().
+func TestStatsShardFold(t *testing.T) {
+	opts := testOptions(ModeP2)
+	opts.Shards = 4
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 600; i++ {
+		if _, err := s.Put([]byte(fmt.Sprintf("key%04d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("key%04d", i*13))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce: durability barrier, then drain background maintenance, so
+	// both snapshots below observe the same frozen counters.
+	if err := s.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	shards := s.ShardStats()
+	agg := s.Stats()
+	if len(shards) != 4 {
+		t.Fatalf("ShardStats returned %d entries, want 4", len(shards))
+	}
+
+	num := func(v reflect.Value) int64 {
+		switch v.Kind() {
+		case reflect.Uint64:
+			return int64(v.Uint())
+		case reflect.Int, reflect.Int64:
+			return v.Int()
+		}
+		t.Fatalf("unhandled Stats field kind %v", v.Kind())
+		return 0
+	}
+	av := reflect.ValueOf(agg)
+	tp := av.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		name := tp.Field(i).Name
+		rule, ok := statsFoldRules[name]
+		if !ok {
+			t.Fatalf("Stats field %s has no fold rule: classify it in statsFoldRules (and stats.go's add)", name)
+		}
+		got := av.Field(i)
+		switch rule {
+		case "sum":
+			var want int64
+			for _, ss := range shards {
+				want += num(reflect.ValueOf(ss).Field(i))
+			}
+			if num(got) != want {
+				t.Errorf("%s: aggregate %d != shard sum %d", name, num(got), want)
+			}
+		case "max":
+			var want int64
+			for _, ss := range shards {
+				if v := num(reflect.ValueOf(ss).Field(i)); v > want {
+					want = v
+				}
+			}
+			if num(got) != want {
+				t.Errorf("%s: aggregate %d != shard max %d", name, num(got), want)
+			}
+		case "once":
+			want := num(reflect.ValueOf(shards[0]).Field(i))
+			if num(got) != want {
+				t.Errorf("%s: aggregate %d != shard 0's %d (shared, counted once)", name, num(got), want)
+			}
+		case "sum-by-level":
+			var want []uint64
+			for _, ss := range shards {
+				for len(want) < len(ss.CompactionDebtByLevel) {
+					want = append(want, 0)
+				}
+				for l, d := range ss.CompactionDebtByLevel {
+					want[l] += d
+				}
+			}
+			for l := 0; l < len(want) || l < len(agg.CompactionDebtByLevel); l++ {
+				var w, g uint64
+				if l < len(want) {
+					w = want[l]
+				}
+				if l < len(agg.CompactionDebtByLevel) {
+					g = agg.CompactionDebtByLevel[l]
+				}
+				if w != g {
+					t.Errorf("CompactionDebtByLevel[%d]: aggregate %d != shard sum %d", l, g, w)
+				}
+			}
+		default:
+			t.Fatalf("unknown fold rule %q for %s", rule, name)
+		}
 	}
 }
 
